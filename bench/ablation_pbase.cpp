@@ -1,0 +1,57 @@
+// Ablation A3: the base probability Pbase = 2^-23. The paper picks it so
+// RefInt * Pbase ~ 0.001 (PARA's effective probability). This bench
+// sweeps the exponent and shows the security/overhead frontier: larger
+// Pbase buys faster worst-case response (lower p_miss) at linearly more
+// extra activations; smaller Pbase flips LoPRoMi/LoLiPRoMi into the
+// vulnerable regime that LiPRoMi already occupies at 2^-23.
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "tvp/exp/report.hpp"
+#include "tvp/exp/runner.hpp"
+#include "tvp/exp/verdict.hpp"
+#include "tvp/util/table.hpp"
+
+int main() {
+  using namespace tvp;
+
+  exp::SimConfig base;
+  exp::apply_scale(base, exp::full_scale_requested());
+  exp::install_standard_campaign(base);
+  const std::uint32_t seeds = exp::seeds_from_env(3);
+
+  std::printf("A3 - Pbase ablation (%u seeds); paper operating point: 2^-23, "
+              "RefInt*Pbase = 9.8e-4\n\n", seeds);
+
+  for (const auto variant : {hw::Technique::kLiPRoMi, hw::Technique::kLoPRoMi}) {
+    util::TextTable table({"Pbase", "RefInt*Pbase", "overhead %", "FPR %",
+                           "flood median [ACTs]", "p_miss", "verdict"});
+    table.set_title(util::strfmt("%s - base probability sweep",
+                                 std::string(hw::to_string(variant)).c_str()));
+    for (const unsigned exponent : {20u, 21u, 22u, 23u, 24u, 25u, 26u}) {
+      exp::SimConfig cfg = base;
+      cfg.technique.pbase_exp = exponent;
+      cfg.finalize();
+      const auto sweep = exp::run_seed_sweep(variant, cfg, seeds);
+      exp::FloodOptions opts;
+      opts.trials = 24;
+      const auto flood = exp::measure_flood(variant, cfg.technique, opts);
+      const auto verdict =
+          exp::security_verdict(variant, cfg.technique, sweep.total_flips > 0);
+      const double refint_pbase =
+          cfg.timing.refresh_intervals *
+          std::ldexp(1.0, -static_cast<int>(exponent));
+      table.add_row({util::strfmt("2^-%u", exponent),
+                     util::strfmt("%.2e", refint_pbase),
+                     util::strfmt("%.5f", sweep.overhead_pct.mean()),
+                     util::strfmt("%.5f", sweep.fpr_pct.mean()),
+                     util::strfmt("%.0f", flood.distribution.percentile(0.5)),
+                     util::strfmt("%.2e", verdict.p_miss),
+                     verdict.vulnerable ? "vulnerable" : "resilient"});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Extension experiment E3: the escalation design space around TiVaPRoMi.
+//
+// The paper samples two escalation shapes (linear, Eq. 1; power-of-two
+// rounded, Eq. 2). This bench maps the frontier with two more shapes —
+// sqrt (concave: escalates early) and quadratic (convex: escalates
+// late) — and adds Graphene (MICRO 2020), the deterministic Misra-Gries
+// tracker that later closed the same gap from the counter side. Axes:
+// per-bank storage, activation overhead, FPR, and the worst-case flood
+// response / analytic miss probability.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "tvp/core/tivapromi.hpp"
+#include "tvp/exp/report.hpp"
+#include "tvp/exp/runner.hpp"
+#include "tvp/exp/verdict.hpp"
+#include "tvp/mitigation/graphene.hpp"
+#include "tvp/util/table.hpp"
+
+namespace {
+
+using namespace tvp;
+
+// Worst-case miss probability for a shaped variant (same analysis as
+// exp::victim_save_schedule, applied to the shape).
+double shaped_p_miss(core::WeightShape shape, const exp::TechniqueConfig& cfg) {
+  const double pbase = std::ldexp(1.0, -static_cast<int>(cfg.pbase_exp));
+  const std::uint32_t ref_int = cfg.params.refresh_intervals;
+  double log_miss = 0.0;
+  for (std::uint64_t n = 0; n < cfg.flip_threshold; ++n) {
+    const auto k = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(n / 165, ref_int - 1));
+    const double h =
+        std::min(1.0, core::shaped_weight(shape, k, ref_int) * pbase);
+    log_miss += h >= 1.0 ? -1e9 : std::log1p(-h);
+  }
+  return std::exp(log_miss);
+}
+
+}  // namespace
+
+int main() {
+  exp::SimConfig config;
+  exp::apply_scale(config, exp::full_scale_requested());
+  exp::install_standard_campaign(config);
+
+  std::printf("E3 - escalation-shape frontier + Graphene (standard campaign, "
+              "%u banks, %u windows)\n\n",
+              config.geometry.total_banks(), config.windows);
+
+  util::TextTable table({"Scheme", "state B/bank", "overhead %", "FPR %",
+                         "flips", "worst-case p_miss"});
+  table.set_title("the design space around the paper's two shapes");
+
+  // Paper variants for reference.
+  for (const auto t : {hw::Technique::kLiPRoMi, hw::Technique::kLoPRoMi}) {
+    const auto r = exp::run_simulation(t, config);
+    const auto v = exp::security_verdict(t, config.technique, r.flips > 0);
+    table.add_row({r.technique, util::strfmt("%.0f", r.state_bytes_per_bank),
+                   util::strfmt("%.5f", r.overhead_pct()),
+                   util::strfmt("%.5f", r.fpr_pct()), std::to_string(r.flips),
+                   util::strfmt("%.2e", v.p_miss)});
+  }
+
+  // Shaped exploration variants.
+  core::TiVaPRoMiConfig tvp_cfg;
+  tvp_cfg.refresh_intervals = config.timing.refresh_intervals;
+  tvp_cfg.rows_per_bank = config.geometry.rows_per_bank;
+  tvp_cfg.pbase_exp = config.technique.pbase_exp;
+  for (const auto shape : {core::WeightShape::kSqrt, core::WeightShape::kQuadratic}) {
+    const auto r = exp::run_custom_simulation(
+        core::make_shaped_factory(shape, tvp_cfg), core::to_string(shape),
+        config);
+    table.add_row({r.technique, util::strfmt("%.0f", r.state_bytes_per_bank),
+                   util::strfmt("%.5f", r.overhead_pct()),
+                   util::strfmt("%.5f", r.fpr_pct()), std::to_string(r.flips),
+                   util::strfmt("%.2e", shaped_p_miss(shape, config.technique))});
+  }
+
+  // CaPRoMi with the re-issue cooldown (probing the mechanism that could
+  // explain the paper's unusually low CaPRoMi overhead; see
+  // EXPERIMENTS.md T3).
+  {
+    exp::SimConfig cooled = config;
+    cooled.technique.params = config.technique.params;
+    const auto base = exp::run_simulation(hw::Technique::kCaPRoMi, cooled);
+    core::TiVaPRoMiConfig ca_cfg = tvp_cfg;
+    ca_cfg.capromi_reissue_cooldown = 256;
+    const auto r = exp::run_custom_simulation(
+        core::make_tivapromi_factory(core::Variant::kCounterAssisted, ca_cfg),
+        "CaPRoMi+cooldown256", cooled);
+    table.add_row({base.technique + " (paper rules)",
+                   util::strfmt("%.0f", base.state_bytes_per_bank),
+                   util::strfmt("%.5f", base.overhead_pct()),
+                   util::strfmt("%.5f", base.fpr_pct()),
+                   std::to_string(base.flips), "3.76e-05"});
+    table.add_row({r.technique, util::strfmt("%.0f", r.state_bytes_per_bank),
+                   util::strfmt("%.5f", r.overhead_pct()),
+                   util::strfmt("%.5f", r.fpr_pct()), std::to_string(r.flips),
+                   "<= paper rules (cooldown only delays re-issues)"});
+  }
+
+  // Graphene.
+  mitigation::GrapheneConfig graphene_cfg;
+  graphene_cfg.rows_per_bank = config.geometry.rows_per_bank;
+  graphene_cfg.row_threshold = config.technique.counter_threshold();
+  const auto g = exp::run_custom_simulation(
+      mitigation::make_graphene_factory(graphene_cfg), "Graphene (MICRO'20)",
+      config);
+  table.add_row({g.technique, util::strfmt("%.0f", g.state_bytes_per_bank),
+                 util::strfmt("%.5f", g.overhead_pct()),
+                 util::strfmt("%.5f", g.fpr_pct()), std::to_string(g.flips),
+                 "0 (deterministic)"});
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nreading: sqrt escalation buys orders of magnitude of worst-case\n"
+      "safety for moderate extra overhead; quadratic is cheaper than linear\n"
+      "but strictly less safe (the paper's linear variant already sits at\n"
+      "the edge). The CaPRoMi re-issue cooldown barely moves the overhead -\n"
+      "a negative result: repeated re-issues are NOT what separates our\n"
+      "CaPRoMi from the paper's 0.008%% (see EXPERIMENTS.md). Graphene shows\n"
+      "the counter family matching TiVaPRoMi's storage with deterministic\n"
+      "guarantees - one MICRO later.\n");
+  return 0;
+}

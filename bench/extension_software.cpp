@@ -1,0 +1,107 @@
+// Extension experiment E6: the software-level alternative the paper's
+// introduction mentions. An attacker writes double-sided code against
+// *virtual* addresses; whether the aggressors land physically adjacent
+// to the victim depends on the OS page allocator. This bench mounts the
+// same virtual-address attack under (a) contiguous allocation and (b)
+// randomized frame allocation at several page granularities, with no
+// hardware mitigation at all — quantifying how much protection the
+// allocator alone buys, and where it stops (row-granular randomization
+// is total; 4 KB-class pages spanning multiple rows leak intra-page
+// adjacency the attacker can still exploit).
+#include <cstdio>
+#include <string>
+
+#include "tvp/cpu/page_mapper.hpp"
+#include "tvp/exp/report.hpp"
+#include "tvp/exp/runner.hpp"
+#include "tvp/util/table.hpp"
+
+namespace {
+
+using namespace tvp;
+
+// Builds the physical-row attack stream a virtual-address double-sided
+// attacker actually produces under the given mapper.
+trace::AttackConfig translated_attack(const cpu::PageMapper& mapper,
+                                      dram::RowId virtual_victim,
+                                      const exp::SimConfig& config) {
+  trace::AttackConfig attack;
+  attack.pattern = trace::AttackPattern::kFlood;  // explicit rows below
+  attack.bank = 0;
+  attack.rows_per_bank = config.geometry.rows_per_bank;
+  // The attacker hammers virtual rows v-1 and v+1; the memory system
+  // sees their physical images.
+  attack.victims = {mapper.to_physical(virtual_victim - 1),
+                    mapper.to_physical(virtual_victim + 1)};
+  attack.interarrival_ps = config.timing.t_refi_ps() / 40;
+  return attack;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tvp;
+
+  exp::SimConfig config;
+  exp::apply_scale(config, exp::full_scale_requested());
+  config.windows = 2;
+  config.workload.benign_acts_per_interval_per_bank = 0;  // worst case
+  config.technique.para_p = 0.0;                          // NO hardware defence
+
+  const dram::RowId virtual_victim = 70000;
+
+  std::printf("E6 - OS page-allocation randomization vs a virtual-address "
+              "double-sided attack (no hardware mitigation)\n\n");
+
+  util::TextTable table({"allocator", "rows/page", "victim sandwiched",
+                         "targeted victim flipped", "collateral flips",
+                         "peak disturbance / threshold"});
+  table.set_title("attack outcome by allocation policy");
+
+  struct Case {
+    cpu::PagePolicyOs policy;
+    dram::RowId rows_per_page;
+  };
+  const Case cases[] = {
+      {cpu::PagePolicyOs::kContiguous, 1},
+      {cpu::PagePolicyOs::kRandomized, 1},   // row-granular randomization
+      {cpu::PagePolicyOs::kRandomized, 8},   // 4 KB-class pages
+      {cpu::PagePolicyOs::kRandomized, 64},  // huge-page-class
+  };
+  for (const auto& c : cases) {
+    util::Rng rng(41);
+    const cpu::PageMapper mapper(config.geometry.rows_per_bank,
+                                 c.rows_per_page, c.policy, rng);
+    exp::SimConfig run_cfg = config;
+    run_cfg.workload.attacks = {translated_attack(mapper, virtual_victim, config)};
+    run_cfg.finalize();
+    const auto r = exp::run_simulation(hw::Technique::kPara, run_cfg);
+
+    // Did the flips land on the row the attacker *aimed at*?
+    const dram::RowId physical_victim = mapper.to_physical(virtual_victim);
+    std::uint64_t targeted = 0;
+    for (const auto& flip : r.flip_events)
+      if (flip.row == physical_victim) ++targeted;
+    const auto a = mapper.to_physical(virtual_victim - 1);
+    const auto b = mapper.to_physical(virtual_victim + 1);
+    const bool sandwich = (a < b ? b - a : a - b) == 2;
+
+    table.add_row({std::string(cpu::to_string(c.policy)),
+                   std::to_string(c.rows_per_page),
+                   sandwich ? "yes" : "no", targeted ? "YES" : "no",
+                   std::to_string(r.flips - targeted),
+                   util::strfmt("%.2f",
+                                static_cast<double>(r.peak_disturbance) /
+                                    config.technique.flip_threshold)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nreading: randomization removes the attacker's *aim* - the targeted\n"
+      "victim only flips when allocation leaves it sandwiched (contiguous,\n"
+      "or multi-row pages keeping intra-page adjacency) - but hammering at\n"
+      "this rate still flips *somebody's* rows (collateral column): the\n"
+      "neighbours of wherever the hammered frames landed. Software layout\n"
+      "defences deny precision, not damage; only the controller-level\n"
+      "techniques stop the flips themselves.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Simulator performance benchmarks (google-benchmark): how fast the
+// pipeline processes activations for each mitigation technique, plus the
+// hot inner structures (history-table search, disturbance updates,
+// workload generation). Useful for sizing full-scale runs and catching
+// performance regressions.
+#include <benchmark/benchmark.h>
+
+#include "tvp/core/history_table.hpp"
+#include "tvp/dram/disturbance.hpp"
+#include "tvp/exp/report.hpp"
+#include "tvp/exp/runner.hpp"
+#include "tvp/trace/synthetic.hpp"
+
+namespace {
+
+using namespace tvp;
+
+void BM_SimulationPerTechnique(benchmark::State& state) {
+  const auto technique = static_cast<hw::Technique>(state.range(0));
+  exp::SimConfig config;
+  config.geometry.banks_per_rank = 2;
+  config.windows = 1;
+  exp::install_standard_campaign(config);
+  std::uint64_t acts = 0;
+  for (auto _ : state) {
+    const auto r = exp::run_simulation(technique, config);
+    acts += r.stats.demand_acts;
+    benchmark::DoNotOptimize(r.stats.extra_acts);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(acts));
+  state.SetLabel(std::string(hw::to_string(technique)));
+}
+BENCHMARK(BM_SimulationPerTechnique)
+    ->DenseRange(0, 8, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HistoryTableSearch(benchmark::State& state) {
+  core::HistoryTable table(static_cast<std::size_t>(state.range(0)), 17, 13);
+  for (std::int64_t i = 0; i < state.range(0); ++i)
+    table.insert(static_cast<dram::RowId>(i * 97), 5);
+  dram::RowId row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(row));
+    row += 131;  // mostly misses: worst-case full scan
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistoryTableSearch)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_DisturbanceActivate(benchmark::State& state) {
+  dram::DisturbanceModel model(4, 131072);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    model.on_activate(static_cast<dram::BankId>(rng.below(4)),
+                      static_cast<dram::RowId>(rng.below(131072)), 0);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DisturbanceActivate);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  exp::SimConfig config;
+  config.geometry.banks_per_rank = 4;
+  exp::install_standard_campaign(config);
+  util::Rng rng(7);
+  auto source = exp::build_workload(config, rng);
+  for (auto _ : state) {
+    auto rec = source->next();
+    benchmark::DoNotOptimize(rec);
+    if (!rec) state.SkipWithError("workload exhausted");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

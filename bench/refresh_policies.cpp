@@ -1,0 +1,72 @@
+// Reproduces the Section-IV refresh-policy robustness experiment (X2):
+// TiVaPRoMi assumes that refresh interval i refreshes rows
+// [i*RowsPI, (i+1)*RowsPI); the device may do something else entirely.
+// Four policies are evaluated: (i) neighbouring rows (the assumption),
+// (ii) neighbouring rows with spare-row replacements, (iii) a fully
+// random fixed permutation, (iv) an interval counter XOR a mask.
+// Expected outcome: "No significant change in the performance of
+// TiVaPRoMi was observed" — and no flips under any policy.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tvp/exp/report.hpp"
+#include "tvp/exp/runner.hpp"
+#include "tvp/util/table.hpp"
+
+int main() {
+  using namespace tvp;
+
+  const dram::RefreshPolicy policies[] = {
+      dram::RefreshPolicy::kNeighborSequential,
+      dram::RefreshPolicy::kNeighborRemapped,
+      dram::RefreshPolicy::kRandom,
+      dram::RefreshPolicy::kCounterMask,
+  };
+
+  util::TextTable table({"Variant", "(i) neighbor", "(ii) remapped",
+                         "(iii) random", "(iv) counter+mask", "max/min",
+                         "flips"});
+  table.set_title("X2 - activation overhead [%] under four device refresh "
+                  "policies");
+  util::TextTable margin({"Variant", "(i) neighbor", "(ii) remapped",
+                          "(iii) random", "(iv) counter+mask"});
+  margin.set_title("\npeak disturbance reached [% of flip threshold] - the\n"
+                   "device-side safety margin (decisions are policy-blind,\n"
+                   "so overheads match; the margin is what the policy moves)");
+
+  bool any_flip = false;
+  for (const auto variant : hw::kTiVaPRoMiVariants) {
+    std::vector<std::string> row = {std::string(hw::to_string(variant))};
+    std::vector<std::string> margin_row = row;
+    double lo = 1e9, hi = 0;
+    std::uint64_t flips = 0;
+    for (const auto policy : policies) {
+      exp::SimConfig config;
+      exp::apply_scale(config, exp::full_scale_requested());
+      exp::install_standard_campaign(config);
+      config.refresh_policy = policy;
+      const auto r = exp::run_simulation(variant, config);
+      row.push_back(util::strfmt("%.5f", r.overhead_pct()));
+      margin_row.push_back(util::strfmt(
+          "%.1f", 100.0 * static_cast<double>(r.peak_disturbance) /
+                      config.technique.flip_threshold));
+      lo = std::min(lo, r.overhead_pct());
+      hi = std::max(hi, r.overhead_pct());
+      flips += r.flips;
+    }
+    row.push_back(util::strfmt("%.2fx", hi / std::max(lo, 1e-12)));
+    row.push_back(std::to_string(flips));
+    any_flip = any_flip || flips > 0;
+    table.add_row(row);
+    margin.add_row(margin_row);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::fputs(margin.render().c_str(), stdout);
+  std::printf(
+      "\npaper: \"No significant change in the performance of TiVaPRoMi was\n"
+      "observed.\" -> spread should stay within a small factor, zero flips"
+      " (%s)\n",
+      any_flip ? "FLIPS OBSERVED" : "reproduced");
+  return any_flip ? 1 : 0;
+}

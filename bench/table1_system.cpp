@@ -1,0 +1,82 @@
+// Reproduces Table I — "Simulated system specifications" — by printing
+// the configured parameters together with the quantities *derived* from
+// them (RefInt, Pbase scaling, activation bounds) and the *measured*
+// workload calibration (activations per refresh interval, attacker
+// share), so the reader can check every number the later experiments
+// rest on.
+//
+// Experiment id: T1 (DESIGN.md experiment index).
+#include <cmath>
+#include <cstdio>
+
+#include "tvp/exp/report.hpp"
+#include "tvp/exp/runner.hpp"
+#include "tvp/trace/stats.hpp"
+#include "tvp/util/table.hpp"
+
+int main() {
+  using namespace tvp;
+
+  exp::SimConfig config;
+  exp::apply_scale(config, exp::full_scale_requested());
+  exp::install_standard_campaign(config);
+
+  const dram::Timing& t = config.timing;
+  util::TextTable table({"parameter", "value", "paper (Table I)"});
+  table.set_title("Table I - simulated system specifications");
+  table.add_row({"workload", "synthetic SPEC-like mixed load + attackers",
+                 "SPEC CPU2006 mixed load"});
+  table.add_row({"banks simulated", std::to_string(config.geometry.total_banks()),
+                 "16 (DDR4 rank)"});
+  table.add_row({"rows per bank", std::to_string(config.geometry.rows_per_bank),
+                 "(1 GB bank)"});
+  table.add_row({"DDR4 refresh window", util::strfmt("%.0f ms", t.t_refw_ps / 1e9),
+                 "64 ms"});
+  table.add_row({"DDR4 refresh interval",
+                 util::strfmt("%.4f us", t.t_refi_ps() / 1e6), "7.8 us"});
+  table.add_row({"refresh intervals / window (RefInt)",
+                 std::to_string(t.refresh_intervals), "(1.56 M total)"});
+  table.add_row({"activation to activation (tRC)",
+                 util::strfmt("%.0f ns", t.t_rc_ps / 1e3), "45 ns"});
+  table.add_row({"refresh time (tRFC)", util::strfmt("%.0f ns", t.t_rfc_ps / 1e3),
+                 "350 ns"});
+  table.add_row({"DDR4 frequency", util::strfmt("%.1f GHz", t.clock_hz / 1e9),
+                 "1.2 GHz"});
+  table.add_row({"max activations / interval",
+                 std::to_string(t.max_acts_per_interval()), "165 [13]"});
+  table.add_row({"bit-flip activation threshold",
+                 std::to_string(config.technique.flip_threshold), "139 K [12]"});
+  table.add_row({"Pbase", util::strfmt("2^-%u", config.technique.pbase_exp),
+                 "2^-23"});
+  const double refint_pbase =
+      t.refresh_intervals * std::ldexp(1.0, -static_cast<int>(config.technique.pbase_exp));
+  table.add_row({"RefInt * Pbase", util::strfmt("%.2e", refint_pbase),
+                 "9.8e-4 (similar to PARA)"});
+  std::fputs(table.render().c_str(), stdout);
+
+  // Measured calibration of the generated workload.
+  std::printf("\nmeasuring generated workload (%u windows, %u banks)...\n",
+              config.windows, config.geometry.total_banks());
+  util::Rng rng(config.seed);
+  auto source = exp::build_workload(config, rng);
+  trace::TraceStats stats(t.t_refi_ps(), config.geometry.total_banks());
+  while (auto rec = source->next()) stats.add(*rec);
+  const auto per_interval = stats.acts_per_interval_per_bank();
+
+  util::TextTable measured({"measured quantity", "value", "paper"});
+  measured.set_title("\nworkload calibration (measured)");
+  measured.add_row({"memory activations", std::to_string(stats.records()),
+                    "175 M (full gem5 run)"});
+  measured.add_row({"attacker share %",
+                    util::strfmt("%.1f", 100 * stats.attack_fraction()),
+                    "(1..20 aggressors/bank)"});
+  measured.add_row({"avg activations / interval / bank",
+                    util::strfmt("%.1f", per_interval.mean()),
+                    "40 (incl. aggressors)"});
+  measured.add_row({"max activations / interval / bank",
+                    util::strfmt("%.0f", per_interval.max()), "<= 165"});
+  measured.add_row({"unique (bank,row) pairs",
+                    std::to_string(stats.unique_rows()), "-"});
+  std::fputs(measured.render().c_str(), stdout);
+  return 0;
+}

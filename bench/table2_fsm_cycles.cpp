@@ -1,0 +1,93 @@
+// Reproduces Table II — "Number of needed clock cycles to process an
+// observed act and ref command" — by executing the FSM cycle model for
+// the four TiVaPRoMi variants and checking the loops against the DDR4
+// cycle budgets (54 cycles after act, 420 after ref).
+//
+// Also prints the DDR3 (320 MHz) feasibility analysis from Section IV:
+// which techniques fit serially and which need widened datapaths.
+//
+// Experiment id: T2 (DESIGN.md experiment index).
+#include <cstdio>
+#include <string>
+
+#include "tvp/hw/area_model.hpp"
+#include "tvp/hw/cycle_model.hpp"
+#include "tvp/hw/fsm_executor.hpp"
+#include "tvp/util/table.hpp"
+
+int main() {
+  using namespace tvp;
+  const hw::TechniqueParams params;  // paper defaults
+
+  const hw::CycleBudget ddr4 = hw::cycle_budget(dram::ddr4_timing());
+  std::printf("DDR4 cycle budgets: act <= %u, ref <= %u (Section IV)\n\n",
+              ddr4.act, ddr4.ref);
+
+  // Table II, paper column order: CaPRoMi, LoLiPRoMi, LoPRoMi, LiPRoMi.
+  const hw::Technique order[] = {
+      hw::Technique::kCaPRoMi, hw::Technique::kLoLiPRoMi,
+      hw::Technique::kLoPRoMi, hw::Technique::kLiPRoMi};
+  const std::uint32_t paper_act[] = {50, 36, 37, 37};
+  const std::uint32_t paper_ref[] = {258, 3, 3, 3};
+
+  util::TextTable table({"", "CaPRoMi", "LoLiPRoMi", "LoPRoMi", "LiPRoMi"});
+  table.set_title("Table II - FSM loop cycles per observed command");
+  std::vector<std::string> act_row = {"act"}, ref_row = {"ref"};
+  bool all_fit = true;
+  for (int i = 0; i < 4; ++i) {
+    const auto cycles = hw::fsm_cycles(order[i], params);
+    act_row.push_back(util::strfmt("%u (paper %u)", cycles.act, paper_act[i]));
+    ref_row.push_back(util::strfmt("%u (paper %u)", cycles.ref, paper_ref[i]));
+    all_fit = all_fit && hw::fits_budget(cycles, ddr4);
+  }
+  table.add_row(act_row);
+  table.add_row(ref_row);
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("all variants within DDR4 budget: %s\n\n", all_fit ? "yes" : "NO");
+
+  // Where the cycles go: the executed Fig. 2 / Fig. 3 state walks.
+  std::printf("executed FSM walks (state(cycles)):\n");
+  for (int i = 0; i < 4; ++i) {
+    const hw::FsmExecutor executor(order[i], params);
+    std::printf("  %-10s act: %s\n", std::string(hw::to_string(order[i])).c_str(),
+                hw::trace_to_string(executor.run_act()).c_str());
+    std::printf("  %-10s ref: %s\n", "",
+                hw::trace_to_string(executor.run_ref(false)).c_str());
+  }
+  std::printf("\n");
+
+  // DDR3 feasibility (Section IV).
+  const hw::CycleBudget ddr3 = hw::cycle_budget(dram::ddr3_timing());
+  util::TextTable feas({"technique", "act cycles (serial)", "ref cycles (serial)",
+                        "fits DDR3 serially", "needed parallelism f"});
+  feas.set_title(util::strfmt(
+      "DDR3 port feasibility (budgets: act <= %u, ref <= %u)", ddr3.act,
+      ddr3.ref));
+  for (const auto t : hw::kAllTechniques) {
+    const auto cycles = hw::fsm_cycles(t, params);
+    const auto f = hw::required_parallelism(t, params, ddr3);
+    feas.add_row({std::string(hw::to_string(t)), std::to_string(cycles.act),
+                  std::to_string(cycles.ref),
+                  hw::fits_budget(cycles, ddr3) ? "yes" : "no",
+                  std::to_string(f)});
+  }
+  std::fputs(feas.render().c_str(), stdout);
+  std::printf(
+      "\npaper: \"Only PARA and CRA could fit in the cycle budget of the\n"
+      "low-frequency DDR3 controller due to their simple internal structure.\"\n");
+
+  // Forward-looking: DDR5 budgets (extension; the 2.4 GHz clock roughly
+  // doubles the headroom, so every serial variant fits with margin).
+  const hw::CycleBudget ddr5 = hw::cycle_budget(dram::ddr5_timing());
+  util::TextTable d5({"technique", "act cycles", "ref cycles", "fits DDR5"});
+  d5.set_title(util::strfmt("DDR5 outlook (budgets: act <= %u, ref <= %u)",
+                            ddr5.act, ddr5.ref));
+  for (const auto t : hw::kTiVaPRoMiVariants) {
+    const auto cycles = hw::fsm_cycles(t, params);
+    d5.add_row({std::string(hw::to_string(t)), std::to_string(cycles.act),
+                std::to_string(cycles.ref),
+                hw::fits_budget(cycles, ddr5) ? "yes" : "no"});
+  }
+  std::fputs(d5.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Extension experiment E5: *when* inside the refresh window does each
+// technique spend its extra activations?
+//
+// TiVaPRoMi clears its history table at every window boundary, so all
+// reused rows re-earn their first trigger shortly after — the overhead
+// concentrates in an early-window burst and then the table suppresses.
+// PARA has no state and is flat; MRLoc follows the traffic; the counter
+// techniques fire wherever an aggressor crosses its threshold. The
+// profile makes the history-table mechanism *visible*, which is useful
+// both for intuition and for spotting calibration regressions.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "tvp/exp/report.hpp"
+#include "tvp/exp/runner.hpp"
+#include "tvp/util/table.hpp"
+
+namespace {
+
+std::string sparkline(const std::array<std::uint64_t, 64>& bins) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  std::uint64_t peak = 0;
+  for (const auto b : bins) peak = std::max(peak, b);
+  std::string out;
+  for (const auto b : bins) {
+    const std::size_t level =
+        peak == 0 ? 0 : (b * 7 + peak - 1) / peak;  // 0..7, ceil
+    out += kLevels[std::min<std::size_t>(level, 7)];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tvp;
+
+  exp::SimConfig config;
+  exp::apply_scale(config, exp::full_scale_requested());
+  config.windows = 4;  // several windows so the pattern repeats
+  exp::install_standard_campaign(config);
+
+  std::printf("E5 - extra activations by refresh-window phase (64 bins per "
+              "window, %u windows overlaid)\n\n", config.windows);
+  std::printf("%-10s |%-64s| early-half share\n", "technique", "window phase ->");
+
+  for (const auto t : hw::kAllTechniques) {
+    const auto r = exp::run_simulation(t, config);
+    const auto& bins = r.stats.extra_acts_by_phase;
+    std::uint64_t early = 0, total = 0;
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+      total += bins[i];
+      if (i < bins.size() / 2) early += bins[i];
+    }
+    std::printf("%-10s |%s| %4.1f%%\n", r.technique.c_str(),
+                sparkline(bins).c_str(),
+                total ? 100.0 * early / total : 0.0);
+  }
+  std::printf(
+      "\nreading: the TiVaPRoMi variants lean early (the post-clear re-earning\n"
+      "burst), PARA/MRLoc sit near 50%% (stateless / traffic-following), and\n"
+      "the counter techniques cluster where aggressors cross thresholds.\n");
+  return 0;
+}

@@ -1,0 +1,18 @@
+# gnuplot script for the A1 history-size ablation — run
+# `bench/ablation_history` first (writes ablation_history.csv), then:
+#   gnuplot -p scripts/plot_ablation_history.gp
+set datafile separator ","
+set logscale x 2
+set xlabel "History-table entries"
+set ylabel "Activation overhead [%]"
+set y2label "LUTs (DDR4)"
+set y2tics
+set title "A1 — the knee at the paper's 32 entries"
+set key top right
+set grid
+plot "ablation_history.csv" using 2:($1 eq "LiPRoMi" ? $5 : 1/0) \
+       with linespoints title "LiPRoMi overhead", \
+     "ablation_history.csv" using 2:($1 eq "LoLiPRoMi" ? $5 : 1/0) \
+       with linespoints title "LoLiPRoMi overhead", \
+     "ablation_history.csv" using 2:($1 eq "LiPRoMi" ? $4 : 1/0) \
+       axes x1y2 with lines dt 2 title "LUTs (DDR4)"

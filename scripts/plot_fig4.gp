@@ -1,0 +1,12 @@
+# gnuplot script for Figure 4 — run `bench/fig4_tradeoff` first (it
+# writes fig4.csv), then:  gnuplot -p scripts/plot_fig4.gp
+set datafile separator ","
+set logscale xy
+set xlabel "Table Size per Bank [Bytes]"
+set ylabel "Activations Overhead [%]"
+set title "Fig. 4 — table size vs activation overhead (measured)"
+set key outside right
+set grid
+set xrange [1:2e6]
+set yrange [1e-4:2]
+plot "fig4.csv" using 2:3:1 with labels point pt 7 offset char 1,0.5 notitle

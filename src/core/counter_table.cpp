@@ -1,0 +1,60 @@
+#include "tvp/core/counter_table.hpp"
+
+#include <stdexcept>
+
+namespace tvp::core {
+
+CounterTable::CounterTable(std::size_t capacity, std::uint8_t lock_threshold,
+                           unsigned row_bits)
+    : lock_threshold_(lock_threshold), row_bits_(row_bits) {
+  if (capacity == 0) throw std::invalid_argument("CounterTable: zero capacity");
+  if (capacity > 255)
+    throw std::invalid_argument("CounterTable: capacity above 255 unsupported");
+  if (lock_threshold_ == 0)
+    throw std::invalid_argument("CounterTable: zero lock threshold");
+  slots_.assign(capacity, Entry{});
+}
+
+std::optional<std::size_t> CounterTable::on_activate(dram::RowId row,
+                                                     util::Rng& rng) {
+  std::size_t free_slot = slots_.size();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Entry& e = slots_[i];
+    if (e.valid && e.row == row) {
+      if (e.count < 0xFF) ++e.count;
+      if (e.count >= lock_threshold_) e.locked = true;
+      return i;
+    }
+    if (!e.valid && free_slot == slots_.size()) free_slot = i;
+  }
+  if (free_slot != slots_.size()) {
+    slots_[free_slot] = Entry{row, 1, false, true, kNoLink};
+    ++size_;
+    return free_slot;
+  }
+  // Full: one random replacement attempt; locked entries win (Fig. 3
+  // "fail" edge) and the new row is simply not tracked this interval.
+  const std::size_t victim = rng.below(slots_.size());
+  if (slots_[victim].locked) return std::nullopt;
+  slots_[victim] = Entry{row, 1, false, true, kNoLink};
+  return victim;
+}
+
+void CounterTable::set_link(std::size_t index, std::uint8_t link) {
+  if (index >= slots_.size() || !slots_[index].valid)
+    throw std::out_of_range("CounterTable::set_link");
+  slots_[index].link = link;
+}
+
+void CounterTable::clear() noexcept {
+  for (auto& e : slots_) e = Entry{};
+  size_ = 0;
+}
+
+std::uint64_t CounterTable::state_bits() const noexcept {
+  // row + 8-bit count + lock bit + link index (log2(history capacity),
+  // budgeted at 5 bits for the default 32-entry table) + valid.
+  return static_cast<std::uint64_t>(slots_.size()) * (row_bits_ + 8 + 1 + 5 + 1);
+}
+
+}  // namespace tvp::core

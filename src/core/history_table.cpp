@@ -1,0 +1,66 @@
+#include "tvp/core/history_table.hpp"
+
+#include <stdexcept>
+
+namespace tvp::core {
+
+HistoryTable::HistoryTable(std::size_t capacity, unsigned row_bits,
+                           unsigned interval_bits)
+    : capacity_(capacity), row_bits_(row_bits), interval_bits_(interval_bits) {
+  if (capacity_ == 0)
+    throw std::invalid_argument("HistoryTable: zero capacity");
+  if (capacity_ > 256)
+    throw std::invalid_argument(
+        "HistoryTable: capacity above 256 breaks 8-bit link indices");
+  slots_.assign(capacity_, Entry{});
+}
+
+std::optional<std::uint32_t> HistoryTable::lookup(dram::RowId row) const noexcept {
+  for (const auto& e : slots_)
+    if (e.valid && e.row == row) return e.interval;
+  return std::nullopt;
+}
+
+std::optional<std::uint8_t> HistoryTable::index_of(dram::RowId row) const noexcept {
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    if (slots_[i].valid && slots_[i].row == row)
+      return static_cast<std::uint8_t>(i);
+  return std::nullopt;
+}
+
+std::uint32_t HistoryTable::interval_at(std::uint8_t index) const {
+  if (index >= slots_.size() || !slots_[index].valid)
+    throw std::out_of_range("HistoryTable::interval_at");
+  return slots_[index].interval;
+}
+
+dram::RowId HistoryTable::row_at(std::uint8_t index) const {
+  if (index >= slots_.size() || !slots_[index].valid)
+    throw std::out_of_range("HistoryTable::row_at");
+  return slots_[index].row;
+}
+
+void HistoryTable::insert(dram::RowId row, std::uint32_t interval) {
+  for (auto& e : slots_) {
+    if (e.valid && e.row == row) {
+      e.interval = interval;  // update in place, keep the slot
+      return;
+    }
+  }
+  // Overwrite the oldest slot (hardware FIFO head pointer).
+  slots_[head_] = Entry{row, interval, true};
+  head_ = (head_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+}
+
+void HistoryTable::clear() noexcept {
+  for (auto& e : slots_) e.valid = false;
+  head_ = 0;
+  size_ = 0;
+}
+
+std::uint64_t HistoryTable::state_bits() const noexcept {
+  return static_cast<std::uint64_t>(capacity_) * (row_bits_ + interval_bits_);
+}
+
+}  // namespace tvp::core

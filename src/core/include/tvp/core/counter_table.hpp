@@ -1,0 +1,68 @@
+// CaPRoMi's per-interval counter table (Section III-D).
+//
+// Tracks activation counts of rows *within one refresh interval*. On a
+// miss with a full table one randomly chosen entry is replaced — unless
+// that entry has reached the lock threshold (the lock bit prevents
+// evicting frequently activated rows; the FSM's "fail" edge in Fig. 3).
+// Entries optionally link to a history-table slot so the weight
+// calculation at REF time can reuse the stored interval (Eq. 1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tvp/dram/geometry.hpp"
+#include "tvp/util/rng.hpp"
+
+namespace tvp::core {
+
+class CounterTable {
+ public:
+  struct Entry {
+    dram::RowId row = 0;
+    std::uint8_t count = 0;
+    bool locked = false;
+    bool valid = false;
+    /// Slot index in the history table captured at activation time;
+    /// 0xFF = no link.
+    std::uint8_t link = kNoLink;
+  };
+  static constexpr std::uint8_t kNoLink = 0xFF;
+
+  /// @p capacity entries (the paper sizes it at 64, between the average
+  /// 40 and maximum 165 activations per interval); @p lock_threshold is
+  /// the activation count at which an entry becomes irreplaceable;
+  /// @p row_bits sizes the storage estimate.
+  CounterTable(std::size_t capacity, std::uint8_t lock_threshold, unsigned row_bits);
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  std::size_t size() const noexcept { return size_; }
+
+  /// Records one activation of @p row. Increments on a hit (saturating,
+  /// setting the lock bit at the threshold); inserts on a miss; when
+  /// full, attempts one random replacement via @p rng which fails if the
+  /// chosen entry is locked. Returns the entry index touched, or nullopt
+  /// when the replacement failed.
+  std::optional<std::size_t> on_activate(dram::RowId row, util::Rng& rng);
+
+  /// Attaches a history-table link to the entry at @p index.
+  void set_link(std::size_t index, std::uint8_t link);
+
+  /// Read-only view of the slots (REF-time decision walk).
+  const std::vector<Entry>& slots() const noexcept { return slots_; }
+
+  /// Clears the table (end of refresh interval, after decisions).
+  void clear() noexcept;
+
+  /// Storage in bits: capacity * (row + count + lock + link).
+  std::uint64_t state_bits() const noexcept;
+
+ private:
+  std::vector<Entry> slots_;
+  std::size_t size_ = 0;
+  std::uint8_t lock_threshold_;
+  unsigned row_bits_;
+};
+
+}  // namespace tvp::core

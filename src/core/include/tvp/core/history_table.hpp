@@ -1,0 +1,72 @@
+// The per-bank history table (Section III).
+//
+// Stores (row, refresh interval of the last mitigation-triggered extra
+// activation). A hit lets the weight calculation restart from that
+// interval instead of the row's refresh slot, suppressing redundant
+// extra activations for already-protected aggressors. Replacement is
+// FIFO; the table is cleared when a new refresh window starts. In
+// hardware the lookup is a sequential search finished before the next
+// ACT of the same bank (Table II budget) — the cost model in tvp::hw
+// charges one cycle per entry for it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tvp/dram/geometry.hpp"
+
+namespace tvp::core {
+
+class HistoryTable {
+ public:
+  /// @p capacity entries (the paper uses 32 -> 120 B per 1 GB bank);
+  /// @p row_bits / @p interval_bits size the storage estimate.
+  HistoryTable(std::size_t capacity, unsigned row_bits, unsigned interval_bits);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Sequential search; returns the stored interval on a hit.
+  std::optional<std::uint32_t> lookup(dram::RowId row) const noexcept;
+
+  /// Index of @p row in the table (the "address" CaPRoMi links into its
+  /// counter entries), or nullopt.
+  std::optional<std::uint8_t> index_of(dram::RowId row) const noexcept;
+
+  /// Stored interval at @p index; throws std::out_of_range when invalid.
+  std::uint32_t interval_at(std::uint8_t index) const;
+
+  /// Row stored at @p index; throws std::out_of_range when invalid.
+  dram::RowId row_at(std::uint8_t index) const;
+
+  /// Inserts or updates (row -> interval). Updates keep the entry's FIFO
+  /// position; inserts evict the oldest entry when full.
+  void insert(dram::RowId row, std::uint32_t interval);
+
+  /// Clears all entries (new refresh window).
+  void clear() noexcept;
+
+  /// Storage in bits: capacity * (row + interval).
+  std::uint64_t state_bits() const noexcept;
+
+ private:
+  struct Entry {
+    dram::RowId row = 0;
+    std::uint32_t interval = 0;
+    bool valid = false;
+  };
+
+  // Fixed slots with a head pointer, like the hardware FIFO: slot
+  // indices stay stable until the slot itself is overwritten, which is
+  // what keeps CaPRoMi's link indices valid.
+  std::vector<Entry> slots_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  unsigned row_bits_;
+  unsigned interval_bits_;
+};
+
+}  // namespace tvp::core

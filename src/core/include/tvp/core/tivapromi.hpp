@@ -1,0 +1,168 @@
+// TiVaPRoMi: the paper's four time-varying probabilistic mitigation
+// variants (Section III).
+//
+//  * LiPRoMi   — linear weighting, Eq. (1)
+//  * LoPRoMi   — logarithmic weighting, Eq. (2)
+//  * LoLiPRoMi — linear when the row is in the history table, else log
+//  * CaPRoMi   — counter-assisted: per-interval counter table, decisions
+//                taken collectively at each REF with p = cnt * w_log * Pbase
+//
+// All variants share the small per-bank history table and the base
+// probability Pbase chosen so that RefInt * Pbase ~ 0.001 (PARA's p).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "tvp/core/counter_table.hpp"
+#include "tvp/core/history_table.hpp"
+#include "tvp/mem/mitigation.hpp"
+#include "tvp/util/fixed_prob.hpp"
+#include "tvp/util/rng.hpp"
+
+namespace tvp::core {
+
+enum class Variant { kLinear, kLogarithmic, kLogLinear, kCounterAssisted };
+
+const char* to_string(Variant variant) noexcept;
+
+/// Shared configuration of all four variants.
+struct TiVaPRoMiConfig {
+  std::uint32_t refresh_intervals = 8192;  ///< RefInt
+  dram::RowId rows_per_bank = 131072;
+  /// Pbase = 2^-pbase_exp; 23 gives RefInt*Pbase = 9.8e-4 (Table I).
+  unsigned pbase_exp = 23;
+  std::size_t history_entries = 32;
+  // CaPRoMi only:
+  std::size_t counter_entries = 64;
+  std::uint8_t lock_threshold = 16;
+  /// Exploration knob (0 = the paper's Section III-D behaviour): when a
+  /// REF-time decision fires for a row whose last *issued* extra
+  /// activation is younger than this many intervals, the issue is
+  /// skipped (the row's victims were restored that recently). Values up
+  /// to ~400 are safe for the 139 K threshold at 165 ACTs/interval:
+  /// 165 * (cooldown + reissue latency) stays below 69.5 K. This probes
+  /// the mechanism that could explain the paper's unusually low CaPRoMi
+  /// overhead (see EXPERIMENTS.md, T3 discussion).
+  std::uint32_t capromi_reissue_cooldown = 0;
+
+  /// RowsPI under the assumed sequential refresh mapping.
+  dram::RowId rows_per_interval() const noexcept {
+    return rows_per_bank / refresh_intervals;
+  }
+  /// Pbase as exact fixed-point.
+  util::FixedProb pbase() const noexcept { return util::FixedProb::pow2(pbase_exp); }
+  /// Throws std::invalid_argument on inconsistent parameters.
+  void validate() const;
+};
+
+/// Common state and helpers; concrete variants implement the FSMs.
+class TiVaPRoMiBase : public mem::IBankMitigation {
+ public:
+  TiVaPRoMiBase(TiVaPRoMiConfig config, util::Rng rng);
+
+  const TiVaPRoMiConfig& config() const noexcept { return cfg_; }
+  const HistoryTable& history() const noexcept { return history_; }
+
+ protected:
+  /// The controller-side assumed refresh slot f_r = r / RowsPI.
+  std::uint32_t assumed_slot(dram::RowId row) const noexcept {
+    return static_cast<std::uint32_t>(row / cfg_.rows_per_interval());
+  }
+  /// Triggers the extra activation: emits act_n and updates the table.
+  void trigger(dram::RowId row, std::uint32_t interval,
+               std::vector<mem::MitigationAction>& out);
+
+  TiVaPRoMiConfig cfg_;
+  util::Rng rng_;
+  HistoryTable history_;
+  util::FixedProb pbase_;
+};
+
+/// LiPRoMi / LoPRoMi / LoLiPRoMi: decision on every ACT (Fig. 2 FSM).
+class ProbabilisticTiVaPRoMi final : public TiVaPRoMiBase {
+ public:
+  /// @p variant must be kLinear, kLogarithmic or kLogLinear.
+  ProbabilisticTiVaPRoMi(Variant variant, TiVaPRoMiConfig config, util::Rng rng);
+
+  const char* name() const noexcept override;
+  void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
+                   std::vector<mem::MitigationAction>& out) override;
+  void on_refresh(const mem::MitigationContext& ctx,
+                  std::vector<mem::MitigationAction>& out) override;
+  std::uint64_t state_bits() const noexcept override;
+
+  /// The weight this variant would use right now (exposed for tests and
+  /// the flood-analysis bench).
+  std::uint32_t weight_for(dram::RowId row, std::uint32_t interval) const noexcept;
+
+ private:
+  Variant variant_;
+};
+
+/// CaPRoMi: counters during the interval, collective decision at REF
+/// (Fig. 3 FSM).
+class CaPRoMi final : public TiVaPRoMiBase {
+ public:
+  CaPRoMi(TiVaPRoMiConfig config, util::Rng rng);
+
+  const char* name() const noexcept override { return "CaPRoMi"; }
+  void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
+                   std::vector<mem::MitigationAction>& out) override;
+  void on_refresh(const mem::MitigationContext& ctx,
+                  std::vector<mem::MitigationAction>& out) override;
+  std::uint64_t state_bits() const noexcept override;
+
+  const CounterTable& counters() const noexcept { return counters_; }
+  /// REF-time decisions skipped by the re-issue cooldown (0 when the
+  /// knob is off).
+  std::uint64_t suppressed_reissues() const noexcept { return suppressed_; }
+
+ private:
+  CounterTable counters_;
+  std::uint64_t suppressed_ = 0;
+};
+
+/// Factory for the MitigationEngine: per-bank instances of @p variant.
+mem::BankMitigationFactory make_tivapromi_factory(Variant variant,
+                                                  TiVaPRoMiConfig config);
+
+// ---------------------------------------------------------------------
+// Exploration extension (not in the paper): arbitrary monotone weight
+// shapes between the paper's linear and logarithmic escalation.
+// ---------------------------------------------------------------------
+
+enum class WeightShape { kLinear, kLogarithmic, kSqrt, kQuadratic };
+
+const char* to_string(WeightShape shape) noexcept;
+
+/// The shaped weight for an elapsed-interval count @p w.
+std::uint32_t shaped_weight(WeightShape shape, std::uint32_t w,
+                            std::uint32_t ref_int) noexcept;
+
+/// TiVaPRoMi with a pluggable weight shape; otherwise identical to the
+/// probabilistic variants (per-ACT decision, history table, window
+/// clear). Lets the benches map the escalation design space the paper
+/// only samples at two points.
+class ShapedTiVaPRoMi final : public TiVaPRoMiBase {
+ public:
+  ShapedTiVaPRoMi(WeightShape shape, TiVaPRoMiConfig config, util::Rng rng);
+
+  const char* name() const noexcept override;
+  void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
+                   std::vector<mem::MitigationAction>& out) override;
+  void on_refresh(const mem::MitigationContext& ctx,
+                  std::vector<mem::MitigationAction>& out) override;
+  std::uint64_t state_bits() const noexcept override;
+
+  std::uint32_t weight_for(dram::RowId row, std::uint32_t interval) const noexcept;
+  WeightShape shape() const noexcept { return shape_; }
+
+ private:
+  WeightShape shape_;
+};
+
+mem::BankMitigationFactory make_shaped_factory(WeightShape shape,
+                                               TiVaPRoMiConfig config);
+
+}  // namespace tvp::core

@@ -1,0 +1,69 @@
+// The time-varying weights at the heart of TiVaPRoMi (Section III).
+//
+// Eq. (1): for current refresh interval i and a row whose reference
+// interval is f_r (its refresh slot, or the interval of its last
+// history-table entry), the weight is the number of intervals since
+// that reference, wrapping at the refresh window:
+//
+//     w_r = i - f_r            if i >= f_r
+//           i - f_r + RefInt   if i <  f_r
+//
+// Eq. (2): logarithmic weighting maps w to the smallest power of two
+// >= w+1 (so all w in [2^k, 2^{k+1}-1] share the value 2^{k+1}, and the
+// corner case w = 0 maps to 1):
+//
+//     w_log = 2^ceil(log2(w + 1))
+//
+// In hardware Eq. (2) is a modified priority encoder; here it is a
+// bit-width computation — the same circuit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tvp/util/bitutil.hpp"
+
+namespace tvp::core {
+
+/// Eq. (1). @p interval and @p reference must both be < @p ref_int.
+constexpr std::uint32_t linear_weight(std::uint32_t interval, std::uint32_t reference,
+                                      std::uint32_t ref_int) noexcept {
+  return interval >= reference ? interval - reference
+                               : interval - reference + ref_int;
+}
+
+/// Eq. (2). w = 0 -> 1, w in [1,1] -> 2, w in [2,3] -> 4, w in [4,7] -> 8...
+constexpr std::uint32_t log_weight(std::uint32_t w) noexcept {
+  return std::uint32_t{1} << util::ceil_log2(std::uint64_t{w} + 1);
+}
+
+// ---- Exploration shapes (this library's extension, not in the paper) ----
+//
+// The paper evaluates linear (Eq. 1) and power-of-two-rounded (Eq. 2)
+// escalation. Both are normalised so the weight reaches ~RefInt at the
+// end of the window; any other monotone shape with the same endpoints is
+// a valid design point. Two instructive ones:
+//
+//  * sqrt:      w' = ceil(sqrt(w * RefInt)) — concave, escalates much
+//               faster early (safer worst case, more false positives);
+//  * quadratic: w' = ceil(w^2 / RefInt)     — convex, escalates slower
+//               early (cheaper, but extends LiPRoMi's vulnerability).
+//
+// In hardware both are small lookup/shift networks over the 13-bit
+// weight; the area model charges them like the Eq. 2 encoder.
+
+/// Integer ceil(sqrt(w * ref_int)); 0 -> 0.
+std::uint32_t sqrt_weight(std::uint32_t w, std::uint32_t ref_int) noexcept;
+
+/// Precomputed w -> w_log table for w in [0, max_w] (what the modified
+/// priority encoder realises combinationally); diagnostics + hw model.
+std::vector<std::uint32_t> log_weight_table(std::uint32_t max_w);
+
+/// Integer ceil(w^2 / ref_int); 0 -> 0.
+constexpr std::uint32_t quadratic_weight(std::uint32_t w,
+                                         std::uint32_t ref_int) noexcept {
+  const std::uint64_t sq = static_cast<std::uint64_t>(w) * w;
+  return static_cast<std::uint32_t>((sq + ref_int - 1) / ref_int);
+}
+
+}  // namespace tvp::core

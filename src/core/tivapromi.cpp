@@ -1,0 +1,246 @@
+#include "tvp/core/tivapromi.hpp"
+
+#include <stdexcept>
+
+#include "tvp/core/weighting.hpp"
+#include "tvp/util/bitutil.hpp"
+
+namespace tvp::core {
+
+const char* to_string(Variant variant) noexcept {
+  switch (variant) {
+    case Variant::kLinear: return "LiPRoMi";
+    case Variant::kLogarithmic: return "LoPRoMi";
+    case Variant::kLogLinear: return "LoLiPRoMi";
+    case Variant::kCounterAssisted: return "CaPRoMi";
+  }
+  return "?";
+}
+
+void TiVaPRoMiConfig::validate() const {
+  if (refresh_intervals == 0 || rows_per_bank == 0)
+    throw std::invalid_argument("TiVaPRoMiConfig: zero RefInt or rows");
+  if (rows_per_bank % refresh_intervals != 0)
+    throw std::invalid_argument(
+        "TiVaPRoMiConfig: rows_per_bank must be a multiple of RefInt");
+  if (pbase_exp == 0 || pbase_exp > 32)
+    throw std::invalid_argument("TiVaPRoMiConfig: pbase_exp out of range");
+  if (history_entries == 0 || counter_entries == 0)
+    throw std::invalid_argument("TiVaPRoMiConfig: zero table capacity");
+  // The time-varying probability must stay a probability at the maximum
+  // weight: RefInt * Pbase <= 1. (Computed on raw values: FixedProb's
+  // scaled() saturates and would mask the overflow.)
+  if (static_cast<std::uint64_t>(refresh_intervals) * pbase().raw() >
+      util::FixedProb::kOne)
+    throw std::invalid_argument("TiVaPRoMiConfig: RefInt * Pbase exceeds 1");
+}
+
+TiVaPRoMiBase::TiVaPRoMiBase(TiVaPRoMiConfig config, util::Rng rng)
+    : cfg_(config),
+      rng_(rng),
+      history_(config.history_entries,
+               util::bits_for(config.rows_per_bank),
+               util::bits_for(config.refresh_intervals)),
+      pbase_(config.pbase()) {
+  cfg_.validate();
+}
+
+void TiVaPRoMiBase::trigger(dram::RowId row, std::uint32_t interval,
+                            std::vector<mem::MitigationAction>& out) {
+  mem::MitigationAction action;
+  action.kind = mem::MitigationAction::Kind::kActNeighbors;
+  action.row = row;
+  action.suspect = row;
+  out.push_back(action);
+  history_.insert(row, interval);
+}
+
+ProbabilisticTiVaPRoMi::ProbabilisticTiVaPRoMi(Variant variant,
+                                               TiVaPRoMiConfig config,
+                                               util::Rng rng)
+    : TiVaPRoMiBase(config, rng), variant_(variant) {
+  if (variant_ == Variant::kCounterAssisted)
+    throw std::invalid_argument(
+        "ProbabilisticTiVaPRoMi: use the CaPRoMi class for kCounterAssisted");
+}
+
+const char* ProbabilisticTiVaPRoMi::name() const noexcept {
+  return to_string(variant_);
+}
+
+std::uint32_t ProbabilisticTiVaPRoMi::weight_for(dram::RowId row,
+                                                 std::uint32_t interval) const noexcept {
+  const auto stored = history_.lookup(row);
+  const std::uint32_t reference = stored.value_or(assumed_slot(row));
+  const std::uint32_t w =
+      linear_weight(interval, reference, cfg_.refresh_intervals);
+  switch (variant_) {
+    case Variant::kLinear:
+      return w;
+    case Variant::kLogarithmic:
+      return log_weight(w);
+    case Variant::kLogLinear:
+      // Linear for rows already protected this window (table hit, lower
+      // expected risk), logarithmic escalation otherwise.
+      return stored ? w : log_weight(w);
+    default:
+      return w;
+  }
+}
+
+void ProbabilisticTiVaPRoMi::on_activate(dram::RowId row,
+                                         const mem::MitigationContext& ctx,
+                                         std::vector<mem::MitigationAction>& out) {
+  const std::uint32_t w = weight_for(row, ctx.interval_in_window);
+  const util::FixedProb p = pbase_.scaled(w);
+  if (rng_.bernoulli_q32(p.raw())) trigger(row, ctx.interval_in_window, out);
+}
+
+void ProbabilisticTiVaPRoMi::on_refresh(const mem::MitigationContext& ctx,
+                                        std::vector<mem::MitigationAction>&) {
+  // Fig. 2 ref path: update the interval counter (implicit — the
+  // controller passes it in) and reset the table at a window boundary.
+  if (ctx.window_start) history_.clear();
+}
+
+std::uint64_t ProbabilisticTiVaPRoMi::state_bits() const noexcept {
+  return history_.state_bits();
+}
+
+CaPRoMi::CaPRoMi(TiVaPRoMiConfig config, util::Rng rng)
+    : TiVaPRoMiBase(config, rng),
+      counters_(config.counter_entries, config.lock_threshold,
+                util::bits_for(config.rows_per_bank)) {}
+
+void CaPRoMi::on_activate(dram::RowId row, const mem::MitigationContext&,
+                          std::vector<mem::MitigationAction>&) {
+  // Count only; decisions are deferred to the REF command (Fig. 3).
+  const auto index = counters_.on_activate(row, rng_);
+  if (!index) return;  // replacement refused by a locked entry
+  // Parallel history search: link the counter entry to the history slot
+  // so the REF-time weight can reuse the stored interval.
+  if (const auto slot = history_.index_of(row)) counters_.set_link(*index, *slot);
+}
+
+void CaPRoMi::on_refresh(const mem::MitigationContext& ctx,
+                         std::vector<mem::MitigationAction>& out) {
+  if (ctx.window_start) {
+    // New refresh window: both tables restart; the final interval of the
+    // previous window forfeits its (statistically negligible) decision.
+    history_.clear();
+    counters_.clear();
+    return;
+  }
+  const std::uint32_t i = ctx.interval_in_window;
+  for (const auto& entry : counters_.slots()) {
+    if (!entry.valid) continue;
+    std::uint32_t reference = assumed_slot(entry.row);
+    bool linked = false;
+    if (entry.link != CounterTable::kNoLink) {
+      // The linked history slot may have been overwritten since the link
+      // was captured; use it only if it still holds this row.
+      const std::uint8_t link = entry.link;
+      if (link < history_.capacity()) {
+        const auto current = history_.index_of(entry.row);
+        if (current && *current == link) {
+          reference = history_.interval_at(link);
+          linked = true;
+        }
+      }
+    }
+    const std::uint32_t w = linear_weight(i, reference, cfg_.refresh_intervals);
+    const std::uint32_t w_log = log_weight(w);
+    const util::FixedProb p =
+        pbase_.scaled(static_cast<std::uint64_t>(entry.count) * w_log);
+    if (rng_.bernoulli_q32(p.raw())) {
+      // Re-issue cooldown (exploration): a row whose victims were
+      // restored less than `cooldown` intervals ago is skipped without
+      // touching its history entry, so the reference keeps aging and an
+      // issue is guaranteed once the cooldown has passed.
+      if (cfg_.capromi_reissue_cooldown != 0 && linked &&
+          w < cfg_.capromi_reissue_cooldown) {
+        ++suppressed_;
+        continue;
+      }
+      trigger(entry.row, i, out);
+    }
+  }
+  counters_.clear();
+}
+
+std::uint64_t CaPRoMi::state_bits() const noexcept {
+  return history_.state_bits() + counters_.state_bits();
+}
+
+const char* to_string(WeightShape shape) noexcept {
+  switch (shape) {
+    case WeightShape::kLinear: return "TiVaPRoMi[linear]";
+    case WeightShape::kLogarithmic: return "TiVaPRoMi[log]";
+    case WeightShape::kSqrt: return "TiVaPRoMi[sqrt]";
+    case WeightShape::kQuadratic: return "TiVaPRoMi[quadratic]";
+  }
+  return "?";
+}
+
+std::uint32_t shaped_weight(WeightShape shape, std::uint32_t w,
+                            std::uint32_t ref_int) noexcept {
+  switch (shape) {
+    case WeightShape::kLinear: return w;
+    case WeightShape::kLogarithmic: return log_weight(w);
+    case WeightShape::kSqrt: return sqrt_weight(w, ref_int);
+    case WeightShape::kQuadratic: return quadratic_weight(w, ref_int);
+  }
+  return w;
+}
+
+ShapedTiVaPRoMi::ShapedTiVaPRoMi(WeightShape shape, TiVaPRoMiConfig config,
+                                 util::Rng rng)
+    : TiVaPRoMiBase(config, rng), shape_(shape) {}
+
+const char* ShapedTiVaPRoMi::name() const noexcept { return to_string(shape_); }
+
+std::uint32_t ShapedTiVaPRoMi::weight_for(dram::RowId row,
+                                          std::uint32_t interval) const noexcept {
+  const auto stored = history_.lookup(row);
+  const std::uint32_t reference = stored.value_or(assumed_slot(row));
+  const std::uint32_t w =
+      linear_weight(interval, reference, cfg_.refresh_intervals);
+  return shaped_weight(shape_, w, cfg_.refresh_intervals);
+}
+
+void ShapedTiVaPRoMi::on_activate(dram::RowId row, const mem::MitigationContext& ctx,
+                                  std::vector<mem::MitigationAction>& out) {
+  const util::FixedProb p = pbase_.scaled(weight_for(row, ctx.interval_in_window));
+  if (rng_.bernoulli_q32(p.raw())) trigger(row, ctx.interval_in_window, out);
+}
+
+void ShapedTiVaPRoMi::on_refresh(const mem::MitigationContext& ctx,
+                                 std::vector<mem::MitigationAction>&) {
+  if (ctx.window_start) history_.clear();
+}
+
+std::uint64_t ShapedTiVaPRoMi::state_bits() const noexcept {
+  return history_.state_bits();
+}
+
+mem::BankMitigationFactory make_shaped_factory(WeightShape shape,
+                                               TiVaPRoMiConfig config) {
+  config.validate();
+  return [shape, config](dram::BankId, util::Rng rng)
+             -> std::unique_ptr<mem::IBankMitigation> {
+    return std::make_unique<ShapedTiVaPRoMi>(shape, config, rng);
+  };
+}
+
+mem::BankMitigationFactory make_tivapromi_factory(Variant variant,
+                                                  TiVaPRoMiConfig config) {
+  config.validate();
+  return [variant, config](dram::BankId, util::Rng rng)
+             -> std::unique_ptr<mem::IBankMitigation> {
+    if (variant == Variant::kCounterAssisted)
+      return std::make_unique<CaPRoMi>(config, rng);
+    return std::make_unique<ProbabilisticTiVaPRoMi>(variant, config, rng);
+  };
+}
+
+}  // namespace tvp::core

@@ -1,0 +1,31 @@
+#include "tvp/core/weighting.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace tvp::core {
+
+// (Eq. 1/2 are header-only constexpr; this TU provides table helpers for
+// diagnostics and the hardware cost model.)
+
+/// Precomputed w -> w_log table for w in [0, max_w]; what the modified
+/// priority encoder of the VHDL implementation realises combinationally.
+std::vector<std::uint32_t> log_weight_table(std::uint32_t max_w) {
+  std::vector<std::uint32_t> table(static_cast<std::size_t>(max_w) + 1);
+  for (std::uint32_t w = 0; w <= max_w; ++w) table[w] = log_weight(w);
+  return table;
+}
+
+std::uint32_t sqrt_weight(std::uint32_t w, std::uint32_t ref_int) noexcept {
+  if (w == 0) return 0;
+  const double product = static_cast<double>(w) * static_cast<double>(ref_int);
+  auto root = static_cast<std::uint32_t>(std::sqrt(product));
+  // Exact integer ceiling (guard against FP rounding either way).
+  while (static_cast<std::uint64_t>(root) * root < product) ++root;
+  while (root > 1 &&
+         static_cast<std::uint64_t>(root - 1) * (root - 1) >= product)
+    --root;
+  return root;
+}
+
+}  // namespace tvp::core

@@ -1,0 +1,78 @@
+#include "tvp/cpu/cache.hpp"
+
+#include <stdexcept>
+
+#include "tvp/util/bitutil.hpp"
+
+namespace tvp::cpu {
+
+void CacheConfig::validate() const {
+  if (size_bytes == 0 || line_bytes == 0 || ways == 0)
+    throw std::invalid_argument("CacheConfig: zero dimension");
+  if (!util::is_pow2(line_bytes))
+    throw std::invalid_argument("CacheConfig: line size must be a power of two");
+  if (size_bytes % (line_bytes * ways) != 0)
+    throw std::invalid_argument("CacheConfig: size not divisible by line*ways");
+  if (!util::is_pow2(sets()))
+    throw std::invalid_argument("CacheConfig: set count must be a power of two");
+}
+
+Cache::Cache(CacheConfig config) : cfg_(config) {
+  cfg_.validate();
+  lines_.resize(static_cast<std::size_t>(cfg_.sets()) * cfg_.ways);
+}
+
+CacheResult Cache::access(std::uint64_t addr, bool write) {
+  CacheResult result;
+  const std::uint32_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+  ++clock_;
+
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = clock_;
+      line.dirty = line.dirty || write;
+      ++hits_;
+      result.hit = true;
+      return result;
+    }
+    // Prefer an invalid way; otherwise least-recently-used.
+    if (!victim->valid) continue;
+    if (!line.valid || line.lru < victim->lru) victim = &line;
+  }
+
+  ++misses_;
+  result.fill_addr = line_addr(addr);
+  if (victim->valid && victim->dirty) {
+    // Reconstruct the victim's line address from tag and set.
+    result.writeback_addr =
+        (victim->tag * cfg_.sets() + set) * cfg_.line_bytes;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->dirty = write;
+  victim->lru = clock_;
+  return result;
+}
+
+std::optional<std::uint64_t> Cache::flush_line(std::uint64_t addr) {
+  const std::uint32_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      const bool was_dirty = line.dirty;
+      line.valid = false;
+      line.dirty = false;
+      if (was_dirty) return line_addr(addr);
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tvp::cpu

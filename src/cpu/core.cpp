@@ -1,0 +1,62 @@
+#include "tvp/cpu/core.hpp"
+
+#include <stdexcept>
+
+namespace tvp::cpu {
+
+Core::Core(CoreConfig config, util::Rng rng) : cfg_(config), rng_(rng) {
+  if (cfg_.region_bytes == 0)
+    throw std::invalid_argument("Core: empty address region");
+  if (cfg_.mean_gap_ps <= 0.0)
+    throw std::invalid_argument("Core: non-positive op gap");
+  if (cfg_.profile == trace::AccessProfile::kHotspot) {
+    hot_offsets_.reserve(cfg_.hotspot_lines);
+    for (std::uint32_t i = 0; i < cfg_.hotspot_lines; ++i)
+      hot_offsets_.push_back(rng_.below(cfg_.region_bytes) & ~63ull);
+  }
+  cursor_ = rng_.below(cfg_.region_bytes);
+}
+
+std::uint64_t Core::next_addr() {
+  const std::uint64_t n = cfg_.region_bytes;
+  switch (cfg_.profile) {
+    case trace::AccessProfile::kStreaming:
+      cursor_ = (cursor_ + 8) % n;  // word-granular walk: ~8 ops per line
+      break;
+    case trace::AccessProfile::kStrided:
+      cursor_ = (cursor_ + cfg_.stride_bytes) % n;
+      break;
+    case trace::AccessProfile::kRandom:
+      cursor_ = rng_.below(n);
+      break;
+    case trace::AccessProfile::kHotspot:
+      if (!hot_offsets_.empty() && rng_.bernoulli(cfg_.hotspot_bias)) {
+        cursor_ = hot_offsets_[rng_.below(hot_offsets_.size())];
+      } else {
+        cursor_ = rng_.below(n);
+      }
+      break;
+    case trace::AccessProfile::kPointerChase: {
+      const auto jump = static_cast<std::int64_t>(
+                            rng_.below(2ull * cfg_.chase_jump_bytes + 1)) -
+                        static_cast<std::int64_t>(cfg_.chase_jump_bytes);
+      auto pos = static_cast<std::int64_t>(cursor_) + jump;
+      const auto sn = static_cast<std::int64_t>(n);
+      pos = ((pos % sn) + sn) % sn;
+      cursor_ = static_cast<std::uint64_t>(pos);
+      break;
+    }
+  }
+  return cfg_.region_base + cursor_;
+}
+
+MemOp Core::next() {
+  now_ps_ += rng_.exponential(cfg_.mean_gap_ps);
+  MemOp op;
+  op.time_ps = static_cast<std::uint64_t>(now_ps_);
+  op.addr = next_addr();
+  op.write = rng_.bernoulli(cfg_.write_fraction);
+  return op;
+}
+
+}  // namespace tvp::cpu

@@ -1,0 +1,81 @@
+// Set-associative cache model (write-back, write-allocate, true LRU).
+//
+// Part of the gem5 stand-in (DESIGN.md): only the accesses that miss in
+// the L1/L2 hierarchy reach DRAM, which is what shapes the row-activation
+// stream the mitigation techniques observe. The model tracks tags only —
+// no data — since we need traffic, not values.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace tvp::cpu {
+
+/// Geometry of one cache level.
+struct CacheConfig {
+  std::uint32_t size_bytes = 64 * 1024;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t ways = 8;
+
+  std::uint32_t sets() const noexcept { return size_bytes / (line_bytes * ways); }
+  /// Throws std::invalid_argument on a non-power-of-two or degenerate shape.
+  void validate() const;
+};
+
+/// Outcome of one cache access.
+struct CacheResult {
+  bool hit = false;
+  /// Line-aligned address fetched from the next level (set on miss).
+  std::optional<std::uint64_t> fill_addr;
+  /// Line-aligned dirty victim written back to the next level.
+  std::optional<std::uint64_t> writeback_addr;
+};
+
+/// One cache level. Thread-compatible; deterministic.
+class Cache {
+ public:
+  explicit Cache(CacheConfig config);
+
+  const CacheConfig& config() const noexcept { return cfg_; }
+
+  /// Performs a demand access; returns hit/miss and induced traffic.
+  CacheResult access(std::uint64_t addr, bool write);
+
+  /// Invalidates the line containing @p addr if present, returning its
+  /// line address when it was dirty (models CLFLUSH, the attacker's tool).
+  std::optional<std::uint64_t> flush_line(std::uint64_t addr);
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  double hit_rate() const noexcept {
+    const auto total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total) : 0.0;
+  }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // larger = more recently used
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::uint64_t line_addr(std::uint64_t addr) const noexcept {
+    return addr & ~static_cast<std::uint64_t>(cfg_.line_bytes - 1);
+  }
+  std::uint32_t set_index(std::uint64_t addr) const noexcept {
+    return static_cast<std::uint32_t>((addr / cfg_.line_bytes) % cfg_.sets());
+  }
+  std::uint64_t tag_of(std::uint64_t addr) const noexcept {
+    return addr / cfg_.line_bytes / cfg_.sets();
+  }
+
+  CacheConfig cfg_;
+  std::vector<Line> lines_;  // sets() * ways, row-major by set
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace tvp::cpu

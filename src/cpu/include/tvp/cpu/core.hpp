@@ -1,0 +1,54 @@
+// Synthetic core: generates a byte-address access stream with a given
+// locality profile, standing in for one SPEC CPU2006 application running
+// on one core (Table I: 4 cores at 3.4 GHz).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tvp/trace/synthetic.hpp"  // reuses AccessProfile
+#include "tvp/util/rng.hpp"
+
+namespace tvp::cpu {
+
+/// One byte-granularity memory operation emitted by a core.
+struct MemOp {
+  std::uint64_t time_ps = 0;
+  std::uint64_t addr = 0;
+  bool write = false;
+};
+
+/// Configuration of one synthetic core.
+struct CoreConfig {
+  trace::AccessProfile profile = trace::AccessProfile::kRandom;
+  std::uint64_t region_base = 0;          ///< private address region start
+  std::uint64_t region_bytes = 1ull << 28;  ///< 256 MB working region
+  double mean_gap_ps = 2'000;             ///< mean time between memory ops
+  double write_fraction = 0.3;
+  std::uint32_t stride_bytes = 4096;      ///< kStrided
+  std::uint32_t hotspot_lines = 512;      ///< kHotspot working set (fits L1)
+  double hotspot_bias = 0.85;
+  std::uint32_t chase_jump_bytes = 1 << 16;  ///< kPointerChase
+};
+
+/// Deterministic byte-address generator for one core.
+class Core {
+ public:
+  Core(CoreConfig config, util::Rng rng);
+
+  /// Next memory operation (infinite stream).
+  MemOp next();
+
+  const CoreConfig& config() const noexcept { return cfg_; }
+
+ private:
+  std::uint64_t next_addr();
+
+  CoreConfig cfg_;
+  util::Rng rng_;
+  double now_ps_ = 0.0;
+  std::uint64_t cursor_ = 0;  // offset within the region
+  std::vector<std::uint64_t> hot_offsets_;
+};
+
+}  // namespace tvp::cpu

@@ -1,0 +1,54 @@
+// Virtual-to-physical page mapping (the OS allocator's view).
+//
+// Row-Hammer attackers reason in *virtual* addresses; landing aggressors
+// physically adjacent to a victim requires the OS to hand out physically
+// contiguous frames. The paper's introduction notes that mitigation can
+// happen at the software level — one classic lever is exactly this
+// allocation policy. PageMapper models it: contiguous (the attacker-
+// friendly baseline), or randomized frame assignment, which breaks the
+// virtual-adjacency assumption the attack code relies on. The
+// extension_software bench quantifies the effect.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tvp/dram/geometry.hpp"
+#include "tvp/util/rng.hpp"
+
+namespace tvp::cpu {
+
+enum class PagePolicyOs {
+  kContiguous,  ///< frame f backs virtual page f (attacker-friendly)
+  kRandomized,  ///< frames assigned by random permutation
+};
+
+const char* to_string(PagePolicyOs policy) noexcept;
+
+/// Maps virtual row numbers to physical row numbers at page granularity.
+/// A "page" spans `rows_per_page` DRAM rows (1 = row-granular
+/// randomization, the strongest form; larger values model 4 KB+ pages
+/// spanning fewer, coarser units).
+class PageMapper {
+ public:
+  PageMapper(dram::RowId rows_per_bank, dram::RowId rows_per_page,
+             PagePolicyOs policy, util::Rng& rng);
+
+  PagePolicyOs policy() const noexcept { return policy_; }
+  dram::RowId rows_per_page() const noexcept { return rows_per_page_; }
+
+  /// Physical row backing @p virtual_row.
+  dram::RowId to_physical(dram::RowId virtual_row) const;
+
+  /// True iff the physical images of two virtually-adjacent rows are
+  /// still physically adjacent (the property double-sided attacks need).
+  bool preserves_adjacency(dram::RowId virtual_row) const;
+
+ private:
+  dram::RowId rows_;
+  dram::RowId rows_per_page_;
+  PagePolicyOs policy_;
+  std::vector<dram::RowId> page_to_frame_;  // randomized only
+};
+
+}  // namespace tvp::cpu

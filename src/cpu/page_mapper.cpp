@@ -1,0 +1,42 @@
+#include "tvp/cpu/page_mapper.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace tvp::cpu {
+
+const char* to_string(PagePolicyOs policy) noexcept {
+  return policy == PagePolicyOs::kContiguous ? "contiguous" : "randomized";
+}
+
+PageMapper::PageMapper(dram::RowId rows_per_bank, dram::RowId rows_per_page,
+                       PagePolicyOs policy, util::Rng& rng)
+    : rows_(rows_per_bank), rows_per_page_(rows_per_page), policy_(policy) {
+  if (rows_ == 0 || rows_per_page_ == 0 || rows_ % rows_per_page_ != 0)
+    throw std::invalid_argument(
+        "PageMapper: rows_per_bank must be a nonzero multiple of rows_per_page");
+  if (policy_ == PagePolicyOs::kRandomized) {
+    const dram::RowId pages = rows_ / rows_per_page_;
+    page_to_frame_.resize(pages);
+    std::iota(page_to_frame_.begin(), page_to_frame_.end(), 0u);
+    for (dram::RowId i = pages - 1; i > 0; --i)
+      std::swap(page_to_frame_[i], page_to_frame_[rng.below(i + 1)]);
+  }
+}
+
+dram::RowId PageMapper::to_physical(dram::RowId virtual_row) const {
+  if (virtual_row >= rows_) throw std::out_of_range("PageMapper::to_physical");
+  if (policy_ == PagePolicyOs::kContiguous) return virtual_row;
+  const dram::RowId page = virtual_row / rows_per_page_;
+  const dram::RowId offset = virtual_row % rows_per_page_;
+  return page_to_frame_[page] * rows_per_page_ + offset;
+}
+
+bool PageMapper::preserves_adjacency(dram::RowId virtual_row) const {
+  if (virtual_row + 1 >= rows_) return false;
+  const dram::RowId a = to_physical(virtual_row);
+  const dram::RowId b = to_physical(virtual_row + 1);
+  return b == a + 1;
+}
+
+}  // namespace tvp::cpu

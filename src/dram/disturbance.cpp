@@ -1,0 +1,97 @@
+#include "tvp/dram/disturbance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tvp/util/rng.hpp"
+
+namespace tvp::dram {
+
+DisturbanceModel::DisturbanceModel(std::uint32_t banks, RowId rows_per_bank,
+                                   DisturbanceParams params)
+    : banks_(banks), rows_(rows_per_bank), params_(params) {
+  if (banks_ == 0 || rows_ == 0)
+    throw std::invalid_argument("DisturbanceModel: zero banks or rows");
+  if (params_.flip_threshold == 0)
+    throw std::invalid_argument("DisturbanceModel: zero flip threshold");
+  if (params_.blast_radius == 0 || params_.blast_radius > 2)
+    throw std::invalid_argument("DisturbanceModel: blast_radius must be 1 or 2");
+  if (params_.variation_pct >= 100)
+    throw std::invalid_argument(
+        "DisturbanceModel: variation_pct must be below 100");
+  const std::size_t cells = static_cast<std::size_t>(banks_) * rows_;
+  counts_.assign(cells, 0);
+  flipped_.assign(cells, 0);
+  if (params_.variation_pct > 0) {
+    // Device-fixed per-row threshold draw (weak/strong cell variation).
+    util::Rng rng(params_.variation_seed);
+    thresholds_.resize(cells);
+    const double v = params_.variation_pct / 100.0;
+    const double base = static_cast<double>(params_.flip_threshold);
+    for (auto& t : thresholds_) {
+      const double factor = 1.0 - v + 2.0 * v * rng.uniform();
+      t = std::max<std::uint32_t>(1, static_cast<std::uint32_t>(base * factor));
+    }
+  }
+}
+
+std::uint32_t DisturbanceModel::threshold_of(BankId bank, RowId row) const {
+  if (bank >= banks_ || row >= rows_)
+    throw std::out_of_range("DisturbanceModel::threshold_of");
+  if (thresholds_.empty()) return params_.flip_threshold;
+  return thresholds_[static_cast<std::size_t>(bank) * rows_ + row];
+}
+
+void DisturbanceModel::disturb(BankId bank, RowId row, std::uint64_t amount_q8,
+                               std::uint32_t interval) {
+  auto& c = cell(bank, row);
+  c += amount_q8;
+  peak_q8_ = std::max(peak_q8_, c);
+  const std::size_t idx = static_cast<std::size_t>(bank) * rows_ + row;
+  const std::uint64_t threshold_q8 =
+      static_cast<std::uint64_t>(
+          thresholds_.empty() ? params_.flip_threshold : thresholds_[idx])
+      << 8;
+  if (c >= threshold_q8 && !flipped_[idx]) {
+    flipped_[idx] = 1;
+    flips_.push_back(FlipEvent{bank, row, activations_, interval});
+  }
+}
+
+void DisturbanceModel::on_activate(BankId bank, RowId row, std::uint32_t interval) {
+  ++activations_;
+  // The activated row's own charge is restored.
+  on_refresh_row(bank, row);
+  // Distance-1 neighbours take a full hit.
+  if (row > 0) disturb(bank, row - 1, 256, interval);
+  if (row + 1 < rows_) disturb(bank, row + 1, 256, interval);
+  if (params_.blast_radius >= 2) {
+    const std::uint64_t w = params_.distance2_weight_q8;
+    if (w != 0) {
+      if (row > 1) disturb(bank, row - 2, w, interval);
+      if (row + 2 < rows_) disturb(bank, row + 2, w, interval);
+    }
+  }
+}
+
+void DisturbanceModel::on_refresh_row(BankId bank, RowId row) {
+  const std::size_t idx = static_cast<std::size_t>(bank) * rows_ + row;
+  counts_[idx] = 0;
+  flipped_[idx] = 0;
+}
+
+std::uint64_t DisturbanceModel::disturbance_q8(BankId bank, RowId row) const {
+  if (bank >= banks_ || row >= rows_)
+    throw std::out_of_range("DisturbanceModel::disturbance_q8");
+  return counts_[static_cast<std::size_t>(bank) * rows_ + row];
+}
+
+void DisturbanceModel::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  std::fill(flipped_.begin(), flipped_.end(), 0);
+  flips_.clear();
+  activations_ = 0;
+  peak_q8_ = 0;
+}
+
+}  // namespace tvp::dram

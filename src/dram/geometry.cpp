@@ -1,0 +1,129 @@
+#include "tvp/dram/geometry.hpp"
+
+#include <stdexcept>
+
+#include "tvp/util/bitutil.hpp"
+
+namespace tvp::dram {
+
+void Geometry::validate() const {
+  if (channels == 0 || ranks_per_channel == 0 || banks_per_rank == 0 ||
+      rows_per_bank == 0 || cols_per_row == 0 || bytes_per_col == 0)
+    throw std::invalid_argument("Geometry: all dimensions must be nonzero");
+  if (!util::is_pow2(rows_per_bank))
+    throw std::invalid_argument("Geometry: rows_per_bank must be a power of two");
+  if (!util::is_pow2(cols_per_row) || !util::is_pow2(bytes_per_col) ||
+      !util::is_pow2(banks_per_rank) || !util::is_pow2(ranks_per_channel) ||
+      !util::is_pow2(channels))
+    throw std::invalid_argument("Geometry: dimensions must be powers of two");
+}
+
+const char* to_string(AddressMapPolicy policy) noexcept {
+  switch (policy) {
+    case AddressMapPolicy::kRowBankCol: return "row:bank:col";
+    case AddressMapPolicy::kBankRowCol: return "bank:row:col";
+    case AddressMapPolicy::kRowColBank: return "row:col:bank";
+  }
+  return "?";
+}
+
+AddressMapper::AddressMapper(Geometry geometry, AddressMapPolicy policy)
+    : geom_(geometry), policy_(policy) {
+  geom_.validate();
+  col_bits_ = util::floor_log2(static_cast<std::uint64_t>(geom_.cols_per_row) *
+                               geom_.bytes_per_col);
+  bank_bits_ = util::floor_log2<std::uint64_t>(geom_.banks_per_rank);
+  rank_bits_ = util::floor_log2<std::uint64_t>(geom_.ranks_per_channel);
+  chan_bits_ = util::floor_log2<std::uint64_t>(geom_.channels);
+  row_bits_ = util::floor_log2<std::uint64_t>(geom_.rows_per_bank);
+}
+
+namespace {
+// Extracts @p bits bits starting at *shift and advances the cursor.
+std::uint64_t take(std::uint64_t addr, unsigned* shift, unsigned bits) noexcept {
+  const std::uint64_t mask = bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+  const std::uint64_t v = (addr >> *shift) & mask;
+  *shift += bits;
+  return v;
+}
+
+// Places @p value at *shift and advances the cursor.
+void put(std::uint64_t* addr, unsigned* shift, unsigned bits, std::uint64_t value) noexcept {
+  const std::uint64_t mask = bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+  *addr |= (value & mask) << *shift;
+  *shift += bits;
+}
+}  // namespace
+
+Address AddressMapper::decode(std::uint64_t phys_addr) const noexcept {
+  Address a;
+  unsigned shift = 0;
+  switch (policy_) {
+    case AddressMapPolicy::kRowBankCol:
+      a.col = static_cast<std::uint32_t>(take(phys_addr, &shift, col_bits_)) /
+              geom_.bytes_per_col;
+      shift = col_bits_;
+      a.bank = static_cast<std::uint32_t>(take(phys_addr, &shift, bank_bits_));
+      a.rank = static_cast<std::uint32_t>(take(phys_addr, &shift, rank_bits_));
+      a.channel = static_cast<std::uint32_t>(take(phys_addr, &shift, chan_bits_));
+      a.row = static_cast<RowId>(take(phys_addr, &shift, row_bits_));
+      break;
+    case AddressMapPolicy::kBankRowCol:
+      a.col = static_cast<std::uint32_t>(take(phys_addr, &shift, col_bits_)) /
+              geom_.bytes_per_col;
+      shift = col_bits_;
+      a.row = static_cast<RowId>(take(phys_addr, &shift, row_bits_));
+      a.bank = static_cast<std::uint32_t>(take(phys_addr, &shift, bank_bits_));
+      a.rank = static_cast<std::uint32_t>(take(phys_addr, &shift, rank_bits_));
+      a.channel = static_cast<std::uint32_t>(take(phys_addr, &shift, chan_bits_));
+      break;
+    case AddressMapPolicy::kRowColBank: {
+      const unsigned line_bits = util::floor_log2<std::uint64_t>(geom_.bytes_per_col);
+      take(phys_addr, &shift, line_bits);  // byte-in-line
+      a.bank = static_cast<std::uint32_t>(take(phys_addr, &shift, bank_bits_));
+      a.rank = static_cast<std::uint32_t>(take(phys_addr, &shift, rank_bits_));
+      a.channel = static_cast<std::uint32_t>(take(phys_addr, &shift, chan_bits_));
+      a.col = static_cast<std::uint32_t>(
+          take(phys_addr, &shift, col_bits_ - line_bits));
+      a.row = static_cast<RowId>(take(phys_addr, &shift, row_bits_));
+      break;
+    }
+  }
+  return a;
+}
+
+std::uint64_t AddressMapper::encode(const Address& a) const noexcept {
+  std::uint64_t addr = 0;
+  unsigned shift = 0;
+  switch (policy_) {
+    case AddressMapPolicy::kRowBankCol:
+      put(&addr, &shift, col_bits_,
+          static_cast<std::uint64_t>(a.col) * geom_.bytes_per_col);
+      put(&addr, &shift, bank_bits_, a.bank);
+      put(&addr, &shift, rank_bits_, a.rank);
+      put(&addr, &shift, chan_bits_, a.channel);
+      put(&addr, &shift, row_bits_, a.row);
+      break;
+    case AddressMapPolicy::kBankRowCol:
+      put(&addr, &shift, col_bits_,
+          static_cast<std::uint64_t>(a.col) * geom_.bytes_per_col);
+      put(&addr, &shift, row_bits_, a.row);
+      put(&addr, &shift, bank_bits_, a.bank);
+      put(&addr, &shift, rank_bits_, a.rank);
+      put(&addr, &shift, chan_bits_, a.channel);
+      break;
+    case AddressMapPolicy::kRowColBank: {
+      const unsigned line_bits = util::floor_log2<std::uint64_t>(geom_.bytes_per_col);
+      put(&addr, &shift, line_bits, 0);
+      put(&addr, &shift, bank_bits_, a.bank);
+      put(&addr, &shift, rank_bits_, a.rank);
+      put(&addr, &shift, chan_bits_, a.channel);
+      put(&addr, &shift, col_bits_ - line_bits, a.col);
+      put(&addr, &shift, row_bits_, a.row);
+      break;
+    }
+  }
+  return addr;
+}
+
+}  // namespace tvp::dram

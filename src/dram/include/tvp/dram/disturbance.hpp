@@ -1,0 +1,110 @@
+// Row-Hammer disturbance model.
+//
+// Tracks, for every physical row, the number of neighbour activations
+// accumulated since the row's charge was last restored (by its own ACT,
+// by a refresh, or by a mitigation-issued activate-neighbours command).
+// When the accumulated disturbance reaches the flip threshold (139 K
+// activations per [12], Table I), a bit-flip event is recorded. This is
+// the ground truth against which all nine mitigation techniques are
+// judged: a technique "fails" iff a flip event occurs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tvp/dram/geometry.hpp"
+
+namespace tvp::dram {
+
+/// Parameters of the physical disturbance process.
+struct DisturbanceParams {
+  /// Combined aggressor activations that flip a victim (Table I: 139 K).
+  std::uint32_t flip_threshold = 139'000;
+  /// How many rows on each side of an activated row are disturbed.
+  /// 1 reproduces the paper's model; 2 enables the half-double-style
+  /// extension study (disturbance at distance 2 is attenuated).
+  std::uint32_t blast_radius = 1;
+  /// Disturbance contributed to rows at distance 2 (per activation),
+  /// expressed in 1/256 units. Only used when blast_radius == 2.
+  std::uint32_t distance2_weight_q8 = 16;  // 1/16 of a distance-1 hit
+  /// Cell-strength variation (extension): per-row thresholds drawn
+  /// uniformly from [flip_threshold * (1 - v), flip_threshold * (1 + v)]
+  /// where v = variation_pct / 100. Real DRAM has weak rows; defences
+  /// tuned to the nominal threshold must survive the weak tail. 0
+  /// reproduces the paper's uniform model.
+  std::uint32_t variation_pct = 0;
+  /// Seed for the (device-fixed) per-row threshold draw.
+  std::uint64_t variation_seed = 0x5EED;
+};
+
+/// One recorded bit flip.
+struct FlipEvent {
+  BankId bank = 0;
+  RowId row = 0;         // physical row that flipped
+  std::uint64_t at_activation = 0;  // global activation count when it flipped
+  std::uint32_t interval = 0;       // refresh interval index when it flipped
+};
+
+/// Exact per-row disturbance bookkeeping for one memory system.
+///
+/// All row indices are *physical*. Activations must be reported through
+/// on_activate(); refreshes through on_refresh_row(). The model never
+/// throttles or mitigates — it only observes.
+class DisturbanceModel {
+ public:
+  DisturbanceModel(std::uint32_t banks, RowId rows_per_bank,
+                   DisturbanceParams params = {});
+
+  const DisturbanceParams& params() const noexcept { return params_; }
+  std::uint32_t banks() const noexcept { return banks_; }
+  RowId rows_per_bank() const noexcept { return rows_; }
+
+  /// Reports an activation of @p row in @p bank. Disturbs neighbours,
+  /// restores the activated row's own charge.
+  /// @p interval is the current refresh interval (for flip reporting).
+  void on_activate(BankId bank, RowId row, std::uint32_t interval);
+
+  /// Reports a refresh of @p row (charge restored, no disturbance).
+  void on_refresh_row(BankId bank, RowId row);
+
+  /// Accumulated disturbance (in 1/256 units of a distance-1 hit) of a
+  /// row; mostly for tests and diagnostics.
+  std::uint64_t disturbance_q8(BankId bank, RowId row) const;
+
+  /// Total activations observed so far.
+  std::uint64_t activations() const noexcept { return activations_; }
+
+  /// All flips recorded so far (at most one per row per charge period).
+  const std::vector<FlipEvent>& flips() const noexcept { return flips_; }
+  bool any_flip() const noexcept { return !flips_.empty(); }
+
+  /// Highest disturbance (q8) currently accumulated anywhere — how close
+  /// the system came to a flip.
+  std::uint64_t peak_disturbance_q8() const noexcept { return peak_q8_; }
+
+  /// This row's flip threshold in activations (varies per row when
+  /// variation_pct > 0; the draw is fixed per device/seed).
+  std::uint32_t threshold_of(BankId bank, RowId row) const;
+
+  /// Clears counters and flip history (new experiment).
+  void reset();
+
+ private:
+  void disturb(BankId bank, RowId row, std::uint64_t amount_q8,
+               std::uint32_t interval);
+  std::uint64_t& cell(BankId bank, RowId row) {
+    return counts_[static_cast<std::size_t>(bank) * rows_ + row];
+  }
+
+  std::uint32_t banks_;
+  RowId rows_;
+  DisturbanceParams params_;
+  std::vector<std::uint64_t> counts_;  // q8 disturbance per (bank, row)
+  std::vector<std::uint32_t> thresholds_;  // per (bank, row); empty = uniform
+  std::vector<std::uint8_t> flipped_;  // flip latched until next restore
+  std::vector<FlipEvent> flips_;
+  std::uint64_t activations_ = 0;
+  std::uint64_t peak_q8_ = 0;
+};
+
+}  // namespace tvp::dram

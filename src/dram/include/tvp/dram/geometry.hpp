@@ -1,0 +1,101 @@
+// DRAM organisation: channels / ranks / banks / rows / columns, plus the
+// physical-address-to-DRAM-coordinate mapping used by the memory
+// controller front-end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tvp::dram {
+
+/// Flat index of a bank across the whole memory system.
+using BankId = std::uint32_t;
+/// Row index within a bank.
+using RowId = std::uint32_t;
+
+/// Shape of the memory system. Defaults model a single-channel DDR4
+/// device with 1 GB banks of 128 K rows — the configuration for which
+/// the paper reports its 120 B / 374 B table sizes.
+struct Geometry {
+  std::uint32_t channels = 1;
+  std::uint32_t ranks_per_channel = 1;
+  std::uint32_t banks_per_rank = 16;
+  std::uint32_t rows_per_bank = 131072;  // 2^17
+  std::uint32_t cols_per_row = 1024;
+  std::uint32_t bytes_per_col = 64;  // one cache line per column access
+
+  constexpr std::uint32_t total_banks() const noexcept {
+    return channels * ranks_per_channel * banks_per_rank;
+  }
+  constexpr std::uint64_t rows_total() const noexcept {
+    return static_cast<std::uint64_t>(total_banks()) * rows_per_bank;
+  }
+  constexpr std::uint64_t bytes_per_row() const noexcept {
+    return static_cast<std::uint64_t>(cols_per_row) * bytes_per_col;
+  }
+  constexpr std::uint64_t capacity_bytes() const noexcept {
+    return rows_total() * bytes_per_row();
+  }
+
+  /// Throws std::invalid_argument when any dimension is zero or
+  /// rows_per_bank is not a power of two (the refresh-slot arithmetic
+  /// r >> log2(RowsPI) requires it).
+  void validate() const;
+};
+
+/// A decoded DRAM coordinate.
+struct Address {
+  std::uint32_t channel = 0;
+  std::uint32_t rank = 0;
+  std::uint32_t bank = 0;  // within rank
+  RowId row = 0;
+  std::uint32_t col = 0;
+
+  bool operator==(const Address&) const = default;
+};
+
+/// How physical address bits are spread over DRAM coordinates.
+enum class AddressMapPolicy {
+  kRowBankCol,   // row : rank : bank : col  (open-page friendly)
+  kBankRowCol,   // rank : bank : row : col  (bank-interleaved blocks)
+  kRowColBank,   // row : col : bank         (cache-line bank interleave)
+};
+
+const char* to_string(AddressMapPolicy policy) noexcept;
+
+/// Maps physical byte addresses to DRAM coordinates and back.
+///
+/// The mapping is exact and bijective over the device capacity, so
+/// decode(encode(a)) == a for every in-range coordinate — a property the
+/// test suite checks exhaustively on small geometries.
+class AddressMapper {
+ public:
+  AddressMapper(Geometry geometry, AddressMapPolicy policy);
+
+  const Geometry& geometry() const noexcept { return geom_; }
+  AddressMapPolicy policy() const noexcept { return policy_; }
+
+  /// Decodes a physical byte address (modulo capacity) to a coordinate.
+  Address decode(std::uint64_t phys_addr) const noexcept;
+
+  /// Encodes a coordinate back to a physical byte address (col-aligned).
+  std::uint64_t encode(const Address& addr) const noexcept;
+
+  /// Flat bank index across channels and ranks.
+  BankId flat_bank(const Address& addr) const noexcept {
+    return (addr.channel * geom_.ranks_per_channel + addr.rank) *
+               geom_.banks_per_rank +
+           addr.bank;
+  }
+
+ private:
+  Geometry geom_;
+  AddressMapPolicy policy_;
+  unsigned col_bits_;
+  unsigned bank_bits_;
+  unsigned rank_bits_;
+  unsigned chan_bits_;
+  unsigned row_bits_;
+};
+
+}  // namespace tvp::dram

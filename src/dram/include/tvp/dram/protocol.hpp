@@ -1,0 +1,79 @@
+// DDR command-protocol checker.
+//
+// Validates a timed command stream against the JEDEC-style constraints a
+// real device enforces: bank state legality (no ACT on an open bank, no
+// column access on a closed one), tRC / tRCD / tRAS / tRP spacing, the
+// four-activate window, and refresh blackouts. The command scheduler
+// exposes its stream through an observer hook; the test suite replays
+// random workloads through the checker to prove the scheduler never
+// emits an illegal sequence — the simulator-grade equivalent of hooking
+// a protocol analyser to the bus.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tvp/dram/geometry.hpp"
+
+namespace tvp::dram {
+
+enum class Command { kActivate, kPrecharge, kRead, kWrite, kRefresh };
+
+const char* to_string(Command command) noexcept;
+
+/// One command on the bus.
+struct TimedCommand {
+  Command command = Command::kActivate;
+  BankId bank = 0;
+  RowId row = 0;  ///< meaningful for kActivate
+  std::uint64_t time_ps = 0;
+};
+
+/// Timing constraints the checker enforces (picoseconds).
+struct ProtocolTiming {
+  std::uint64_t t_rc_ps = 45'000;
+  std::uint64_t t_rcd_ps = 13'750;
+  std::uint64_t t_ras_ps = 32'000;
+  std::uint64_t t_rp_ps = 13'750;
+  std::uint64_t t_rfc_ps = 350'000;
+  std::uint64_t t_faw_ps = 21'000;
+};
+
+class ProtocolChecker {
+ public:
+  ProtocolChecker(std::uint32_t banks, ProtocolTiming timing);
+
+  /// Feeds one command (non-decreasing time required). Returns a
+  /// human-readable violation description, or nullopt when legal. All
+  /// violations are also retained in violations().
+  std::optional<std::string> check(const TimedCommand& command);
+
+  std::uint64_t commands_checked() const noexcept { return checked_; }
+  const std::vector<std::string>& violations() const noexcept { return log_; }
+  bool clean() const noexcept { return log_.empty(); }
+
+ private:
+  struct BankState {
+    bool open = false;
+    RowId row = 0;
+    std::uint64_t last_act_ps = 0;
+    std::uint64_t last_pre_ps = 0;
+    std::uint64_t ref_done_ps = 0;
+    bool ever_activated = false;
+    bool ever_precharged = false;
+  };
+
+  std::optional<std::string> fail(const TimedCommand& cmd, const std::string& why);
+
+  ProtocolTiming timing_;
+  std::vector<BankState> banks_;
+  std::deque<std::uint64_t> recent_acts_;  // channel-wide, for tFAW
+  std::uint64_t last_time_ = 0;
+  std::uint64_t checked_ = 0;
+  std::vector<std::string> log_;
+};
+
+}  // namespace tvp::dram

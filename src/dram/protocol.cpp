@@ -1,0 +1,91 @@
+#include "tvp/dram/protocol.hpp"
+
+#include <stdexcept>
+
+#include "tvp/util/table.hpp"
+
+namespace tvp::dram {
+
+const char* to_string(Command command) noexcept {
+  switch (command) {
+    case Command::kActivate: return "ACT";
+    case Command::kPrecharge: return "PRE";
+    case Command::kRead: return "RD";
+    case Command::kWrite: return "WR";
+    case Command::kRefresh: return "REF";
+  }
+  return "?";
+}
+
+ProtocolChecker::ProtocolChecker(std::uint32_t banks, ProtocolTiming timing)
+    : timing_(timing) {
+  if (banks == 0) throw std::invalid_argument("ProtocolChecker: zero banks");
+  banks_.resize(banks);
+}
+
+std::optional<std::string> ProtocolChecker::fail(const TimedCommand& cmd,
+                                                 const std::string& why) {
+  const std::string text =
+      util::strfmt("%s bank %u @ %llu ps: %s", to_string(cmd.command), cmd.bank,
+                   static_cast<unsigned long long>(cmd.time_ps), why.c_str());
+  log_.push_back(text);
+  return text;
+}
+
+std::optional<std::string> ProtocolChecker::check(const TimedCommand& cmd) {
+  ++checked_;
+  if (cmd.time_ps < last_time_)
+    return fail(cmd, "commands not in time order");
+  last_time_ = cmd.time_ps;
+  if (cmd.bank >= banks_.size()) return fail(cmd, "bank out of range");
+  BankState& bank = banks_[cmd.bank];
+
+  if (cmd.time_ps < bank.ref_done_ps)
+    return fail(cmd, util::strfmt("inside refresh blackout (until %llu)",
+                                  static_cast<unsigned long long>(bank.ref_done_ps)));
+
+  switch (cmd.command) {
+    case Command::kActivate: {
+      if (bank.open) return fail(cmd, "ACT on a bank with an open row");
+      if (bank.ever_activated && cmd.time_ps < bank.last_act_ps + timing_.t_rc_ps)
+        return fail(cmd, "tRC violation (ACT to ACT)");
+      if (bank.ever_precharged && cmd.time_ps < bank.last_pre_ps + timing_.t_rp_ps)
+        return fail(cmd, "tRP violation (PRE to ACT)");
+      // tFAW: this must be no earlier than the 4th-last ACT + tFAW.
+      if (recent_acts_.size() >= 4 &&
+          cmd.time_ps < recent_acts_[recent_acts_.size() - 4] + timing_.t_faw_ps)
+        return fail(cmd, "tFAW violation (five ACTs in the window)");
+      recent_acts_.push_back(cmd.time_ps);
+      if (recent_acts_.size() > 8) recent_acts_.pop_front();
+      bank.open = true;
+      bank.row = cmd.row;
+      bank.last_act_ps = cmd.time_ps;
+      bank.ever_activated = true;
+      break;
+    }
+    case Command::kPrecharge: {
+      if (!bank.open) return fail(cmd, "PRE on a closed bank");
+      if (cmd.time_ps < bank.last_act_ps + timing_.t_ras_ps)
+        return fail(cmd, "tRAS violation (ACT to PRE)");
+      bank.open = false;
+      bank.last_pre_ps = cmd.time_ps;
+      bank.ever_precharged = true;
+      break;
+    }
+    case Command::kRead:
+    case Command::kWrite: {
+      if (!bank.open) return fail(cmd, "column access on a closed bank");
+      if (cmd.time_ps < bank.last_act_ps + timing_.t_rcd_ps)
+        return fail(cmd, "tRCD violation (ACT to column)");
+      break;
+    }
+    case Command::kRefresh: {
+      if (bank.open) return fail(cmd, "REF with an open row (precharge first)");
+      bank.ref_done_ps = cmd.time_ps + timing_.t_rfc_ps;
+      break;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tvp::dram

@@ -1,0 +1,37 @@
+#include "tvp/dram/timing.hpp"
+
+#include <stdexcept>
+
+namespace tvp::dram {
+
+void Timing::validate() const {
+  if (clock_hz == 0 || t_rc_ps == 0 || t_rfc_ps == 0 || t_refw_ps == 0 ||
+      refresh_intervals == 0)
+    throw std::invalid_argument("Timing: all parameters must be nonzero");
+  if (t_refi_ps() <= t_rfc_ps)
+    throw std::invalid_argument("Timing: refresh interval shorter than tRFC");
+  if (t_rc_ps >= t_refi_ps())
+    throw std::invalid_argument("Timing: tRC must be far below tREFI");
+}
+
+Timing ddr4_timing() noexcept {
+  return Timing{};  // defaults are the DDR4 values from Table I
+}
+
+Timing ddr3_timing() noexcept {
+  Timing t;
+  t.clock_hz = 320'000'000;  // FPGA DDR3 controller clock (Section IV)
+  return t;
+}
+
+Timing ddr5_timing() noexcept {
+  Timing t;
+  t.clock_hz = 2'400'000'000;
+  t.t_rc_ps = 48'000;
+  t.t_rfc_ps = 295'000;
+  t.t_refw_ps = 32'000'000'000;  // 32 ms window
+  t.refresh_intervals = 8192;    // tREFI ~ 3.9 us
+  return t;
+}
+
+}  // namespace tvp::dram

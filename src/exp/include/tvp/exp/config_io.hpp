@@ -1,0 +1,27 @@
+// Experiment configuration files: a SimConfig (system, workload,
+// technique knobs, attacks) described as a flat key/value file, so whole
+// experiments are shareable artifacts (see configs/ for samples and the
+// key reference).
+#pragma once
+
+#include <string>
+
+#include "tvp/exp/runner.hpp"
+#include "tvp/util/config.hpp"
+
+namespace tvp::exp {
+
+/// Applies @p file onto @p config. Unknown keys throw
+/// std::invalid_argument (typos must not silently change experiments);
+/// recognised keys are documented in configs/README (and below in the
+/// implementation). finalize() is called before returning.
+void apply_config(SimConfig& config, const util::KeyValueFile& file);
+
+/// Loads a SimConfig from @p path on top of the defaults.
+SimConfig load_sim_config(const std::string& path);
+
+/// Serialises the scalar parts of @p config (geometry/timing/workload/
+/// technique; attacks included) to the file format.
+std::string to_config_text(const SimConfig& config);
+
+}  // namespace tvp::exp

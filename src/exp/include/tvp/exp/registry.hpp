@@ -1,0 +1,34 @@
+// Maps hw::Technique to a configured mitigation factory, keeping the
+// simulation configuration and the hardware models consistent (same
+// table sizes, thresholds and probabilities everywhere).
+#pragma once
+
+#include "tvp/hw/technique.hpp"
+#include "tvp/mem/mitigation.hpp"
+
+namespace tvp::exp {
+
+/// Knobs shared by simulation and hardware models. Field meanings match
+/// hw::TechniqueParams; extras configure the probabilistic behaviour.
+struct TechniqueConfig {
+  hw::TechniqueParams params;
+  std::uint32_t flip_threshold = 139'000;
+  unsigned pbase_exp = 23;  ///< TiVaPRoMi Pbase = 2^-pbase_exp
+  double para_p = 0.001;
+  double mrloc_p_min = 0.0003;
+  double mrloc_p_max = 0.0015;
+  unsigned prohit_insert_exp = 8;   ///< insert probability 2^-8
+  unsigned prohit_promote_exp = 6;  ///< promote probability 2^-6
+  /// CaPRoMi re-issue cooldown in intervals (0 = paper behaviour; see
+  /// core::TiVaPRoMiConfig::capromi_reissue_cooldown).
+  std::uint32_t capromi_cooldown = 0;
+
+  /// Deterministic-counter trigger threshold (flip_threshold / 4).
+  std::uint32_t counter_threshold() const noexcept { return flip_threshold / 4; }
+};
+
+/// Factory for @p technique configured per @p config.
+mem::BankMitigationFactory make_factory(hw::Technique technique,
+                                        const TechniqueConfig& config);
+
+}  // namespace tvp::exp

@@ -1,0 +1,31 @@
+// Shared experiment plumbing for the bench binaries: the paper's
+// standard attack campaign, and uniform table formatting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tvp/exp/runner.hpp"
+#include "tvp/exp/verdict.hpp"
+
+namespace tvp::exp {
+
+/// Installs the paper's mixed-load attack campaign into @p config:
+/// aggressor counts increasing gradually (1 -> 20 victims per targeted
+/// bank, Section IV) across the available banks, all tagged for
+/// ground-truth FPR accounting. The attacker's share plus the benign
+/// target lands near Table I's ~40 activations/interval/bank.
+void install_standard_campaign(SimConfig& config);
+
+/// "(0.1 +/- 0.0084)%" formatting used by Table III.
+std::string format_mu_sigma(const util::RunningStat& stat);
+
+/// Prints one SeedSweepResult row set as the paper's comparison table.
+void print_comparison_table(const std::string& title,
+                            const std::vector<SeedSweepResult>& sweeps,
+                            const std::vector<SecurityVerdict>& verdicts);
+
+/// Environment-configured seed-sweep width (TVP_SEEDS, default @p fallback).
+std::uint32_t seeds_from_env(std::uint32_t fallback = 5) noexcept;
+
+}  // namespace tvp::exp

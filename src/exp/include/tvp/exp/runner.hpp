@@ -1,0 +1,125 @@
+// The experiment runner: assembles workload -> controller -> mitigation
+// -> disturbance for one technique, runs it, and collects the metrics
+// every table/figure of the paper is built from.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "tvp/dram/disturbance.hpp"
+#include "tvp/dram/geometry.hpp"
+#include "tvp/dram/refresh.hpp"
+#include "tvp/dram/timing.hpp"
+#include "tvp/exp/registry.hpp"
+#include "tvp/hw/technique.hpp"
+#include "tvp/mem/controller.hpp"
+#include "tvp/trace/attack.hpp"
+#include "tvp/trace/source.hpp"
+#include "tvp/util/stats.hpp"
+
+namespace tvp::exp {
+
+/// How the benign traffic is produced.
+enum class BenignModel {
+  kMixedSynthetic,  ///< calibrated row-level profile mix (default)
+  kCacheFrontend,   ///< multi-core cores behind L1/L2 (gem5 stand-in)
+  kUniformRandom,   ///< zero-reuse uniform rows (worst case for history
+                    ///< tables; the A4 sensitivity ablation)
+};
+
+const char* to_string(BenignModel model) noexcept;
+
+/// What traffic to generate.
+struct WorkloadSpec {
+  /// Average benign activations per refresh interval per bank. The
+  /// standard campaign adds ~20 attacker ACTs/interval/bank on top,
+  /// landing at Table I's average of ~40 including the aggressors.
+  double benign_acts_per_interval_per_bank = 20.0;
+  BenignModel model = BenignModel::kMixedSynthetic;
+  /// Attacker threads (empty = benign-only run).
+  std::vector<trace::AttackConfig> attacks;
+};
+
+/// Full configuration of one simulation run.
+struct SimConfig {
+  dram::Geometry geometry;  ///< default below shrinks to 4 banks
+  dram::Timing timing = dram::ddr4_timing();
+  dram::RefreshPolicy refresh_policy = dram::RefreshPolicy::kNeighborSequential;
+  bool remap_rows = false;
+  std::size_t remap_swaps = 16;
+  std::uint32_t act_n_radius = 1;  ///< see mem::ControllerConfig
+  dram::DisturbanceParams disturbance;
+  std::uint32_t windows = 2;  ///< refresh windows to simulate
+  std::uint64_t seed = 1;
+  WorkloadSpec workload;
+  TechniqueConfig technique;
+
+  SimConfig();
+
+  /// Simulated duration in picoseconds.
+  std::uint64_t duration_ps() const noexcept {
+    return static_cast<std::uint64_t>(windows) * timing.t_refw_ps;
+  }
+  /// Propagates geometry/timing into the technique parameters and checks
+  /// consistency; call after editing fields.
+  void finalize();
+};
+
+/// Everything measured in one run.
+struct RunResult {
+  std::string technique;
+  mem::ControllerStats stats;
+  std::uint64_t flips = 0;         ///< bit flips anywhere
+  std::uint64_t victim_flips = 0;  ///< flips on the attack's victim rows
+  std::vector<dram::FlipEvent> flip_events;  ///< every flip (bank, row, when)
+  std::uint64_t peak_disturbance = 0;  ///< closest approach to the threshold
+  double state_bytes_per_bank = 0.0;
+  std::uint64_t records = 0;       ///< trace records consumed
+  double wall_seconds = 0.0;
+
+  double overhead_pct() const noexcept { return stats.overhead_pct(); }
+  double fpr_pct() const noexcept { return stats.fpr_pct(); }
+};
+
+/// Runs @p technique on the configured system. Deterministic in
+/// (config, config.seed).
+RunResult run_simulation(hw::Technique technique, const SimConfig& config);
+
+/// Same pipeline, but with an arbitrary mitigation factory — the hook
+/// for techniques outside the paper's nine (Graphene, TRR, shaped
+/// TiVaPRoMi variants, user-supplied defences).
+RunResult run_custom_simulation(const mem::BankMitigationFactory& factory,
+                                const std::string& display_name,
+                                const SimConfig& config);
+
+/// Multi-seed aggregation (Table III's mu +/- sigma columns).
+struct SeedSweepResult {
+  std::string technique;
+  util::RunningStat overhead_pct;
+  util::RunningStat fpr_pct;
+  std::uint64_t total_flips = 0;
+  std::uint64_t total_victim_flips = 0;
+  double state_bytes_per_bank = 0.0;
+};
+SeedSweepResult run_seed_sweep(hw::Technique technique, SimConfig config,
+                               std::uint32_t seeds);
+
+/// Builds the trace for @p config (exposed for tests and trace export).
+/// @p aggressors, if non-null, receives the ground-truth aggressor keys
+/// (bank << 32 | row) of all configured attacks.
+std::unique_ptr<trace::TraceSource> build_workload(
+    const SimConfig& config, util::Rng& rng,
+    std::unordered_set<std::uint64_t>* aggressors = nullptr);
+
+/// Reads TVP_SCALE from the environment: "full" selects the paper-scale
+/// configuration (16 banks, more windows); anything else the scaled one.
+bool full_scale_requested() noexcept;
+
+/// Scales a SimConfig to paper scale (16 banks, 6 windows) when
+/// @p full is true; used by the benches.
+void apply_scale(SimConfig& config, bool full);
+
+}  // namespace tvp::exp

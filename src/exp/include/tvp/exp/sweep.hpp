@@ -1,0 +1,52 @@
+// Generic parameter sweeps over configuration keys.
+//
+// Everything a SimConfig can express is addressable by a config key
+// (config_io.hpp), so a sweep is just (base config, key, values,
+// techniques) — run the whole matrix and format it. The ablation
+// benches cover the paper's specific sweeps; this engine is for users
+// exploring their own questions (see examples/sweep_tool.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tvp/exp/config_io.hpp"
+#include "tvp/exp/runner.hpp"
+#include "tvp/util/table.hpp"
+
+namespace tvp::exp {
+
+/// One (value, technique) cell of the sweep matrix.
+struct SweepCell {
+  std::string value;
+  std::string technique;
+  RunResult result;
+};
+
+struct SweepResult {
+  std::string param_key;
+  std::vector<std::string> values;
+  std::vector<std::string> techniques;
+  std::vector<SweepCell> cells;  ///< row-major: values x techniques
+
+  const RunResult& at(std::size_t value_index, std::size_t technique_index) const {
+    return cells.at(value_index * techniques.size() + technique_index).result;
+  }
+};
+
+/// Runs the matrix: for each value, @p base with `param_key = value`
+/// applied, for each technique. @p param_key must be a recognised config
+/// key (config_io); values are config-file value strings. Throws on
+/// unknown keys/values; deterministic in the base config's seed.
+SweepResult run_param_sweep(const util::KeyValueFile& base,
+                            const std::string& param_key,
+                            const std::vector<std::string>& values,
+                            const std::vector<hw::Technique>& techniques);
+
+/// Formats the overhead matrix (values down, techniques across).
+util::TextTable sweep_overhead_table(const SweepResult& sweep);
+
+/// CSV export: param,value,technique,overhead_pct,fpr_pct,flips,bytes.
+std::string sweep_to_csv(const SweepResult& sweep);
+
+}  // namespace tvp::exp

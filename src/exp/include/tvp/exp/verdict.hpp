@@ -1,0 +1,95 @@
+// Security analysis: the flooding experiment (Section III-A / IV) and
+// the "Vulnerable to Attack" verdict of Table III.
+//
+// Two complementary instruments:
+//
+//  1. Empirical flood (measure_flood): instantiate the per-bank
+//     mitigation directly, hammer one row at the maximum admissible rate
+//     (165 ACTs per refresh interval), phase-aligned so the row's weight
+//     starts at zero (the attacker "knows the weights mapping",
+//     Section III-A), and record the number of activations until the
+//     first mitigation response, across many trials.
+//
+//  2. Analytic hazard schedule (victim_save_schedule): the per-act
+//     probability that the victim of this sustained attack gets saved,
+//     derived from each technique's own decision rule (weights for
+//     TiVaPRoMi, static p for PARA/MRLoc, a forward Markov model of
+//     ProHit's insert/promote pipeline, step functions for TWiCe/CRA).
+//     From the schedule we compute
+//       * p_miss    — probability the victim survives unprotected
+//                     through flip_threshold aggressor activations, and
+//       * escalation — late/early hazard ratio: does the technique's
+//                     response probability grow under sustained attack?
+//
+// The Table III verdict is then reproduced by the paper's own logic:
+// a technique is vulnerable iff a campaign flipped a bit, or its hazard
+// never escalates (the static-probability weakness [17] attributes to
+// PARA and MRLoc), or its worst-case miss probability is non-negligible
+// (LiPRoMi's slow linear ramp). Thresholds are documented constants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tvp/exp/registry.hpp"
+#include "tvp/util/stats.hpp"
+
+namespace tvp::exp {
+
+/// Empirical flood measurement.
+struct FloodMeasurement {
+  std::string technique;
+  util::RunningStat first_response_acts;  ///< over trials that responded
+  util::PercentileTracker distribution;
+  std::uint32_t trials = 0;
+  std::uint32_t no_response = 0;  ///< trials with no response within the budget
+  /// Fraction of trials whose first response came after half the flip
+  /// threshold (the paper's 69 K safety line).
+  double late_fraction = 0.0;
+};
+
+struct FloodOptions {
+  std::uint32_t trials = 64;
+  /// ACTs per refresh interval the attacker achieves (max 165 for DDR4).
+  std::uint32_t acts_per_interval = 165;
+  /// Stop a trial after this many activations (default: past the full
+  /// flip threshold).
+  std::uint64_t act_budget = 160'000;
+  /// Phase-aligned (true: weight starts at 0 — worst case) or random
+  /// phase (what a blind attacker gets).
+  bool phase_aligned = true;
+  std::uint64_t seed = 42;
+};
+
+FloodMeasurement measure_flood(hw::Technique technique,
+                               const TechniqueConfig& config,
+                               const FloodOptions& options = {});
+
+/// Analytic per-act victim-save hazard under the sustained phase-aligned
+/// attack; element n is the save probability at aggressor act n.
+std::vector<double> victim_save_schedule(hw::Technique technique,
+                                         const TechniqueConfig& config,
+                                         std::uint64_t acts,
+                                         std::uint32_t acts_per_interval = 165);
+
+/// Verdict inputs + result for one technique.
+struct SecurityVerdict {
+  std::string technique;
+  double p_miss = 0.0;       ///< survive flip_threshold acts unprotected
+  double escalation = 0.0;   ///< late/early hazard ratio
+  bool flips_observed = false;
+  bool vulnerable = false;
+  const char* reason = "";
+};
+
+/// Classification thresholds (documented in DESIGN.md §5).
+inline constexpr double kMissProbThreshold = 3e-4;
+inline constexpr double kEscalationThreshold = 1.5;
+
+/// Computes the verdict for @p technique; @p flips_observed comes from
+/// the attack campaigns (X1 bench).
+SecurityVerdict security_verdict(hw::Technique technique,
+                                 const TechniqueConfig& config,
+                                 bool flips_observed);
+
+}  // namespace tvp::exp

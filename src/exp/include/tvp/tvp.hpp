@@ -1,0 +1,72 @@
+// Umbrella header: the library's public API in one include.
+//
+//   #include "tvp/tvp.hpp"
+//   // link against tvp::exp (which pulls in every subsystem)
+//
+// Fine-grained headers remain available under tvp/<module>/ for users
+// who want a single subsystem (e.g. only the DRAM models).
+#pragma once
+
+// Utilities
+#include "tvp/util/cli.hpp"
+#include "tvp/util/csv.hpp"
+#include "tvp/util/fixed_prob.hpp"
+#include "tvp/util/histogram.hpp"
+#include "tvp/util/json.hpp"
+#include "tvp/util/rng.hpp"
+#include "tvp/util/stats.hpp"
+#include "tvp/util/table.hpp"
+
+// DRAM substrate
+#include "tvp/dram/disturbance.hpp"
+#include "tvp/dram/geometry.hpp"
+#include "tvp/dram/protocol.hpp"
+#include "tvp/dram/refresh.hpp"
+#include "tvp/dram/remap.hpp"
+#include "tvp/dram/timing.hpp"
+
+// Traces and workloads
+#include "tvp/trace/attack.hpp"
+#include "tvp/trace/io.hpp"
+#include "tvp/trace/source.hpp"
+#include "tvp/trace/stats.hpp"
+#include "tvp/trace/synthetic.hpp"
+
+// Cache-filtered CPU front-end (gem5 stand-in)
+#include "tvp/cpu/cache.hpp"
+#include "tvp/cpu/core.hpp"
+#include "tvp/cpu/frontend.hpp"
+
+// Memory controllers
+#include "tvp/mem/controller.hpp"
+#include "tvp/mem/energy.hpp"
+#include "tvp/mem/mitigation.hpp"
+#include "tvp/mem/scheduler.hpp"
+
+// Mitigation techniques: paper baselines + extensions
+#include "tvp/mitigation/cat.hpp"
+#include "tvp/mitigation/cra.hpp"
+#include "tvp/mitigation/graphene.hpp"
+#include "tvp/mitigation/mrloc.hpp"
+#include "tvp/mitigation/para.hpp"
+#include "tvp/mitigation/prac.hpp"
+#include "tvp/mitigation/prohit.hpp"
+#include "tvp/mitigation/trr.hpp"
+#include "tvp/mitigation/twice.hpp"
+
+// TiVaPRoMi (the paper's contribution)
+#include "tvp/core/counter_table.hpp"
+#include "tvp/core/history_table.hpp"
+#include "tvp/core/tivapromi.hpp"
+#include "tvp/core/weighting.hpp"
+
+// Hardware models
+#include "tvp/hw/area_model.hpp"
+#include "tvp/hw/cycle_model.hpp"
+#include "tvp/hw/technique.hpp"
+
+// Experiment harness
+#include "tvp/exp/registry.hpp"
+#include "tvp/exp/report.hpp"
+#include "tvp/exp/runner.hpp"
+#include "tvp/exp/verdict.hpp"

@@ -1,0 +1,83 @@
+#include "tvp/exp/registry.hpp"
+
+#include <stdexcept>
+
+#include "tvp/core/tivapromi.hpp"
+#include "tvp/mitigation/cra.hpp"
+#include "tvp/mitigation/mrloc.hpp"
+#include "tvp/mitigation/para.hpp"
+#include "tvp/mitigation/prohit.hpp"
+#include "tvp/mitigation/twice.hpp"
+
+namespace tvp::exp {
+
+mem::BankMitigationFactory make_factory(hw::Technique technique,
+                                        const TechniqueConfig& config) {
+  const auto& p = config.params;
+  switch (technique) {
+    case hw::Technique::kPara: {
+      mitigation::ParaConfig c;
+      c.p = util::FixedProb::from_double(config.para_p);
+      c.rows_per_bank = p.rows_per_bank;
+      return mitigation::make_para_factory(c);
+    }
+    case hw::Technique::kProHit: {
+      mitigation::ProHitConfig c;
+      c.hot_entries = p.prohit_hot;
+      c.cold_entries = p.prohit_cold;
+      c.insert_prob = util::FixedProb::pow2(config.prohit_insert_exp);
+      c.promote_prob = util::FixedProb::pow2(config.prohit_promote_exp);
+      c.rows_per_bank = p.rows_per_bank;
+      return mitigation::make_prohit_factory(c);
+    }
+    case hw::Technique::kMrLoc: {
+      mitigation::MrLocConfig c;
+      c.queue_entries = p.mrloc_queue;
+      c.p_min = util::FixedProb::from_double(config.mrloc_p_min);
+      c.p_max = util::FixedProb::from_double(config.mrloc_p_max);
+      c.rows_per_bank = p.rows_per_bank;
+      return mitigation::make_mrloc_factory(c);
+    }
+    case hw::Technique::kTwice: {
+      mitigation::TwiceConfig c;
+      c.entries = p.twice_entries;
+      c.row_threshold = config.counter_threshold();
+      c.pruning_slope =
+          (config.counter_threshold() + p.refresh_intervals - 1) /
+          p.refresh_intervals;
+      c.refresh_intervals = p.refresh_intervals;
+      c.rows_per_bank = p.rows_per_bank;
+      return mitigation::make_twice_factory(c);
+    }
+    case hw::Technique::kCra: {
+      mitigation::CraConfig c;
+      c.rows_per_bank = p.rows_per_bank;
+      c.refresh_intervals = p.refresh_intervals;
+      c.row_threshold = config.counter_threshold();
+      return mitigation::make_cra_factory(c);
+    }
+    case hw::Technique::kLiPRoMi:
+    case hw::Technique::kLoPRoMi:
+    case hw::Technique::kLoLiPRoMi:
+    case hw::Technique::kCaPRoMi: {
+      core::TiVaPRoMiConfig c;
+      c.refresh_intervals = p.refresh_intervals;
+      c.rows_per_bank = p.rows_per_bank;
+      c.pbase_exp = config.pbase_exp;
+      c.history_entries = p.history_entries;
+      c.counter_entries = p.counter_entries;
+      c.capromi_reissue_cooldown = config.capromi_cooldown;
+      core::Variant variant = core::Variant::kLinear;
+      if (technique == hw::Technique::kLoPRoMi)
+        variant = core::Variant::kLogarithmic;
+      else if (technique == hw::Technique::kLoLiPRoMi)
+        variant = core::Variant::kLogLinear;
+      else if (technique == hw::Technique::kCaPRoMi)
+        variant = core::Variant::kCounterAssisted;
+      return core::make_tivapromi_factory(variant, c);
+    }
+  }
+  throw std::invalid_argument("make_factory: unknown technique");
+}
+
+}  // namespace tvp::exp

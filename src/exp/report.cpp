@@ -1,0 +1,60 @@
+#include "tvp/exp/report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "tvp/util/table.hpp"
+
+namespace tvp::exp {
+
+void install_standard_campaign(SimConfig& config) {
+  util::Rng rng(config.seed ^ 0xA77AC4ull);
+  config.workload.attacks.clear();
+  const std::uint32_t banks = config.geometry.total_banks();
+  // Aggressor pressure ramps across banks: 1 victim on bank 0 up to 20
+  // victims on the last attacked bank; one bank (if available) is left
+  // clean as a control. The per-bank attack budget is ~20 ACTs per
+  // refresh interval, which together with the benign load approximates
+  // Table I's average of 40.
+  const std::size_t ramp[] = {1, 4, 10, 20};
+  const std::uint32_t attacked = banks > 1 ? banks - 1 : 1;
+  for (std::uint32_t b = 0; b < attacked; ++b) {
+    auto attack = trace::make_multi_aggressor_attack(
+        b, config.geometry.rows_per_bank, ramp[b % 4], rng);
+    attack.interarrival_ps = config.timing.t_refi_ps() / 20;
+    attack.source_id = static_cast<trace::SourceId>(200 + b);
+    config.workload.attacks.push_back(std::move(attack));
+  }
+  config.finalize();
+}
+
+std::string format_mu_sigma(const util::RunningStat& stat) {
+  return util::strfmt("(%.4g +/- %.2g)%%", stat.mean(), stat.stddev());
+}
+
+void print_comparison_table(const std::string& title,
+                            const std::vector<SeedSweepResult>& sweeps,
+                            const std::vector<SecurityVerdict>& verdicts) {
+  util::TextTable table({"Technique", "Table Size/Bank [B]", "Vulnerable",
+                         "Activations Overhead", "FPR", "Flips"});
+  table.set_title(title);
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    const auto& s = sweeps[i];
+    const char* vulnerable =
+        i < verdicts.size() ? (verdicts[i].vulnerable ? "Yes" : "No") : "?";
+    table.add_row({s.technique, util::strfmt("%.0f", s.state_bytes_per_bank),
+                   vulnerable, format_mu_sigma(s.overhead_pct),
+                   format_mu_sigma(s.fpr_pct),
+                   std::to_string(s.total_flips)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+}
+
+std::uint32_t seeds_from_env(std::uint32_t fallback) noexcept {
+  const char* env = std::getenv("TVP_SEEDS");
+  if (env == nullptr) return fallback;
+  const long v = std::strtol(env, nullptr, 10);
+  return v > 0 && v <= 1000 ? static_cast<std::uint32_t>(v) : fallback;
+}
+
+}  // namespace tvp::exp

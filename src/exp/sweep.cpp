@@ -1,0 +1,63 @@
+#include "tvp/exp/sweep.hpp"
+
+#include <stdexcept>
+
+namespace tvp::exp {
+
+SweepResult run_param_sweep(const util::KeyValueFile& base,
+                            const std::string& param_key,
+                            const std::vector<std::string>& values,
+                            const std::vector<hw::Technique>& techniques) {
+  if (values.empty() || techniques.empty())
+    throw std::invalid_argument("run_param_sweep: empty values or techniques");
+  SweepResult sweep;
+  sweep.param_key = param_key;
+  sweep.values = values;
+  for (const auto t : techniques)
+    sweep.techniques.emplace_back(hw::to_string(t));
+
+  for (const auto& value : values) {
+    util::KeyValueFile file = base;
+    file.set(param_key, value);
+    SimConfig config;
+    apply_config(config, file);  // throws on unknown key
+    for (const auto technique : techniques) {
+      SweepCell cell;
+      cell.value = value;
+      cell.technique = std::string(hw::to_string(technique));
+      cell.result = run_simulation(technique, config);
+      sweep.cells.push_back(std::move(cell));
+    }
+  }
+  return sweep;
+}
+
+util::TextTable sweep_overhead_table(const SweepResult& sweep) {
+  std::vector<std::string> header = {sweep.param_key};
+  for (const auto& t : sweep.techniques) header.push_back(t);
+  util::TextTable table(header);
+  table.set_title("activation overhead [%] (" + sweep.param_key + " sweep)");
+  for (std::size_t v = 0; v < sweep.values.size(); ++v) {
+    std::vector<std::string> row = {sweep.values[v]};
+    for (std::size_t t = 0; t < sweep.techniques.size(); ++t)
+      row.push_back(util::strfmt("%.5f", sweep.at(v, t).overhead_pct()));
+    table.add_row(row);
+  }
+  return table;
+}
+
+std::string sweep_to_csv(const SweepResult& sweep) {
+  std::string out =
+      "param,value,technique,overhead_pct,fpr_pct,flips,table_bytes_per_bank\n";
+  for (const auto& cell : sweep.cells) {
+    out += util::strfmt("%s,%s,%s,%.6f,%.6f,%llu,%.1f\n",
+                        sweep.param_key.c_str(), cell.value.c_str(),
+                        cell.technique.c_str(), cell.result.overhead_pct(),
+                        cell.result.fpr_pct(),
+                        static_cast<unsigned long long>(cell.result.flips),
+                        cell.result.state_bytes_per_bank);
+  }
+  return out;
+}
+
+}  // namespace tvp::exp

@@ -1,0 +1,156 @@
+#include "tvp/hw/area_model.hpp"
+
+#include <cmath>
+
+namespace tvp::hw {
+
+const char* to_string(Target target) noexcept {
+  switch (target) {
+    case Target::kDdr4: return "DDR4";
+    case Target::kDdr3: return "DDR3";
+    case Target::kDdr5: return "DDR5";
+  }
+  return "?";
+}
+
+dram::Timing target_timing(Target target) noexcept {
+  switch (target) {
+    case Target::kDdr4: return dram::ddr4_timing();
+    case Target::kDdr3: return dram::ddr3_timing();
+    case Target::kDdr5: return dram::ddr5_timing();
+  }
+  return dram::ddr4_timing();
+}
+
+namespace {
+
+// Calibration constants (LUTs), fitted to the paper's Virtex UltraScale+
+// synthesis results (Table III). See area_model.hpp for the cost law.
+constexpr double kInterface = 200;       // Fig. 1 controller interface
+constexpr double kFsmPerState = 8;
+
+struct EntryCost {
+  double base;   // per entry at f = 1
+  double widen;  // per entry per (f^2 - 1)
+};
+
+constexpr EntryCost kHistoryEntry{150, 3};     // TiVaPRoMi history table
+constexpr EntryCost kCounterEntry{245, 78};    // CaPRoMi counter table
+constexpr EntryCost kProHitEntry{110, 15};
+constexpr EntryCost kMrLocEntry{85, 12};
+constexpr EntryCost kTwiceEntry{175, 95};      // CAM entry incl. prune ALU
+constexpr double kCraPerRow = 43.44;           // per-row counter + compare
+
+double entry_block(const EntryCost& cost, std::uint32_t entries, std::uint32_t f) {
+  const double widen = cost.widen * (static_cast<double>(f) * f - 1.0);
+  return entries * (cost.base + widen);
+}
+
+struct Datapath {
+  double luts;
+  std::uint32_t fsm_states;
+};
+
+Datapath datapath_for(Technique technique) {
+  switch (technique) {
+    case Technique::kPara: return {125, 3};    // LFSR + compare + +/-1
+    case Technique::kProHit: return {85, 6};   // probabilistic insert/promote
+    case Technique::kMrLoc: return {257, 6};   // recency-weighted probability
+    case Technique::kTwice: return {508, 6};   // prune ALU + CAM priority enc
+    case Technique::kCra: return {0, 3};       // folded into the per-row cost
+    case Technique::kLiPRoMi: return {107, 6}; // subtract + scale + compare
+    case Technique::kLoPRoMi: return {180, 6}; // + modified priority encoder
+    case Technique::kLoLiPRoMi: return {326, 6};  // + dual path select
+    case Technique::kCaPRoMi: return {317, 8}; // + cnt*w_log multiplier
+  }
+  return {0, 0};
+}
+
+}  // namespace
+
+std::vector<AreaComponent> area_breakdown(Technique technique, Target target,
+                                          const TechniqueParams& params) {
+  const CycleBudget budget = cycle_budget(target_timing(target));
+  const std::uint32_t raw_f = required_parallelism(technique, params, budget);
+  const std::uint32_t f = raw_f == 0 ? 4096 : raw_f;
+
+  const Datapath dp = datapath_for(technique);
+  std::vector<AreaComponent> parts;
+  auto add = [&parts](const char* name, double luts) {
+    parts.push_back(
+        AreaComponent{name, static_cast<std::uint64_t>(std::llround(luts))});
+  };
+  add("controller interface (Fig. 1)", kInterface);
+  add("control FSM", kFsmPerState * dp.fsm_states);
+  if (dp.luts > 0) add("technique datapath", dp.luts);
+  switch (technique) {
+    case Technique::kPara:
+      break;  // stateless
+    case Technique::kProHit:
+      add("hot+cold tables",
+          entry_block(kProHitEntry, params.prohit_hot + params.prohit_cold, f));
+      break;
+    case Technique::kMrLoc:
+      add("victim queue", entry_block(kMrLocEntry, params.mrloc_queue, f));
+      break;
+    case Technique::kTwice:
+      add("counter CAM", entry_block(kTwiceEntry, params.twice_entries, f));
+      break;
+    case Technique::kCra:
+      add("per-row counters", kCraPerRow * params.rows_per_bank);
+      break;
+    case Technique::kLiPRoMi:
+    case Technique::kLoPRoMi:
+    case Technique::kLoLiPRoMi:
+      add("history table", entry_block(kHistoryEntry, params.history_entries, f));
+      break;
+    case Technique::kCaPRoMi:
+      add("history table", entry_block(kHistoryEntry, params.history_entries, f));
+      add("counter table", entry_block(kCounterEntry, params.counter_entries, f));
+      break;
+  }
+  return parts;
+}
+
+AreaEstimate estimate_area(Technique technique, Target target,
+                           const TechniqueParams& params) {
+  const CycleBudget budget = cycle_budget(target_timing(target));
+  const std::uint32_t raw_f = required_parallelism(technique, params, budget);
+
+  AreaEstimate est;
+  est.parallelism = raw_f == 0 ? 4096 : raw_f;
+  est.luts = 0;
+  for (const auto& part : area_breakdown(technique, target, params))
+    est.luts += part.luts;
+  est.fits_device = est.luts <= kXcvu9pLuts && raw_f != 0;
+  return est;
+}
+
+double table_bytes_per_bank(Technique technique, const TechniqueParams& params) {
+  const double row_bits = params.row_bits();
+  const double interval_bits = params.interval_bits();
+  switch (technique) {
+    case Technique::kPara:
+      return 4.0;  // 32-bit LFSR state
+    case Technique::kProHit:
+      return (params.prohit_hot + params.prohit_cold) * (row_bits + 1) / 8.0;
+    case Technique::kMrLoc:
+      return params.mrloc_queue * (row_bits + 1) / 8.0;
+    case Technique::kTwice: {
+      const double count_bits = 16, life_bits = interval_bits, valid = 1;
+      return params.twice_entries * (row_bits + count_bits + life_bits + valid) / 8.0;
+    }
+    case Technique::kCra:
+      return params.rows_per_bank * 16.0 / 8.0;
+    case Technique::kLiPRoMi:
+    case Technique::kLoPRoMi:
+    case Technique::kLoLiPRoMi:
+      return params.history_entries * (row_bits + interval_bits) / 8.0;
+    case Technique::kCaPRoMi:
+      return params.history_entries * (row_bits + interval_bits) / 8.0 +
+             params.counter_entries * (row_bits + 8 + 1 + 5 + 1) / 8.0;
+  }
+  return 0.0;
+}
+
+}  // namespace tvp::hw

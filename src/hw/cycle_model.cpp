@@ -1,0 +1,94 @@
+#include "tvp/hw/cycle_model.hpp"
+
+#include <algorithm>
+
+namespace tvp::hw {
+
+namespace {
+constexpr std::uint32_t ceil_div(std::uint32_t a, std::uint32_t b) noexcept {
+  return (a + b - 1) / b;
+}
+}  // namespace
+
+FsmCycles fsm_cycles(Technique technique, const TechniqueParams& params,
+                     const DatapathWidths& widths) {
+  FsmCycles c;
+  switch (technique) {
+    case Technique::kPara:
+      // dispatch, RNG compare, neighbour select/emit.
+      c.act = 3;
+      c.ref = 1;
+      break;
+    case Technique::kCra:
+      // Direct-indexed counter: dispatch, read-modify-write, compare.
+      c.act = 3;
+      c.ref = 2;  // slot base computation + clear kick-off
+      break;
+    case Technique::kProHit:
+      // Two victims, each: hot search + cold search + update/swap.
+      c.act = 1 + 2 * (ceil_div(params.prohit_hot, widths.table_search) +
+                       ceil_div(params.prohit_cold, widths.table_search) + 2);
+      c.ref = 3;  // pop top of hot, emit, compact
+      break;
+    case Technique::kMrLoc:
+      // Two victims, each: queue search + weighted decide + reinsert.
+      c.act = 1 + 2 * (ceil_div(params.mrloc_queue, widths.table_search) + 2);
+      c.ref = 1;
+      break;
+    case Technique::kTwice:
+      // CAM match is associative (1 cycle); update + threshold compare.
+      c.act = 4;
+      // Pruning walk over the whole table at each interval end.
+      c.ref = 2 + ceil_div(params.twice_entries, widths.table_search);
+      break;
+    case Technique::kLiPRoMi:
+    case Technique::kLoPRoMi:
+      // Fig. 2: dispatch, sequential history search, weight calculation
+      // (subtract + scale for Li; subtract + priority encode for Lo),
+      // decide, activate/update.
+      c.act = 1 + ceil_div(params.history_entries, widths.history_search) + 2 +
+              1 + 1;
+      c.ref = 3;  // update interval, window compare, conditional clear
+      break;
+    case Technique::kLoLiPRoMi:
+      // The lin/log path select is folded into the search-hit mux, so
+      // the weight state is one cycle shorter than Li/Lo.
+      c.act = 1 + ceil_div(params.history_entries, widths.history_search) + 1 +
+              1 + 1;
+      c.ref = 3;
+      break;
+    case Technique::kCaPRoMi:
+      // Fig. 3: dispatch, history search (link capture), counter-table
+      // search/insert via the 4-wide compare array, commit.
+      c.act = 1 + ceil_div(params.history_entries, widths.history_search) +
+              ceil_div(params.counter_entries, widths.counter_search) + 1;
+      // REF: weight, scale, decide, commit per counter entry, then clear.
+      c.ref = 2 + 4 * ceil_div(params.counter_entries, widths.counter_walk);
+      break;
+  }
+  return c;
+}
+
+CycleBudget cycle_budget(const dram::Timing& timing) noexcept {
+  return CycleBudget{timing.act_cycle_budget(), timing.ref_cycle_budget()};
+}
+
+bool fits_budget(const FsmCycles& cycles, const CycleBudget& budget) noexcept {
+  return cycles.act <= budget.act && cycles.ref <= budget.ref;
+}
+
+std::uint32_t required_parallelism(Technique technique,
+                                   const TechniqueParams& params,
+                                   const CycleBudget& budget) {
+  for (std::uint32_t f = 1; f <= 4096; f *= 2) {
+    DatapathWidths widths;
+    widths.history_search = f;
+    widths.counter_search = 4 * f;
+    widths.counter_walk = f;
+    widths.table_search = f;
+    if (fits_budget(fsm_cycles(technique, params, widths), budget)) return f;
+  }
+  return 0;
+}
+
+}  // namespace tvp::hw

@@ -1,0 +1,98 @@
+#include "tvp/hw/fsm_executor.hpp"
+
+#include <stdexcept>
+
+namespace tvp::hw {
+
+namespace {
+constexpr std::uint32_t ceil_div(std::uint32_t a, std::uint32_t b) noexcept {
+  return (a + b - 1) / b;
+}
+}  // namespace
+
+std::uint32_t trace_cycles(const std::vector<FsmStep>& steps) noexcept {
+  std::uint32_t total = 0;
+  for (const auto& s : steps) total += s.cycles;
+  return total;
+}
+
+std::string trace_to_string(const std::vector<FsmStep>& steps) {
+  std::string out;
+  for (const auto& s : steps) {
+    if (!out.empty()) out += " -> ";
+    out += s.state;
+    out += '(';
+    out += std::to_string(s.cycles);
+    out += ')';
+  }
+  return out;
+}
+
+FsmExecutor::FsmExecutor(Technique technique, TechniqueParams params,
+                         DatapathWidths widths)
+    : technique_(technique), params_(params), widths_(widths) {
+  if (!is_tivapromi(technique))
+    throw std::invalid_argument(
+        "FsmExecutor: only the TiVaPRoMi variants have Fig. 2/3 FSMs");
+}
+
+std::vector<FsmStep> FsmExecutor::run_act() const {
+  std::vector<FsmStep> steps;
+  steps.push_back({"idle/dispatch", 1});
+  const std::uint32_t search =
+      ceil_div(params_.history_entries, widths_.history_search);
+  switch (technique_) {
+    case Technique::kLiPRoMi:
+      steps.push_back({"search in table", search});
+      steps.push_back({"calculate weight (subtract)", 1});
+      steps.push_back({"scale by Pbase", 1});
+      steps.push_back({"decide (compare vs PRNG)", 1});
+      steps.push_back({"activate neighbor & update table", 1});
+      break;
+    case Technique::kLoPRoMi:
+      steps.push_back({"search in table", search});
+      steps.push_back({"calculate weight (subtract)", 1});
+      steps.push_back({"priority-encode (Eq. 2) & scale", 1});
+      steps.push_back({"decide (compare vs PRNG)", 1});
+      steps.push_back({"activate neighbor & update table", 1});
+      break;
+    case Technique::kLoLiPRoMi:
+      steps.push_back({"search in table", search});
+      // The lin/log select is folded into the search-hit mux.
+      steps.push_back({"calculate weight (fused select)", 1});
+      steps.push_back({"decide (compare vs PRNG)", 1});
+      steps.push_back({"activate neighbor & update table", 1});
+      break;
+    case Technique::kCaPRoMi:
+      steps.push_back({"search history (link capture)", search});
+      steps.push_back(
+          {"search/increase counter table",
+           ceil_div(params_.counter_entries, widths_.counter_search)});
+      steps.push_back({"insert/replace & commit", 1});
+      break;
+    default:
+      break;
+  }
+  return steps;
+}
+
+std::vector<FsmStep> FsmExecutor::run_ref(bool window_start) const {
+  std::vector<FsmStep> steps;
+  if (technique_ == Technique::kCaPRoMi) {
+    steps.push_back({"idle/dispatch", 1});
+    const std::uint32_t groups =
+        ceil_div(params_.counter_entries, widths_.counter_walk);
+    steps.push_back({"per-entry weight/scale/decide/commit", groups * 4});
+    steps.push_back({window_start ? "clear tables (new window)"
+                                  : "clear counter table",
+                     1});
+    return steps;
+  }
+  steps.push_back({"update refresh interval", 1});
+  steps.push_back({"same/new window compare", 1});
+  steps.push_back(
+      {window_start ? "reset table (flash clear)" : "return to idle", 1});
+  return steps;
+}
+
+}  // namespace tvp::hw

@@ -1,0 +1,74 @@
+// Analytic FPGA area model (reproduces the LUT columns of Table III and
+// the x-axis of Figure 4).
+//
+// Substitution for the paper's VHDL synthesis on a Virtex UltraScale+
+// XCVU9P (see DESIGN.md): each technique's LUT count is composed from
+//   * a common memory-controller interface block (Fig. 1),
+//   * a control FSM,
+//   * a technique-specific datapath (RNG + comparators + arithmetic),
+//   * per-entry table logic, whose cost grows with the datapath
+//     parallelism f needed to fit the target's cycle budget as
+//     entry_base + entry_widen * (f^2 - 1)  —  replicating compare/ALU
+//     lanes f-fold and paying ~f^2 for the routing/muxing crossbar.
+// f comes from the cycle model: f = 1 fits DDR4 for everything except
+// TWiCe's pruning walk (f = 2); the 320 MHz DDR3 controller squeezes the
+// budgets to 14/112 cycles, forcing f = 4..8 on the table-based
+// techniques ("increasing their parallelism per cycle", Section IV).
+//
+// The primitive constants are calibrated against the paper's synthesis
+// results; with the default TechniqueParams every Table-III LUT figure
+// is reproduced within ~2 %. Because the model is structural in the
+// table sizes, the ablation benches can vary entry counts and obtain
+// meaningful area estimates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tvp/dram/timing.hpp"
+#include "tvp/hw/cycle_model.hpp"
+#include "tvp/hw/technique.hpp"
+
+namespace tvp::hw {
+
+/// Synthesis target: the two columns of Table III plus a forward-looking
+/// DDR5 port (extension; its 2.4 GHz clock relaxes the budgets, so the
+/// serial designs carry over unchanged).
+enum class Target { kDdr4, kDdr3, kDdr5 };
+
+const char* to_string(Target target) noexcept;
+
+/// Device timing for a target (DDR4: 1.2 GHz ASIC-style; DDR3: 320 MHz
+/// FPGA memory controller; DDR5: 2.4 GHz).
+dram::Timing target_timing(Target target) noexcept;
+
+struct AreaEstimate {
+  std::uint64_t luts = 0;
+  std::uint32_t parallelism = 1;  ///< f used to fit the cycle budget
+  bool fits_device = true;        ///< false when above the XCVU9P capacity
+};
+
+/// XCVU9P LUT capacity (Section IV notes CRA/TWiCe for DDR3 exceed it).
+inline constexpr std::uint64_t kXcvu9pLuts = 1'182'240;
+
+/// LUT estimate for @p technique on @p target.
+AreaEstimate estimate_area(Technique technique, Target target,
+                           const TechniqueParams& params = {});
+
+/// Named component of an area estimate (for resource reports).
+struct AreaComponent {
+  const char* name;
+  std::uint64_t luts;
+};
+
+/// Structural decomposition of estimate_area(): controller interface,
+/// FSM, technique datapath, and per-table blocks. The component sum
+/// equals the AreaEstimate total (tested).
+std::vector<AreaComponent> area_breakdown(Technique technique, Target target,
+                                          const TechniqueParams& params = {});
+
+/// Mitigation state per bank in bytes (the Figure-4 x-axis), from the
+/// same structural description the simulators use.
+double table_bytes_per_bank(Technique technique, const TechniqueParams& params = {});
+
+}  // namespace tvp::hw

@@ -1,0 +1,67 @@
+// FSM cycle model (reproduces Table II).
+//
+// Executes the paper's FSMs (Fig. 2 for the probabilistic variants,
+// Fig. 3 for CaPRoMi) state by state, charging each state its micro-op
+// latency. The micro-op rates mirror the VHDL implementation the paper
+// describes:
+//   * history-table search: sequential, 1 entry per cycle;
+//   * CaPRoMi counter-table search: 4-wide compare array (the extra
+//     parallelism is why CaPRoMi's act loop is bigger in LUTs too);
+//   * CaPRoMi REF walk: 4 cycles per counter entry (weight, scale,
+//     decide, commit);
+//   * weight calculation: subtract + scale for Li/Lo (2 cycles); LoLi
+//     folds the path select into the search-hit mux (1 cycle);
+//   * REF path for the probabilistic variants: interval update, window
+//     compare, conditional flash clear (3 cycles).
+//
+// The model returns worst-case loop lengths (search misses, full table)
+// and checks them against the tRC / tRFC budgets of the target device.
+#pragma once
+
+#include <cstdint>
+
+#include "tvp/dram/timing.hpp"
+#include "tvp/hw/technique.hpp"
+
+namespace tvp::hw {
+
+/// Cycle counts of one FSM loop from idle back to idle.
+struct FsmCycles {
+  std::uint32_t act = 0;  ///< loop after an observed ACT command
+  std::uint32_t ref = 0;  ///< loop after an observed REF command
+};
+
+/// How wide the search/update datapath is (entries processed per cycle).
+/// 1 everywhere reproduces the DDR4 numbers; the DDR3 port raises these
+/// until the budgets fit (see required_parallelism()).
+struct DatapathWidths {
+  std::uint32_t history_search = 1;
+  std::uint32_t counter_search = 4;  // CaPRoMi's compare array
+  std::uint32_t counter_walk = 1;    // entries decided per 4-cycle group
+  std::uint32_t table_search = 1;    // ProHit/MRLoc/TWiCe-style searches
+};
+
+/// Worst-case FSM loop cycles of @p technique with the given widths.
+FsmCycles fsm_cycles(Technique technique, const TechniqueParams& params,
+                     const DatapathWidths& widths = {});
+
+/// Cycle budgets implied by a device timing: floor(tRC/tCK) for act,
+/// floor(tRFC/tCK) for ref (54 / 420 for DDR4, Section IV).
+struct CycleBudget {
+  std::uint32_t act = 0;
+  std::uint32_t ref = 0;
+};
+CycleBudget cycle_budget(const dram::Timing& timing) noexcept;
+
+/// True iff the technique's loops fit the budget.
+bool fits_budget(const FsmCycles& cycles, const CycleBudget& budget) noexcept;
+
+/// Smallest uniform widening factor that makes the technique fit
+/// @p budget (the Section-IV DDR3 port: "increasing their parallelism
+/// per cycle"). Returns 1 when the serial design already fits; caps the
+/// search at 4096 and returns 0 when even that does not fit.
+std::uint32_t required_parallelism(Technique technique,
+                                   const TechniqueParams& params,
+                                   const CycleBudget& budget);
+
+}  // namespace tvp::hw

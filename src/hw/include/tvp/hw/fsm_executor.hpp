@@ -1,0 +1,57 @@
+// Executable FSMs for the TiVaPRoMi variants (Fig. 2 and Fig. 3).
+//
+// fsm_cycles() (cycle_model.hpp) returns closed-form loop lengths; this
+// executor actually *walks* the state machines, charging each state its
+// micro-op cost, and returns the visited state sequence. The test suite
+// asserts that the executed totals equal the closed-form model for every
+// variant and datapath width — i.e. the Table II numbers are produced
+// twice, by two independent mechanisms, and must agree. The state traces
+// also make the benches' Table II output explainable ("where do
+// CaPRoMi's 258 REF cycles go?").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tvp/hw/cycle_model.hpp"
+#include "tvp/hw/technique.hpp"
+
+namespace tvp::hw {
+
+/// One visited FSM state and the cycles spent in it.
+struct FsmStep {
+  const char* state;
+  std::uint32_t cycles;
+};
+
+/// Total cycles of a step trace.
+std::uint32_t trace_cycles(const std::vector<FsmStep>& steps) noexcept;
+
+/// Renders "idle(1) -> search in table(32) -> ..." for reports.
+std::string trace_to_string(const std::vector<FsmStep>& steps);
+
+/// Walks the FSM of a TiVaPRoMi variant.
+class FsmExecutor {
+ public:
+  /// @p technique must be one of the four TiVaPRoMi variants.
+  FsmExecutor(Technique technique, TechniqueParams params,
+              DatapathWidths widths = {});
+
+  /// Worst-case loop after an observed ACT (table search misses, full
+  /// counter table) — the Fig. 2 path idle -> search -> weight ->
+  /// decide -> activate/update, or Fig. 3's search/insert path.
+  std::vector<FsmStep> run_act() const;
+
+  /// Loop after an observed REF. For Fig. 2 this is the interval update
+  /// + window check (+ flash clear when @p window_start); Fig. 3 walks
+  /// the counter table making collective decisions.
+  std::vector<FsmStep> run_ref(bool window_start = false) const;
+
+ private:
+  Technique technique_;
+  TechniqueParams params_;
+  DatapathWidths widths_;
+};
+
+}  // namespace tvp::hw

@@ -1,0 +1,162 @@
+#include "tvp/mem/controller.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tvp::mem {
+
+MemoryController::MemoryController(ControllerConfig config, MitigationEngine& engine,
+                                   dram::DisturbanceModel& disturbance,
+                                   util::Rng& rng)
+    : cfg_(config),
+      timing_(config.timing),
+      engine_(engine),
+      disturbance_(disturbance),
+      remapper_(config.remap_rows
+                    ? dram::RowRemapper(config.geometry.rows_per_bank,
+                                        config.remap_swaps, rng)
+                    : dram::RowRemapper(config.geometry.rows_per_bank)),
+      scheduler_(config.geometry.rows_per_bank, config.timing.refresh_intervals,
+                 config.refresh_policy, rng, config.remap_swaps) {
+  cfg_.geometry.validate();
+  timing_.validate();
+  if (engine_.banks() != cfg_.geometry.total_banks())
+    throw std::invalid_argument(
+        "MemoryController: engine bank count does not match geometry");
+  if (disturbance_.banks() != cfg_.geometry.total_banks() ||
+      disturbance_.rows_per_bank() != cfg_.geometry.rows_per_bank)
+    throw std::invalid_argument(
+        "MemoryController: disturbance model shape mismatch");
+  bank_ready_ps_.assign(cfg_.geometry.total_banks(), 0);
+  interval_acts_.assign(cfg_.geometry.total_banks(), 0);
+  next_refresh_ps_ = timing_.t_refi_ps();
+}
+
+void MemoryController::process_refresh_boundaries(std::uint64_t up_to_ps) {
+  while (next_refresh_ps_ <= up_to_ps) {
+    refresh_interval_tick();
+    next_refresh_ps_ += timing_.t_refi_ps();
+  }
+}
+
+void MemoryController::refresh_interval_tick() {
+  const std::uint64_t boundary_ps = next_refresh_ps_;
+  ++global_interval_;
+  ++stats_.refresh_intervals;
+  const auto interval = interval_in_window();
+
+  MitigationContext ctx;
+  ctx.interval_in_window = interval;
+  ctx.global_interval = global_interval_;
+  ctx.window_start = interval == 0;
+
+  // All banks refresh the same row slot in lockstep (all-bank REF).
+  const std::vector<dram::RowId> rows = scheduler_.rows_in_interval(interval);
+
+  const std::uint32_t banks = engine_.banks();
+  for (dram::BankId b = 0; b < banks; ++b) {
+    stats_.acts_per_interval.add(static_cast<double>(interval_acts_[b]));
+    interval_acts_[b] = 0;
+
+    if (cfg_.enforce_timing)
+      bank_ready_ps_[b] =
+          std::max(bank_ready_ps_[b], boundary_ps + timing_.t_rfc_ps);
+
+    for (const auto row : rows) {
+      disturbance_.on_refresh_row(b, row);
+      ++stats_.rows_refreshed;
+    }
+
+    scratch_actions_.clear();
+    engine_.on_refresh(b, ctx, scratch_actions_);
+    issue_actions(b, scratch_actions_, interval);
+  }
+}
+
+void MemoryController::activate_physical(dram::BankId bank, dram::RowId physical_row,
+                                         std::uint32_t interval) {
+  if (cfg_.enforce_timing) bank_ready_ps_[bank] += timing_.t_rc_ps;
+  disturbance_.on_activate(bank, physical_row, interval);
+}
+
+void MemoryController::issue_actions(dram::BankId bank,
+                                     const std::vector<MitigationAction>& actions,
+                                     std::uint32_t interval) {
+  for (const auto& action : actions) {
+    ++stats_.triggers;
+    if (stats_.first_extra_act_at == 0)
+      stats_.first_extra_act_at = std::max<std::uint64_t>(stats_.demand_acts, 1);
+
+    std::uint32_t cost = 0;
+    switch (action.kind) {
+      case MitigationAction::Kind::kActNeighbors: {
+        const dram::RowId physical = remapper_.to_physical(action.row);
+        const auto rows = cfg_.geometry.rows_per_bank;
+        const auto radius = static_cast<std::int64_t>(cfg_.act_n_radius);
+        for (std::int64_t d = -radius; d <= radius; ++d) {
+          if (d == 0) continue;
+          const std::int64_t neighbor = static_cast<std::int64_t>(physical) + d;
+          if (neighbor < 0 || neighbor >= static_cast<std::int64_t>(rows))
+            continue;
+          activate_physical(bank, static_cast<dram::RowId>(neighbor), interval);
+          ++cost;
+        }
+        break;
+      }
+      case MitigationAction::Kind::kActRow: {
+        activate_physical(bank, remapper_.to_physical(action.row), interval);
+        cost = 1;
+        break;
+      }
+    }
+    stats_.extra_acts += cost;
+    if (oracle_ && !oracle_(bank, action.suspect)) stats_.fp_extra_acts += cost;
+    stats_.extra_acts_by_phase[interval * ControllerStats::kPhaseBins /
+                               timing_.refresh_intervals] += cost;
+  }
+}
+
+void MemoryController::on_record(const trace::AccessRecord& record) {
+  if (record.time_ps < now_ps_)
+    throw std::invalid_argument("MemoryController: records must be time-ordered");
+  now_ps_ = record.time_ps;
+  process_refresh_boundaries(now_ps_);
+
+  const dram::BankId bank = record.bank;
+  if (bank >= engine_.banks())
+    throw std::out_of_range("MemoryController: bank out of range");
+  if (record.row >= cfg_.geometry.rows_per_bank)
+    throw std::out_of_range("MemoryController: row out of range");
+
+  if (cfg_.enforce_timing) {
+    if (bank_ready_ps_[bank] > now_ps_) ++stats_.delayed_acts;
+    const std::uint64_t issue_ps = std::max(bank_ready_ps_[bank], now_ps_);
+    bank_ready_ps_[bank] = issue_ps + timing_.t_rc_ps;
+  }
+
+  ++stats_.demand_acts;
+  if (record.write)
+    ++stats_.writes;
+  else
+    ++stats_.reads;
+  ++interval_acts_[bank];
+
+  const auto interval = interval_in_window();
+  disturbance_.on_activate(bank, remapper_.to_physical(record.row), interval);
+
+  MitigationContext ctx;
+  ctx.interval_in_window = interval;
+  ctx.global_interval = global_interval_;
+  ctx.window_start = false;
+
+  scratch_actions_.clear();
+  engine_.on_activate(bank, record.row, ctx, scratch_actions_);
+  issue_actions(bank, scratch_actions_, interval);
+}
+
+void MemoryController::advance_to(std::uint64_t time_ps) {
+  process_refresh_boundaries(time_ps);
+  now_ps_ = std::max(now_ps_, time_ps);
+}
+
+}  // namespace tvp::mem

@@ -1,0 +1,40 @@
+#include "tvp/mem/energy.hpp"
+
+namespace tvp::mem {
+
+namespace {
+double background_pj(std::uint64_t duration_ps, const EnergyParams& params) {
+  // mW * ps = 1e-3 J/s * 1e-12 s = 1e-15 J = 1e-3 pJ.
+  return params.background_mw * static_cast<double>(duration_ps) * 1e-3;
+}
+}  // namespace
+
+EnergyBreakdown estimate_energy(const ControllerStats& stats,
+                                std::uint64_t duration_ps,
+                                const EnergyParams& params) {
+  EnergyBreakdown e;
+  e.demand_act_pj = params.act_pre_pj * static_cast<double>(stats.demand_acts);
+  e.mitigation_act_pj = params.act_pre_pj * static_cast<double>(stats.extra_acts);
+  e.read_write_pj = params.read_pj * static_cast<double>(stats.reads) +
+                    params.write_pj * static_cast<double>(stats.writes);
+  e.refresh_pj = params.refresh_row_pj * static_cast<double>(stats.rows_refreshed);
+  e.background_pj = background_pj(duration_ps, params);
+  return e;
+}
+
+EnergyBreakdown estimate_energy(const SchedulerStats& stats,
+                                std::uint64_t duration_ps,
+                                const EnergyParams& params) {
+  EnergyBreakdown e;
+  e.demand_act_pj = params.act_pre_pj * static_cast<double>(stats.demand_acts);
+  e.mitigation_act_pj =
+      params.act_pre_pj * static_cast<double>(stats.mitigation_acts);
+  // The scheduler does not split reads/writes; charge the read energy.
+  e.read_write_pj = params.read_pj * static_cast<double>(stats.requests);
+  e.refresh_pj = params.refresh_row_pj *
+                 static_cast<double>(stats.refresh_commands) * 16.0;
+  e.background_pj = background_pj(duration_ps, params);
+  return e;
+}
+
+}  // namespace tvp::mem

@@ -1,0 +1,32 @@
+#include "tvp/mem/mitigation.hpp"
+
+#include <stdexcept>
+
+namespace tvp::mem {
+
+MitigationEngine::MitigationEngine(std::uint32_t banks,
+                                   const BankMitigationFactory& factory,
+                                   util::Rng& rng) {
+  if (banks == 0) throw std::invalid_argument("MitigationEngine: zero banks");
+  if (!factory) throw std::invalid_argument("MitigationEngine: null factory");
+  per_bank_.reserve(banks);
+  for (std::uint32_t b = 0; b < banks; ++b) {
+    auto instance = factory(b, rng.fork());
+    if (!instance)
+      throw std::invalid_argument("MitigationEngine: factory returned null");
+    per_bank_.push_back(std::move(instance));
+  }
+}
+
+std::uint64_t MitigationEngine::state_bits_total() const noexcept {
+  std::uint64_t bits = 0;
+  for (const auto& m : per_bank_) bits += m->state_bits();
+  return bits;
+}
+
+double MitigationEngine::state_bytes_per_bank() const noexcept {
+  return static_cast<double>(state_bits_total()) / 8.0 /
+         static_cast<double>(per_bank_.size());
+}
+
+}  // namespace tvp::mem

@@ -1,0 +1,130 @@
+// The memory controller: consumes a time-ordered request stream, drives
+// refresh, enforces per-bank activation timing, invokes the mitigation
+// engine, and reports every physical row activation / refresh to the
+// disturbance model. This is the spine that every experiment runs on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tvp/dram/disturbance.hpp"
+#include "tvp/dram/geometry.hpp"
+#include "tvp/dram/refresh.hpp"
+#include "tvp/dram/remap.hpp"
+#include "tvp/dram/timing.hpp"
+#include "tvp/mem/mitigation.hpp"
+#include "tvp/trace/record.hpp"
+#include "tvp/util/stats.hpp"
+
+namespace tvp::mem {
+
+/// Aggregated controller counters for one run.
+struct ControllerStats {
+  std::uint64_t demand_acts = 0;      ///< ACTs from the request stream
+  std::uint64_t extra_acts = 0;       ///< row activations issued by mitigation
+  std::uint64_t fp_extra_acts = 0;    ///< ...whose suspect was NOT a real aggressor
+  std::uint64_t triggers = 0;         ///< mitigation decisions (one may cost 1-2 acts)
+  std::uint64_t refresh_intervals = 0;
+  std::uint64_t rows_refreshed = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t delayed_acts = 0;     ///< ACTs stalled by tRC/tRFC
+  std::uint64_t first_extra_act_at = 0;  ///< demand-act count at first trigger (0 = never)
+  util::RunningStat acts_per_interval;   ///< per active bank
+  /// Extra activations binned by window phase (64 bins over RefInt):
+  /// shows *when* inside the refresh window a technique spends its
+  /// budget (TiVaPRoMi bursts just after the window clear; PARA is flat).
+  static constexpr std::size_t kPhaseBins = 64;
+  std::array<std::uint64_t, kPhaseBins> extra_acts_by_phase{};
+
+  /// The paper's "Activations Overhead %": extra / demand * 100.
+  double overhead_pct() const noexcept {
+    return demand_acts
+               ? 100.0 * static_cast<double>(extra_acts) / static_cast<double>(demand_acts)
+               : 0.0;
+  }
+  /// The paper's "False Positive Rate %": false-positive extra activations
+  /// per demand activation.
+  double fpr_pct() const noexcept {
+    return demand_acts
+               ? 100.0 * static_cast<double>(fp_extra_acts) / static_cast<double>(demand_acts)
+               : 0.0;
+  }
+};
+
+/// Everything the controller needs to run.
+struct ControllerConfig {
+  dram::Geometry geometry;
+  dram::Timing timing;
+  dram::RefreshPolicy refresh_policy = dram::RefreshPolicy::kNeighborSequential;
+  std::size_t remap_swaps = 16;     ///< spare-row swaps (policy (ii) & remapper)
+  bool remap_rows = false;          ///< enable logical->physical remapping
+  bool enforce_timing = true;       ///< stall ACTs that violate tRC/tRFC
+  /// How far the act_n command reaches: 1 activates the two adjacent
+  /// rows (the paper's command); 2 additionally restores the rows at
+  /// distance two — the countermeasure to half-double-style attacks
+  /// (see the extension_attacks bench). Cost scales accordingly.
+  std::uint32_t act_n_radius = 1;
+};
+
+/// Ground-truth oracle: is @p suspect row of @p bank a real aggressor?
+/// Supplied by the experiment harness (it knows the attack config); used
+/// only for statistics, never visible to the techniques.
+using AggressorOracle = std::function<bool(dram::BankId, dram::RowId)>;
+
+class MemoryController {
+ public:
+  /// @p engine and @p disturbance must outlive the controller.
+  MemoryController(ControllerConfig config, MitigationEngine& engine,
+                   dram::DisturbanceModel& disturbance, util::Rng& rng);
+
+  /// Feeds one request; records must arrive in non-decreasing time order
+  /// (throws std::invalid_argument otherwise).
+  void on_record(const trace::AccessRecord& record);
+
+  /// Advances refresh processing up to @p time_ps without new requests
+  /// (completes the final partial window of a run).
+  void advance_to(std::uint64_t time_ps);
+
+  /// Installs the false-positive oracle (optional; without it all extra
+  /// activations count as potential false positives = 0 known aggressors).
+  void set_aggressor_oracle(AggressorOracle oracle) { oracle_ = std::move(oracle); }
+
+  const ControllerStats& stats() const noexcept { return stats_; }
+  const dram::RefreshScheduler& refresh_scheduler() const noexcept { return scheduler_; }
+  const dram::RowRemapper& remapper() const noexcept { return remapper_; }
+
+  /// Current refresh interval within the window / globally.
+  std::uint32_t interval_in_window() const noexcept {
+    return static_cast<std::uint32_t>(global_interval_ % timing_.refresh_intervals);
+  }
+  std::uint64_t global_interval() const noexcept { return global_interval_; }
+
+ private:
+  void process_refresh_boundaries(std::uint64_t up_to_ps);
+  void refresh_interval_tick();
+  void issue_actions(dram::BankId bank, const std::vector<MitigationAction>& actions,
+                     std::uint32_t interval);
+  void activate_physical(dram::BankId bank, dram::RowId physical_row,
+                         std::uint32_t interval);
+
+  ControllerConfig cfg_;
+  dram::Timing timing_;
+  MitigationEngine& engine_;
+  dram::DisturbanceModel& disturbance_;
+  dram::RowRemapper remapper_;
+  dram::RefreshScheduler scheduler_;
+  AggressorOracle oracle_;
+  ControllerStats stats_;
+
+  std::uint64_t now_ps_ = 0;
+  std::uint64_t global_interval_ = 0;      // intervals completed so far
+  std::uint64_t next_refresh_ps_;          // time of the next REF command
+  std::vector<std::uint64_t> bank_ready_ps_;
+  std::vector<std::uint32_t> interval_acts_;  // per-bank ACTs this interval
+  std::vector<MitigationAction> scratch_actions_;
+};
+
+}  // namespace tvp::mem

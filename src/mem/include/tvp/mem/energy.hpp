@@ -1,0 +1,58 @@
+// DRAM energy model (DRAMPower-style, command-counting).
+//
+// The paper argues activation overhead matters because extra row
+// activations cost performance; they also cost energy — each act_n is a
+// full row cycle (ACT + PRE) on the DRAM die. This model turns the
+// command counts of a run (MemoryController or CommandScheduler stats)
+// into an energy breakdown, so mitigation techniques can be compared on
+// a joules axis as well. Constants follow public DDR4 IDD-derived
+// figures (order-of-magnitude; relative comparisons are what matter).
+#pragma once
+
+#include <cstdint>
+
+#include "tvp/mem/controller.hpp"
+#include "tvp/mem/scheduler.hpp"
+
+namespace tvp::mem {
+
+/// Per-command energies in picojoules + background power.
+struct EnergyParams {
+  double act_pre_pj = 1700.0;     ///< one row cycle (ACT + PRE)
+  double read_pj = 4700.0;        ///< column read incl. IO burst
+  double write_pj = 4800.0;       ///< column write incl. IO burst
+  double refresh_row_pj = 280.0;  ///< per row refreshed
+  double background_mw = 90.0;    ///< static + standby power
+};
+
+/// Energy of one run, split by cause.
+struct EnergyBreakdown {
+  double demand_act_pj = 0;
+  double mitigation_act_pj = 0;
+  double read_write_pj = 0;
+  double refresh_pj = 0;
+  double background_pj = 0;
+
+  double total_pj() const noexcept {
+    return demand_act_pj + mitigation_act_pj + read_write_pj + refresh_pj +
+           background_pj;
+  }
+  /// Mitigation energy as a fraction of everything else (percent).
+  double mitigation_overhead_pct() const noexcept {
+    const double rest = total_pj() - mitigation_act_pj;
+    return rest > 0 ? 100.0 * mitigation_act_pj / rest : 0.0;
+  }
+};
+
+/// Energy from an activation-accurate run (MemoryController stats).
+/// @p duration_ps is the simulated wall time (for background energy).
+EnergyBreakdown estimate_energy(const ControllerStats& stats,
+                                std::uint64_t duration_ps,
+                                const EnergyParams& params = {});
+
+/// Energy from a command-level run (CommandScheduler stats).
+EnergyBreakdown estimate_energy(const SchedulerStats& stats,
+                                std::uint64_t duration_ps,
+                                const EnergyParams& params = {});
+
+}  // namespace tvp::mem

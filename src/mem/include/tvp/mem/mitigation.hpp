@@ -1,0 +1,124 @@
+// The mitigation hook: how a Row-Hammer defence plugs into the memory
+// controller (Figure 1 of the paper).
+//
+// A technique observes two commands per bank — ACT (row address) and REF
+// (refresh-interval tick) — and may respond with extra activations:
+// either the act_n "activate both physical neighbours" command used by
+// PARA/TWiCe/TiVaPRoMi, or an explicit row activation as used by
+// ProHit/MRLoc (which compute victim addresses as N±1 themselves).
+//
+// Techniques are written for a single bank (exactly as in Section III);
+// the MitigationEngine instantiates one object per bank and routes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tvp/dram/geometry.hpp"
+#include "tvp/util/rng.hpp"
+
+namespace tvp::mem {
+
+/// One extra activation requested by a mitigation technique.
+///
+/// (Rate-limiting defences like BlockHammer would need a throttle action
+/// plus a *closed-loop* attacker whose rate responds to backpressure;
+/// our traces are open-loop by design, so that family is out of scope —
+/// documented in DESIGN.md rather than modelled misleadingly.)
+struct MitigationAction {
+  enum class Kind {
+    /// act_n: the device activates both *physical* neighbours of `row`.
+    kActNeighbors,
+    /// Activate the given logical `row` directly (ProHit/MRLoc style).
+    kActRow,
+  };
+  Kind kind = Kind::kActNeighbors;
+  dram::RowId row = 0;
+  /// The row the technique suspects of being an aggressor; ground-truth
+  /// false-positive accounting compares this against the real aggressor
+  /// set. For kActNeighbors this equals `row`.
+  dram::RowId suspect = 0;
+};
+
+/// Timing/context of the observed command.
+struct MitigationContext {
+  std::uint32_t interval_in_window = 0;  ///< i in [0, RefInt)
+  std::uint64_t global_interval = 0;     ///< monotone across windows
+  bool window_start = false;             ///< first interval of a window
+};
+
+/// Per-bank mitigation state machine.
+class IBankMitigation {
+ public:
+  virtual ~IBankMitigation() = default;
+
+  /// Technique name ("PARA", "LiPRoMi", ...).
+  virtual const char* name() const noexcept = 0;
+
+  /// Observes an ACT of logical @p row; appends any extra activations
+  /// to @p out.
+  virtual void on_activate(dram::RowId row, const MitigationContext& ctx,
+                           std::vector<MitigationAction>& out) = 0;
+
+  /// Observes the REF command that starts refresh interval ctx.interval_
+  /// in_window; appends any (deferred) extra activations to @p out.
+  virtual void on_refresh(const MitigationContext& ctx,
+                          std::vector<MitigationAction>& out) = 0;
+
+  /// Storage this technique keeps per bank, in bits (history tables,
+  /// counters, CAM entries). Reproduces the x-axis of Figure 4.
+  virtual std::uint64_t state_bits() const noexcept = 0;
+};
+
+/// Creates the per-bank instance; @p rng must be used for all of the
+/// technique's randomness.
+using BankMitigationFactory =
+    std::function<std::unique_ptr<IBankMitigation>(dram::BankId bank, util::Rng rng)>;
+
+/// A no-op defence (the unprotected baseline).
+class NoMitigation final : public IBankMitigation {
+ public:
+  const char* name() const noexcept override { return "none"; }
+  void on_activate(dram::RowId, const MitigationContext&,
+                   std::vector<MitigationAction>&) override {}
+  void on_refresh(const MitigationContext&,
+                  std::vector<MitigationAction>&) override {}
+  std::uint64_t state_bits() const noexcept override { return 0; }
+};
+
+/// Routes commands to per-bank technique instances.
+class MitigationEngine {
+ public:
+  /// @p banks instances are created eagerly from @p factory; @p rng is
+  /// forked once per bank.
+  MitigationEngine(std::uint32_t banks, const BankMitigationFactory& factory,
+                   util::Rng& rng);
+
+  std::uint32_t banks() const noexcept {
+    return static_cast<std::uint32_t>(per_bank_.size());
+  }
+  IBankMitigation& bank(dram::BankId id) { return *per_bank_.at(id); }
+  const IBankMitigation& bank(dram::BankId id) const { return *per_bank_.at(id); }
+
+  const char* name() const noexcept { return per_bank_.front()->name(); }
+
+  /// Total mitigation storage across banks, in bits / bytes-per-bank.
+  std::uint64_t state_bits_total() const noexcept;
+  double state_bytes_per_bank() const noexcept;
+
+  void on_activate(dram::BankId bank, dram::RowId row, const MitigationContext& ctx,
+                   std::vector<MitigationAction>& out) {
+    per_bank_[bank]->on_activate(row, ctx, out);
+  }
+  void on_refresh(dram::BankId bank, const MitigationContext& ctx,
+                  std::vector<MitigationAction>& out) {
+    per_bank_[bank]->on_refresh(ctx, out);
+  }
+
+ private:
+  std::vector<std::unique_ptr<IBankMitigation>> per_bank_;
+};
+
+}  // namespace tvp::mem

@@ -1,0 +1,51 @@
+#include "tvp/mitigation/cra.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "tvp/util/bitutil.hpp"
+
+namespace tvp::mitigation {
+
+Cra::Cra(CraConfig config, util::Rng) : cfg_(config) {
+  if (cfg_.rows_per_bank == 0 || cfg_.refresh_intervals == 0)
+    throw std::invalid_argument("Cra: zero geometry");
+  if (cfg_.row_threshold == 0)
+    throw std::invalid_argument("Cra: zero threshold");
+  if (cfg_.rows_per_bank % cfg_.refresh_intervals != 0)
+    throw std::invalid_argument("Cra: rows must be a multiple of RefInt");
+  counts_.assign(cfg_.rows_per_bank, 0);
+}
+
+void Cra::on_activate(dram::RowId row, const mem::MitigationContext&,
+                      std::vector<mem::MitigationAction>& out) {
+  if (++counts_[row] < cfg_.row_threshold) return;
+  counts_[row] = 0;
+  mem::MitigationAction action;
+  action.kind = mem::MitigationAction::Kind::kActNeighbors;
+  action.row = row;
+  action.suspect = row;
+  out.push_back(action);
+}
+
+void Cra::on_refresh(const mem::MitigationContext& ctx,
+                     std::vector<mem::MitigationAction>&) {
+  // Counters of the rows refreshed this interval restart (their victims'
+  // charge is fresh again). CRA assumes the sequential slot mapping.
+  const dram::RowId rpi = cfg_.rows_per_bank / cfg_.refresh_intervals;
+  const dram::RowId base = ctx.interval_in_window * rpi;
+  for (dram::RowId r = base; r < base + rpi; ++r) counts_[r] = 0;
+}
+
+std::uint64_t Cra::state_bits() const noexcept {
+  return static_cast<std::uint64_t>(cfg_.rows_per_bank) *
+         util::bits_for(cfg_.row_threshold + 1);
+}
+
+mem::BankMitigationFactory make_cra_factory(CraConfig config) {
+  return [config](dram::BankId, util::Rng rng) -> std::unique_ptr<mem::IBankMitigation> {
+    return std::make_unique<Cra>(config, rng);
+  };
+}
+
+}  // namespace tvp::mitigation

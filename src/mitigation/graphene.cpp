@@ -1,0 +1,85 @@
+#include "tvp/mitigation/graphene.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "tvp/util/bitutil.hpp"
+
+namespace tvp::mitigation {
+
+Graphene::Graphene(GrapheneConfig config, util::Rng) : cfg_(config) {
+  if (cfg_.entries == 0) throw std::invalid_argument("Graphene: zero capacity");
+  if (cfg_.row_threshold == 0)
+    throw std::invalid_argument("Graphene: zero threshold");
+  if (cfg_.rows_per_bank == 0)
+    throw std::invalid_argument("Graphene: zero rows_per_bank");
+  entries_.assign(cfg_.entries, Entry{});
+  index_.reserve(cfg_.entries * 2);
+}
+
+void Graphene::on_activate(dram::RowId row, const mem::MitigationContext&,
+                           std::vector<mem::MitigationAction>& out) {
+  Entry* entry = nullptr;
+  const auto it = index_.find(row);
+  if (it != index_.end()) {
+    entry = &entries_[it->second];
+    ++entry->count;
+  } else {
+    // Free slot, else Misra-Gries swap with a spill-level entry.
+    std::size_t slot = entries_.size();
+    std::size_t swap_slot = entries_.size();
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (!entries_[i].valid) {
+        slot = i;
+        break;
+      }
+      if (entries_[i].count <= spill_ && swap_slot == entries_.size())
+        swap_slot = i;
+    }
+    if (slot != entries_.size()) {
+      entries_[slot] = Entry{row, spill_ + 1, true};
+      index_.emplace(row, slot);
+      entry = &entries_[slot];
+    } else if (swap_slot != entries_.size()) {
+      index_.erase(entries_[swap_slot].row);
+      entries_[swap_slot] = Entry{row, spill_ + 1, true};
+      index_.emplace(row, swap_slot);
+      entry = &entries_[swap_slot];
+    } else {
+      ++spill_;
+      return;
+    }
+  }
+
+  if (entry->count >= cfg_.row_threshold) {
+    mem::MitigationAction action;
+    action.kind = mem::MitigationAction::Kind::kActNeighbors;
+    action.row = row;
+    action.suspect = row;
+    out.push_back(action);
+    // Neighbours restored; the estimate restarts at the spill floor.
+    entry->count = spill_;
+  }
+}
+
+void Graphene::on_refresh(const mem::MitigationContext& ctx,
+                          std::vector<mem::MitigationAction>&) {
+  if (!ctx.window_start) return;
+  for (auto& e : entries_) e.valid = false;
+  index_.clear();
+  spill_ = 0;
+}
+
+std::uint64_t Graphene::state_bits() const noexcept {
+  const unsigned row_bits = util::bits_for(cfg_.rows_per_bank);
+  const unsigned count_bits = util::bits_for(cfg_.row_threshold + 1);
+  return cfg_.entries * (row_bits + count_bits + 1) + count_bits;
+}
+
+mem::BankMitigationFactory make_graphene_factory(GrapheneConfig config) {
+  return [config](dram::BankId, util::Rng rng) -> std::unique_ptr<mem::IBankMitigation> {
+    return std::make_unique<Graphene>(config, rng);
+  };
+}
+
+}  // namespace tvp::mitigation

@@ -1,0 +1,55 @@
+// MRLoc — Mitigating Row-hammering based on memory Locality
+// (You & Yang, DAC 2019).
+//
+// Keeps a FIFO queue of recently implicated victim rows. When a victim
+// re-appears while still queued, it is refreshed with a probability
+// weighted by its queue recency (more recent -> more likely): locality
+// concentrates the probability budget on rows under active pressure.
+// Overhead ends up close to PARA's and the technique remains vulnerable
+// to multi-aggressor patterns (the queue thrashes, so the weighted boost
+// never engages — Table III: vulnerable = yes).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "tvp/mem/mitigation.hpp"
+#include "tvp/util/fixed_prob.hpp"
+#include "tvp/util/rng.hpp"
+
+namespace tvp::mitigation {
+
+struct MrLocConfig {
+  std::size_t queue_entries = 16;
+  /// Probability for the least recent queued victim...
+  util::FixedProb p_min = util::FixedProb::from_double(0.0002);
+  /// ...ramping linearly to the most recent one.
+  util::FixedProb p_max = util::FixedProb::from_double(0.0012);
+  dram::RowId rows_per_bank = 131072;
+};
+
+class MrLoc final : public mem::IBankMitigation {
+ public:
+  MrLoc(MrLocConfig config, util::Rng rng);
+
+  const char* name() const noexcept override { return "MRLoc"; }
+  void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
+                   std::vector<mem::MitigationAction>& out) override;
+  void on_refresh(const mem::MitigationContext&,
+                  std::vector<mem::MitigationAction>&) override {}
+  std::uint64_t state_bits() const noexcept override;
+
+  std::size_t queue_size() const noexcept { return queue_.size(); }
+
+ private:
+  void observe_victim(dram::RowId victim, dram::RowId aggressor,
+                      std::vector<mem::MitigationAction>& out);
+
+  MrLocConfig cfg_;
+  util::Rng rng_;
+  std::deque<dram::RowId> queue_;  // back = most recent
+};
+
+mem::BankMitigationFactory make_mrloc_factory(MrLocConfig config = {});
+
+}  // namespace tvp::mitigation

@@ -1,0 +1,68 @@
+// In-DRAM Target Row Refresh (TRR) with optional DDR5-style RFM —
+// extension baseline.
+//
+// Production DDR4 devices shipped "TRR": a tiny in-DRAM sampler tracks a
+// handful of candidate aggressor rows; when a refresh opportunity comes
+// (REF, or in DDR5 an explicit RFM command that the controller must
+// issue after every RAAIMT activations), the device refreshes the
+// victims of the sampled rows. TRRespass showed that attacks with more
+// simultaneous aggressors than sampler entries slip through — our
+// many-sided attack generator reproduces exactly that (see the
+// extension_attacks bench). This model lets the repository demonstrate
+// the weakness the academic trackers (including TiVaPRoMi) do not have.
+//
+// Sampler policy: frequency-biased reservoir — an activation of an
+// already-sampled row increments its score; an unsampled activation
+// replaces the lowest-scoring entry with probability 1/(score+1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tvp/mem/mitigation.hpp"
+#include "tvp/util/rng.hpp"
+
+namespace tvp::mitigation {
+
+struct TrrConfig {
+  std::uint32_t sampler_entries = 4;   ///< typical shipped TRR size class
+  std::uint32_t victims_per_ref = 2;   ///< act_n budget per refresh opportunity
+  bool rfm_enabled = false;            ///< DDR5 refresh-management commands
+  std::uint32_t raaimt = 64;           ///< ACTs per bank between RFMs
+  dram::RowId rows_per_bank = 131072;
+};
+
+class Trr final : public mem::IBankMitigation {
+ public:
+  Trr(TrrConfig config, util::Rng rng);
+
+  const char* name() const noexcept override {
+    return cfg_.rfm_enabled ? "TRR+RFM" : "TRR";
+  }
+  void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
+                   std::vector<mem::MitigationAction>& out) override;
+  void on_refresh(const mem::MitigationContext& ctx,
+                  std::vector<mem::MitigationAction>& out) override;
+  std::uint64_t state_bits() const noexcept override;
+
+  std::uint64_t rfm_commands() const noexcept { return rfm_commands_; }
+
+ private:
+  struct Sample {
+    dram::RowId row = 0;
+    std::uint32_t score = 0;
+    bool valid = false;
+  };
+
+  void refresh_opportunity(std::vector<mem::MitigationAction>& out);
+
+  TrrConfig cfg_;
+  util::Rng rng_;
+  std::vector<Sample> sampler_;
+  std::uint32_t raa_ = 0;  ///< rolling accumulated ACT count (RFM)
+  std::uint64_t rfm_commands_ = 0;
+};
+
+mem::BankMitigationFactory make_trr_factory(TrrConfig config = {});
+
+}  // namespace tvp::mitigation

@@ -1,0 +1,61 @@
+#include "tvp/mitigation/mrloc.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "tvp/util/bitutil.hpp"
+
+namespace tvp::mitigation {
+
+MrLoc::MrLoc(MrLocConfig config, util::Rng rng) : cfg_(config), rng_(rng) {
+  if (cfg_.queue_entries == 0)
+    throw std::invalid_argument("MrLoc: zero queue capacity");
+  if (cfg_.rows_per_bank == 0)
+    throw std::invalid_argument("MrLoc: zero rows_per_bank");
+  if (cfg_.p_max < cfg_.p_min)
+    throw std::invalid_argument("MrLoc: p_max below p_min");
+}
+
+void MrLoc::observe_victim(dram::RowId victim, dram::RowId aggressor,
+                           std::vector<mem::MitigationAction>& out) {
+  const auto it = std::find(queue_.begin(), queue_.end(), victim);
+  if (it != queue_.end()) {
+    // Recency-weighted probability: depth 0 = oldest, depth N-1 = newest.
+    const auto depth = static_cast<std::size_t>(it - queue_.begin());
+    const std::uint64_t span = cfg_.p_max.raw() - cfg_.p_min.raw();
+    const std::uint64_t raw =
+        cfg_.p_min.raw() +
+        (queue_.size() > 1 ? span * depth / (queue_.size() - 1) : span);
+    if (rng_.bernoulli_q32(raw)) {
+      mem::MitigationAction action;
+      action.kind = mem::MitigationAction::Kind::kActRow;
+      action.row = victim;
+      action.suspect = aggressor;
+      out.push_back(action);
+    }
+    // Re-insert at the most recent position.
+    queue_.erase(it);
+  } else if (queue_.size() == cfg_.queue_entries) {
+    queue_.pop_front();
+  }
+  queue_.push_back(victim);
+}
+
+void MrLoc::on_activate(dram::RowId row, const mem::MitigationContext&,
+                        std::vector<mem::MitigationAction>& out) {
+  if (row > 0) observe_victim(row - 1, row, out);
+  if (row + 1 < cfg_.rows_per_bank) observe_victim(row + 1, row, out);
+}
+
+std::uint64_t MrLoc::state_bits() const noexcept {
+  return cfg_.queue_entries * (util::bits_for(cfg_.rows_per_bank) + 1);
+}
+
+mem::BankMitigationFactory make_mrloc_factory(MrLocConfig config) {
+  return [config](dram::BankId, util::Rng rng) -> std::unique_ptr<mem::IBankMitigation> {
+    return std::make_unique<MrLoc>(config, rng);
+  };
+}
+
+}  // namespace tvp::mitigation

@@ -1,0 +1,95 @@
+#include "tvp/mitigation/twice.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "tvp/util/bitutil.hpp"
+
+namespace tvp::mitigation {
+
+Twice::Twice(TwiceConfig config, util::Rng) : cfg_(config) {
+  if (cfg_.entries == 0) throw std::invalid_argument("Twice: zero capacity");
+  if (cfg_.row_threshold == 0 || cfg_.pruning_slope == 0)
+    throw std::invalid_argument("Twice: zero threshold");
+  if (cfg_.rows_per_bank == 0 || cfg_.refresh_intervals == 0)
+    throw std::invalid_argument("Twice: zero geometry");
+  entries_.assign(cfg_.entries, Entry{});
+  free_list_.reserve(cfg_.entries);
+  for (std::size_t i = cfg_.entries; i > 0; --i) free_list_.push_back(i - 1);
+  index_.reserve(cfg_.entries * 2);
+}
+
+void Twice::on_activate(dram::RowId row, const mem::MitigationContext&,
+                        std::vector<mem::MitigationAction>& out) {
+  // The hash index is a simulation shortcut for the hardware CAM lookup
+  // (single-cycle associative match); behaviour is identical.
+  const auto it = index_.find(row);
+  if (it != index_.end()) {
+    Entry& e = entries_[it->second];
+    ++e.count;
+    if (e.count >= cfg_.row_threshold) {
+      mem::MitigationAction action;
+      action.kind = mem::MitigationAction::Kind::kActNeighbors;
+      action.row = row;
+      action.suspect = row;
+      out.push_back(action);
+      // Neighbours restored; counting starts over for this aggressor.
+      e.count = 0;
+      e.life = 0;
+    }
+    return;
+  }
+  if (free_list_.empty()) {
+    // Table exhausted: TWiCe's sizing analysis says this cannot happen;
+    // record it so the tests can assert the guarantee.
+    ++overflow_drops_;
+    return;
+  }
+  const std::size_t slot = free_list_.back();
+  free_list_.pop_back();
+  entries_[slot] = Entry{row, 1, 0, true};
+  index_.emplace(row, slot);
+  peak_live_ = std::max(peak_live_, live_entries());
+}
+
+void Twice::on_refresh(const mem::MitigationContext& ctx,
+                       std::vector<mem::MitigationAction>&) {
+  if (ctx.window_start) {
+    for (auto& e : entries_) e.valid = false;
+    index_.clear();
+    free_list_.clear();
+    for (std::size_t i = cfg_.entries; i > 0; --i) free_list_.push_back(i - 1);
+    return;
+  }
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
+    if (!e.valid) continue;
+    ++e.life;
+    // Prune entries that cannot reach row_threshold at their pace: the
+    // entry must sustain at least pruning_slope activations per interval
+    // of life (TWiCe's validity condition).
+    if (e.count < static_cast<std::uint64_t>(cfg_.pruning_slope) * e.life) {
+      e.valid = false;
+      index_.erase(e.row);
+      free_list_.push_back(i);
+    }
+  }
+}
+
+std::uint64_t Twice::state_bits() const noexcept {
+  // row (CAM tag) + count + life + valid, per entry.
+  const unsigned row_bits = util::bits_for(cfg_.rows_per_bank);
+  const unsigned count_bits = util::bits_for(cfg_.row_threshold + 1);
+  const unsigned life_bits = util::bits_for(cfg_.refresh_intervals);
+  return static_cast<std::uint64_t>(cfg_.entries) *
+         (row_bits + count_bits + life_bits + 1);
+}
+
+mem::BankMitigationFactory make_twice_factory(TwiceConfig config) {
+  return [config](dram::BankId, util::Rng rng) -> std::unique_ptr<mem::IBankMitigation> {
+    return std::make_unique<Twice>(config, rng);
+  };
+}
+
+}  // namespace tvp::mitigation

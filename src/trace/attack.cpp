@@ -1,0 +1,133 @@
+#include "tvp/trace/attack.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace tvp::trace {
+
+const char* to_string(AttackPattern pattern) noexcept {
+  switch (pattern) {
+    case AttackPattern::kSingleSided: return "single-sided";
+    case AttackPattern::kDoubleSided: return "double-sided";
+    case AttackPattern::kMultiAggressor: return "multi-aggressor";
+    case AttackPattern::kFlood: return "flood";
+    case AttackPattern::kManySided: return "many-sided";
+    case AttackPattern::kHalfDouble: return "half-double";
+  }
+  return "?";
+}
+
+AttackSource::AttackSource(AttackConfig config)
+    : cfg_(std::move(config)), now_ps_(cfg_.start_ps) {
+  if (cfg_.victims.empty())
+    throw std::invalid_argument("AttackSource: no victims configured");
+  if (cfg_.interarrival_ps == 0)
+    throw std::invalid_argument("AttackSource: zero interarrival");
+
+  if (cfg_.pattern == AttackPattern::kManySided && cfg_.sides == 0)
+    throw std::invalid_argument("AttackSource: many-sided needs sides >= 1");
+  if (cfg_.pattern == AttackPattern::kHalfDouble && cfg_.far_per_near == 0)
+    throw std::invalid_argument("AttackSource: half-double needs far_per_near >= 1");
+
+  auto add = [&](std::vector<dram::RowId>& list, std::int64_t row) {
+    if (row >= 0 && row < static_cast<std::int64_t>(cfg_.rows_per_bank))
+      list.push_back(static_cast<dram::RowId>(row));
+  };
+  for (const auto v : cfg_.victims) {
+    if (v >= cfg_.rows_per_bank)
+      throw std::invalid_argument("AttackSource: victim out of range");
+    const auto sv = static_cast<std::int64_t>(v);
+    switch (cfg_.pattern) {
+      case AttackPattern::kSingleSided:
+        add(aggressors_, sv + 1);
+        break;
+      case AttackPattern::kDoubleSided:
+      case AttackPattern::kMultiAggressor:
+        add(aggressors_, sv - 1);
+        add(aggressors_, sv + 1);
+        break;
+      case AttackPattern::kFlood:
+        add(aggressors_, sv);  // the flooded row itself
+        break;
+      case AttackPattern::kManySided:
+        for (std::uint32_t d = 1; d <= cfg_.sides; ++d) {
+          add(aggressors_, sv - static_cast<std::int64_t>(d));
+          add(aggressors_, sv + static_cast<std::int64_t>(d));
+        }
+        break;
+      case AttackPattern::kHalfDouble:
+        // Hammered far rows rotate in the main list; the near rows get
+        // only occasional dribble activations.
+        add(aggressors_, sv - 2);
+        add(aggressors_, sv + 2);
+        add(dribble_, sv - 1);
+        add(dribble_, sv + 1);
+        break;
+    }
+  }
+  // Deduplicate while keeping activation order stable; victims must
+  // never be emitted as aggressors of themselves in banded patterns.
+  auto dedup = [&](std::vector<dram::RowId>& list) {
+    std::unordered_set<dram::RowId> seen(cfg_.victims.begin(), cfg_.victims.end());
+    if (cfg_.pattern == AttackPattern::kFlood) seen.clear();
+    std::vector<dram::RowId> unique;
+    for (const auto a : list)
+      if (seen.insert(a).second) unique.push_back(a);
+    list = std::move(unique);
+  };
+  dedup(aggressors_);
+  dedup(dribble_);
+  if (aggressors_.empty())
+    throw std::invalid_argument("AttackSource: no valid aggressors derived");
+}
+
+std::optional<AccessRecord> AttackSource::next() {
+  now_ps_ += cfg_.interarrival_ps;
+  if (now_ps_ >= cfg_.end_ps) return std::nullopt;
+  AccessRecord rec;
+  rec.time_ps = now_ps_;
+  rec.bank = cfg_.bank;
+  // Half-double interleaves one near-row dribble after every
+  // far_per_near hammering activations.
+  ++emitted_;
+  if (!dribble_.empty() && emitted_ % (cfg_.far_per_near + 1) == 0) {
+    rec.row = dribble_[dribble_cursor_];
+    dribble_cursor_ = (dribble_cursor_ + 1) % dribble_.size();
+  } else {
+    rec.row = aggressors_[cursor_];
+    cursor_ = (cursor_ + 1) % aggressors_.size();
+  }
+  rec.write = false;
+  rec.is_attack = true;
+  rec.source = cfg_.source_id;
+  return rec;
+}
+
+AttackConfig make_multi_aggressor_attack(dram::BankId bank, dram::RowId rows_per_bank,
+                                         std::size_t n_victims, util::Rng& rng) {
+  if (n_victims == 0)
+    throw std::invalid_argument("make_multi_aggressor_attack: zero victims");
+  if (rows_per_bank < 16 * n_victims)
+    throw std::invalid_argument("make_multi_aggressor_attack: bank too small");
+
+  AttackConfig cfg;
+  cfg.pattern = n_victims == 1 ? AttackPattern::kDoubleSided
+                               : AttackPattern::kMultiAggressor;
+  cfg.bank = bank;
+  cfg.rows_per_bank = rows_per_bank;
+
+  // Partition the bank into n_victims regions and pick one victim per
+  // region, away from the array edges; guarantees >= 8 rows separation.
+  const dram::RowId region = rows_per_bank / static_cast<dram::RowId>(n_victims);
+  for (std::size_t i = 0; i < n_victims; ++i) {
+    const auto base = static_cast<dram::RowId>(i) * region;
+    const dram::RowId lo = base + 4;
+    const dram::RowId hi = base + region - 4;
+    cfg.victims.push_back(lo + static_cast<dram::RowId>(rng.below(hi - lo)));
+  }
+  std::sort(cfg.victims.begin(), cfg.victims.end());
+  return cfg;
+}
+
+}  // namespace tvp::trace

@@ -1,0 +1,46 @@
+// Trace (de)serialisation.
+//
+// Two formats:
+//  * text — one record per line: "time_ps bank row R|W src A|B"
+//    (A = attack, B = benign); '#' starts a comment. Human-editable,
+//    interoperable with DRAM-simulator style traces.
+//  * binary — "TVPT" magic + version + packed records. Compact, exact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tvp/dram/geometry.hpp"
+#include "tvp/trace/record.hpp"
+
+namespace tvp::trace {
+
+/// Writes records as text; returns the record count.
+std::size_t write_text(std::ostream& os, const std::vector<AccessRecord>& records);
+/// Parses a text trace; throws std::runtime_error with a line number on
+/// malformed input.
+std::vector<AccessRecord> read_text(std::istream& is);
+
+/// Writes the binary format; returns the record count.
+std::size_t write_binary(std::ostream& os, const std::vector<AccessRecord>& records);
+/// Reads the binary format; throws std::runtime_error on bad magic,
+/// version, or truncation.
+std::vector<AccessRecord> read_binary(std::istream& is);
+
+/// Convenience file wrappers (format chosen by extension: ".tvpt" binary,
+/// anything else text). Throw std::runtime_error on I/O failure.
+void save_trace(const std::string& path, const std::vector<AccessRecord>& records);
+std::vector<AccessRecord> load_trace(const std::string& path);
+
+/// Imports a DRAMSim2/ramulator-style *address* trace: one access per
+/// line, `0xADDRESS  R|W|READ|WRITE  [cycle]`, '#'/';' comments. The
+/// byte addresses are mapped to (bank, row) with @p mapper; the optional
+/// cycle column is converted to picoseconds with @p t_ck_ps (accesses
+/// without a cycle are spaced @p t_ck_ps apart). Records are tagged
+/// benign; throws std::runtime_error with a line number on bad input.
+std::vector<AccessRecord> import_address_trace(std::istream& is,
+                                               const dram::AddressMapper& mapper,
+                                               double t_ck_ps = 833.0);
+
+}  // namespace tvp::trace

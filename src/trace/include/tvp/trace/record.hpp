@@ -1,0 +1,30 @@
+// The unit of work flowing into the memory controller: one row access.
+#pragma once
+
+#include <cstdint>
+
+#include "tvp/dram/geometry.hpp"
+
+namespace tvp::trace {
+
+/// Identifies who generated a record (core index or attacker).
+using SourceId = std::uint8_t;
+
+/// One memory request at row granularity.
+///
+/// Records carry a ground-truth `is_attack` tag set by the generators.
+/// Mitigation techniques never see the tag; the experiment harness uses
+/// it to compute the false-positive rate (an extra activation triggered
+/// by a benign access is a false positive).
+struct AccessRecord {
+  std::uint64_t time_ps = 0;     ///< arrival time at the controller
+  dram::BankId bank = 0;         ///< flat bank index
+  dram::RowId row = 0;           ///< logical (controller-visible) row
+  bool write = false;
+  bool is_attack = false;
+  SourceId source = 0;
+
+  bool operator==(const AccessRecord&) const = default;
+};
+
+}  // namespace tvp::trace

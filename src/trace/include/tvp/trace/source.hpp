@@ -1,0 +1,82 @@
+// Trace sources: pull-based streams of AccessRecords ordered by time.
+//
+// Generators (synthetic workloads, attackers, file readers) implement
+// TraceSource; MergedSource interleaves any number of them into one
+// time-ordered stream, which is what the memory controller consumes.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "tvp/trace/record.hpp"
+
+namespace tvp::trace {
+
+/// Abstract pull-based record stream. Implementations must produce
+/// records with non-decreasing time_ps.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Next record, or nullopt when the stream is exhausted.
+  virtual std::optional<AccessRecord> next() = 0;
+};
+
+/// Replays a pre-built vector of records (must be time-sorted; verified
+/// at construction).
+class VectorSource final : public TraceSource {
+ public:
+  explicit VectorSource(std::vector<AccessRecord> records);
+  std::optional<AccessRecord> next() override;
+
+ private:
+  std::vector<AccessRecord> records_;
+  std::size_t pos_ = 0;
+};
+
+/// Merges multiple sources into one time-ordered stream (stable k-way
+/// merge; ties broken by source registration order).
+class MergedSource final : public TraceSource {
+ public:
+  explicit MergedSource(std::vector<std::unique_ptr<TraceSource>> sources);
+  std::optional<AccessRecord> next() override;
+
+ private:
+  struct Head {
+    AccessRecord record;
+    std::size_t index;
+  };
+  struct HeadLater {
+    bool operator()(const Head& a, const Head& b) const noexcept {
+      if (a.record.time_ps != b.record.time_ps)
+        return a.record.time_ps > b.record.time_ps;
+      return a.index > b.index;
+    }
+  };
+
+  void refill(std::size_t index);
+
+  std::vector<std::unique_ptr<TraceSource>> sources_;
+  std::priority_queue<Head, std::vector<Head>, HeadLater> heads_;
+};
+
+/// Truncates an underlying source after @p limit records or @p end_ps
+/// picoseconds (whichever comes first).
+class LimitSource final : public TraceSource {
+ public:
+  LimitSource(std::unique_ptr<TraceSource> inner, std::uint64_t limit_records,
+              std::uint64_t end_ps);
+  std::optional<AccessRecord> next() override;
+
+ private:
+  std::unique_ptr<TraceSource> inner_;
+  std::uint64_t remaining_;
+  std::uint64_t end_ps_;
+};
+
+/// Drains a source into a vector (testing / trace capture helper).
+std::vector<AccessRecord> drain(TraceSource& source, std::size_t max_records = ~0ull);
+
+}  // namespace tvp::trace

@@ -1,0 +1,206 @@
+#include "tvp/trace/io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tvp::trace {
+
+namespace {
+constexpr char kMagic[4] = {'T', 'V', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+// Fixed-width on-disk record, independent of struct padding.
+struct PackedRecord {
+  std::uint64_t time_ps;
+  std::uint32_t bank;
+  std::uint32_t row;
+  std::uint8_t flags;  // bit0 = write, bit1 = attack
+  std::uint8_t source;
+  std::uint8_t pad[6];
+};
+static_assert(sizeof(PackedRecord) == 24);
+
+PackedRecord pack(const AccessRecord& r) {
+  PackedRecord p{};
+  p.time_ps = r.time_ps;
+  p.bank = r.bank;
+  p.row = r.row;
+  p.flags = static_cast<std::uint8_t>((r.write ? 1u : 0u) | (r.is_attack ? 2u : 0u));
+  p.source = r.source;
+  return p;
+}
+
+AccessRecord unpack(const PackedRecord& p) {
+  AccessRecord r;
+  r.time_ps = p.time_ps;
+  r.bank = p.bank;
+  r.row = p.row;
+  r.write = (p.flags & 1u) != 0;
+  r.is_attack = (p.flags & 2u) != 0;
+  r.source = p.source;
+  return r;
+}
+}  // namespace
+
+std::size_t write_text(std::ostream& os, const std::vector<AccessRecord>& records) {
+  os << "# tvp trace v1: time_ps bank row R|W source A|B\n";
+  for (const auto& r : records) {
+    os << r.time_ps << ' ' << r.bank << ' ' << r.row << ' '
+       << (r.write ? 'W' : 'R') << ' ' << static_cast<unsigned>(r.source) << ' '
+       << (r.is_attack ? 'A' : 'B') << '\n';
+  }
+  return records.size();
+}
+
+std::vector<AccessRecord> read_text(std::istream& is) {
+  std::vector<AccessRecord> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::uint64_t time;
+    std::uint32_t bank, row;
+    char rw, ab;
+    unsigned source;
+    if (!(ls >> time)) continue;  // blank / comment-only line
+    if (!(ls >> bank >> row >> rw >> source >> ab) ||
+        (rw != 'R' && rw != 'W') || (ab != 'A' && ab != 'B'))
+      throw std::runtime_error("trace text parse error at line " +
+                               std::to_string(lineno));
+    AccessRecord r;
+    r.time_ps = time;
+    r.bank = bank;
+    r.row = row;
+    r.write = rw == 'W';
+    r.source = static_cast<SourceId>(source);
+    r.is_attack = ab == 'A';
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t write_binary(std::ostream& os, const std::vector<AccessRecord>& records) {
+  os.write(kMagic, sizeof kMagic);
+  const std::uint32_t version = kVersion;
+  const auto count = static_cast<std::uint64_t>(records.size());
+  os.write(reinterpret_cast<const char*>(&version), sizeof version);
+  os.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (const auto& r : records) {
+    const PackedRecord p = pack(r);
+    os.write(reinterpret_cast<const char*>(&p), sizeof p);
+  }
+  return records.size();
+}
+
+std::vector<AccessRecord> read_binary(std::istream& is) {
+  char magic[4];
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  is.read(magic, sizeof magic);
+  is.read(reinterpret_cast<char*>(&version), sizeof version);
+  is.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!is || std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    throw std::runtime_error("binary trace: bad magic");
+  if (version != kVersion)
+    throw std::runtime_error("binary trace: unsupported version " +
+                             std::to_string(version));
+  std::vector<AccessRecord> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PackedRecord p{};
+    is.read(reinterpret_cast<char*>(&p), sizeof p);
+    if (!is) throw std::runtime_error("binary trace: truncated");
+    out.push_back(unpack(p));
+  }
+  return out;
+}
+
+namespace {
+bool is_binary_path(const std::string& path) {
+  return path.size() >= 5 && path.compare(path.size() - 5, 5, ".tvpt") == 0;
+}
+}  // namespace
+
+void save_trace(const std::string& path, const std::vector<AccessRecord>& records) {
+  std::ofstream os(path, is_binary_path(path) ? std::ios::binary : std::ios::out);
+  if (!os) throw std::runtime_error("save_trace: cannot open " + path);
+  if (is_binary_path(path))
+    write_binary(os, records);
+  else
+    write_text(os, records);
+  if (!os) throw std::runtime_error("save_trace: write failed for " + path);
+}
+
+std::vector<AccessRecord> load_trace(const std::string& path) {
+  std::ifstream is(path, is_binary_path(path) ? std::ios::binary : std::ios::in);
+  if (!is) throw std::runtime_error("load_trace: cannot open " + path);
+  return is_binary_path(path) ? read_binary(is) : read_text(is);
+}
+
+std::vector<AccessRecord> import_address_trace(std::istream& is,
+                                               const dram::AddressMapper& mapper,
+                                               double t_ck_ps) {
+  if (t_ck_ps <= 0.0)
+    throw std::runtime_error("import_address_trace: non-positive clock");
+  std::vector<AccessRecord> out;
+  std::string line;
+  std::size_t lineno = 0;
+  std::uint64_t fallback_time = 0;
+  std::uint64_t last_time = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto comment = line.find_first_of("#;");
+    if (comment != std::string::npos) line.erase(comment);
+    std::istringstream ls(line);
+    std::string addr_text, op;
+    if (!(ls >> addr_text)) continue;  // blank line
+    if (!(ls >> op))
+      throw std::runtime_error("address trace: missing op at line " +
+                               std::to_string(lineno));
+    std::uint64_t addr = 0;
+    try {
+      addr = std::stoull(addr_text, nullptr, 0);  // handles 0x prefix
+    } catch (const std::exception&) {
+      throw std::runtime_error("address trace: bad address at line " +
+                               std::to_string(lineno));
+    }
+    bool write = false;
+    if (op == "W" || op == "WRITE" || op == "write" || op == "P_MEM_WR")
+      write = true;
+    else if (op != "R" && op != "READ" && op != "read" && op != "P_MEM_RD" &&
+             op != "P_FETCH")
+      throw std::runtime_error("address trace: bad op '" + op + "' at line " +
+                               std::to_string(lineno));
+
+    std::uint64_t cycle = 0;
+    AccessRecord rec;
+    if (ls >> cycle) {
+      rec.time_ps = static_cast<std::uint64_t>(static_cast<double>(cycle) * t_ck_ps);
+    } else {
+      fallback_time += static_cast<std::uint64_t>(t_ck_ps);
+      rec.time_ps = fallback_time;
+    }
+    // Tolerate mildly unsorted inputs by clamping monotone.
+    rec.time_ps = std::max(rec.time_ps, last_time);
+    last_time = rec.time_ps;
+
+    const dram::Address coords = mapper.decode(addr);
+    rec.bank = mapper.flat_bank(coords);
+    rec.row = coords.row;
+    rec.write = write;
+    rec.is_attack = false;
+    rec.source = 0;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace tvp::trace

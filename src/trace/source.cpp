@@ -1,0 +1,66 @@
+#include "tvp/trace/source.hpp"
+
+#include <stdexcept>
+
+namespace tvp::trace {
+
+VectorSource::VectorSource(std::vector<AccessRecord> records)
+    : records_(std::move(records)) {
+  for (std::size_t i = 1; i < records_.size(); ++i)
+    if (records_[i].time_ps < records_[i - 1].time_ps)
+      throw std::invalid_argument("VectorSource: records not time-sorted");
+}
+
+std::optional<AccessRecord> VectorSource::next() {
+  if (pos_ >= records_.size()) return std::nullopt;
+  return records_[pos_++];
+}
+
+MergedSource::MergedSource(std::vector<std::unique_ptr<TraceSource>> sources)
+    : sources_(std::move(sources)) {
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    if (!sources_[i]) throw std::invalid_argument("MergedSource: null source");
+    refill(i);
+  }
+}
+
+void MergedSource::refill(std::size_t index) {
+  if (auto rec = sources_[index]->next()) heads_.push(Head{*rec, index});
+}
+
+std::optional<AccessRecord> MergedSource::next() {
+  if (heads_.empty()) return std::nullopt;
+  Head head = heads_.top();
+  heads_.pop();
+  refill(head.index);
+  return head.record;
+}
+
+LimitSource::LimitSource(std::unique_ptr<TraceSource> inner,
+                         std::uint64_t limit_records, std::uint64_t end_ps)
+    : inner_(std::move(inner)), remaining_(limit_records), end_ps_(end_ps) {
+  if (!inner_) throw std::invalid_argument("LimitSource: null source");
+}
+
+std::optional<AccessRecord> LimitSource::next() {
+  if (remaining_ == 0) return std::nullopt;
+  auto rec = inner_->next();
+  if (!rec || rec->time_ps >= end_ps_) {
+    remaining_ = 0;
+    return std::nullopt;
+  }
+  --remaining_;
+  return rec;
+}
+
+std::vector<AccessRecord> drain(TraceSource& source, std::size_t max_records) {
+  std::vector<AccessRecord> out;
+  while (out.size() < max_records) {
+    auto rec = source.next();
+    if (!rec) break;
+    out.push_back(*rec);
+  }
+  return out;
+}
+
+}  // namespace tvp::trace

@@ -1,0 +1,39 @@
+#include "tvp/util/csv.hpp"
+
+#include <stdexcept>
+
+namespace tvp::util {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), arity_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  if (arity_ == 0) throw std::invalid_argument("CsvWriter: empty header");
+  write_row(header);
+  rows_ = 0;  // header does not count
+}
+
+CsvWriter::~CsvWriter() = default;
+
+std::string CsvWriter::quote(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string q = "\"";
+  for (char ch : s) {
+    if (ch == '"') q += '"';
+    q += ch;
+  }
+  q += '"';
+  return q;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& row) {
+  if (row.size() != arity_)
+    throw std::invalid_argument("CsvWriter: row arity mismatch");
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    if (c) out_ << ',';
+    out_ << quote(row[c]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace tvp::util

@@ -1,0 +1,69 @@
+#include "tvp/util/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace tvp::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be >= 1");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  const double w = static_cast<double>(weight);
+  std::size_t bin;
+  if (x < lo_) {
+    underflow_ += weight;
+    bin = 0;
+  } else if (x >= hi_) {
+    overflow_ += weight;
+    bin = counts_.size() - 1;
+  } else {
+    const double frac = (x - lo_) / (hi_ - lo_);
+    bin = std::min(static_cast<std::size_t>(frac * static_cast<double>(counts_.size())),
+                   counts_.size() - 1);
+  }
+  counts_[bin] += weight;
+  total_ += weight;
+  weighted_sum_ += x * w;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_lo");
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_hi");
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin + 1) / static_cast<double>(counts_.size());
+}
+
+double Histogram::mean() const noexcept {
+  return total_ ? weighted_sum_ / static_cast<double>(total_) : 0.0;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  if (peak == 0) return "(empty histogram)\n";
+
+  std::string out;
+  char line[160];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    std::snprintf(line, sizeof line, "[%10.2f, %10.2f) %10llu |", bin_lo(b),
+                  bin_hi(b), static_cast<unsigned long long>(counts_[b]));
+    out += line;
+    out.append(std::max<std::size_t>(bar, 1), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tvp::util

@@ -1,0 +1,47 @@
+// Bit-manipulation helpers shared across the codebase.
+//
+// These mirror the tiny combinational circuits the paper's VHDL
+// implementation uses (priority encoders, shifters), so the simulation
+// code and the hardware cost model can talk about the same operations.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace tvp::util {
+
+/// True iff @p v is a power of two (zero is not).
+template <typename T>
+  requires std::is_unsigned_v<T>
+constexpr bool is_pow2(T v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// floor(log2(v)) for v >= 1. Undefined for v == 0.
+template <typename T>
+  requires std::is_unsigned_v<T>
+constexpr unsigned floor_log2(T v) noexcept {
+  return static_cast<unsigned>(std::bit_width(v)) - 1u;
+}
+
+/// ceil(log2(v)) for v >= 1; 0 for v == 1. Undefined for v == 0.
+template <typename T>
+  requires std::is_unsigned_v<T>
+constexpr unsigned ceil_log2(T v) noexcept {
+  return v <= 1 ? 0u : static_cast<unsigned>(std::bit_width(T(v - 1)));
+}
+
+/// Smallest power of two >= v (v >= 1).
+template <typename T>
+  requires std::is_unsigned_v<T>
+constexpr T next_pow2(T v) noexcept {
+  return T{1} << ceil_log2(v);
+}
+
+/// Number of bits needed to store values in [0, n-1]; at least 1.
+constexpr unsigned bits_for(std::uint64_t n) noexcept {
+  return n <= 2 ? 1u : ceil_log2(n);
+}
+
+}  // namespace tvp::util

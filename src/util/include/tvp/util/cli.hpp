@@ -1,0 +1,38 @@
+// Tiny command-line flag parser for the example tools.
+//
+// Accepts `--key=value` and boolean `--flag`; positional arguments are
+// collected in order. Typed getters with defaults; unknown flags are an
+// error so typos do not silently change an experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tvp::util {
+
+class Flags {
+ public:
+  /// Parses argv; @p known lists every accepted flag name (without the
+  /// leading dashes). Throws std::invalid_argument on unknown flags or
+  /// malformed input.
+  Flags(int argc, const char* const argv[], std::set<std::string> known);
+
+  bool has(const std::string& name) const { return values_.count(name) != 0; }
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  /// Boolean flags: present without value (or =true/=1) -> true.
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tvp::util

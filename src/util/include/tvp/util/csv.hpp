@@ -1,0 +1,34 @@
+// Minimal CSV writer for exporting experiment series (Figure 4 points,
+// ablation sweeps) so they can be re-plotted outside the harness.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace tvp::util {
+
+/// Streams rows to a CSV file; throws std::runtime_error if the file
+/// cannot be opened. The file is flushed and closed on destruction.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Writes one row; arity must match the header.
+  void write_row(const std::vector<std::string>& row);
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  static std::string quote(const std::string& s);
+
+  std::ofstream out_;
+  std::size_t arity_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace tvp::util

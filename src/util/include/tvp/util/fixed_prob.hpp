@@ -1,0 +1,67 @@
+// Q0.32 fixed-point probabilities.
+//
+// The paper's hardware compares p_r = w_r * P_base against a
+// pseudo-random number. P_base is a power of two (2^-23 for DDR4), so in
+// hardware the multiplication is a shift and the comparison is exact
+// integer arithmetic. FixedProb reproduces that arithmetic bit-exactly,
+// which matters both for fidelity and so the software simulation and the
+// hardware cost model agree about datapath widths.
+#pragma once
+
+#include <cstdint>
+
+namespace tvp::util {
+
+/// A probability in Q0.32 fixed point: value() / 2^32, saturating at 1.0
+/// (represented as 2^32, one past the largest fraction).
+class FixedProb {
+ public:
+  static constexpr unsigned kFractionBits = 32;
+  static constexpr std::uint64_t kOne = 1ull << kFractionBits;
+
+  constexpr FixedProb() = default;
+
+  /// From raw Q0.32 value (saturates at 1.0).
+  static constexpr FixedProb from_raw(std::uint64_t raw) noexcept {
+    FixedProb p;
+    p.raw_ = raw > kOne ? kOne : raw;
+    return p;
+  }
+
+  /// The probability 2^-n (n <= 32). This is how P_base is specified:
+  /// FixedProb::pow2(23) == 2^-23.
+  static constexpr FixedProb pow2(unsigned n) noexcept {
+    return n >= kFractionBits ? from_raw(n == kFractionBits ? 1 : 0)
+                              : from_raw(kOne >> n);
+  }
+
+  /// Nearest fixed-point value to @p p in [0, 1].
+  static constexpr FixedProb from_double(double p) noexcept {
+    if (p <= 0.0) return FixedProb{};
+    if (p >= 1.0) return from_raw(kOne);
+    return from_raw(static_cast<std::uint64_t>(p * static_cast<double>(kOne) + 0.5));
+  }
+
+  constexpr std::uint64_t raw() const noexcept { return raw_; }
+  constexpr double value() const noexcept {
+    return static_cast<double>(raw_) / static_cast<double>(kOne);
+  }
+
+  /// Integer-scaled probability: this * w, saturating at 1.0. This is the
+  /// hardware's "weight times base probability" step (a shift-add when w
+  /// is small, exactly representable in the 32-bit datapath).
+  constexpr FixedProb scaled(std::uint64_t w) const noexcept {
+    // Detect overflow of raw_ * w without 128-bit arithmetic: raw_ is at
+    // most 2^32, so overflow only if w > 2^32 or product exceeds kOne.
+    if (w != 0 && raw_ > kOne / w) return from_raw(kOne);
+    return from_raw(raw_ * w);
+  }
+
+  constexpr bool operator==(const FixedProb&) const = default;
+  constexpr auto operator<=>(const FixedProb&) const = default;
+
+ private:
+  std::uint64_t raw_ = 0;
+};
+
+}  // namespace tvp::util

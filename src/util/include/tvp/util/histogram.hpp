@@ -1,0 +1,51 @@
+// Fixed-bin histogram for distribution reporting (e.g. activations per
+// refresh interval, which calibrates the CaPRoMi counter-table size).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tvp::util {
+
+/// Linear-bin histogram over [lo, hi); values outside are clamped into
+/// the first / last bin and counted in underflow()/overflow().
+class Histogram {
+ public:
+  /// @p bins must be >= 1 and @p hi > @p lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+
+  /// Inclusive lower edge of @p bin.
+  double bin_lo(std::size_t bin) const;
+  /// Exclusive upper edge of @p bin.
+  double bin_hi(std::size_t bin) const;
+
+  /// Mean of the recorded values (bin midpoints for clamped values).
+  double mean() const noexcept;
+
+  /// Multi-line ASCII rendering (one row per non-empty bin with a bar
+  /// scaled to the largest bin).
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  double weighted_sum_ = 0.0;
+};
+
+}  // namespace tvp::util

@@ -1,0 +1,68 @@
+// Minimal JSON emitter for machine-readable experiment results.
+//
+// Write-only by design (the library never needs to parse JSON): nested
+// objects/arrays with automatic comma handling and string escaping.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace tvp::util {
+
+/// Streaming JSON writer. Usage:
+///   JsonWriter json;
+///   json.begin_object();
+///   json.key("name").value("PARA");
+///   json.key("overhead").value(0.1);
+///   json.key("runs").begin_array();
+///   json.value(1).value(2);
+///   json.end_array();
+///   json.end_object();
+///   std::string text = json.str();
+/// Misuse (e.g. a key outside an object) throws std::logic_error.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; must be inside an object and followed by a
+  /// value or container.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  JsonWriter& value(T v) {
+    if constexpr (std::is_signed_v<T>)
+      return value(static_cast<std::int64_t>(v));
+    else
+      return value(static_cast<std::uint64_t>(v));
+  }
+
+  /// Final document; throws std::logic_error if containers are open.
+  std::string str() const;
+
+  static std::string escape(const std::string& s);
+
+ private:
+  enum class Scope { kObject, kArray };
+  void pre_value();
+
+  std::ostringstream out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_;  // first element in each open scope
+  bool key_pending_ = false;
+  bool done_ = false;
+};
+
+}  // namespace tvp::util

@@ -1,0 +1,28 @@
+// Leveled logging with a process-global sink.
+//
+// The simulator is deterministic, so logs double as a debugging trace:
+// the same (config, seed) always produces the same log stream.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace tvp::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the minimum level that is emitted (default: kWarn, so library
+/// code is quiet unless a user opts in).
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits a printf-formatted message at @p level to stderr, prefixed with
+/// the level name. Thread-compatible (the simulator is single-threaded).
+void log(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define TVP_LOG_DEBUG(...) ::tvp::util::log(::tvp::util::LogLevel::kDebug, __VA_ARGS__)
+#define TVP_LOG_INFO(...) ::tvp::util::log(::tvp::util::LogLevel::kInfo, __VA_ARGS__)
+#define TVP_LOG_WARN(...) ::tvp::util::log(::tvp::util::LogLevel::kWarn, __VA_ARGS__)
+#define TVP_LOG_ERROR(...) ::tvp::util::log(::tvp::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace tvp::util

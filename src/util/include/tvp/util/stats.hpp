@@ -1,0 +1,62 @@
+// Streaming statistics used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tvp::util {
+
+/// Numerically stable running mean / variance (Welford's algorithm).
+/// Used for the mu +/- sigma columns of Table III (multi-seed runs).
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+
+  /// Number of samples observed.
+  std::size_t count() const noexcept { return n_; }
+  /// Mean of the samples (0 if empty).
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 if fewer than two samples).
+  double variance() const noexcept;
+  /// Sample standard deviation.
+  double stddev() const noexcept;
+  /// Smallest observed sample (0 if empty).
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  /// Largest observed sample (0 if empty).
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// Sum of all samples.
+  double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStat& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact percentile over a retained sample vector. Suitable for the
+/// modest sample counts the harness produces (per-interval statistics).
+class PercentileTracker {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  std::size_t count() const noexcept { return samples_.size(); }
+
+  /// q in [0, 1]; linear interpolation between closest ranks.
+  /// Returns 0 when empty.
+  double percentile(double q) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace tvp::util

@@ -1,0 +1,58 @@
+// ASCII table rendering for the reproduction harness.
+//
+// Every bench binary prints the paper's tables through this formatter so
+// their output is uniform and diffable across runs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tvp::util {
+
+/// Column-aligned ASCII table with a header row and optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each cell with to_string-like semantics.
+  template <typename... Cells>
+  void row(Cells&&... cells) {
+    add_row({format_cell(std::forward<Cells>(cells))...});
+  }
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders the table with box-drawing separators.
+  std::string render() const;
+
+  /// Renders as CSV (no title, header first).
+  std::string to_csv() const;
+
+ private:
+  static std::string format_cell(const std::string& s) { return s; }
+  static std::string format_cell(const char* s) { return s; }
+  static std::string format_cell(double v);
+  static std::string format_cell(bool v) { return v ? "yes" : "no"; }
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string format_cell(T v) {
+    return std::to_string(v);
+  }
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Printf-style helper returning std::string (used all over the benches).
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace tvp::util

@@ -1,0 +1,138 @@
+#include "tvp/util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace tvp::util {
+
+void JsonWriter::pre_value() {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (!stack_.empty()) {
+    if (stack_.back() == Scope::kObject && !key_pending_)
+      throw std::logic_error("JsonWriter: value in object requires a key");
+    if (stack_.back() == Scope::kArray) {
+      if (!first_.back()) out_ << ',';
+      first_.back() = false;
+    }
+  }
+  key_pending_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  out_ << '{';
+  stack_.push_back(Scope::kObject);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Scope::kObject || key_pending_)
+    throw std::logic_error("JsonWriter: mismatched end_object");
+  out_ << '}';
+  stack_.pop_back();
+  first_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  out_ << '[';
+  stack_.push_back(Scope::kArray);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Scope::kArray)
+    throw std::logic_error("JsonWriter: mismatched end_array");
+  out_ << ']';
+  stack_.pop_back();
+  first_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (done_ || stack_.empty() || stack_.back() != Scope::kObject || key_pending_)
+    throw std::logic_error("JsonWriter: key outside object");
+  if (!first_.back()) out_ << ',';
+  first_.back() = false;
+  out_ << '"' << escape(name) << "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  pre_value();
+  out_ << '"' << escape(v) << '"';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  pre_value();
+  if (std::isfinite(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    out_ << buf;
+  } else {
+    out_ << "null";  // JSON has no Inf/NaN
+  }
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  out_ << (v ? "true" : "false");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  pre_value();
+  out_ << v;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  out_ << v;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!stack_.empty())
+    throw std::logic_error("JsonWriter: unclosed containers");
+  return out_.str();
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace tvp::util

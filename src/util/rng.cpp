@@ -1,0 +1,42 @@
+#include "tvp/util/rng.hpp"
+
+#include <cmath>
+
+#ifdef __SIZEOF_INT128__
+using u128 = unsigned __int128;
+#endif
+
+namespace tvp::util {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+#ifdef __SIZEOF_INT128__
+  // Lemire's nearly-divisionless unbiased method.
+  std::uint64_t x = next();
+  u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = next();
+      m = static_cast<u128>(x) * static_cast<u128>(bound);
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+#else
+  // Portable fallback: rejection sampling on the top bits.
+  const std::uint64_t limit = max() - max() % bound;
+  std::uint64_t x;
+  do {
+    x = next();
+  } while (x >= limit);
+  return x % bound;
+#endif
+}
+
+double Rng::exponential(double mean) noexcept {
+  // Inverse-CDF; uniform() never returns 1.0 so the log argument is > 0.
+  return -mean * std::log(1.0 - uniform());
+}
+
+}  // namespace tvp::util

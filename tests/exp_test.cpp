@@ -1,0 +1,493 @@
+// Unit tests for tvp::exp — the registry, runner, reporting helpers,
+// and the security analysis (flood + verdict).
+#include <gtest/gtest.h>
+
+#include "tvp/exp/config_io.hpp"
+#include "tvp/exp/report.hpp"
+#include "tvp/exp/registry.hpp"
+#include "tvp/exp/runner.hpp"
+#include "tvp/exp/sweep.hpp"
+#include "tvp/exp/verdict.hpp"
+
+namespace tvp::exp {
+namespace {
+
+SimConfig fast_config() {
+  SimConfig cfg;
+  cfg.geometry.banks_per_rank = 2;
+  cfg.windows = 1;
+  cfg.workload.benign_acts_per_interval_per_bank = 10.0;
+  cfg.finalize();
+  return cfg;
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(Registry, CreatesAllNineTechniques) {
+  const TechniqueConfig cfg;
+  util::Rng rng(1);
+  for (const auto t : hw::kAllTechniques) {
+    const auto factory = make_factory(t, cfg);
+    ASSERT_TRUE(factory != nullptr);
+    const auto instance = factory(0, rng.fork());
+    ASSERT_TRUE(instance != nullptr);
+    EXPECT_EQ(std::string_view(instance->name()), hw::to_string(t));
+    EXPECT_GE(instance->state_bits(), 0u);
+  }
+}
+
+TEST(Registry, CounterThresholdIsQuarterOfFlipThreshold) {
+  TechniqueConfig cfg;
+  EXPECT_EQ(cfg.counter_threshold(), 34750u);
+  cfg.flip_threshold = 100'000;
+  EXPECT_EQ(cfg.counter_threshold(), 25'000u);
+}
+
+// ------------------------------------------------------------------- runner
+
+TEST(Runner, DeterministicForSameSeed) {
+  const SimConfig cfg = fast_config();
+  const RunResult a = run_simulation(hw::Technique::kLoLiPRoMi, cfg);
+  const RunResult b = run_simulation(hw::Technique::kLoLiPRoMi, cfg);
+  EXPECT_EQ(a.stats.demand_acts, b.stats.demand_acts);
+  EXPECT_EQ(a.stats.extra_acts, b.stats.extra_acts);
+  EXPECT_EQ(a.stats.fp_extra_acts, b.stats.fp_extra_acts);
+  EXPECT_EQ(a.flips, b.flips);
+  EXPECT_EQ(a.records, b.records);
+}
+
+TEST(Runner, SeedChangesTheRun) {
+  SimConfig cfg = fast_config();
+  const RunResult a = run_simulation(hw::Technique::kPara, cfg);
+  cfg.seed = 999;
+  const RunResult b = run_simulation(hw::Technique::kPara, cfg);
+  EXPECT_NE(a.stats.demand_acts, b.stats.demand_acts);
+}
+
+TEST(Runner, BenignRateLandsNearTarget) {
+  SimConfig cfg = fast_config();
+  const RunResult r = run_simulation(hw::Technique::kPara, cfg);
+  // 10 acts/interval/bank x 8192 intervals x 2 banks, +/- 10%.
+  const double expected = 10.0 * 8192 * 2;
+  EXPECT_NEAR(static_cast<double>(r.stats.demand_acts), expected,
+              expected * 0.1);
+}
+
+TEST(Runner, UnprotectedAttackFlipsVictim) {
+  SimConfig cfg = fast_config();
+  cfg.windows = 2;
+  cfg.workload.benign_acts_per_interval_per_bank = 0;
+  cfg.technique.para_p = 0.0;  // no mitigation
+  util::Rng rng(3);
+  auto attack = trace::make_multi_aggressor_attack(
+      0, cfg.geometry.rows_per_bank, 1, rng);
+  attack.interarrival_ps = cfg.timing.t_refi_ps() / 24;
+  cfg.workload.attacks = {attack};
+  cfg.finalize();
+  const RunResult r = run_simulation(hw::Technique::kPara, cfg);
+  EXPECT_GT(r.flips, 0u);
+  EXPECT_GT(r.victim_flips, 0u);
+}
+
+TEST(Runner, EveryTechniqueStopsTheAttack) {
+  SimConfig cfg = fast_config();
+  cfg.windows = 2;
+  cfg.workload.benign_acts_per_interval_per_bank = 0;
+  util::Rng rng(3);
+  auto attack = trace::make_multi_aggressor_attack(
+      0, cfg.geometry.rows_per_bank, 1, rng);
+  attack.interarrival_ps = cfg.timing.t_refi_ps() / 24;
+  cfg.workload.attacks = {attack};
+  cfg.finalize();
+  for (const auto t : hw::kAllTechniques) {
+    const RunResult r = run_simulation(t, cfg);
+    EXPECT_EQ(r.flips, 0u) << r.technique;
+  }
+}
+
+TEST(Runner, OracleMakesAttackTriggersTruePositives) {
+  SimConfig cfg = fast_config();
+  cfg.workload.benign_acts_per_interval_per_bank = 0;
+  util::Rng rng(5);
+  auto attack = trace::make_multi_aggressor_attack(
+      0, cfg.geometry.rows_per_bank, 1, rng);
+  attack.interarrival_ps = cfg.timing.t_refi_ps() / 24;
+  cfg.workload.attacks = {attack};
+  cfg.finalize();
+  const RunResult r = run_simulation(hw::Technique::kLoPRoMi, cfg);
+  EXPECT_GT(r.stats.extra_acts, 0u);
+  // Attack-only traffic: every trigger suspects a true aggressor.
+  EXPECT_EQ(r.stats.fp_extra_acts, 0u);
+  EXPECT_DOUBLE_EQ(r.fpr_pct(), 0.0);
+}
+
+TEST(Runner, StateBytesReported) {
+  const SimConfig cfg = fast_config();
+  EXPECT_DOUBLE_EQ(run_simulation(hw::Technique::kLiPRoMi, cfg).state_bytes_per_bank,
+                   120.0);
+  EXPECT_NEAR(run_simulation(hw::Technique::kCaPRoMi, cfg).state_bytes_per_bank,
+              376.0, 1.0);
+}
+
+TEST(Runner, SeedSweepAggregates) {
+  SimConfig cfg = fast_config();
+  const SeedSweepResult sweep = run_seed_sweep(hw::Technique::kPara, cfg, 3);
+  EXPECT_EQ(sweep.overhead_pct.count(), 3u);
+  EXPECT_GT(sweep.overhead_pct.mean(), 0.0);
+  EXPECT_EQ(sweep.technique, "PARA");
+  EXPECT_THROW(run_seed_sweep(hw::Technique::kPara, cfg, 0),
+               std::invalid_argument);
+}
+
+TEST(Runner, BuildWorkloadCollectsAggressors) {
+  SimConfig cfg = fast_config();
+  util::Rng attack_rng(7);
+  auto attack = trace::make_multi_aggressor_attack(
+      1, cfg.geometry.rows_per_bank, 2, attack_rng);
+  cfg.workload.attacks = {attack};
+  cfg.finalize();
+  util::Rng rng(9);
+  std::unordered_set<std::uint64_t> aggressors;
+  auto source = build_workload(cfg, rng, &aggressors);
+  EXPECT_EQ(aggressors.size(), 4u);  // 2 victims x 2 neighbours
+  EXPECT_TRUE(source->next().has_value());
+}
+
+TEST(Runner, CacheFrontendModeRuns) {
+  SimConfig cfg = fast_config();
+  cfg.workload.model = BenignModel::kCacheFrontend;
+  cfg.workload.benign_acts_per_interval_per_bank = 5.0;
+  cfg.finalize();
+  const RunResult r = run_simulation(hw::Technique::kPara, cfg);
+  EXPECT_GT(r.stats.demand_acts, 0u);
+}
+
+TEST(Runner, ConfigValidation) {
+  SimConfig cfg = fast_config();
+  cfg.windows = 0;
+  EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+  cfg = fast_config();
+  trace::AttackConfig bad;
+  bad.victims = {1};
+  bad.rows_per_bank = cfg.geometry.rows_per_bank;
+  bad.bank = 99;
+  cfg.workload.attacks = {bad};
+  EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+}
+
+TEST(Runner, ApplyScale) {
+  SimConfig cfg;
+  apply_scale(cfg, true);
+  EXPECT_EQ(cfg.geometry.total_banks(), 16u);
+  EXPECT_EQ(cfg.windows, 6u);
+  apply_scale(cfg, false);
+  EXPECT_EQ(cfg.geometry.total_banks(), 4u);
+  EXPECT_EQ(cfg.windows, 2u);
+}
+
+// ------------------------------------------------------------------ config
+
+TEST(ConfigIo, AppliesEveryKeyClass) {
+  const auto file = util::KeyValueFile::parse(
+      "geometry.banks = 2\n"
+      "geometry.rows_per_bank = 65536\n"
+      "timing.preset = ddr5\n"
+      "windows = 3\n"
+      "seed = 99\n"
+      "refresh.policy = random\n"
+      "act_n.radius = 2\n"
+      "disturbance.flip_threshold = 50000\n"
+      "workload.benign_rate = 7.5\n"
+      "workload.model = uniform\n"
+      "technique.pbase_exp = 22\n"
+      "technique.history_entries = 16\n"
+      "attack.count = 1\n"
+      "attack.0.pattern = flood\n"
+      "attack.0.bank = 1\n"
+      "attack.0.victims = 4096\n"
+      "attack.0.rate = 100\n");
+  SimConfig config;
+  apply_config(config, file);
+  EXPECT_EQ(config.geometry.total_banks(), 2u);
+  EXPECT_EQ(config.geometry.rows_per_bank, 65536u);
+  EXPECT_EQ(config.timing.clock_hz, 2'400'000'000u);
+  EXPECT_EQ(config.windows, 3u);
+  EXPECT_EQ(config.seed, 99u);
+  EXPECT_EQ(config.refresh_policy, dram::RefreshPolicy::kRandom);
+  EXPECT_EQ(config.act_n_radius, 2u);
+  EXPECT_EQ(config.disturbance.flip_threshold, 50000u);
+  EXPECT_EQ(config.technique.flip_threshold, 50000u);
+  EXPECT_EQ(config.workload.model, BenignModel::kUniformRandom);
+  EXPECT_EQ(config.technique.pbase_exp, 22u);
+  EXPECT_EQ(config.technique.params.history_entries, 16u);
+  ASSERT_EQ(config.workload.attacks.size(), 1u);
+  EXPECT_EQ(config.workload.attacks[0].pattern, trace::AttackPattern::kFlood);
+  EXPECT_EQ(config.workload.attacks[0].bank, 1u);
+  EXPECT_EQ(config.workload.attacks[0].victims,
+            std::vector<dram::RowId>{4096});
+  EXPECT_EQ(config.workload.attacks[0].interarrival_ps,
+            config.timing.t_refi_ps() / 100);
+}
+
+TEST(ConfigIo, CapromiCooldownReachesTheTechnique) {
+  SimConfig config;
+  apply_config(config, util::KeyValueFile::parse(
+                           "technique.capromi_cooldown = 128\n"));
+  EXPECT_EQ(config.technique.capromi_cooldown, 128u);
+  // And the registry forwards it into the CaPRoMi instance (observable
+  // through behaviour: the suppressed counter activates under hammering).
+  const auto factory = make_factory(hw::Technique::kCaPRoMi, config.technique);
+  auto instance = factory(0, util::Rng(1));
+  EXPECT_STREQ(instance->name(), "CaPRoMi");
+}
+
+TEST(ConfigIo, RandomVictimsAndUnknownKeys) {
+  SimConfig config;
+  apply_config(config, util::KeyValueFile::parse(
+                           "attack.count = 1\nattack.0.victims = ~5\n"));
+  ASSERT_EQ(config.workload.attacks.size(), 1u);
+  EXPECT_EQ(config.workload.attacks[0].victims.size(), 5u);
+
+  EXPECT_THROW(apply_config(config, util::KeyValueFile::parse("typo.key = 1\n")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      apply_config(config, util::KeyValueFile::parse("timing.preset = ddr9\n")),
+      std::invalid_argument);
+  EXPECT_THROW(apply_config(config, util::KeyValueFile::parse(
+                                        "attack.count = 1\n"
+                                        "attack.0.rate = 0\n")),
+               std::invalid_argument);
+}
+
+TEST(ConfigIo, SampleConfigsLoadAndRun) {
+  for (const char* name : {"paper_campaign.cfg", "modern_dram.cfg",
+                           "half_double.cfg"}) {
+    const std::string path = std::string(TVP_SOURCE_DIR) + "/configs/" + name;
+    SimConfig config = load_sim_config(path);
+    config.windows = 1;  // keep the smoke test fast
+    config.finalize();
+    const auto r = run_simulation(hw::Technique::kLoLiPRoMi, config);
+    EXPECT_GT(r.stats.demand_acts, 0u) << path;
+    EXPECT_EQ(r.flips, 0u) << path;
+  }
+}
+
+TEST(ConfigIo, RoundTripPreservesTheExperiment) {
+  SimConfig original;
+  install_standard_campaign(original);
+  original.windows = 3;
+  original.act_n_radius = 2;
+  const std::string text = to_config_text(original);
+  SimConfig reloaded;
+  apply_config(reloaded, util::KeyValueFile::parse(text));
+  EXPECT_EQ(reloaded.windows, original.windows);
+  EXPECT_EQ(reloaded.act_n_radius, original.act_n_radius);
+  ASSERT_EQ(reloaded.workload.attacks.size(), original.workload.attacks.size());
+  for (std::size_t i = 0; i < original.workload.attacks.size(); ++i) {
+    EXPECT_EQ(reloaded.workload.attacks[i].victims,
+              original.workload.attacks[i].victims);
+    EXPECT_EQ(reloaded.workload.attacks[i].interarrival_ps,
+              original.workload.attacks[i].interarrival_ps);
+  }
+  // Same config file -> bit-identical run.
+  const auto a = run_simulation(hw::Technique::kPara, original);
+  const auto b = run_simulation(hw::Technique::kPara, reloaded);
+  EXPECT_EQ(a.stats.demand_acts, b.stats.demand_acts);
+  EXPECT_EQ(a.stats.extra_acts, b.stats.extra_acts);
+}
+
+// ------------------------------------------------------------------- sweep
+
+TEST(Sweep, MatrixShapeAndDeterminism) {
+  SimConfig base;
+  base.geometry.banks_per_rank = 2;
+  base.windows = 1;
+  base.workload.benign_acts_per_interval_per_bank = 8;
+  base.finalize();
+  const auto file = util::KeyValueFile::parse(to_config_text(base));
+  const auto sweep = run_param_sweep(
+      file, "technique.history_entries", {"8", "32"},
+      {hw::Technique::kLiPRoMi, hw::Technique::kPara});
+  EXPECT_EQ(sweep.values.size(), 2u);
+  EXPECT_EQ(sweep.techniques.size(), 2u);
+  EXPECT_EQ(sweep.cells.size(), 4u);
+  // PARA ignores the swept key: its two cells are identical.
+  EXPECT_EQ(sweep.at(0, 1).stats.extra_acts, sweep.at(1, 1).stats.extra_acts);
+  // LiPRoMi with a bigger table never does worse on this workload.
+  EXPECT_LE(sweep.at(1, 0).overhead_pct(), sweep.at(0, 0).overhead_pct() + 1e-9);
+  // Formatters cover every cell.
+  const auto table = sweep_overhead_table(sweep);
+  EXPECT_EQ(table.rows(), 2u);
+  const std::string csv = sweep_to_csv(sweep);
+  EXPECT_NE(csv.find("technique.history_entries,8,LiPRoMi"), std::string::npos);
+  EXPECT_NE(csv.find("PARA"), std::string::npos);
+}
+
+TEST(Sweep, RejectsBadInput) {
+  const util::KeyValueFile base;
+  EXPECT_THROW(run_param_sweep(base, "windows", {}, {hw::Technique::kPara}),
+               std::invalid_argument);
+  EXPECT_THROW(run_param_sweep(base, "windows", {"1"}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(run_param_sweep(base, "not.a.key", {"1"},
+                               {hw::Technique::kPara}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- report
+
+TEST(Report, StandardCampaignRampsAggressors) {
+  SimConfig cfg;
+  install_standard_campaign(cfg);
+  ASSERT_EQ(cfg.workload.attacks.size(), 3u);  // 4 banks: 3 attacked + control
+  EXPECT_EQ(cfg.workload.attacks[0].victims.size(), 1u);
+  EXPECT_EQ(cfg.workload.attacks[1].victims.size(), 4u);
+  EXPECT_EQ(cfg.workload.attacks[2].victims.size(), 10u);
+  for (const auto& a : cfg.workload.attacks)
+    EXPECT_EQ(a.interarrival_ps, cfg.timing.t_refi_ps() / 20);
+}
+
+TEST(Report, FormatMuSigma) {
+  util::RunningStat s;
+  s.add(0.1);
+  s.add(0.2);
+  const std::string text = format_mu_sigma(s);
+  EXPECT_NE(text.find("0.15"), std::string::npos);
+  EXPECT_NE(text.find("%"), std::string::npos);
+}
+
+TEST(Report, SeedsFromEnvFallback) {
+  // No env var set by the test harness: fallback applies.
+  EXPECT_EQ(seeds_from_env(7), 7u);
+}
+
+// ------------------------------------------------------------------ verdict
+
+TEST(Verdict, ReproducesTableIIIColumn) {
+  const TechniqueConfig cfg;
+  const bool expected_vulnerable[] = {
+      true,   // PARA
+      false,  // ProHit
+      true,   // MRLoc
+      false,  // TWiCe
+      false,  // CRA
+      true,   // LiPRoMi
+      false,  // LoPRoMi
+      false,  // LoLiPRoMi
+      false,  // CaPRoMi
+  };
+  const hw::Technique order[] = {
+      hw::Technique::kPara,     hw::Technique::kProHit,
+      hw::Technique::kMrLoc,    hw::Technique::kTwice,
+      hw::Technique::kCra,      hw::Technique::kLiPRoMi,
+      hw::Technique::kLoPRoMi,  hw::Technique::kLoLiPRoMi,
+      hw::Technique::kCaPRoMi,
+  };
+  for (std::size_t i = 0; i < 9; ++i) {
+    const auto v = security_verdict(order[i], cfg, false);
+    EXPECT_EQ(v.vulnerable, expected_vulnerable[i]) << v.technique << ": "
+                                                    << v.reason;
+  }
+}
+
+TEST(Verdict, FlipsForceVulnerable) {
+  const TechniqueConfig cfg;
+  const auto v = security_verdict(hw::Technique::kTwice, cfg, true);
+  EXPECT_TRUE(v.vulnerable);
+  EXPECT_NE(std::string_view(v.reason).find("flips"), std::string_view::npos);
+}
+
+TEST(Verdict, StaticTechniquesAreFlat) {
+  const TechniqueConfig cfg;
+  EXPECT_NEAR(security_verdict(hw::Technique::kPara, cfg, false).escalation,
+              1.0, 0.01);
+  EXPECT_NEAR(security_verdict(hw::Technique::kMrLoc, cfg, false).escalation,
+              1.0, 0.01);
+  EXPECT_GT(security_verdict(hw::Technique::kLoPRoMi, cfg, false).escalation,
+            10.0);
+}
+
+TEST(Verdict, LinearRampHasHighestMissProbability) {
+  const TechniqueConfig cfg;
+  const double li = security_verdict(hw::Technique::kLiPRoMi, cfg, false).p_miss;
+  const double lo = security_verdict(hw::Technique::kLoPRoMi, cfg, false).p_miss;
+  const double ca = security_verdict(hw::Technique::kCaPRoMi, cfg, false).p_miss;
+  EXPECT_GT(li, kMissProbThreshold);
+  EXPECT_LT(lo, kMissProbThreshold);
+  EXPECT_LT(ca, kMissProbThreshold);
+  EXPECT_GT(li, 3 * lo);  // the log ramp is clearly safer
+  EXPECT_DOUBLE_EQ(
+      security_verdict(hw::Technique::kTwice, cfg, false).p_miss, 0.0);
+}
+
+TEST(Verdict, SaveScheduleShapes) {
+  const TechniqueConfig cfg;
+  const auto para = victim_save_schedule(hw::Technique::kPara, cfg, 1000);
+  EXPECT_DOUBLE_EQ(para.front(), cfg.para_p / 2);
+  EXPECT_DOUBLE_EQ(para.back(), cfg.para_p / 2);
+  const auto li = victim_save_schedule(hw::Technique::kLiPRoMi, cfg, 1000);
+  EXPECT_DOUBLE_EQ(li[0], 0.0);  // weight 0 in the first interval
+  EXPECT_GT(li[999], li[200]);
+  const auto twice = victim_save_schedule(hw::Technique::kTwice, cfg, 40000);
+  EXPECT_DOUBLE_EQ(twice[34749], 1.0);  // counter threshold
+  EXPECT_DOUBLE_EQ(twice[0], 0.0);
+}
+
+TEST(Flood, DeterministicTechniquesRespondAtThreshold) {
+  const TechniqueConfig cfg;
+  FloodOptions opts;
+  opts.trials = 4;
+  for (const auto t : {hw::Technique::kTwice, hw::Technique::kCra}) {
+    const auto m = measure_flood(t, cfg, opts);
+    EXPECT_EQ(m.no_response, 0u);
+    EXPECT_DOUBLE_EQ(m.first_response_acts.mean(), 34750.0)
+        << hw::to_string(t);
+  }
+}
+
+TEST(Flood, AllTiVaPRoMiRespondBeforeHalfThreshold) {
+  // Section IV: "all of them are sooner than 69 K activations."
+  const TechniqueConfig cfg;
+  FloodOptions opts;
+  opts.trials = 16;
+  for (const auto t : hw::kTiVaPRoMiVariants) {
+    const auto m = measure_flood(t, cfg, opts);
+    EXPECT_LT(m.distribution.percentile(0.5), cfg.flip_threshold / 2.0)
+        << hw::to_string(t);
+  }
+}
+
+TEST(Flood, LinearIsTheSlowestResponder) {
+  const TechniqueConfig cfg;
+  FloodOptions opts;
+  opts.trials = 16;
+  const double li = measure_flood(hw::Technique::kLiPRoMi, cfg, opts)
+                        .distribution.percentile(0.5);
+  const double lo = measure_flood(hw::Technique::kLoPRoMi, cfg, opts)
+                        .distribution.percentile(0.5);
+  EXPECT_GT(li, lo);
+}
+
+TEST(Flood, RandomPhaseIsMuchFaster) {
+  const TechniqueConfig cfg;
+  FloodOptions aligned;
+  aligned.trials = 16;
+  FloodOptions random_phase = aligned;
+  random_phase.phase_aligned = false;
+  const double a = measure_flood(hw::Technique::kLoPRoMi, cfg, aligned)
+                       .distribution.percentile(0.5);
+  const double r = measure_flood(hw::Technique::kLoPRoMi, cfg, random_phase)
+                       .distribution.percentile(0.5);
+  EXPECT_LT(r, a);  // a blind attacker triggers the defence sooner
+}
+
+TEST(Flood, InvalidOptionsThrow) {
+  const TechniqueConfig cfg;
+  FloodOptions opts;
+  opts.trials = 0;
+  EXPECT_THROW(measure_flood(hw::Technique::kPara, cfg, opts),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tvp::exp

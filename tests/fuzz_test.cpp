@@ -1,0 +1,250 @@
+// Randomized differential tests: the hand-optimised structures must
+// agree with straightforward reference models over long random operation
+// sequences, and the full pipeline must be byte-stable (determinism).
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "tvp/core/counter_table.hpp"
+#include "tvp/core/history_table.hpp"
+#include "tvp/exp/report.hpp"
+#include "tvp/exp/runner.hpp"
+#include "tvp/mitigation/twice.hpp"
+#include "tvp/trace/source.hpp"
+
+namespace tvp {
+namespace {
+
+// ------------------------------------------------- history table vs model
+
+TEST(Fuzz, HistoryTableMatchesFifoReference) {
+  constexpr std::size_t kCapacity = 8;
+  core::HistoryTable table(kCapacity, 17, 13);
+
+  // Reference: map row -> interval plus FIFO order of *insertions*.
+  std::map<dram::RowId, std::uint32_t> ref;
+  std::deque<dram::RowId> order;
+
+  util::Rng rng(101);
+  for (int op = 0; op < 20000; ++op) {
+    const auto row = static_cast<dram::RowId>(rng.below(24));  // collisions!
+    const auto choice = rng.below(10);
+    if (choice < 6) {
+      const auto interval = static_cast<std::uint32_t>(rng.below(512));
+      table.insert(row, interval);
+      if (ref.count(row)) {
+        ref[row] = interval;  // update keeps position
+      } else {
+        if (ref.size() == kCapacity) {
+          ref.erase(order.front());
+          order.pop_front();
+        }
+        ref.emplace(row, interval);
+        order.push_back(row);
+      }
+    } else if (choice < 9) {
+      const auto got = table.lookup(row);
+      const auto it = ref.find(row);
+      if (it == ref.end()) {
+        EXPECT_FALSE(got.has_value()) << "op " << op;
+      } else {
+        ASSERT_TRUE(got.has_value()) << "op " << op;
+        EXPECT_EQ(*got, it->second) << "op " << op;
+      }
+      EXPECT_EQ(table.size(), ref.size());
+    } else {
+      table.clear();
+      ref.clear();
+      order.clear();
+    }
+  }
+}
+
+// ------------------------------------------------ counter table vs model
+
+TEST(Fuzz, CounterTableMatchesReference) {
+  constexpr std::size_t kCapacity = 6;
+  constexpr std::uint8_t kLock = 5;
+  core::CounterTable table(kCapacity, kLock, 17);
+  std::map<dram::RowId, std::uint8_t> ref;  // row -> count
+
+  util::Rng rng(202);
+  for (int op = 0; op < 20000; ++op) {
+    const auto row = static_cast<dram::RowId>(rng.below(16));
+    if (rng.below(50) == 0) {
+      table.clear();
+      ref.clear();
+      continue;
+    }
+    const auto idx = table.on_activate(row, rng);
+    if (ref.count(row)) {
+      // A tracked row must always be found and incremented.
+      ASSERT_TRUE(idx.has_value()) << "op " << op;
+      if (ref[row] < 255) ++ref[row];
+      EXPECT_EQ(table.slots()[*idx].count, ref[row]) << "op " << op;
+      EXPECT_EQ(table.slots()[*idx].locked, ref[row] >= kLock);
+    } else if (idx.has_value()) {
+      // Inserted fresh (possibly replacing another untracked-from-now row).
+      const auto& slot = table.slots()[*idx];
+      EXPECT_EQ(slot.row, row);
+      EXPECT_EQ(slot.count, 1);
+      // Rebuild the reference from the table's own (authoritative)
+      // replacement choice: drop whichever row vanished.
+      std::map<dram::RowId, std::uint8_t> rebuilt;
+      for (const auto& e : table.slots())
+        if (e.valid) rebuilt[e.row] = e.count;
+      ref = rebuilt;
+    }
+    // Invariant: locked entries are never evicted.
+    for (const auto& [tracked_row, count] : ref) {
+      if (count >= kLock) {
+        bool still_there = false;
+        for (const auto& e : table.slots())
+          if (e.valid && e.row == tracked_row) still_there = true;
+        EXPECT_TRUE(still_there) << "locked row evicted at op " << op;
+      }
+    }
+  }
+}
+
+// -------------------------------------------------- TWiCe vs naive counts
+
+TEST(Fuzz, TwicePrunedCountsNeverExceedTrueCounts) {
+  mitigation::TwiceConfig cfg;
+  cfg.entries = 64;
+  cfg.row_threshold = 1000;
+  cfg.pruning_slope = 4;
+  cfg.refresh_intervals = 64;
+  cfg.rows_per_bank = 1024;
+  mitigation::Twice twice(cfg, util::Rng(1));
+
+  std::map<dram::RowId, std::uint32_t> true_counts;
+  std::vector<mem::MitigationAction> out;
+  util::Rng rng(303);
+  mem::MitigationContext ctx;
+  for (std::uint32_t interval = 1; interval < 40; ++interval) {
+    for (int a = 0; a < 60; ++a) {
+      // Zipf-ish: a few hot rows + noise.
+      const dram::RowId row = rng.below(4) == 0
+                                  ? static_cast<dram::RowId>(rng.below(3))
+                                  : static_cast<dram::RowId>(rng.below(900));
+      ctx.interval_in_window = interval;
+      out.clear();
+      twice.on_activate(row, ctx, out);
+      ++true_counts[row];
+      // If TWiCe fired, the row genuinely crossed the threshold.
+      if (!out.empty()) {
+        EXPECT_GE(true_counts[row], cfg.row_threshold);
+        true_counts[row] = 0;  // counting restarts after mitigation
+      }
+    }
+    ctx.interval_in_window = interval;
+    out.clear();
+    twice.on_refresh(ctx, out);
+    EXPECT_EQ(twice.overflow_drops(), 0u) << "interval " << interval;
+  }
+}
+
+// --------------------------------------------------- pipeline determinism
+
+TEST(Fuzz, FullPipelineIsBitStableAcrossRuns) {
+  exp::SimConfig config;
+  config.geometry.banks_per_rank = 2;
+  config.windows = 1;
+  exp::install_standard_campaign(config);
+  for (const auto t : {hw::Technique::kLoLiPRoMi, hw::Technique::kCaPRoMi,
+                       hw::Technique::kProHit}) {
+    const auto a = exp::run_simulation(t, config);
+    const auto b = exp::run_simulation(t, config);
+    EXPECT_EQ(a.stats.demand_acts, b.stats.demand_acts);
+    EXPECT_EQ(a.stats.extra_acts, b.stats.extra_acts);
+    EXPECT_EQ(a.stats.fp_extra_acts, b.stats.fp_extra_acts);
+    EXPECT_EQ(a.stats.triggers, b.stats.triggers);
+    EXPECT_EQ(a.flips, b.flips);
+  }
+}
+
+// ------------------------------------------------- random configurations
+
+// Property: any valid randomly-drawn configuration runs to completion
+// with sane invariants (fp <= extra, extra consistent with triggers,
+// refreshes cover the windows, no crash).
+TEST(Fuzz, RandomConfigurationsKeepInvariants) {
+  util::Rng rng(707);
+  for (int trial = 0; trial < 10; ++trial) {
+    exp::SimConfig cfg;
+    cfg.geometry.banks_per_rank = 1u << rng.below(3);  // 1..4 banks
+    cfg.geometry.rows_per_bank = 131072;
+    cfg.windows = 1;
+    cfg.seed = 7000 + trial;
+    cfg.workload.benign_acts_per_interval_per_bank =
+        1.0 + static_cast<double>(rng.below(12));
+    cfg.refresh_policy = static_cast<dram::RefreshPolicy>(rng.below(4));
+    cfg.remap_rows = rng.bernoulli(0.5);
+    cfg.act_n_radius = 1 + static_cast<std::uint32_t>(rng.below(2));
+    cfg.disturbance.variation_pct = static_cast<std::uint32_t>(rng.below(30));
+    if (rng.bernoulli(0.7)) {
+      auto attack = trace::make_multi_aggressor_attack(
+          static_cast<dram::BankId>(rng.below(cfg.geometry.total_banks())),
+          cfg.geometry.rows_per_bank, 1 + rng.below(6), rng);
+      attack.interarrival_ps =
+          cfg.timing.t_refi_ps() / (5 + rng.below(30));
+      cfg.workload.attacks = {attack};
+    }
+    cfg.finalize();
+    const auto technique =
+        hw::kAllTechniques[rng.below(hw::kAllTechniques.size())];
+    const auto r = exp::run_simulation(technique, cfg);
+    EXPECT_LE(r.stats.fp_extra_acts, r.stats.extra_acts)
+        << r.technique << " trial " << trial;
+    // Each trigger costs at most 2*radius activations (act_n) and at
+    // least one.
+    EXPECT_LE(r.stats.extra_acts, r.stats.triggers * 2 * cfg.act_n_radius)
+        << "trial " << trial;
+    if (r.stats.triggers > 0) EXPECT_GE(r.stats.extra_acts, r.stats.triggers);
+    EXPECT_EQ(r.stats.refresh_intervals,
+              static_cast<std::uint64_t>(cfg.windows) *
+                  cfg.timing.refresh_intervals)
+        << "trial " << trial;
+    EXPECT_EQ(r.stats.rows_refreshed,
+              static_cast<std::uint64_t>(cfg.windows) *
+                  cfg.geometry.rows_per_bank * cfg.geometry.total_banks())
+        << "trial " << trial;
+    EXPECT_EQ(r.flips, r.flip_events.size());
+  }
+}
+
+// ------------------------------------------------- merge vs offline sort
+
+TEST(Fuzz, MergedSourceEqualsOfflineSort) {
+  util::Rng rng(404);
+  std::vector<std::unique_ptr<trace::TraceSource>> sources;
+  std::vector<trace::AccessRecord> all;
+  for (int s = 0; s < 5; ++s) {
+    std::vector<trace::AccessRecord> records;
+    std::uint64_t t = rng.below(100);
+    for (int i = 0; i < 200; ++i) {
+      trace::AccessRecord r;
+      r.time_ps = t;
+      r.bank = static_cast<dram::BankId>(s);
+      r.row = static_cast<dram::RowId>(i);
+      records.push_back(r);
+      t += rng.below(50);
+    }
+    all.insert(all.end(), records.begin(), records.end());
+    sources.push_back(std::make_unique<trace::VectorSource>(std::move(records)));
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const auto& a, const auto& b) { return a.time_ps < b.time_ps; });
+  trace::MergedSource merged(std::move(sources));
+  const auto merged_records = trace::drain(merged);
+  ASSERT_EQ(merged_records.size(), all.size());
+  for (std::size_t i = 0; i < all.size(); ++i)
+    EXPECT_EQ(merged_records[i].time_ps, all[i].time_ps) << "index " << i;
+}
+
+}  // namespace
+}  // namespace tvp

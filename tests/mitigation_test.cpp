@@ -1,0 +1,342 @@
+// Unit tests for tvp::mitigation — the five state-of-the-art baselines:
+// PARA, ProHit, MRLoc, TWiCe, CRA.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tvp/mitigation/cra.hpp"
+#include "tvp/mitigation/mrloc.hpp"
+#include "tvp/mitigation/para.hpp"
+#include "tvp/mitigation/prohit.hpp"
+#include "tvp/mitigation/twice.hpp"
+
+namespace tvp::mitigation {
+namespace {
+
+mem::MitigationContext ctx_at(std::uint32_t interval, bool window_start = false) {
+  mem::MitigationContext ctx;
+  ctx.interval_in_window = interval;
+  ctx.global_interval = interval;
+  ctx.window_start = window_start;
+  return ctx;
+}
+
+// --------------------------------------------------------------------- PARA
+
+TEST(Para, TriggerRateMatchesP) {
+  ParaConfig cfg;
+  cfg.p = util::FixedProb::from_double(0.01);
+  Para para(cfg, util::Rng(3));
+  std::vector<mem::MitigationAction> out;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) para.on_activate(1000, ctx_at(0), out);
+  EXPECT_NEAR(out.size() / static_cast<double>(n), 0.01, 0.002);
+}
+
+TEST(Para, RefreshesOneNeighbor) {
+  ParaConfig cfg;
+  cfg.p = util::FixedProb::from_double(1.0);
+  Para para(cfg, util::Rng(5));
+  std::vector<mem::MitigationAction> out;
+  int up = 0, down = 0;
+  for (int i = 0; i < 1000; ++i) {
+    out.clear();
+    para.on_activate(1000, ctx_at(0), out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].kind, mem::MitigationAction::Kind::kActRow);
+    EXPECT_EQ(out[0].suspect, 1000u);
+    if (out[0].row == 1001u) ++up;
+    else if (out[0].row == 999u) ++down;
+    else FAIL() << "refreshed non-neighbour row " << out[0].row;
+  }
+  EXPECT_GT(up, 300);
+  EXPECT_GT(down, 300);
+}
+
+TEST(Para, EdgeRowsPickTheOnlyNeighbor) {
+  ParaConfig cfg;
+  cfg.p = util::FixedProb::from_double(1.0);
+  cfg.rows_per_bank = 64;
+  Para para(cfg, util::Rng(7));
+  std::vector<mem::MitigationAction> out;
+  for (int i = 0; i < 50; ++i) {
+    out.clear();
+    para.on_activate(0, ctx_at(0), out);
+    EXPECT_EQ(out[0].row, 1u);
+    out.clear();
+    para.on_activate(63, ctx_at(0), out);
+    EXPECT_EQ(out[0].row, 62u);
+  }
+}
+
+TEST(Para, StatelessHasTinyFootprint) {
+  Para para(ParaConfig{}, util::Rng(1));
+  EXPECT_EQ(para.state_bits(), 32u);
+  EXPECT_STREQ(para.name(), "PARA");
+}
+
+// ------------------------------------------------------------------- ProHit
+
+ProHitConfig prohit_fast() {
+  ProHitConfig cfg;
+  cfg.insert_prob = util::FixedProb::from_double(1.0);
+  cfg.promote_prob = util::FixedProb::from_double(1.0);
+  cfg.hot_entries = 2;
+  cfg.cold_entries = 2;
+  return cfg;
+}
+
+TEST(ProHit, VictimClimbsToHotAndGetsRefreshed) {
+  ProHit prohit(prohit_fast(), util::Rng(9));
+  std::vector<mem::MitigationAction> out;
+  prohit.on_activate(1000, ctx_at(0), out);  // victims 999/1001 -> cold
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(prohit.cold_size(), 2u);
+  prohit.on_activate(1000, ctx_at(0), out);  // cold hit -> promoted to hot
+  EXPECT_EQ(prohit.hot_size(), 2u);
+  prohit.on_refresh(ctx_at(1), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, mem::MitigationAction::Kind::kActRow);
+  EXPECT_TRUE(out[0].row == 999u || out[0].row == 1001u);
+  EXPECT_EQ(out[0].suspect, 1000u);
+  EXPECT_EQ(prohit.hot_size(), 1u);  // top retired
+}
+
+TEST(ProHit, EmptyHotMeansNoRefresh) {
+  ProHit prohit(ProHitConfig{}, util::Rng(11));
+  std::vector<mem::MitigationAction> out;
+  prohit.on_refresh(ctx_at(1), out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ProHit, ColdInsertionIsProbabilistic) {
+  ProHitConfig cfg;
+  cfg.insert_prob = util::FixedProb::pow2(4);  // 1/16
+  ProHit prohit(cfg, util::Rng(13));
+  std::vector<mem::MitigationAction> out;
+  // Single activation of distinct rows: cold fills slowly.
+  int filled_after = 0;
+  for (int i = 0; i < 100; ++i) {
+    prohit.on_activate(static_cast<dram::RowId>(10 + 10 * i), ctx_at(0), out);
+    if (prohit.cold_size() + prohit.hot_size() > 0 && filled_after == 0)
+      filled_after = i + 1;
+  }
+  EXPECT_GT(filled_after, 1);  // did not insert on the very first candidate
+}
+
+TEST(ProHit, ColdEvictsFifoWhenFull) {
+  ProHitConfig cfg = prohit_fast();
+  cfg.promote_prob = util::FixedProb::from_double(0.0);  // stay in cold
+  ProHit prohit(cfg, util::Rng(15));
+  std::vector<mem::MitigationAction> out;
+  prohit.on_activate(100, ctx_at(0), out);  // victims 99, 101 fill cold (2)
+  prohit.on_activate(200, ctx_at(0), out);  // victims 199, 201 evict both
+  EXPECT_EQ(prohit.cold_size(), 2u);
+  EXPECT_EQ(prohit.hot_size(), 0u);
+}
+
+TEST(ProHit, StateBits) {
+  ProHitConfig cfg;
+  ProHit prohit(cfg, util::Rng(1));
+  EXPECT_EQ(prohit.state_bits(), (4u + 8u) * 18u);
+  EXPECT_THROW(ProHit(ProHitConfig{0, 8}, util::Rng(1)), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- MRLoc
+
+TEST(MrLoc, FirstObservationNeverFires) {
+  MrLocConfig cfg;
+  cfg.p_max = util::FixedProb::from_double(1.0);
+  cfg.p_min = util::FixedProb::from_double(1.0);
+  MrLoc mrloc(cfg, util::Rng(17));
+  std::vector<mem::MitigationAction> out;
+  mrloc.on_activate(1000, ctx_at(0), out);
+  EXPECT_TRUE(out.empty());  // victims not yet queued
+  EXPECT_EQ(mrloc.queue_size(), 2u);
+  mrloc.on_activate(1000, ctx_at(0), out);  // queue hits now
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].kind, mem::MitigationAction::Kind::kActRow);
+}
+
+TEST(MrLoc, RecencyRaisesProbability) {
+  MrLocConfig cfg;
+  cfg.queue_entries = 8;
+  cfg.p_min = util::FixedProb::from_double(0.0);
+  cfg.p_max = util::FixedProb::from_double(1.0);
+  MrLoc mrloc(cfg, util::Rng(19));
+  std::vector<mem::MitigationAction> out;
+  mrloc.on_activate(1000, ctx_at(0), out);  // queue [999, 1001]
+  EXPECT_TRUE(out.empty());
+  // Re-observing the *most recent* victim (1001, back of the queue) uses
+  // p_max = 1 and must fire; re-observing the oldest uses p_min = 0.
+  mrloc.on_activate(1002, ctx_at(0), out);  // victims 1001 (recent) + 1003
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].row, 1001u);
+  EXPECT_EQ(out[0].suspect, 1002u);
+  out.clear();
+  // Queue is now [999, 1001, 1003]; the oldest victim 999 has p = 0.
+  mrloc.on_activate(998, ctx_at(0), out);  // victims 997 (new) + 999 (oldest)
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MrLoc, QueueEvictsOldest) {
+  MrLocConfig cfg;
+  cfg.queue_entries = 4;
+  cfg.p_min = util::FixedProb::from_double(1.0);
+  cfg.p_max = util::FixedProb::from_double(1.0);
+  MrLoc mrloc(cfg, util::Rng(21));
+  std::vector<mem::MitigationAction> out;
+  mrloc.on_activate(1000, ctx_at(0), out);           // 999, 1001
+  mrloc.on_activate(2000, ctx_at(0), out);           // 1999, 2001 (full)
+  mrloc.on_activate(3000, ctx_at(0), out);           // evicts 999, 1001
+  out.clear();
+  mrloc.on_activate(1000, ctx_at(0), out);           // victims re-inserted
+  EXPECT_TRUE(out.empty());                           // ...but were evicted
+}
+
+TEST(MrLoc, StateBitsAndValidation) {
+  MrLoc mrloc(MrLocConfig{}, util::Rng(1));
+  EXPECT_EQ(mrloc.state_bits(), 16u * 18u);
+  MrLocConfig bad;
+  bad.p_min = util::FixedProb::from_double(0.5);
+  bad.p_max = util::FixedProb::from_double(0.1);
+  EXPECT_THROW(MrLoc(bad, util::Rng(1)), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- TWiCe
+
+TwiceConfig twice_small() {
+  TwiceConfig cfg;
+  cfg.entries = 16;
+  cfg.row_threshold = 100;
+  cfg.pruning_slope = 5;
+  cfg.refresh_intervals = 64;
+  cfg.rows_per_bank = 1024;
+  return cfg;
+}
+
+TEST(Twice, DeterministicTriggerAtThreshold) {
+  Twice twice(twice_small(), util::Rng(23));
+  std::vector<mem::MitigationAction> out;
+  for (int i = 0; i < 99; ++i) twice.on_activate(7, ctx_at(0), out);
+  EXPECT_TRUE(out.empty());
+  twice.on_activate(7, ctx_at(0), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, mem::MitigationAction::Kind::kActNeighbors);
+  EXPECT_EQ(out[0].row, 7u);
+  // The counter restarts: another 100 activations to the next act_n.
+  out.clear();
+  for (int i = 0; i < 99; ++i) twice.on_activate(7, ctx_at(0), out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Twice, PruningDropsSlowRows) {
+  Twice twice(twice_small(), util::Rng(25));
+  std::vector<mem::MitigationAction> out;
+  // 3 activations in one interval < slope 5: pruned at the boundary.
+  for (int i = 0; i < 3; ++i) twice.on_activate(7, ctx_at(0), out);
+  EXPECT_EQ(twice.live_entries(), 1u);
+  twice.on_refresh(ctx_at(1), out);
+  EXPECT_EQ(twice.live_entries(), 0u);
+  // 10 activations per interval >= slope: survives the boundary.
+  for (int i = 0; i < 10; ++i) twice.on_activate(9, ctx_at(1), out);
+  twice.on_refresh(ctx_at(2), out);
+  EXPECT_EQ(twice.live_entries(), 1u);
+}
+
+TEST(Twice, PrunedSlotIsReusable) {
+  TwiceConfig cfg = twice_small();
+  cfg.entries = 1;
+  Twice twice(cfg, util::Rng(27));
+  std::vector<mem::MitigationAction> out;
+  twice.on_activate(7, ctx_at(0), out);
+  twice.on_activate(8, ctx_at(0), out);  // table full
+  EXPECT_EQ(twice.overflow_drops(), 1u);
+  twice.on_refresh(ctx_at(1), out);      // row 7 pruned (1 < 5)
+  twice.on_activate(8, ctx_at(1), out);  // slot free again
+  EXPECT_EQ(twice.live_entries(), 1u);
+}
+
+TEST(Twice, WindowStartClearsAll) {
+  Twice twice(twice_small(), util::Rng(29));
+  std::vector<mem::MitigationAction> out;
+  for (int i = 0; i < 50; ++i) twice.on_activate(7, ctx_at(0), out);
+  twice.on_refresh(ctx_at(0, /*window_start=*/true), out);
+  EXPECT_EQ(twice.live_entries(), 0u);
+}
+
+TEST(Twice, NeverPrunesASustainedAttacker) {
+  // The safety property behind TWiCe's proof: a row hammered at >= slope
+  // activations per interval is never pruned, so it always reaches the
+  // threshold and gets mitigated.
+  Twice twice(twice_small(), util::Rng(31));
+  std::vector<mem::MitigationAction> out;
+  for (std::uint32_t interval = 0; interval < 30 && out.empty(); ++interval) {
+    for (int i = 0; i < 6; ++i) twice.on_activate(7, ctx_at(interval), out);
+    if (out.empty()) twice.on_refresh(ctx_at(interval + 1), out);
+  }
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0].row, 7u);
+  EXPECT_EQ(twice.overflow_drops(), 0u);
+}
+
+TEST(Twice, StateBitsAndPeak) {
+  Twice twice(TwiceConfig{}, util::Rng(1));
+  // 560 entries x (17 row + 16 count + 13 life + 1 valid) = 26320 bits.
+  EXPECT_EQ(twice.state_bits(), 560u * 47u);
+  EXPECT_EQ(twice.peak_live_entries(), 0u);
+}
+
+// ---------------------------------------------------------------------- CRA
+
+CraConfig cra_small() {
+  CraConfig cfg;
+  cfg.rows_per_bank = 1024;
+  cfg.refresh_intervals = 64;
+  cfg.row_threshold = 50;
+  return cfg;
+}
+
+TEST(Cra, TriggersExactlyAtThreshold) {
+  Cra cra(cra_small(), util::Rng(33));
+  std::vector<mem::MitigationAction> out;
+  for (int i = 0; i < 49; ++i) cra.on_activate(100, ctx_at(0), out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(cra.counter(100), 49u);
+  cra.on_activate(100, ctx_at(0), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, mem::MitigationAction::Kind::kActNeighbors);
+  EXPECT_EQ(cra.counter(100), 0u);
+}
+
+TEST(Cra, RefreshClearsSlotCounters) {
+  Cra cra(cra_small(), util::Rng(35));
+  std::vector<mem::MitigationAction> out;
+  // Row 100 is in slot 100/16 = 6.
+  for (int i = 0; i < 30; ++i) cra.on_activate(100, ctx_at(0), out);
+  cra.on_refresh(ctx_at(6), out);  // slot 6 refreshed
+  EXPECT_EQ(cra.counter(100), 0u);
+  for (int i = 0; i < 30; ++i) cra.on_activate(100, ctx_at(7), out);
+  cra.on_refresh(ctx_at(7), out);  // different slot: counter survives
+  EXPECT_EQ(cra.counter(100), 30u);
+}
+
+TEST(Cra, IndependentPerRowCounters) {
+  Cra cra(cra_small(), util::Rng(37));
+  std::vector<mem::MitigationAction> out;
+  for (int i = 0; i < 20; ++i) cra.on_activate(100, ctx_at(0), out);
+  for (int i = 0; i < 10; ++i) cra.on_activate(200, ctx_at(0), out);
+  EXPECT_EQ(cra.counter(100), 20u);
+  EXPECT_EQ(cra.counter(200), 10u);
+}
+
+TEST(Cra, StateBitsScaleWithRows) {
+  Cra cra(CraConfig{}, util::Rng(1));
+  // One counter per row: 131072 x 16 bits.
+  EXPECT_EQ(cra.state_bits(), 131072ull * 16u);
+  EXPECT_THROW(Cra(CraConfig{1000, 64, 10}, util::Rng(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tvp::mitigation

@@ -1,0 +1,433 @@
+// Unit tests for tvp::trace — sources, synthetic workloads, attacker
+// models, trace I/O and statistics.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "tvp/trace/attack.hpp"
+#include "tvp/trace/io.hpp"
+#include "tvp/trace/source.hpp"
+#include "tvp/trace/stats.hpp"
+#include "tvp/trace/synthetic.hpp"
+
+namespace tvp::trace {
+namespace {
+
+AccessRecord rec(std::uint64_t t, std::uint32_t bank = 0, std::uint32_t row = 0) {
+  AccessRecord r;
+  r.time_ps = t;
+  r.bank = bank;
+  r.row = row;
+  return r;
+}
+
+// ------------------------------------------------------------------ sources
+
+TEST(VectorSource, ReplaysInOrder) {
+  VectorSource src({rec(1), rec(2), rec(2), rec(5)});
+  EXPECT_EQ(src.next()->time_ps, 1u);
+  EXPECT_EQ(src.next()->time_ps, 2u);
+  EXPECT_EQ(src.next()->time_ps, 2u);
+  EXPECT_EQ(src.next()->time_ps, 5u);
+  EXPECT_FALSE(src.next().has_value());
+}
+
+TEST(VectorSource, RejectsUnsorted) {
+  EXPECT_THROW(VectorSource({rec(5), rec(1)}), std::invalid_argument);
+}
+
+TEST(MergedSource, ProducesGlobalTimeOrder) {
+  std::vector<std::unique_ptr<TraceSource>> sources;
+  sources.push_back(std::make_unique<VectorSource>(
+      std::vector<AccessRecord>{rec(1), rec(4), rec(9)}));
+  sources.push_back(std::make_unique<VectorSource>(
+      std::vector<AccessRecord>{rec(2), rec(3), rec(10)}));
+  MergedSource merged(std::move(sources));
+  std::uint64_t last = 0;
+  int count = 0;
+  while (auto r = merged.next()) {
+    EXPECT_GE(r->time_ps, last);
+    last = r->time_ps;
+    ++count;
+  }
+  EXPECT_EQ(count, 6);
+}
+
+TEST(MergedSource, TieBreaksByRegistrationOrder) {
+  std::vector<std::unique_ptr<TraceSource>> sources;
+  sources.push_back(std::make_unique<VectorSource>(
+      std::vector<AccessRecord>{rec(5, 0)}));
+  sources.push_back(std::make_unique<VectorSource>(
+      std::vector<AccessRecord>{rec(5, 1)}));
+  MergedSource merged(std::move(sources));
+  EXPECT_EQ(merged.next()->bank, 0u);
+  EXPECT_EQ(merged.next()->bank, 1u);
+}
+
+TEST(LimitSource, CutsByCountAndTime) {
+  auto inner = std::make_unique<VectorSource>(
+      std::vector<AccessRecord>{rec(1), rec(2), rec(3), rec(100)});
+  LimitSource by_count(std::move(inner), 2, ~0ull);
+  EXPECT_TRUE(by_count.next().has_value());
+  EXPECT_TRUE(by_count.next().has_value());
+  EXPECT_FALSE(by_count.next().has_value());
+
+  auto inner2 = std::make_unique<VectorSource>(
+      std::vector<AccessRecord>{rec(1), rec(2), rec(50)});
+  LimitSource by_time(std::move(inner2), ~0ull, 10);
+  EXPECT_TRUE(by_time.next().has_value());
+  EXPECT_TRUE(by_time.next().has_value());
+  EXPECT_FALSE(by_time.next().has_value());  // 50 >= 10
+}
+
+TEST(Drain, CollectsEverything) {
+  VectorSource src({rec(1), rec(2)});
+  EXPECT_EQ(drain(src).size(), 2u);
+}
+
+// ---------------------------------------------------------------- synthetic
+
+class SyntheticProfile : public ::testing::TestWithParam<AccessProfile> {};
+
+TEST_P(SyntheticProfile, TimeMonotoneAndInRange) {
+  SyntheticConfig cfg;
+  cfg.profile = GetParam();
+  cfg.banks = 4;
+  cfg.rows_per_bank = 4096;
+  cfg.mean_interarrival_ps = 1000;
+  SyntheticSource src(cfg, util::Rng(3));
+  std::uint64_t last = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto r = src.next();
+    ASSERT_TRUE(r.has_value());
+    EXPECT_GE(r->time_ps, last);
+    last = r->time_ps;
+    EXPECT_LT(r->bank, 4u);
+    EXPECT_LT(r->row, 4096u);
+    EXPECT_FALSE(r->is_attack);
+  }
+}
+
+TEST_P(SyntheticProfile, RateMatchesConfiguration) {
+  SyntheticConfig cfg;
+  cfg.profile = GetParam();
+  cfg.mean_interarrival_ps = 500;
+  SyntheticSource src(cfg, util::Rng(5));
+  const int n = 20000;
+  std::uint64_t last = 0;
+  for (int i = 0; i < n; ++i) last = src.next()->time_ps;
+  const double mean = static_cast<double>(last) / n;
+  EXPECT_NEAR(mean, 500, 25);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, SyntheticProfile,
+    ::testing::Values(AccessProfile::kStreaming, AccessProfile::kStrided,
+                      AccessProfile::kRandom, AccessProfile::kHotspot,
+                      AccessProfile::kPointerChase));
+
+TEST(Synthetic, HotspotConcentratesOnWorkingSet) {
+  SyntheticConfig cfg;
+  cfg.profile = AccessProfile::kHotspot;
+  cfg.hotspot_rows = 8;
+  cfg.hotspot_bias = 0.95;
+  cfg.rows_per_bank = 1 << 16;
+  SyntheticSource src(cfg, util::Rng(7));
+  std::map<dram::RowId, int> counts;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) ++counts[src.next()->row];
+  // The top 8 rows should hold ~95% of accesses.
+  std::vector<int> sorted;
+  for (const auto& [row, c] : counts) sorted.push_back(c);
+  std::sort(sorted.rbegin(), sorted.rend());
+  int top8 = 0;
+  for (int i = 0; i < 8 && i < static_cast<int>(sorted.size()); ++i)
+    top8 += sorted[i];
+  EXPECT_GT(top8, n * 0.90);
+}
+
+TEST(Synthetic, StreamingWalksSequentially) {
+  SyntheticConfig cfg;
+  cfg.profile = AccessProfile::kStreaming;
+  cfg.rows_per_bank = 1024;
+  SyntheticSource src(cfg, util::Rng(9));
+  dram::RowId prev = src.next()->row;
+  for (int i = 0; i < 100; ++i) {
+    const dram::RowId cur = src.next()->row;
+    EXPECT_EQ(cur, (prev + 1) % 1024);
+    prev = cur;
+  }
+}
+
+TEST(Synthetic, InvalidConfigThrows) {
+  SyntheticConfig cfg;
+  cfg.banks = 0;
+  EXPECT_THROW(SyntheticSource(cfg, util::Rng(1)), std::invalid_argument);
+  cfg = SyntheticConfig{};
+  cfg.mean_interarrival_ps = 0;
+  EXPECT_THROW(SyntheticSource(cfg, util::Rng(1)), std::invalid_argument);
+}
+
+TEST(MixedWorkload, HitsTargetRate) {
+  const auto configs = mixed_workload(4, 131072, 7'812'500, 20.0);
+  ASSERT_EQ(configs.size(), 4u);
+  // Aggregate rate: sum of 1/interarrival == banks * target / tREFI.
+  double rate = 0;
+  for (const auto& c : configs) rate += 1.0 / c.mean_interarrival_ps;
+  EXPECT_NEAR(rate, 4 * 20.0 / 7'812'500, rate * 0.01);
+  EXPECT_THROW(mixed_workload(4, 131072, 7'812'500, 0.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- attack
+
+TEST(Attack, DoubleSidedDerivesBothAggressors) {
+  AttackConfig cfg;
+  cfg.pattern = AttackPattern::kDoubleSided;
+  cfg.victims = {100};
+  cfg.rows_per_bank = 1024;
+  AttackSource src(cfg);
+  ASSERT_EQ(src.aggressors().size(), 2u);
+  EXPECT_EQ(src.aggressors()[0], 99u);
+  EXPECT_EQ(src.aggressors()[1], 101u);
+}
+
+TEST(Attack, SingleSidedAndFlood) {
+  AttackConfig cfg;
+  cfg.pattern = AttackPattern::kSingleSided;
+  cfg.victims = {100};
+  cfg.rows_per_bank = 1024;
+  EXPECT_EQ(AttackSource(cfg).aggressors(), std::vector<dram::RowId>{101});
+  cfg.pattern = AttackPattern::kFlood;
+  EXPECT_EQ(AttackSource(cfg).aggressors(), std::vector<dram::RowId>{100});
+}
+
+TEST(Attack, EdgeVictimHasOneAggressor) {
+  AttackConfig cfg;
+  cfg.pattern = AttackPattern::kDoubleSided;
+  cfg.victims = {0};
+  cfg.rows_per_bank = 1024;
+  EXPECT_EQ(AttackSource(cfg).aggressors(), std::vector<dram::RowId>{1});
+}
+
+TEST(Attack, MultiAggressorDeduplicatesOverlap) {
+  AttackConfig cfg;
+  cfg.pattern = AttackPattern::kMultiAggressor;
+  cfg.victims = {10, 12};  // share aggressor row 11
+  cfg.rows_per_bank = 1024;
+  const AttackSource src(cfg);
+  EXPECT_EQ(src.aggressors().size(), 3u);  // 9, 11, 13
+}
+
+TEST(Attack, RoundRobinAtConfiguredRate) {
+  AttackConfig cfg;
+  cfg.pattern = AttackPattern::kDoubleSided;
+  cfg.victims = {100};
+  cfg.rows_per_bank = 1024;
+  cfg.interarrival_ps = 45'000;
+  cfg.bank = 3;
+  AttackSource src(cfg);
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto r = src.next();
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->time_ps - prev, 45'000u);
+    prev = r->time_ps;
+    EXPECT_EQ(r->bank, 3u);
+    EXPECT_TRUE(r->is_attack);
+    EXPECT_EQ(r->row, i % 2 == 0 ? 99u : 101u);
+  }
+}
+
+TEST(Attack, EndsAtConfiguredTime) {
+  AttackConfig cfg;
+  cfg.victims = {100};
+  cfg.rows_per_bank = 1024;
+  cfg.interarrival_ps = 10;
+  cfg.end_ps = 100;
+  AttackSource src(cfg);
+  int n = 0;
+  while (src.next()) ++n;
+  EXPECT_EQ(n, 9);
+}
+
+TEST(Attack, InvalidConfigThrows) {
+  AttackConfig cfg;
+  EXPECT_THROW(AttackSource{cfg}, std::invalid_argument);  // no victims
+  cfg.victims = {5000};
+  cfg.rows_per_bank = 1024;
+  EXPECT_THROW(AttackSource{cfg}, std::invalid_argument);  // out of range
+}
+
+TEST(Attack, MakeMultiAggressorSeparatesVictims) {
+  util::Rng rng(13);
+  const auto cfg = make_multi_aggressor_attack(0, 131072, 20, rng);
+  EXPECT_EQ(cfg.victims.size(), 20u);
+  for (std::size_t i = 1; i < cfg.victims.size(); ++i)
+    EXPECT_GE(cfg.victims[i] - cfg.victims[i - 1], 8u);
+  EXPECT_THROW(make_multi_aggressor_attack(0, 64, 20, rng),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------------------- io
+
+std::vector<AccessRecord> sample_records() {
+  std::vector<AccessRecord> records;
+  util::Rng rng(21);
+  std::uint64_t t = 0;
+  for (int i = 0; i < 500; ++i) {
+    AccessRecord r;
+    t += rng.below(1000);
+    r.time_ps = t;
+    r.bank = static_cast<dram::BankId>(rng.below(16));
+    r.row = static_cast<dram::RowId>(rng.below(131072));
+    r.write = rng.bernoulli(0.3);
+    r.is_attack = rng.bernoulli(0.1);
+    r.source = static_cast<SourceId>(rng.below(8));
+    records.push_back(r);
+  }
+  return records;
+}
+
+TEST(TraceIo, TextRoundTrip) {
+  const auto records = sample_records();
+  std::stringstream ss;
+  EXPECT_EQ(write_text(ss, records), records.size());
+  EXPECT_EQ(read_text(ss), records);
+}
+
+TEST(TraceIo, BinaryRoundTrip) {
+  const auto records = sample_records();
+  std::stringstream ss;
+  EXPECT_EQ(write_binary(ss, records), records.size());
+  EXPECT_EQ(read_binary(ss), records);
+}
+
+TEST(TraceIo, TextToleratesCommentsAndBlanks) {
+  std::stringstream ss("# comment\n\n100 3 42 W 1 A\n");
+  const auto records = read_text(ss);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].time_ps, 100u);
+  EXPECT_EQ(records[0].bank, 3u);
+  EXPECT_EQ(records[0].row, 42u);
+  EXPECT_TRUE(records[0].write);
+  EXPECT_TRUE(records[0].is_attack);
+}
+
+TEST(TraceIo, TextRejectsMalformed) {
+  std::stringstream ss("100 3 42 X 1 A\n");
+  EXPECT_THROW(read_text(ss), std::runtime_error);
+}
+
+TEST(TraceIo, BinaryRejectsBadMagicAndTruncation) {
+  std::stringstream bad("not a trace at all");
+  EXPECT_THROW(read_binary(bad), std::runtime_error);
+
+  std::stringstream ss;
+  write_binary(ss, sample_records());
+  std::string data = ss.str();
+  data.resize(data.size() / 2);
+  std::stringstream truncated(data);
+  EXPECT_THROW(read_binary(truncated), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTripByExtension) {
+  const auto records = sample_records();
+  const std::string text_path = ::testing::TempDir() + "/trace.txt";
+  const std::string bin_path = ::testing::TempDir() + "/trace.tvpt";
+  save_trace(text_path, records);
+  save_trace(bin_path, records);
+  EXPECT_EQ(load_trace(text_path), records);
+  EXPECT_EQ(load_trace(bin_path), records);
+  EXPECT_THROW(load_trace("/nonexistent/dir/x.tvpt"), std::runtime_error);
+}
+
+TEST(TraceIo, ImportAddressTrace) {
+  dram::Geometry g;
+  g.banks_per_rank = 4;
+  g.rows_per_bank = 4096;
+  g.cols_per_row = 64;
+  const dram::AddressMapper mapper(g, dram::AddressMapPolicy::kRowColBank);
+  std::stringstream ss(
+      "# DRAMSim-style trace\n"
+      "0x00001000 READ 100\n"
+      "0x00002040 WRITE 250\n"
+      "4096 R 400\n"
+      "; trailing comment line\n");
+  const auto records = import_address_trace(ss, mapper, 1000.0);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].time_ps, 100'000u);
+  EXPECT_FALSE(records[0].write);
+  EXPECT_TRUE(records[1].write);
+  EXPECT_EQ(records[2].time_ps, 400'000u);
+  // 0x1000 and 4096 are the same address -> same coordinates.
+  EXPECT_EQ(records[0].bank, records[2].bank);
+  EXPECT_EQ(records[0].row, records[2].row);
+  for (const auto& r : records) {
+    EXPECT_LT(r.bank, g.total_banks());
+    EXPECT_LT(r.row, g.rows_per_bank);
+    EXPECT_FALSE(r.is_attack);
+  }
+}
+
+TEST(TraceIo, ImportWithoutCyclesSpacesByClock) {
+  dram::Geometry g;
+  g.banks_per_rank = 2;
+  g.rows_per_bank = 1024;
+  const dram::AddressMapper mapper(g, dram::AddressMapPolicy::kRowBankCol);
+  std::stringstream ss("0x100 R\n0x200 W\n0x300 R\n");
+  const auto records = import_address_trace(ss, mapper, 500.0);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].time_ps, 500u);
+  EXPECT_EQ(records[1].time_ps, 1000u);
+  EXPECT_EQ(records[2].time_ps, 1500u);
+}
+
+TEST(TraceIo, ImportRejectsMalformed) {
+  dram::Geometry g;
+  const dram::AddressMapper mapper(g, dram::AddressMapPolicy::kRowColBank);
+  std::stringstream no_op("0x1000\n");
+  EXPECT_THROW(import_address_trace(no_op, mapper), std::runtime_error);
+  std::stringstream bad_op("0x1000 X\n");
+  EXPECT_THROW(import_address_trace(bad_op, mapper), std::runtime_error);
+  std::stringstream bad_addr("zzz R\n");
+  EXPECT_THROW(import_address_trace(bad_addr, mapper), std::runtime_error);
+}
+
+TEST(TraceIo, ImportClampsUnsortedTimes) {
+  dram::Geometry g;
+  const dram::AddressMapper mapper(g, dram::AddressMapPolicy::kRowColBank);
+  std::stringstream ss("0x100 R 100\n0x200 R 50\n");
+  const auto records = import_address_trace(ss, mapper, 1.0);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_GE(records[1].time_ps, records[0].time_ps);
+}
+
+// -------------------------------------------------------------------- stats
+
+TEST(TraceStats, CountsAndRates) {
+  TraceStats stats(1000, 2);  // tREFI=1000ps, 2 banks
+  for (int i = 0; i < 10; ++i) {
+    AccessRecord r = rec(i * 100, i % 2, 5);
+    r.is_attack = i < 3;
+    r.write = i % 5 == 0;
+    stats.add(r);
+  }
+  EXPECT_EQ(stats.records(), 10u);
+  EXPECT_EQ(stats.attack_records(), 3u);
+  EXPECT_DOUBLE_EQ(stats.attack_fraction(), 0.3);
+  EXPECT_EQ(stats.writes(), 2u);
+  EXPECT_EQ(stats.unique_rows(), 2u);  // row 5 in banks 0 and 1
+  EXPECT_EQ(stats.hottest_row_count(), 5u);
+  const auto per_interval = stats.acts_per_interval_per_bank();
+  EXPECT_EQ(per_interval.count(), 2u);  // (interval 0, banks 0 and 1)
+  EXPECT_DOUBLE_EQ(per_interval.mean(), 5.0);
+}
+
+TEST(TraceStats, InvalidConfigThrows) {
+  EXPECT_THROW(TraceStats(0, 2), std::invalid_argument);
+  EXPECT_THROW(TraceStats(1000, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tvp::trace

@@ -1,0 +1,526 @@
+// Unit tests for tvp::util — RNG, fixed-point probability, statistics,
+// histogram, tables, bit utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "tvp/util/bitutil.hpp"
+#include "tvp/util/cli.hpp"
+#include "tvp/util/config.hpp"
+#include "tvp/util/csv.hpp"
+#include "tvp/util/fixed_prob.hpp"
+#include "tvp/util/histogram.hpp"
+#include "tvp/util/json.hpp"
+#include "tvp/util/log.hpp"
+#include "tvp/util/rng.hpp"
+#include "tvp/util/stats.hpp"
+#include "tvp/util/table.hpp"
+
+namespace tvp::util {
+namespace {
+
+// ---------------------------------------------------------------- bitutil
+
+TEST(BitUtil, IsPow2) {
+  EXPECT_FALSE(is_pow2(0u));
+  EXPECT_TRUE(is_pow2(1u));
+  EXPECT_TRUE(is_pow2(2u));
+  EXPECT_FALSE(is_pow2(3u));
+  EXPECT_TRUE(is_pow2(1024u));
+  EXPECT_FALSE(is_pow2(1023u));
+}
+
+TEST(BitUtil, FloorCeilLog2) {
+  EXPECT_EQ(floor_log2(1u), 0u);
+  EXPECT_EQ(floor_log2(2u), 1u);
+  EXPECT_EQ(floor_log2(3u), 1u);
+  EXPECT_EQ(floor_log2(1024u), 10u);
+  EXPECT_EQ(ceil_log2(1u), 0u);
+  EXPECT_EQ(ceil_log2(2u), 1u);
+  EXPECT_EQ(ceil_log2(3u), 2u);
+  EXPECT_EQ(ceil_log2(1024u), 10u);
+  EXPECT_EQ(ceil_log2(1025u), 11u);
+}
+
+TEST(BitUtil, NextPow2) {
+  EXPECT_EQ(next_pow2(1u), 1u);
+  EXPECT_EQ(next_pow2(3u), 4u);
+  EXPECT_EQ(next_pow2(17u), 32u);
+  EXPECT_EQ(next_pow2(64u), 64u);
+}
+
+TEST(BitUtil, BitsFor) {
+  EXPECT_EQ(bits_for(2), 1u);
+  EXPECT_EQ(bits_for(131072), 17u);  // the paper's row address width
+  EXPECT_EQ(bits_for(8192), 13u);    // the refresh interval width
+}
+
+// Property: for every v, 2^ceil_log2(v) >= v and 2^floor_log2(v) <= v.
+class Log2Property : public ::testing::TestWithParam<std::uint64_t> {};
+TEST_P(Log2Property, Bounds) {
+  const std::uint64_t v = GetParam();
+  EXPECT_GE(std::uint64_t{1} << ceil_log2(v), v);
+  EXPECT_LE(std::uint64_t{1} << floor_log2(v), v);
+  EXPECT_LE(ceil_log2(v) - floor_log2(v), 1u);
+}
+INSTANTIATE_TEST_SUITE_P(Sweep, Log2Property,
+                         ::testing::Values(1, 2, 3, 5, 16, 17, 100, 1023, 1024,
+                                           1025, 139000, 1u << 31));
+
+// -------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 165ull, 131072ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.between(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(13);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.1);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, BernoulliQ32MatchesFixedProb) {
+  Rng rng(17);
+  const auto p = FixedProb::from_double(0.01);
+  const int n = 200000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli_q32(p.raw());
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.01, 0.002);
+  EXPECT_FALSE(rng.bernoulli_q32(0));
+  EXPECT_TRUE(rng.bernoulli_q32(FixedProb::kOne));
+}
+
+TEST(Rng, BelowPassesChiSquare) {
+  // Uniformity of below(16): chi-square against the 0.1% critical value
+  // (df = 15 -> 37.7; we allow 45 for slack). Deterministic seed.
+  Rng rng(777);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 64000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 45.0) << "chi2 = " << chi2;
+}
+
+TEST(Rng, ExponentialQuantilesMatchTheory) {
+  Rng rng(888);
+  PercentileTracker samples;
+  for (int i = 0; i < 50000; ++i) samples.add(rng.exponential(100.0));
+  // Exponential(mean 100): median = 69.3, p90 = 230.3.
+  EXPECT_NEAR(samples.percentile(0.5), 69.3, 3.0);
+  EXPECT_NEAR(samples.percentile(0.9), 230.3, 8.0);
+}
+
+TEST(Rng, Bits64AreBalanced) {
+  Rng rng(999);
+  int ones[64] = {};
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    std::uint64_t v = rng.next();
+    for (int b = 0; b < 64; ++b) ones[b] += (v >> b) & 1;
+  }
+  for (int b = 0; b < 64; ++b)
+    EXPECT_NEAR(ones[b], kDraws / 2, 350) << "bit " << b;  // ~5 sigma
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == child.next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(250.0);
+  EXPECT_NEAR(sum / n, 250.0, 10.0);
+}
+
+// -------------------------------------------------------------- FixedProb
+
+TEST(FixedProb, Pow2Values) {
+  EXPECT_DOUBLE_EQ(FixedProb::pow2(0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(FixedProb::pow2(1).value(), 0.5);
+  EXPECT_DOUBLE_EQ(FixedProb::pow2(23).value(), std::ldexp(1.0, -23));
+  EXPECT_EQ(FixedProb::pow2(32).raw(), 1u);
+  EXPECT_EQ(FixedProb::pow2(40).raw(), 0u);
+}
+
+TEST(FixedProb, PaperPbaseTimesRefInt) {
+  // RefInt * Pbase = 8192 * 2^-23 = 2^-10 ~ 9.8e-4 (Table I).
+  const auto p = FixedProb::pow2(23).scaled(8192);
+  EXPECT_NEAR(p.value(), 9.765625e-4, 1e-9);
+}
+
+TEST(FixedProb, ScaledSaturates) {
+  const auto p = FixedProb::pow2(4);  // 1/16
+  EXPECT_DOUBLE_EQ(p.scaled(8).value(), 0.5);
+  EXPECT_DOUBLE_EQ(p.scaled(16).value(), 1.0);
+  EXPECT_DOUBLE_EQ(p.scaled(1000).value(), 1.0);  // saturated
+}
+
+TEST(FixedProb, FromDoubleRoundTrip) {
+  for (const double v : {0.0, 1e-6, 0.001, 0.25, 0.999, 1.0}) {
+    EXPECT_NEAR(FixedProb::from_double(v).value(), v, 1e-9);
+  }
+  EXPECT_EQ(FixedProb::from_double(-0.5).raw(), 0u);
+  EXPECT_EQ(FixedProb::from_double(2.0).raw(), FixedProb::kOne);
+}
+
+TEST(FixedProb, Ordering) {
+  EXPECT_LT(FixedProb::pow2(23), FixedProb::pow2(22));
+  EXPECT_EQ(FixedProb::pow2(5), FixedProb::pow2(5));
+}
+
+// ------------------------------------------------------------ RunningStat
+
+TEST(RunningStat, MeanAndStddev) {
+  RunningStat s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  Rng rng(3);
+  RunningStat all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform() * 100;
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(PercentileTracker, Percentiles) {
+  PercentileTracker t;
+  for (int i = 1; i <= 100; ++i) t.add(i);
+  EXPECT_NEAR(t.percentile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(t.percentile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(t.percentile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(t.percentile(0.9), 90.1, 1e-9);
+}
+
+TEST(PercentileTracker, AddAfterQueryResorts) {
+  PercentileTracker t;
+  t.add(10);
+  EXPECT_DOUBLE_EQ(t.percentile(0.5), 10.0);
+  t.add(0);
+  EXPECT_DOUBLE_EQ(t.percentile(0.0), 0.0);
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0, 10, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-1);   // underflow -> first bin
+  h.add(100);  // overflow -> last bin
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, EdgesAndMean) {
+  Histogram h(0, 100, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 25.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 75.0);
+  h.add(10, 3);
+  h.add(50);
+  EXPECT_DOUBLE_EQ(h.mean(), (30.0 + 50.0) / 4.0);
+}
+
+TEST(Histogram, InvalidConfigThrows) {
+  EXPECT_THROW(Histogram(0, 10, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(10, 10, 4), std::invalid_argument);
+  Histogram h(0, 1, 2);
+  EXPECT_THROW(h.bin_lo(5), std::out_of_range);
+}
+
+TEST(Histogram, RenderNonEmpty) {
+  Histogram h(0, 10, 5);
+  h.add(1);
+  h.add(1);
+  h.add(7);
+  const std::string out = h.render(20);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+// -------------------------------------------------------------- TextTable
+
+TEST(TextTable, RendersAllCells) {
+  TextTable t({"a", "b"});
+  t.add_row({"hello", "world"});
+  t.row(42, 2.5);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("hello"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, ArityMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, CsvEscapes) {
+  TextTable t({"name", "note"});
+  t.add_row({"x,y", "say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Strfmt, FormatsLikePrintf) {
+  EXPECT_EQ(strfmt("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(strfmt("%.2f", 1.234), "1.23");
+}
+
+TEST(CsvWriter, WritesRowsToFile) {
+  const std::string path = ::testing::TempDir() + "/tvp_csv_test.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    w.write_row({"1", "2"});
+    w.write_row({"x,y", "z"});
+    EXPECT_EQ(w.rows_written(), 2u);
+    EXPECT_THROW(w.write_row({"too", "many", "cells"}), std::invalid_argument);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"x,y\",z");
+}
+
+// ------------------------------------------------------------------- json
+
+TEST(JsonWriter, NestedDocument) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("name").value("PARA");
+  json.key("overhead").value(0.25);
+  json.key("safe").value(true);
+  json.key("flips").value(std::uint64_t{0});
+  json.key("runs").begin_array();
+  json.value(std::int64_t{1}).value(std::int64_t{2});
+  json.end_array();
+  json.key("nested").begin_object();
+  json.key("x").value(std::int64_t{-3});
+  json.end_object();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"PARA\",\"overhead\":0.25,\"safe\":true,"
+            "\"flips\":0,\"runs\":[1,2],\"nested\":{\"x\":-3}}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter json;
+  json.value(std::string("a\"b\\c\nd\te"));
+  EXPECT_EQ(json.str(), "\"a\\\"b\\\\c\\nd\\te\"");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(std::numeric_limits<double>::infinity());
+  json.value(std::nan(""));
+  json.end_array();
+  EXPECT_EQ(json.str(), "[null,null]");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  JsonWriter json;
+  json.begin_object();
+  EXPECT_THROW(json.value(std::int64_t{1}), std::logic_error);  // no key
+  EXPECT_THROW(json.end_array(), std::logic_error);
+  EXPECT_THROW(json.str(), std::logic_error);  // unclosed
+  json.key("k");
+  EXPECT_THROW(json.key("again"), std::logic_error);
+  json.value(std::int64_t{1});
+  json.end_object();
+  EXPECT_NO_THROW(json.str());
+  EXPECT_THROW(json.begin_object(), std::logic_error);  // already complete
+}
+
+// --------------------------------------------------------------------- log
+
+TEST(Log, LevelGateAndRestore) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Emitting below the gate must be a no-op (no crash, nothing checked
+  // beyond not aborting; the sink is stderr).
+  TVP_LOG_DEBUG("invisible %d", 1);
+  TVP_LOG_INFO("invisible %s", "too");
+  set_log_level(LogLevel::kOff);
+  TVP_LOG_ERROR("also swallowed %d", 2);
+  set_log_level(before);
+}
+
+// ------------------------------------------------------------------ config
+
+TEST(KeyValueFile, ParsesAndTypes) {
+  const auto cfg = KeyValueFile::parse(
+      "# comment\n"
+      "geometry.banks = 8\n"
+      "rate=2.5   # trailing comment\n"
+      "name = hello world\n"
+      "flag = true\n"
+      "\n");
+  EXPECT_EQ(cfg.size(), 4u);
+  EXPECT_EQ(cfg.get_int("geometry.banks", 0), 8);
+  EXPECT_DOUBLE_EQ(cfg.get_double("rate", 0), 2.5);
+  EXPECT_EQ(cfg.get("name", ""), "hello world");
+  EXPECT_TRUE(cfg.get_bool("flag", false));
+  EXPECT_EQ(cfg.get_int("missing", 42), 42);
+  EXPECT_FALSE(cfg.has("missing"));
+}
+
+TEST(KeyValueFile, LastDuplicateWins) {
+  const auto cfg = KeyValueFile::parse("a = 1\na = 2\n");
+  EXPECT_EQ(cfg.get_int("a", 0), 2);
+}
+
+TEST(KeyValueFile, RejectsMalformed) {
+  EXPECT_THROW(KeyValueFile::parse("no equals sign\n"), std::runtime_error);
+  EXPECT_THROW(KeyValueFile::parse("= value\n"), std::runtime_error);
+  const auto cfg = KeyValueFile::parse("n = xyz\n");
+  EXPECT_THROW(cfg.get_int("n", 0), std::runtime_error);
+  EXPECT_THROW(KeyValueFile::load("/nonexistent/file.cfg"), std::runtime_error);
+}
+
+TEST(KeyValueFile, RoundTripsThroughText) {
+  KeyValueFile cfg;
+  cfg.set("b.key", "2");
+  cfg.set("a.key", "hello");
+  const auto reparsed = KeyValueFile::parse(cfg.to_text());
+  EXPECT_EQ(reparsed.get("a.key", ""), "hello");
+  EXPECT_EQ(reparsed.get_int("b.key", 0), 2);
+  EXPECT_EQ(reparsed.keys(), cfg.keys());
+}
+
+// -------------------------------------------------------------------- cli
+
+TEST(Flags, ParsesAllForms) {
+  const char* argv[] = {"prog", "--alpha=5", "--gamma", "positional",
+                        "--delta=hello"};
+  Flags flags(5, argv, {"alpha", "gamma", "delta"});
+  EXPECT_EQ(flags.get_int("alpha", 0), 5);
+  EXPECT_TRUE(flags.get_bool("gamma"));
+  EXPECT_EQ(flags.get("delta", ""), "hello");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "positional");
+}
+
+TEST(Flags, DefaultsAndTypes) {
+  const char* argv[] = {"prog", "--rate=2.5"};
+  Flags flags(2, argv, {"rate", "missing"});
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), 2.5);
+  EXPECT_EQ(flags.get_int("missing", 42), 42);
+  EXPECT_FALSE(flags.get_bool("missing"));
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+TEST(Flags, RejectsUnknownAndMalformed) {
+  const char* bad[] = {"prog", "--nope=1"};
+  EXPECT_THROW(Flags(2, bad, {"known"}), std::invalid_argument);
+  const char* not_int[] = {"prog", "--n=xyz"};
+  Flags flags(2, not_int, {"n"});
+  EXPECT_THROW(flags.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(flags.get_double("n", 0), std::invalid_argument);
+}
+
+TEST(Flags, BooleanBeforeAnotherFlag) {
+  const char* argv[] = {"prog", "--verbose", "--n=3"};
+  Flags flags(3, argv, {"verbose", "n"});
+  EXPECT_TRUE(flags.get_bool("verbose"));
+  EXPECT_EQ(flags.get_int("n", 0), 3);
+}
+
+}  // namespace
+}  // namespace tvp::util
