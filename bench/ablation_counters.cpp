@@ -5,6 +5,7 @@
 // suppression), too large and the table only adds area. This bench
 // measures the acts-per-interval distribution that justifies the choice
 // and sweeps the capacity.
+#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -13,6 +14,7 @@
 #include "tvp/hw/area_model.hpp"
 #include "tvp/trace/stats.hpp"
 #include "tvp/util/histogram.hpp"
+#include "tvp/util/parallel.hpp"
 #include "tvp/util/table.hpp"
 
 int main() {
@@ -37,6 +39,7 @@ int main() {
       per_interval.mean(), per_interval.max());
 
   // 2) Capacity sweep.
+  const auto bench_t0 = std::chrono::steady_clock::now();
   util::TextTable table({"counter entries", "state B/bank", "LUTs (DDR4)",
                          "overhead %", "FPR %", "flips"});
   table.set_title("CaPRoMi counter-table capacity sweep");
@@ -58,5 +61,10 @@ int main() {
   std::printf("\npaper: 64 entries, 374 B per 1 GB bank. Flips must stay 0 "
               "for every capacity\n(the lock bit protects hot aggressors from "
               "eviction even in tiny tables).\n");
+  std::printf("sweep wall-clock: %.2f s with %zu jobs (TVP_JOBS)\n",
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            bench_t0)
+                  .count(),
+              util::job_count());
   return 0;
 }

@@ -4,6 +4,7 @@
 // falls steeply while the table still misses parts of the workload's hot
 // row set plus the live aggressors, then flattens; storage and LUTs keep
 // growing linearly. The knee is where the paper's 32 sits.
+#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -11,6 +12,7 @@
 #include "tvp/exp/runner.hpp"
 #include "tvp/hw/area_model.hpp"
 #include "tvp/util/csv.hpp"
+#include "tvp/util/parallel.hpp"
 #include "tvp/util/table.hpp"
 
 int main() {
@@ -21,7 +23,9 @@ int main() {
   exp::install_standard_campaign(base);
   const std::uint32_t seeds = exp::seeds_from_env(3);
 
-  std::printf("A1 - history-table capacity ablation (%u seeds)\n\n", seeds);
+  std::printf("A1 - history-table capacity ablation (%u seeds, %zu jobs)\n\n",
+              seeds, util::job_count());
+  const auto bench_t0 = std::chrono::steady_clock::now();
 
   util::CsvWriter csv("ablation_history.csv",
                       {"variant", "entries", "bytes_per_bank", "luts_ddr4",
@@ -33,7 +37,9 @@ int main() {
                            "overhead %", "FPR %", "flips"});
     table.set_title(util::strfmt("%s - history size sweep",
                                  std::string(hw::to_string(variant)).c_str()));
-    for (const std::uint32_t entries : {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    // 255 is the largest legal capacity: slot indices are 8-bit link
+    // values and 0xFF is reserved for "no link".
+    for (const std::uint32_t entries : {2u, 4u, 8u, 16u, 32u, 64u, 128u, 255u}) {
       exp::SimConfig cfg = base;
       cfg.technique.params.history_entries = entries;
       cfg.finalize();
@@ -59,5 +65,10 @@ int main() {
   std::printf("ablation_history.csv written. Expect a knee near the paper's "
               "32 entries:\nsmaller tables churn (hot rows evict each other), "
               "larger ones only add area.\n");
+  std::printf("sweep wall-clock: %.2f s with %zu jobs (TVP_JOBS)\n",
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            bench_t0)
+                  .count(),
+              util::job_count());
   return 0;
 }

@@ -4,6 +4,7 @@
 // Pbase buys faster worst-case response (lower p_miss) at linearly more
 // extra activations; smaller Pbase flips LoPRoMi/LoLiPRoMi into the
 // vulnerable regime that LiPRoMi already occupies at 2^-23.
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -11,6 +12,7 @@
 #include "tvp/exp/report.hpp"
 #include "tvp/exp/runner.hpp"
 #include "tvp/exp/verdict.hpp"
+#include "tvp/util/parallel.hpp"
 #include "tvp/util/table.hpp"
 
 int main() {
@@ -21,8 +23,10 @@ int main() {
   exp::install_standard_campaign(base);
   const std::uint32_t seeds = exp::seeds_from_env(3);
 
-  std::printf("A3 - Pbase ablation (%u seeds); paper operating point: 2^-23, "
-              "RefInt*Pbase = 9.8e-4\n\n", seeds);
+  std::printf("A3 - Pbase ablation (%u seeds, %zu jobs); paper operating "
+              "point: 2^-23, RefInt*Pbase = 9.8e-4\n\n",
+              seeds, util::job_count());
+  const auto bench_t0 = std::chrono::steady_clock::now();
 
   for (const auto variant : {hw::Technique::kLiPRoMi, hw::Technique::kLoPRoMi}) {
     util::TextTable table({"Pbase", "RefInt*Pbase", "overhead %", "FPR %",
@@ -53,5 +57,10 @@ int main() {
     std::fputs(table.render().c_str(), stdout);
     std::printf("\n");
   }
+  std::printf("sweep wall-clock: %.2f s with %zu jobs (TVP_JOBS)\n",
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            bench_t0)
+                  .count(),
+              util::job_count());
   return 0;
 }

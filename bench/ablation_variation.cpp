@@ -9,6 +9,7 @@
 //      counter techniques trigger at threshold/4 (4x margin -> safe to
 //      ~-75 % weak rows); probabilistic techniques respond in expectation
 //      long before 139 K, with the flood p90 as the risk proxy.
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "tvp/exp/report.hpp"
 #include "tvp/exp/runner.hpp"
 #include "tvp/mitigation/prac.hpp"
+#include "tvp/util/parallel.hpp"
 #include "tvp/util/table.hpp"
 
 namespace {
@@ -80,37 +82,51 @@ int main() {
       hw::Technique::kLoLiPRoMi, hw::Technique::kCaPRoMi,
       hw::Technique::kTwice,     hw::Technique::kCra,
   };
-  for (const auto t : shown) {
-    std::vector<std::string> row = {std::string(hw::to_string(t))};
-    std::uint64_t total = 0;
-    for (const auto v : sweep) {
-      const auto r = exp::run_simulation(t, variation_config(v, full));
-      total += r.flips;
-      row.push_back(std::to_string(r.flips));
-    }
-    row.push_back(total == 0 ? "robust" : "weak-row failures");
-    table.add_row(row);
-  }
-  // The epilogue: PRAC-class per-row in-DRAM counting with a derated
-  // (threshold/8) trigger — the margin problem solved by construction.
-  {
-    std::vector<std::string> row = {"PRAC (th/8, extension)"};
-    std::uint64_t total = 0;
-    for (const auto v : sweep) {
+  // Run the (technique + PRAC) x variation grid in parallel into
+  // pre-sized slots (PRAC occupies the last row).
+  const auto bench_t0 = std::chrono::steady_clock::now();
+  const std::size_t kVariations = sizeof(sweep) / sizeof(sweep[0]);
+  const std::size_t techniques = sizeof(shown) / sizeof(shown[0]);
+  std::vector<exp::RunResult> grid((techniques + 1) * kVariations);
+  util::parallel_for_indexed(grid.size(), [&](std::size_t i) {
+    const std::size_t row = i / kVariations;
+    const auto v = sweep[i % kVariations];
+    if (row < techniques) {
+      grid[i] = exp::run_simulation(shown[row], variation_config(v, full));
+    } else {
+      // The epilogue: PRAC-class per-row in-DRAM counting with a derated
+      // (threshold/8) trigger — the margin problem solved by construction.
       auto cfg = variation_config(v, full);
       mitigation::PracConfig prac_cfg;
       prac_cfg.rows_per_bank = cfg.geometry.rows_per_bank;
       prac_cfg.refresh_intervals = cfg.timing.refresh_intervals;
       prac_cfg.row_threshold = cfg.technique.flip_threshold / 8;
-      const auto r = exp::run_custom_simulation(
+      grid[i] = exp::run_custom_simulation(
           mitigation::make_prac_factory(prac_cfg), "PRAC", cfg);
+    }
+  });
+  for (std::size_t t = 0; t <= techniques; ++t) {
+    std::vector<std::string> row = {
+        t < techniques ? std::string(hw::to_string(shown[t]))
+                       : "PRAC (th/8, extension)"};
+    std::uint64_t total = 0;
+    for (std::size_t v = 0; v < kVariations; ++v) {
+      const auto& r = grid[t * kVariations + v];
       total += r.flips;
       row.push_back(std::to_string(r.flips));
     }
-    row.push_back(total == 0 ? "robust (derated by design)" : "FAILED");
+    if (t < techniques)
+      row.push_back(total == 0 ? "robust" : "weak-row failures");
+    else
+      row.push_back(total == 0 ? "robust (derated by design)" : "FAILED");
     table.add_row(row);
   }
   std::fputs(table.render().c_str(), stdout);
+  std::printf("\nsweep wall-clock: %.2f s with %zu jobs (TVP_JOBS)\n",
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            bench_t0)
+                  .count(),
+              util::job_count());
   std::printf(
       "\nreading: a double-sided victim absorbs up to 2 x (threshold/4) =\n"
       "half the nominal threshold before both aggressor counters have\n"

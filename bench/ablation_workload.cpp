@@ -8,12 +8,14 @@
 //       case, where the history table cannot help benign traffic).
 // The claim that must survive all three: the technique *ordering*
 // (counters < TiVaPRoMi < PARA/MRLoc < ProHit) and zero flips.
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "tvp/exp/report.hpp"
 #include "tvp/exp/runner.hpp"
+#include "tvp/util/parallel.hpp"
 #include "tvp/util/table.hpp"
 
 namespace {
@@ -45,17 +47,28 @@ int main() {
       exp::BenignModel::kUniformRandom,
   };
 
-  std::printf("A4 - workload-model sensitivity of the overhead comparison\n\n");
+  std::printf("A4 - workload-model sensitivity of the overhead comparison "
+              "(%zu jobs)\n\n",
+              util::job_count());
+  const auto bench_t0 = std::chrono::steady_clock::now();
 
   util::TextTable table({"Technique", "(a) synthetic mix", "(b) cache frontend",
                          "(c) uniform random", "flips (all)"});
   table.set_title("activation overhead [%] per workload model");
 
-  for (const auto t : shown) {
-    std::vector<std::string> row = {std::string(hw::to_string(t))};
+  // The technique x model grid runs in parallel into pre-sized slots.
+  const std::size_t kModels = sizeof(models) / sizeof(models[0]);
+  const std::size_t techniques = sizeof(shown) / sizeof(shown[0]);
+  std::vector<exp::RunResult> grid(techniques * kModels);
+  util::parallel_for_indexed(grid.size(), [&](std::size_t i) {
+    grid[i] = exp::run_simulation(shown[i / kModels],
+                                  make_config(models[i % kModels], full));
+  });
+  for (std::size_t t = 0; t < techniques; ++t) {
+    std::vector<std::string> row = {std::string(hw::to_string(shown[t]))};
     std::uint64_t flips = 0;
-    for (const auto model : models) {
-      const auto r = exp::run_simulation(t, make_config(model, full));
+    for (std::size_t m = 0; m < kModels; ++m) {
+      const auto& r = grid[t * kModels + m];
       row.push_back(util::strfmt("%.5f", r.overhead_pct()));
       flips += r.flips;
     }
@@ -63,6 +76,11 @@ int main() {
     table.add_row(row);
   }
   std::fputs(table.render().c_str(), stdout);
+  std::printf("\nsweep wall-clock: %.2f s with %zu jobs (TVP_JOBS)\n",
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            bench_t0)
+                  .count(),
+              util::job_count());
   std::printf(
       "\nreading: under reuse-free traffic every time-varying technique\n"
       "converges toward PARA's static cost (the history table has nothing\n"

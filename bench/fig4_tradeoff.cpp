@@ -9,6 +9,7 @@
 // enormous tables); storage is 9x-27x below TWiCe.
 //
 // Experiment id: F4. Environment: TVP_SCALE, TVP_SEEDS.
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -17,6 +18,7 @@
 #include "tvp/exp/report.hpp"
 #include "tvp/exp/runner.hpp"
 #include "tvp/util/csv.hpp"
+#include "tvp/util/parallel.hpp"
 #include "tvp/util/table.hpp"
 
 namespace {
@@ -60,8 +62,10 @@ int main() {
   exp::install_standard_campaign(config);
   const std::uint32_t seeds = exp::seeds_from_env(3);
 
-  std::printf("Figure 4 reproduction: %u banks, %u windows, %u seeds\n",
-              config.geometry.total_banks(), config.windows, seeds);
+  std::printf("Figure 4 reproduction: %u banks, %u windows, %u seeds, %zu jobs\n",
+              config.geometry.total_banks(), config.windows, seeds,
+              util::job_count());
+  const auto bench_t0 = std::chrono::steady_clock::now();
 
   std::vector<Point> points;
   util::TextTable table({"Technique", "Table size / bank [B]",
@@ -110,5 +114,10 @@ int main() {
       "(paper: 6x-12x vs probabilistic)\n",
       para.overhead / loli.overhead, prohit.overhead / loli.overhead);
   std::printf("fig4.csv written (%zu points)\n", points.size());
+  std::printf("sweep wall-clock: %.2f s with %zu jobs (TVP_JOBS)\n",
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            bench_t0)
+                  .count(),
+              util::job_count());
   return 0;
 }

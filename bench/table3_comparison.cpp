@@ -6,6 +6,7 @@
 //
 // Experiment ids: T3a (area), T3b (verdict), T3c (overhead/FPR).
 // Environment: TVP_SCALE=full for paper-scale runs, TVP_SEEDS=<n>.
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -16,6 +17,7 @@
 #include "tvp/exp/verdict.hpp"
 #include "tvp/hw/area_model.hpp"
 #include "tvp/util/json.hpp"
+#include "tvp/util/parallel.hpp"
 #include "tvp/util/table.hpp"
 
 int main() {
@@ -27,9 +29,11 @@ int main() {
   const std::uint32_t seeds = exp::seeds_from_env(5);
 
   std::printf(
-      "Table III reproduction: %u banks, %u windows, %u seeds (TVP_SCALE=%s)\n\n",
+      "Table III reproduction: %u banks, %u windows, %u seeds (TVP_SCALE=%s, "
+      "TVP_JOBS=%zu)\n\n",
       config.geometry.total_banks(), config.windows, seeds,
-      exp::full_scale_requested() ? "full" : "default");
+      exp::full_scale_requested() ? "full" : "default", util::job_count());
+  const auto bench_t0 = std::chrono::steady_clock::now();
 
   // Paper reference values for side-by-side comparison.
   struct PaperRow {
@@ -116,7 +120,12 @@ int main() {
     ref.add_row({std::string(hw::to_string(row.technique)), row.ddr4, row.ddr3,
                  row.vulnerable, row.overhead, row.fpr});
   }
+  const double sweep_wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - bench_t0)
+                                .count();
   json.end_array();
+  json.key("sweep_wall_seconds").value(sweep_wall);
+  json.key("jobs").value(std::uint64_t{util::job_count()});
   json.end_object();
   {
     std::ofstream os("table3.json");
@@ -125,6 +134,8 @@ int main() {
   std::fputs(table.render().c_str(), stdout);
   std::fputs(ref.render().c_str(), stdout);
   std::printf("\nmachine-readable results written to table3.json\n");
+  std::printf("sweep wall-clock: %.2f s (9 techniques x %u seeds, %zu jobs)\n",
+              sweep_wall, seeds, util::job_count());
 
   std::printf(
       "\nverdict criteria: flips observed | hazard never escalates (static p)\n"

@@ -79,6 +79,8 @@ int main(int argc, char** argv) {
         base, flags.get("param", ""), split_csv(flags.get("values", "")),
         techniques);
     std::fputs(exp::sweep_overhead_table(sweep).render().c_str(), stdout);
+    std::printf("%zu cells in %.2f s with %zu jobs (TVP_JOBS)\n",
+                sweep.cells.size(), sweep.wall_seconds, sweep.jobs);
 
     if (flags.has("csv")) {
       const std::string path = flags.get("csv", "sweep.csv");

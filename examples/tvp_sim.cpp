@@ -121,6 +121,9 @@ int main(int argc, char** argv) {
   table.add_row({"security verdict",
                  verdict.vulnerable ? "vulnerable" : "resilient"});
   table.add_row({"verdict reason", verdict.reason});
+  table.add_row({"sweep wall-clock / jobs",
+                 util::strfmt("%.2f s / %zu (TVP_JOBS)", sweep.wall_seconds,
+                              sweep.jobs)});
   std::fputs(table.render().c_str(), stdout);
 
   if (flags.has("json")) {

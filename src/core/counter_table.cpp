@@ -5,8 +5,9 @@
 namespace tvp::core {
 
 CounterTable::CounterTable(std::size_t capacity, std::uint8_t lock_threshold,
-                           unsigned row_bits)
-    : lock_threshold_(lock_threshold), row_bits_(row_bits) {
+                           unsigned row_bits, unsigned link_bits)
+    : lock_threshold_(lock_threshold), row_bits_(row_bits),
+      link_bits_(link_bits) {
   if (capacity == 0) throw std::invalid_argument("CounterTable: zero capacity");
   if (capacity > 255)
     throw std::invalid_argument("CounterTable: capacity above 255 unsupported");
@@ -52,9 +53,10 @@ void CounterTable::clear() noexcept {
 }
 
 std::uint64_t CounterTable::state_bits() const noexcept {
-  // row + 8-bit count + lock bit + link index (log2(history capacity),
-  // budgeted at 5 bits for the default 32-entry table) + valid.
-  return static_cast<std::uint64_t>(slots_.size()) * (row_bits_ + 8 + 1 + 5 + 1);
+  // row + 8-bit count + lock bit + link index (log2 of the linked
+  // history table's capacity; 5 bits for the default 32 entries) + valid.
+  return static_cast<std::uint64_t>(slots_.size()) *
+         (row_bits_ + 8 + 1 + link_bits_ + 1);
 }
 
 }  // namespace tvp::core

@@ -9,9 +9,10 @@ HistoryTable::HistoryTable(std::size_t capacity, unsigned row_bits,
     : capacity_(capacity), row_bits_(row_bits), interval_bits_(interval_bits) {
   if (capacity_ == 0)
     throw std::invalid_argument("HistoryTable: zero capacity");
-  if (capacity_ > 256)
+  if (capacity_ > 255)
     throw std::invalid_argument(
-        "HistoryTable: capacity above 256 breaks 8-bit link indices");
+        "HistoryTable: capacity above 255 breaks 8-bit link indices "
+        "(slot 255 would collide with CounterTable::kNoLink = 0xFF)");
   slots_.assign(capacity_, Entry{});
 }
 

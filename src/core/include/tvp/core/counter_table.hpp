@@ -33,8 +33,11 @@ class CounterTable {
   /// @p capacity entries (the paper sizes it at 64, between the average
   /// 40 and maximum 165 activations per interval); @p lock_threshold is
   /// the activation count at which an entry becomes irreplaceable;
-  /// @p row_bits sizes the storage estimate.
-  CounterTable(std::size_t capacity, std::uint8_t lock_threshold, unsigned row_bits);
+  /// @p row_bits and @p link_bits size the storage estimate — pass
+  /// util::bits_for(history capacity) for @p link_bits (5 for the
+  /// paper's 32-entry history table).
+  CounterTable(std::size_t capacity, std::uint8_t lock_threshold,
+               unsigned row_bits, unsigned link_bits = 5);
 
   std::size_t capacity() const noexcept { return slots_.size(); }
   std::size_t size() const noexcept { return size_; }
@@ -63,6 +66,7 @@ class CounterTable {
   std::size_t size_ = 0;
   std::uint8_t lock_threshold_;
   unsigned row_bits_;
+  unsigned link_bits_;
 };
 
 }  // namespace tvp::core

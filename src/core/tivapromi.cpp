@@ -27,6 +27,10 @@ void TiVaPRoMiConfig::validate() const {
     throw std::invalid_argument("TiVaPRoMiConfig: pbase_exp out of range");
   if (history_entries == 0 || counter_entries == 0)
     throw std::invalid_argument("TiVaPRoMiConfig: zero table capacity");
+  if (history_entries > 255)
+    throw std::invalid_argument(
+        "TiVaPRoMiConfig: history_entries above 255 break the 8-bit link "
+        "encoding (0xFF = no link)");
   // The time-varying probability must stay a probability at the maximum
   // weight: RefInt * Pbase <= 1. (Computed on raw values: FixedProb's
   // scaled() saturates and would mask the overflow.)
@@ -110,7 +114,8 @@ std::uint64_t ProbabilisticTiVaPRoMi::state_bits() const noexcept {
 CaPRoMi::CaPRoMi(TiVaPRoMiConfig config, util::Rng rng)
     : TiVaPRoMiBase(config, rng),
       counters_(config.counter_entries, config.lock_threshold,
-                util::bits_for(config.rows_per_bank)) {}
+                util::bits_for(config.rows_per_bank),
+                util::bits_for(config.history_entries)) {}
 
 void CaPRoMi::on_activate(dram::RowId row, const mem::MitigationContext&,
                           std::vector<mem::MitigationAction>&) {

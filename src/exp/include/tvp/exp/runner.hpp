@@ -103,7 +103,15 @@ struct SeedSweepResult {
   std::uint64_t total_flips = 0;
   std::uint64_t total_victim_flips = 0;
   double state_bytes_per_bank = 0.0;
+  double wall_seconds = 0.0;  ///< wall-clock of the whole sweep
+  std::size_t jobs = 1;       ///< worker threads used (TVP_JOBS)
 };
+
+/// Runs @p seeds independent simulations at seeds config.seed,
+/// config.seed + 1, ... and aggregates them. The grid is executed with
+/// util::job_count() worker threads (TVP_JOBS env var; 1 = sequential);
+/// results land in per-seed slots and are reduced in seed order, so the
+/// aggregate is bit-identical for every job count.
 SeedSweepResult run_seed_sweep(hw::Technique technique, SimConfig config,
                                std::uint32_t seeds);
 

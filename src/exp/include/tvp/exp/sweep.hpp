@@ -28,6 +28,8 @@ struct SweepResult {
   std::vector<std::string> values;
   std::vector<std::string> techniques;
   std::vector<SweepCell> cells;  ///< row-major: values x techniques
+  double wall_seconds = 0.0;     ///< wall-clock of the whole matrix
+  std::size_t jobs = 1;          ///< worker threads used (TVP_JOBS)
 
   const RunResult& at(std::size_t value_index, std::size_t technique_index) const {
     return cells.at(value_index * techniques.size() + technique_index).result;
@@ -37,7 +39,9 @@ struct SweepResult {
 /// Runs the matrix: for each value, @p base with `param_key = value`
 /// applied, for each technique. @p param_key must be a recognised config
 /// key (config_io); values are config-file value strings. Throws on
-/// unknown keys/values; deterministic in the base config's seed.
+/// unknown keys/values; deterministic in the base config's seed. The
+/// grid runs on util::job_count() worker threads (TVP_JOBS env var) into
+/// pre-sized cells, so the matrix is bit-identical for every job count.
 SweepResult run_param_sweep(const util::KeyValueFile& base,
                             const std::string& param_key,
                             const std::vector<std::string>& values,

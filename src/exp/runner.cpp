@@ -6,6 +6,7 @@
 
 #include "tvp/cpu/frontend.hpp"
 #include "tvp/trace/synthetic.hpp"
+#include "tvp/util/parallel.hpp"
 
 namespace tvp::exp {
 
@@ -181,17 +182,43 @@ RunResult run_custom_simulation(const mem::BankMitigationFactory& factory,
 SeedSweepResult run_seed_sweep(hw::Technique technique, SimConfig config,
                                std::uint32_t seeds) {
   if (seeds == 0) throw std::invalid_argument("run_seed_sweep: zero seeds");
+  const auto t0 = std::chrono::steady_clock::now();
   SeedSweepResult sweep;
   sweep.technique = std::string(hw::to_string(technique));
-  for (std::uint32_t s = 0; s < seeds; ++s) {
-    config.seed = 1000 + s;
-    const RunResult run = run_simulation(technique, config);
-    sweep.overhead_pct.add(run.overhead_pct());
-    sweep.fpr_pct.add(run.fpr_pct());
+  sweep.jobs = util::job_count();
+
+  // Parallel-safety invariant: nothing below run_simulation shares
+  // mutable state between runs — every run builds its own Rng(cfg.seed),
+  // workload, controller, engine and disturbance model from its private
+  // SimConfig copy. Keep it that way: any global/static mutable state
+  // introduced under run_simulation breaks this grid.
+  //
+  // Sweep seeds derive from the caller's configured base seed (they used
+  // to be hardcoded to 1000 + s, silently discarding config.seed).
+  const std::uint64_t base_seed = config.seed;
+  std::vector<RunResult> runs(seeds);
+  util::parallel_for_indexed(seeds, sweep.jobs, [&](std::size_t s) {
+    SimConfig cfg = config;
+    cfg.seed = base_seed + s;
+    runs[s] = run_simulation(technique, cfg);
+  });
+
+  // Reduce in seed order via parallel Welford merges. The reduction is
+  // the same sequence of float operations for every job count, so the
+  // aggregate is bit-identical whether the grid ran on 1 or N threads.
+  for (const RunResult& run : runs) {
+    util::RunningStat overhead;
+    overhead.add(run.overhead_pct());
+    sweep.overhead_pct.merge(overhead);
+    util::RunningStat fpr;
+    fpr.add(run.fpr_pct());
+    sweep.fpr_pct.merge(fpr);
     sweep.total_flips += run.flips;
     sweep.total_victim_flips += run.victim_flips;
     sweep.state_bytes_per_bank = run.state_bytes_per_bank;
   }
+  sweep.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return sweep;
 }
 

@@ -1,6 +1,9 @@
 #include "tvp/exp/sweep.hpp"
 
+#include <chrono>
 #include <stdexcept>
+
+#include "tvp/util/parallel.hpp"
 
 namespace tvp::exp {
 
@@ -10,25 +13,42 @@ SweepResult run_param_sweep(const util::KeyValueFile& base,
                             const std::vector<hw::Technique>& techniques) {
   if (values.empty() || techniques.empty())
     throw std::invalid_argument("run_param_sweep: empty values or techniques");
+  const auto t0 = std::chrono::steady_clock::now();
   SweepResult sweep;
   sweep.param_key = param_key;
   sweep.values = values;
+  sweep.jobs = util::job_count();
   for (const auto t : techniques)
     sweep.techniques.emplace_back(hw::to_string(t));
 
+  // Parse and validate every value up front, so config errors surface
+  // before any simulation work starts (same behaviour as the old
+  // sequential loop, which threw before running the first cell).
+  std::vector<SimConfig> configs;
+  configs.reserve(values.size());
   for (const auto& value : values) {
     util::KeyValueFile file = base;
     file.set(param_key, value);
     SimConfig config;
     apply_config(config, file);  // throws on unknown key
-    for (const auto technique : techniques) {
-      SweepCell cell;
-      cell.value = value;
-      cell.technique = std::string(hw::to_string(technique));
-      cell.result = run_simulation(technique, config);
-      sweep.cells.push_back(std::move(cell));
-    }
+    configs.push_back(std::move(config));
   }
+
+  // Run the (value x technique) grid in parallel into pre-sized,
+  // row-major slots; each cell's run is independent (private SimConfig,
+  // private Rng), so the matrix is bit-identical for every job count.
+  sweep.cells.resize(values.size() * techniques.size());
+  util::parallel_for_indexed(
+      sweep.cells.size(), sweep.jobs, [&](std::size_t i) {
+        const std::size_t v = i / techniques.size();
+        const std::size_t t = i % techniques.size();
+        SweepCell& cell = sweep.cells[i];
+        cell.value = values[v];
+        cell.technique = std::string(hw::to_string(techniques[t]));
+        cell.result = run_simulation(techniques[t], configs[v]);
+      });
+  sweep.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return sweep;
 }
 

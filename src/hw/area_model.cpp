@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tvp/util/bitutil.hpp"
+
 namespace tvp::hw {
 
 const char* to_string(Target target) noexcept {
@@ -147,8 +149,13 @@ double table_bytes_per_bank(Technique technique, const TechniqueParams& params) 
     case Technique::kLoLiPRoMi:
       return params.history_entries * (row_bits + interval_bits) / 8.0;
     case Technique::kCaPRoMi:
+      // Counter link width follows the linked history table's capacity
+      // (core::CounterTable::state_bits uses the same formula).
       return params.history_entries * (row_bits + interval_bits) / 8.0 +
-             params.counter_entries * (row_bits + 8 + 1 + 5 + 1) / 8.0;
+             params.counter_entries *
+                 (row_bits + 8 + 1 + util::bits_for(params.history_entries) +
+                  1) /
+                 8.0;
   }
   return 0.0;
 }

@@ -112,8 +112,23 @@ std::vector<AccessRecord> read_binary(std::istream& is) {
   if (version != kVersion)
     throw std::runtime_error("binary trace: unsupported version " +
                              std::to_string(version));
+  // The header count is untrusted on-disk data: validate it against the
+  // remaining stream size before reserving, so a corrupt header produces
+  // the "truncated" error instead of a huge allocation.
+  const std::streampos pos = is.tellg();
+  if (pos != std::streampos(-1)) {
+    is.seekg(0, std::ios::end);
+    const std::streampos end = is.tellg();
+    is.seekg(pos);
+    if (end != std::streampos(-1) &&
+        count > static_cast<std::uint64_t>(end - pos) / sizeof(PackedRecord))
+      throw std::runtime_error("binary trace: truncated");
+  }
   std::vector<AccessRecord> out;
-  out.reserve(count);
+  // Non-seekable streams can't pre-validate: cap the reservation and let
+  // push_back grow past it if the records really are there.
+  constexpr std::uint64_t kMaxPrereserve = 1u << 20;
+  out.reserve(static_cast<std::size_t>(std::min(count, kMaxPrereserve)));
   for (std::uint64_t i = 0; i < count; ++i) {
     PackedRecord p{};
     is.read(reinterpret_cast<char*>(&p), sizeof p);

@@ -1,0 +1,36 @@
+// Deterministic parallel execution for the experiment harness.
+//
+// Every table and figure the repo reproduces is a sweep of independent
+// run_simulation calls (seeds x techniques x parameter values). Each
+// call constructs its own Rng, controller, engine and disturbance model
+// from its SimConfig, so grid points share no mutable state and can run
+// on any thread. parallel_for_indexed hands the grid out by index;
+// callers write results into pre-sized slots and reduce them in index
+// order afterwards, which makes the output bit-identical regardless of
+// how many workers ran the grid.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace tvp::util {
+
+/// Worker count for the harness: the TVP_JOBS environment variable when
+/// it parses to a positive integer, otherwise hardware_concurrency
+/// (never 0). TVP_JOBS=1 selects the plain sequential path.
+std::size_t job_count() noexcept;
+
+/// Runs body(i) for every i in [0, count), using up to @p jobs worker
+/// threads. jobs <= 1 (or count <= 1) runs inline on the calling thread.
+/// Iterations are claimed from an atomic counter, so each index runs
+/// exactly once and all iterations have finished when the call returns.
+/// The first exception thrown by any iteration is rethrown to the
+/// caller once the pool has drained.
+void parallel_for_indexed(std::size_t count, std::size_t jobs,
+                          const std::function<void(std::size_t)>& body);
+
+/// Same, with job_count() workers.
+void parallel_for_indexed(std::size_t count,
+                          const std::function<void(std::size_t)>& body);
+
+}  // namespace tvp::util

@@ -1,0 +1,62 @@
+#include "tvp/util/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tvp::util {
+
+std::size_t job_count() noexcept {
+  if (const char* env = std::getenv("TVP_JOBS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void parallel_for_indexed(std::size_t count, std::size_t jobs,
+                          const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (jobs <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Keep draining: remaining iterations still run so the caller's
+        // slots are in a defined state, but the error is preserved.
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  const std::size_t workers = jobs < count ? jobs : count;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(worker);
+  worker();  // the calling thread participates
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for_indexed(std::size_t count,
+                          const std::function<void(std::size_t)>& body) {
+  parallel_for_indexed(count, job_count(), body);
+}
+
+}  // namespace tvp::util

@@ -9,6 +9,7 @@
 #include "tvp/core/history_table.hpp"
 #include "tvp/core/tivapromi.hpp"
 #include "tvp/core/weighting.hpp"
+#include "tvp/util/bitutil.hpp"
 
 namespace tvp::core {
 namespace {
@@ -123,6 +124,15 @@ TEST(HistoryTable, RejectsBadCapacity) {
   EXPECT_THROW(HistoryTable(300, 17, 13), std::invalid_argument);
 }
 
+TEST(HistoryTable, RejectsCapacity256) {
+  // Slot index 255 would collide with CounterTable::kNoLink (0xFF): a
+  // valid link to slot 255 becomes indistinguishable from "no link" in
+  // CaPRoMi::on_refresh. 255 slots is the maximum.
+  EXPECT_THROW(HistoryTable(256, 17, 13), std::invalid_argument);
+  const HistoryTable max_table(255, 17, 13);
+  EXPECT_EQ(max_table.capacity(), 255u);
+}
+
 // ------------------------------------------------------------- CounterTable
 
 TEST(CounterTable, InsertAndIncrement) {
@@ -199,6 +209,32 @@ TEST(CounterTable, StateBitsMatchPaper) {
   // paper's 374 B per 1 GB bank.
   const CounterTable table(64, 16, 17);
   EXPECT_EQ(table.state_bits(), 2048u);
+}
+
+TEST(CounterTable, StateBitsFollowLinkWidth) {
+  // The link field is log2(history capacity) wide, not a hardcoded 5
+  // bits: an 8-entry history table needs 3-bit links, a 128-entry one 7.
+  const CounterTable narrow(64, 16, 17, util::bits_for(8));
+  EXPECT_EQ(narrow.state_bits(), 64u * (17 + 8 + 1 + 3 + 1));
+  const CounterTable wide(64, 16, 17, util::bits_for(128));
+  EXPECT_EQ(wide.state_bits(), 64u * (17 + 8 + 1 + 7 + 1));
+}
+
+TEST(CaPRoMi, StateBitsFollowHistoryCapacity) {
+  // Regression: CaPRoMi's counter links must widen with the configured
+  // history capacity so Fig. 4 storage accounting stays honest for
+  // non-default history_entries.
+  TiVaPRoMiConfig small = TiVaPRoMiConfig{};
+  small.history_entries = 8;  // 3-bit links
+  CaPRoMi ca_small(small, util::Rng(1));
+  TiVaPRoMiConfig large = TiVaPRoMiConfig{};
+  large.history_entries = 128;  // 7-bit links
+  CaPRoMi ca_large(large, util::Rng(1));
+  const std::uint64_t row_bits = 17, interval_bits = 13;
+  EXPECT_EQ(ca_small.state_bits(),
+            8 * (row_bits + interval_bits) + 64 * (row_bits + 8 + 1 + 3 + 1));
+  EXPECT_EQ(ca_large.state_bits(),
+            128 * (row_bits + interval_bits) + 64 * (row_bits + 8 + 1 + 7 + 1));
 }
 
 // ---------------------------------------------------------------- TiVaPRoMi

@@ -2,6 +2,8 @@
 // and the security analysis (flood + verdict).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "tvp/exp/config_io.hpp"
 #include "tvp/exp/report.hpp"
 #include "tvp/exp/registry.hpp"
@@ -137,6 +139,78 @@ TEST(Runner, SeedSweepAggregates) {
   EXPECT_EQ(sweep.technique, "PARA");
   EXPECT_THROW(run_seed_sweep(hw::Technique::kPara, cfg, 0),
                std::invalid_argument);
+}
+
+TEST(Runner, SeedSweepRespectsBaseSeed) {
+  // Regression: the sweep used to hardcode seeds 1000+s, ignoring
+  // config.seed entirely. Seed s of the sweep must now run at
+  // config.seed + s.
+  SimConfig cfg = fast_config();
+  cfg.seed = 42;
+  const RunResult direct = run_simulation(hw::Technique::kPara, cfg);
+  const SeedSweepResult one = run_seed_sweep(hw::Technique::kPara, cfg, 1);
+  EXPECT_EQ(one.overhead_pct.count(), 1u);
+  EXPECT_DOUBLE_EQ(one.overhead_pct.mean(), direct.overhead_pct());
+  EXPECT_EQ(one.total_flips, direct.flips);
+
+  SimConfig other = cfg;
+  other.seed = 4242;
+  const SeedSweepResult a = run_seed_sweep(hw::Technique::kPara, cfg, 2);
+  const SeedSweepResult b = run_seed_sweep(hw::Technique::kPara, other, 2);
+  EXPECT_NE(a.overhead_pct.mean(), b.overhead_pct.mean());
+}
+
+TEST(Runner, ParallelSweepMatchesSequential) {
+  // The parallel grid must be bit-identical to the sequential run:
+  // results land in per-seed slots and are reduced in seed order, so
+  // the float-op sequence is the same for every TVP_JOBS value.
+  SimConfig cfg = fast_config();
+  cfg.seed = 7;
+  ASSERT_EQ(setenv("TVP_JOBS", "1", 1), 0);
+  const SeedSweepResult seq = run_seed_sweep(hw::Technique::kLoLiPRoMi, cfg, 4);
+  ASSERT_EQ(setenv("TVP_JOBS", "4", 1), 0);
+  const SeedSweepResult par = run_seed_sweep(hw::Technique::kLoLiPRoMi, cfg, 4);
+  unsetenv("TVP_JOBS");
+
+  EXPECT_EQ(par.jobs, 4u);
+  EXPECT_EQ(seq.jobs, 1u);
+  EXPECT_EQ(par.overhead_pct.count(), seq.overhead_pct.count());
+  EXPECT_EQ(par.overhead_pct.mean(), seq.overhead_pct.mean());
+  EXPECT_EQ(par.overhead_pct.stddev(), seq.overhead_pct.stddev());
+  EXPECT_EQ(par.overhead_pct.min(), seq.overhead_pct.min());
+  EXPECT_EQ(par.overhead_pct.max(), seq.overhead_pct.max());
+  EXPECT_EQ(par.fpr_pct.count(), seq.fpr_pct.count());
+  EXPECT_EQ(par.fpr_pct.mean(), seq.fpr_pct.mean());
+  EXPECT_EQ(par.fpr_pct.stddev(), seq.fpr_pct.stddev());
+  EXPECT_EQ(par.total_flips, seq.total_flips);
+  EXPECT_EQ(par.total_victim_flips, seq.total_victim_flips);
+  EXPECT_EQ(par.state_bytes_per_bank, seq.state_bytes_per_bank);
+}
+
+TEST(Sweep, ParallelParamSweepMatchesSequential) {
+  const auto file = util::KeyValueFile::parse(to_config_text(fast_config()));
+  const std::vector<std::string> values = {"16", "32"};
+  const std::vector<hw::Technique> techs = {hw::Technique::kPara,
+                                            hw::Technique::kLoLiPRoMi};
+  ASSERT_EQ(setenv("TVP_JOBS", "1", 1), 0);
+  const SweepResult seq =
+      run_param_sweep(file, "technique.history_entries", values, techs);
+  ASSERT_EQ(setenv("TVP_JOBS", "3", 1), 0);
+  const SweepResult par =
+      run_param_sweep(file, "technique.history_entries", values, techs);
+  unsetenv("TVP_JOBS");
+
+  ASSERT_EQ(par.cells.size(), seq.cells.size());
+  for (std::size_t i = 0; i < seq.cells.size(); ++i) {
+    EXPECT_EQ(par.cells[i].value, seq.cells[i].value);
+    EXPECT_EQ(par.cells[i].result.stats.demand_acts,
+              seq.cells[i].result.stats.demand_acts);
+    EXPECT_EQ(par.cells[i].result.stats.extra_acts,
+              seq.cells[i].result.stats.extra_acts);
+    EXPECT_EQ(par.cells[i].result.flips, seq.cells[i].result.flips);
+    EXPECT_EQ(par.cells[i].result.overhead_pct(),
+              seq.cells[i].result.overhead_pct());
+  }
 }
 
 TEST(Runner, BuildWorkloadCollectsAggressors) {

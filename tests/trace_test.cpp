@@ -2,6 +2,8 @@
 // models, trace I/O and statistics.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <new>
 #include <set>
 #include <sstream>
 
@@ -329,6 +331,25 @@ TEST(TraceIo, BinaryRejectsBadMagicAndTruncation) {
   data.resize(data.size() / 2);
   std::stringstream truncated(data);
   EXPECT_THROW(read_binary(truncated), std::runtime_error);
+}
+
+TEST(TraceIo, BinaryRejectsCorruptCountWithoutAllocating) {
+  // A corrupt header count must fail the "truncated" check before the
+  // reader reserves memory for it — not attempt a huge allocation.
+  std::stringstream ss;
+  write_binary(ss, sample_records());
+  std::string data = ss.str();
+  const std::uint64_t huge = ~0ull / sizeof(std::uint64_t);
+  std::memcpy(data.data() + 8, &huge, sizeof huge);  // count field at offset 8
+  std::stringstream corrupt(data);
+  try {
+    read_binary(corrupt);
+    FAIL() << "corrupt count accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  } catch (const std::bad_alloc&) {
+    FAIL() << "corrupt count triggered an allocation instead of a parse error";
+  }
 }
 
 TEST(TraceIo, FileRoundTripByExtension) {

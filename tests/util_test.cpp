@@ -2,10 +2,13 @@
 // histogram, tables, bit utilities.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "tvp/util/bitutil.hpp"
 #include "tvp/util/cli.hpp"
@@ -15,6 +18,7 @@
 #include "tvp/util/histogram.hpp"
 #include "tvp/util/json.hpp"
 #include "tvp/util/log.hpp"
+#include "tvp/util/parallel.hpp"
 #include "tvp/util/rng.hpp"
 #include "tvp/util/stats.hpp"
 #include "tvp/util/table.hpp"
@@ -265,6 +269,119 @@ TEST(RunningStat, MergeEqualsSequential) {
   EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
   EXPECT_DOUBLE_EQ(a.min(), all.min());
   EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeEmptyCases) {
+  RunningStat empty_a, empty_b;
+  empty_a.merge(empty_b);  // empty + empty stays empty
+  EXPECT_EQ(empty_a.count(), 0u);
+  EXPECT_EQ(empty_a.mean(), 0.0);
+
+  RunningStat filled;
+  filled.add(3.0);
+  filled.add(5.0);
+  RunningStat lhs = filled;
+  lhs.merge(empty_b);  // merging an empty accumulator is a no-op
+  EXPECT_EQ(lhs.count(), 2u);
+  EXPECT_DOUBLE_EQ(lhs.mean(), 4.0);
+
+  RunningStat rhs;
+  rhs.merge(filled);  // empty lhs adopts the other side verbatim
+  EXPECT_EQ(rhs.count(), 2u);
+  EXPECT_DOUBLE_EQ(rhs.mean(), filled.mean());
+  EXPECT_DOUBLE_EQ(rhs.variance(), filled.variance());
+  EXPECT_DOUBLE_EQ(rhs.min(), 3.0);
+  EXPECT_DOUBLE_EQ(rhs.max(), 5.0);
+}
+
+TEST(RunningStat, MergeSingletonsMatchesOneShot) {
+  // The harness's deterministic reduction: per-run singleton stats
+  // merged in grid order must agree with one-shot accumulation.
+  const double samples[] = {0.11, 0.25, 0.07, 0.42, 0.19};
+  RunningStat one_shot, merged;
+  for (const double v : samples) {
+    one_shot.add(v);
+    RunningStat single;
+    single.add(v);
+    merged.merge(single);
+  }
+  EXPECT_EQ(merged.count(), one_shot.count());
+  EXPECT_NEAR(merged.mean(), one_shot.mean(), 1e-15);
+  EXPECT_NEAR(merged.variance(), one_shot.variance(), 1e-15);
+  EXPECT_DOUBLE_EQ(merged.min(), one_shot.min());
+  EXPECT_DOUBLE_EQ(merged.max(), one_shot.max());
+  EXPECT_NEAR(merged.sum(), one_shot.sum(), 1e-15);
+}
+
+TEST(RunningStat, MergeIsAssociative) {
+  Rng rng(11);
+  RunningStat a, b, c, all;
+  for (int i = 0; i < 300; ++i) {
+    const double v = rng.uniform() * 10 - 5;
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(v);
+    all.add(v);
+  }
+  RunningStat left = a;   // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  RunningStat bc = b;     // a + (b + c)
+  bc.merge(c);
+  RunningStat right = a;
+  right.merge(bc);
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_NEAR(left.mean(), right.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), right.variance(), 1e-9);
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+}
+
+// ---------------------------------------------------------------- parallel
+
+TEST(Parallel, RunsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> touched(257);
+  for (auto& t : touched) t = 0;
+  parallel_for_indexed(touched.size(), 4,
+                       [&](std::size_t i) { touched[i].fetch_add(1); });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(Parallel, SequentialPathAndEmptyRange) {
+  std::vector<int> order;
+  parallel_for_indexed(4, 1, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // jobs=1: inline, in order
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  parallel_for_indexed(0, 8, [&](std::size_t) { FAIL(); });
+}
+
+TEST(Parallel, MoreJobsThanWork) {
+  std::atomic<int> sum{0};
+  parallel_for_indexed(3, 64,
+                       [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(Parallel, PropagatesTheFirstException) {
+  std::atomic<int> completed{0};
+  EXPECT_THROW(parallel_for_indexed(16, 4,
+                                    [&](std::size_t i) {
+                                      if (i == 5)
+                                        throw std::runtime_error("boom");
+                                      completed.fetch_add(1);
+                                    }),
+               std::runtime_error);
+  EXPECT_EQ(completed.load(), 15);  // the pool drains before rethrowing
+}
+
+TEST(Parallel, JobCountReadsEnvironment) {
+  setenv("TVP_JOBS", "3", 1);
+  EXPECT_EQ(job_count(), 3u);
+  setenv("TVP_JOBS", "not-a-number", 1);
+  EXPECT_GE(job_count(), 1u);  // falls back to hardware_concurrency
+  setenv("TVP_JOBS", "0", 1);
+  EXPECT_GE(job_count(), 1u);
+  unsetenv("TVP_JOBS");
+  EXPECT_GE(job_count(), 1u);
 }
 
 TEST(PercentileTracker, Percentiles) {
