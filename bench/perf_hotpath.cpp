@@ -1,0 +1,203 @@
+// perf_hotpath — the simulator's ACT-throughput baseline.
+//
+// Drives every mitigation variant (the unprotected baseline, the
+// paper's nine techniques and the Graphene extension) over ONE fixed,
+// pre-generated synthetic trace and measures the controller -> engine
+// -> technique hot path in isolation: the trace is materialized before
+// the clock starts, so workload generation cost is excluded and every
+// variant consumes the identical record stream.
+//
+// Reports ACTs/second and ns/ACT per variant and writes
+// BENCH_hotpath.json so future PRs have a throughput trajectory to
+// regress against (see README, "Performance baseline").
+//
+// Usage:
+//   perf_hotpath [--acts=N] [--seed=S] [--out=FILE] [--smoke]
+//     --acts   records to drive through each variant (default 2000000)
+//     --smoke  CI-sized run (50000 ACTs) — same shape, seconds not minutes
+//     --out    JSON output path (default BENCH_hotpath.json)
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tvp/dram/disturbance.hpp"
+#include "tvp/exp/registry.hpp"
+#include "tvp/exp/report.hpp"
+#include "tvp/exp/runner.hpp"
+#include "tvp/mem/controller.hpp"
+#include "tvp/mitigation/graphene.hpp"
+#include "tvp/util/cli.hpp"
+#include "tvp/util/json.hpp"
+#include "tvp/util/timer.hpp"
+
+namespace {
+
+using namespace tvp;
+
+struct Result {
+  std::string technique;
+  util::Throughput feed;          // records driven / wall seconds
+  std::uint64_t extra_acts = 0;
+  std::uint64_t triggers = 0;
+  double state_bytes_per_bank = 0.0;
+};
+
+/// One timed run: fresh engine/controller, identical trace, batch feed.
+Result run_variant(const std::string& name,
+                   const mem::BankMitigationFactory& factory,
+                   const exp::SimConfig& config,
+                   const std::vector<trace::AccessRecord>& trace) {
+  // Same fork order as run_custom_simulation (workload first, even
+  // though the trace here is pre-generated) so per-variant RNG streams
+  // match what a real run of that variant would see.
+  util::Rng rng(config.seed);
+  util::Rng workload_rng = rng.fork();
+  (void)workload_rng;
+  util::Rng engine_rng = rng.fork();
+  util::Rng controller_rng = rng.fork();
+
+  mem::MitigationEngine engine(config.geometry.total_banks(), factory,
+                               engine_rng);
+  dram::DisturbanceModel disturbance(config.geometry.total_banks(),
+                                     config.geometry.rows_per_bank,
+                                     config.disturbance);
+  mem::ControllerConfig controller_cfg;
+  controller_cfg.geometry = config.geometry;
+  controller_cfg.timing = config.timing;
+  controller_cfg.refresh_policy = config.refresh_policy;
+  controller_cfg.remap_rows = config.remap_rows;
+  controller_cfg.remap_swaps = config.remap_swaps;
+  controller_cfg.act_n_radius = config.act_n_radius;
+  mem::MemoryController controller(controller_cfg, engine, disturbance,
+                                   controller_rng);
+
+  // Same batch size as the production runner loop, so the measured
+  // number is the number the experiments actually see.
+  constexpr std::size_t kBatch = 256;
+  util::Timer timer;
+  for (std::size_t i = 0; i < trace.size(); i += kBatch) {
+    const std::size_t n = std::min(kBatch, trace.size() - i);
+    controller.on_records(trace.data() + i, n);
+  }
+  Result r;
+  r.technique = name;
+  r.feed = util::throughput(trace.size(), timer);
+  r.extra_acts = controller.stats().extra_acts;
+  r.triggers = controller.stats().triggers;
+  r.state_bytes_per_bank = engine.state_bytes_per_bank();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  util::Flags flags(argc, argv, {"acts", "seed", "out", "smoke", "help"});
+  if (flags.get_bool("help")) {
+    std::printf(
+        "usage: perf_hotpath [--acts=N] [--seed=S] [--out=FILE] [--smoke]\n");
+    return 0;
+  }
+  const bool smoke = flags.get_bool("smoke");
+  const std::uint64_t acts = static_cast<std::uint64_t>(
+      flags.get_int("acts", smoke ? 50'000 : 2'000'000));
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string out_path = flags.get("out", "BENCH_hotpath.json");
+
+  // Fixed workload: the standard campaign (benign mix + ramped attacks)
+  // with enough refresh windows to supply `acts` records, materialized
+  // once so that generation cost never pollutes the measurement.
+  exp::SimConfig config;
+  config.seed = seed;
+  exp::install_standard_campaign(config);
+  const double acts_per_window =
+      (config.workload.benign_acts_per_interval_per_bank + 20.0) *
+      static_cast<double>(config.timing.refresh_intervals) *
+      static_cast<double>(config.geometry.total_banks());
+  config.windows =
+      static_cast<std::uint32_t>(static_cast<double>(acts) / acts_per_window) + 1;
+  config.finalize();
+
+  util::Rng workload_rng = util::Rng(config.seed).fork();
+  auto source = exp::build_workload(config, workload_rng);
+  std::vector<trace::AccessRecord> trace =
+      trace::drain(*source, static_cast<std::size_t>(acts));
+  if (trace.empty()) {
+    std::fprintf(stderr, "perf_hotpath: workload produced no records\n");
+    return 1;
+  }
+
+  std::printf("perf_hotpath: %zu records, %u banks, seed %llu%s\n\n",
+              trace.size(), config.geometry.total_banks(),
+              static_cast<unsigned long long>(seed), smoke ? " (smoke)" : "");
+
+  // The unprotected baseline, the paper's nine, and Graphene.
+  std::vector<std::pair<std::string, mem::BankMitigationFactory>> variants;
+  variants.emplace_back("none", [](dram::BankId, util::Rng) {
+    return std::make_unique<mem::NoMitigation>();
+  });
+  for (const auto technique : hw::kAllTechniques)
+    variants.emplace_back(std::string(hw::to_string(technique)),
+                          exp::make_factory(technique, config.technique));
+  mitigation::GrapheneConfig graphene_cfg;
+  graphene_cfg.rows_per_bank = config.geometry.rows_per_bank;
+  graphene_cfg.row_threshold = config.technique.counter_threshold();
+  variants.emplace_back("Graphene",
+                        mitigation::make_graphene_factory(graphene_cfg));
+
+  std::vector<Result> results;
+  for (const auto& [name, factory] : variants) {
+    results.push_back(run_variant(name, factory, config, trace));
+    const Result& r = results.back();
+    std::printf("  %-12s %10.3f MACTs/s  %8.1f ns/ACT  (%llu extra acts)\n",
+                r.technique.c_str(), r.feed.per_second() / 1e6,
+                r.feed.ns_per_item(),
+                static_cast<unsigned long long>(r.extra_acts));
+  }
+
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("perf_hotpath");
+  json.key("config").begin_object();
+  json.key("acts").value(static_cast<std::uint64_t>(trace.size()));
+  json.key("banks").value(static_cast<std::uint64_t>(config.geometry.total_banks()));
+  json.key("rows_per_bank").value(static_cast<std::uint64_t>(config.geometry.rows_per_bank));
+  json.key("seed").value(seed);
+  json.key("windows").value(static_cast<std::uint64_t>(config.windows));
+  json.key("smoke").value(smoke);
+#ifdef NDEBUG
+  json.key("assertions").value(false);
+#else
+  json.key("assertions").value(true);
+#endif
+  json.end_object();
+  json.key("results").begin_array();
+  for (const Result& r : results) {
+    json.begin_object();
+    json.key("technique").value(r.technique);
+    json.key("acts").value(r.feed.items);
+    json.key("seconds").value(r.feed.seconds);
+    json.key("acts_per_sec").value(r.feed.per_second());
+    json.key("ns_per_act").value(r.feed.ns_per_item());
+    json.key("extra_acts").value(r.extra_acts);
+    json.key("triggers").value(r.triggers);
+    json.key("state_bytes_per_bank").value(r.state_bytes_per_bank);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  std::ofstream out(out_path);
+  out << json.str() << '\n';
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "perf_hotpath: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "perf_hotpath: %s\n", e.what());
+  return 2;
+}

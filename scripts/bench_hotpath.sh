@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Builds the perf harness in Release and measures the ACT hot path.
+#
+#   scripts/bench_hotpath.sh [--smoke] [extra perf_hotpath flags...]
+#
+# --smoke   CI-sized run (50k ACTs instead of 2M) — same shape, seconds
+#           not minutes. All other flags are forwarded to perf_hotpath
+#           (--acts=N, --seed=S, --out=FILE).
+#
+# Writes BENCH_hotpath.json into the repo root. Uses a dedicated
+# build-release/ tree so a default RelWithDebInfo build/ is untouched.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
+      -DTVP_BUILD_TESTS=OFF -DTVP_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-release -j --target perf_hotpath >/dev/null
+
+exec ./build-release/bench/perf_hotpath --out=BENCH_hotpath.json "$@"

@@ -71,7 +71,7 @@ class TiVaPRoMiBase : public mem::IBankMitigation {
   }
   /// Triggers the extra activation: emits act_n and updates the table.
   void trigger(dram::RowId row, std::uint32_t interval,
-               std::vector<mem::MitigationAction>& out);
+               mem::ActionBuffer& out);
 
   TiVaPRoMiConfig cfg_;
   util::Rng rng_;
@@ -87,9 +87,9 @@ class ProbabilisticTiVaPRoMi final : public TiVaPRoMiBase {
 
   const char* name() const noexcept override;
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
-                   std::vector<mem::MitigationAction>& out) override;
+                   mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext& ctx,
-                  std::vector<mem::MitigationAction>& out) override;
+                  mem::ActionBuffer& out) override;
   std::uint64_t state_bits() const noexcept override;
 
   /// The weight this variant would use right now (exposed for tests and
@@ -108,9 +108,9 @@ class CaPRoMi final : public TiVaPRoMiBase {
 
   const char* name() const noexcept override { return "CaPRoMi"; }
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
-                   std::vector<mem::MitigationAction>& out) override;
+                   mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext& ctx,
-                  std::vector<mem::MitigationAction>& out) override;
+                  mem::ActionBuffer& out) override;
   std::uint64_t state_bits() const noexcept override;
 
   const CounterTable& counters() const noexcept { return counters_; }
@@ -150,9 +150,9 @@ class ShapedTiVaPRoMi final : public TiVaPRoMiBase {
 
   const char* name() const noexcept override;
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
-                   std::vector<mem::MitigationAction>& out) override;
+                   mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext& ctx,
-                  std::vector<mem::MitigationAction>& out) override;
+                  mem::ActionBuffer& out) override;
   std::uint64_t state_bits() const noexcept override;
 
   std::uint32_t weight_for(dram::RowId row, std::uint32_t interval) const noexcept;

@@ -39,18 +39,29 @@ void TiVaPRoMiConfig::validate() const {
     throw std::invalid_argument("TiVaPRoMiConfig: RefInt * Pbase exceeds 1");
 }
 
-TiVaPRoMiBase::TiVaPRoMiBase(TiVaPRoMiConfig config, util::Rng rng)
-    : cfg_(config),
-      rng_(rng),
-      history_(config.history_entries,
-               util::bits_for(config.rows_per_bank),
-               util::bits_for(config.refresh_intervals)),
-      pbase_(config.pbase()) {
-  cfg_.validate();
+namespace {
+// Validates before any member consumes the config. Member initializers
+// run before the constructor body, so validating in the body would let
+// an invalid config (e.g. rows_per_bank == 0) reach the history-table
+// sizing math first; routing the config through this helper in the
+// cfg_ initializer guarantees the intended invalid_argument fires
+// before HistoryTable (or a derived class's CounterTable) sees it.
+TiVaPRoMiConfig validated(TiVaPRoMiConfig config) {
+  config.validate();
+  return config;
 }
+}  // namespace
+
+TiVaPRoMiBase::TiVaPRoMiBase(TiVaPRoMiConfig config, util::Rng rng)
+    : cfg_(validated(std::move(config))),
+      rng_(rng),
+      history_(cfg_.history_entries,
+               util::bits_for(cfg_.rows_per_bank),
+               util::bits_for(cfg_.refresh_intervals)),
+      pbase_(cfg_.pbase()) {}
 
 void TiVaPRoMiBase::trigger(dram::RowId row, std::uint32_t interval,
-                            std::vector<mem::MitigationAction>& out) {
+                            mem::ActionBuffer& out) {
   mem::MitigationAction action;
   action.kind = mem::MitigationAction::Kind::kActNeighbors;
   action.row = row;
@@ -94,14 +105,14 @@ std::uint32_t ProbabilisticTiVaPRoMi::weight_for(dram::RowId row,
 
 void ProbabilisticTiVaPRoMi::on_activate(dram::RowId row,
                                          const mem::MitigationContext& ctx,
-                                         std::vector<mem::MitigationAction>& out) {
+                                         mem::ActionBuffer& out) {
   const std::uint32_t w = weight_for(row, ctx.interval_in_window);
   const util::FixedProb p = pbase_.scaled(w);
   if (rng_.bernoulli_q32(p.raw())) trigger(row, ctx.interval_in_window, out);
 }
 
 void ProbabilisticTiVaPRoMi::on_refresh(const mem::MitigationContext& ctx,
-                                        std::vector<mem::MitigationAction>&) {
+                                        mem::ActionBuffer&) {
   // Fig. 2 ref path: update the interval counter (implicit — the
   // controller passes it in) and reset the table at a window boundary.
   if (ctx.window_start) history_.clear();
@@ -118,7 +129,7 @@ CaPRoMi::CaPRoMi(TiVaPRoMiConfig config, util::Rng rng)
                 util::bits_for(config.history_entries)) {}
 
 void CaPRoMi::on_activate(dram::RowId row, const mem::MitigationContext&,
-                          std::vector<mem::MitigationAction>&) {
+                          mem::ActionBuffer&) {
   // Count only; decisions are deferred to the REF command (Fig. 3).
   const auto index = counters_.on_activate(row, rng_);
   if (!index) return;  // replacement refused by a locked entry
@@ -128,7 +139,7 @@ void CaPRoMi::on_activate(dram::RowId row, const mem::MitigationContext&,
 }
 
 void CaPRoMi::on_refresh(const mem::MitigationContext& ctx,
-                         std::vector<mem::MitigationAction>& out) {
+                         mem::ActionBuffer& out) {
   if (ctx.window_start) {
     // New refresh window: both tables restart; the final interval of the
     // previous window forfeits its (statistically negligible) decision.
@@ -214,13 +225,13 @@ std::uint32_t ShapedTiVaPRoMi::weight_for(dram::RowId row,
 }
 
 void ShapedTiVaPRoMi::on_activate(dram::RowId row, const mem::MitigationContext& ctx,
-                                  std::vector<mem::MitigationAction>& out) {
+                                  mem::ActionBuffer& out) {
   const util::FixedProb p = pbase_.scaled(weight_for(row, ctx.interval_in_window));
   if (rng_.bernoulli_q32(p.raw())) trigger(row, ctx.interval_in_window, out);
 }
 
 void ShapedTiVaPRoMi::on_refresh(const mem::MitigationContext& ctx,
-                                 std::vector<mem::MitigationAction>&) {
+                                 mem::ActionBuffer&) {
   if (ctx.window_start) history_.clear();
 }
 

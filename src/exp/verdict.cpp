@@ -38,7 +38,7 @@ FloodMeasurement measure_flood(hw::Technique technique,
             ? 1u
             : static_cast<std::uint32_t>(rng.below(ref_int));
 
-    std::vector<mem::MitigationAction> actions;
+    mem::ActionBuffer actions;
     std::uint64_t acts = 0;
     std::uint64_t first_response = 0;
 

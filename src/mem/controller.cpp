@@ -67,9 +67,7 @@ void MemoryController::refresh_interval_tick() {
       ++stats_.rows_refreshed;
     }
 
-    scratch_actions_.clear();
-    engine_.on_refresh(b, ctx, scratch_actions_);
-    issue_actions(b, scratch_actions_, interval);
+    issue_actions(b, engine_.on_refresh(b, ctx), interval);
   }
 }
 
@@ -80,7 +78,7 @@ void MemoryController::activate_physical(dram::BankId bank, dram::RowId physical
 }
 
 void MemoryController::issue_actions(dram::BankId bank,
-                                     const std::vector<MitigationAction>& actions,
+                                     const ActionBuffer& actions,
                                      std::uint32_t interval) {
   for (const auto& action : actions) {
     ++stats_.triggers;
@@ -149,9 +147,12 @@ void MemoryController::on_record(const trace::AccessRecord& record) {
   ctx.global_interval = global_interval_;
   ctx.window_start = false;
 
-  scratch_actions_.clear();
-  engine_.on_activate(bank, record.row, ctx, scratch_actions_);
-  issue_actions(bank, scratch_actions_, interval);
+  issue_actions(bank, engine_.on_activate(bank, record.row, ctx), interval);
+}
+
+void MemoryController::on_records(const trace::AccessRecord* records,
+                                  std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) on_record(records[i]);
 }
 
 void MemoryController::advance_to(std::uint64_t time_ps) {

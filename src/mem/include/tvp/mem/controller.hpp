@@ -84,6 +84,12 @@ class MemoryController {
   /// (throws std::invalid_argument otherwise).
   void on_record(const trace::AccessRecord& record);
 
+  /// Feeds a batch of requests (same ordering contract as on_record).
+  /// Processing is record-for-record identical to calling on_record in a
+  /// loop — batching only amortizes the per-record call overhead of the
+  /// trace-source -> controller hand-off.
+  void on_records(const trace::AccessRecord* records, std::size_t count);
+
   /// Advances refresh processing up to @p time_ps without new requests
   /// (completes the final partial window of a run).
   void advance_to(std::uint64_t time_ps);
@@ -105,7 +111,7 @@ class MemoryController {
  private:
   void process_refresh_boundaries(std::uint64_t up_to_ps);
   void refresh_interval_tick();
-  void issue_actions(dram::BankId bank, const std::vector<MitigationAction>& actions,
+  void issue_actions(dram::BankId bank, const ActionBuffer& actions,
                      std::uint32_t interval);
   void activate_physical(dram::BankId bank, dram::RowId physical_row,
                          std::uint32_t interval);
@@ -124,7 +130,6 @@ class MemoryController {
   std::uint64_t next_refresh_ps_;          // time of the next REF command
   std::vector<std::uint64_t> bank_ready_ps_;
   std::vector<std::uint32_t> interval_acts_;  // per-bank ACTs this interval
-  std::vector<MitigationAction> scratch_actions_;
 };
 
 }  // namespace tvp::mem

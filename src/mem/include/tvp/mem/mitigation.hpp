@@ -49,6 +49,50 @@ struct MitigationContext {
   bool window_start = false;             ///< first interval of a window
 };
 
+/// Reusable output buffer for mitigation actions (the ACT hot path).
+///
+/// One instance is owned by the dispatcher (MitigationEngine) and
+/// cleared-and-reused for every command, so the steady-state
+/// controller -> engine -> technique path performs no heap allocation:
+/// clear() keeps the capacity, and the capacity stabilizes after the
+/// first few commands (a technique emits at most a handful of actions
+/// per command). Handlers append only; they must not hold references to
+/// the buffer or its contents across calls — the next dispatch clears
+/// it (see DESIGN.md, "The ACT hot path").
+class ActionBuffer {
+ public:
+  /// Pre-reserved so typical techniques (0-2 actions per command) never
+  /// allocate after construction.
+  static constexpr std::size_t kInitialCapacity = 8;
+
+  ActionBuffer() { storage_.reserve(kInitialCapacity); }
+
+  void push_back(const MitigationAction& action) { storage_.push_back(action); }
+
+  /// Drops all actions but keeps the allocation.
+  void clear() noexcept { storage_.clear(); }
+
+  bool empty() const noexcept { return storage_.empty(); }
+  std::size_t size() const noexcept { return storage_.size(); }
+  /// Exposed so tests can assert the buffer stops growing (the
+  /// steady-state no-allocation guarantee).
+  std::size_t capacity() const noexcept { return storage_.capacity(); }
+
+  const MitigationAction* data() const noexcept { return storage_.data(); }
+  const MitigationAction* begin() const noexcept { return storage_.data(); }
+  const MitigationAction* end() const noexcept {
+    return storage_.data() + storage_.size();
+  }
+  const MitigationAction& operator[](std::size_t i) const noexcept {
+    return storage_[i];
+  }
+  const MitigationAction& front() const { return storage_.front(); }
+  const MitigationAction& back() const { return storage_.back(); }
+
+ private:
+  std::vector<MitigationAction> storage_;
+};
+
 /// Per-bank mitigation state machine.
 class IBankMitigation {
  public:
@@ -60,12 +104,11 @@ class IBankMitigation {
   /// Observes an ACT of logical @p row; appends any extra activations
   /// to @p out.
   virtual void on_activate(dram::RowId row, const MitigationContext& ctx,
-                           std::vector<MitigationAction>& out) = 0;
+                           ActionBuffer& out) = 0;
 
   /// Observes the REF command that starts refresh interval ctx.interval_
   /// in_window; appends any (deferred) extra activations to @p out.
-  virtual void on_refresh(const MitigationContext& ctx,
-                          std::vector<MitigationAction>& out) = 0;
+  virtual void on_refresh(const MitigationContext& ctx, ActionBuffer& out) = 0;
 
   /// Storage this technique keeps per bank, in bits (history tables,
   /// counters, CAM entries). Reproduces the x-axis of Figure 4.
@@ -82,9 +125,8 @@ class NoMitigation final : public IBankMitigation {
  public:
   const char* name() const noexcept override { return "none"; }
   void on_activate(dram::RowId, const MitigationContext&,
-                   std::vector<MitigationAction>&) override {}
-  void on_refresh(const MitigationContext&,
-                  std::vector<MitigationAction>&) override {}
+                   ActionBuffer&) override {}
+  void on_refresh(const MitigationContext&, ActionBuffer&) override {}
   std::uint64_t state_bits() const noexcept override { return 0; }
 };
 
@@ -108,17 +150,30 @@ class MitigationEngine {
   std::uint64_t state_bits_total() const noexcept;
   double state_bytes_per_bank() const noexcept;
 
-  void on_activate(dram::BankId bank, dram::RowId row, const MitigationContext& ctx,
-                   std::vector<MitigationAction>& out) {
-    per_bank_[bank]->on_activate(row, ctx, out);
+  /// Dispatches the ACT to the bank's technique and returns the actions
+  /// it requested. The returned buffer is the engine-owned scratch: it
+  /// is valid only until the next on_activate/on_refresh call, and the
+  /// engine (not the caller) pays its one-time allocation.
+  const ActionBuffer& on_activate(dram::BankId bank, dram::RowId row,
+                                  const MitigationContext& ctx) {
+    scratch_.clear();
+    per_bank_[bank]->on_activate(row, ctx, scratch_);
+    return scratch_;
   }
-  void on_refresh(dram::BankId bank, const MitigationContext& ctx,
-                  std::vector<MitigationAction>& out) {
-    per_bank_[bank]->on_refresh(ctx, out);
+  /// REF-path counterpart of on_activate(); same scratch lifetime rules.
+  const ActionBuffer& on_refresh(dram::BankId bank, const MitigationContext& ctx) {
+    scratch_.clear();
+    per_bank_[bank]->on_refresh(ctx, scratch_);
+    return scratch_;
   }
+
+  /// The engine-owned scratch buffer (read-only; exposed so tests can
+  /// assert its capacity stabilizes in steady state).
+  const ActionBuffer& scratch() const noexcept { return scratch_; }
 
  private:
   std::vector<std::unique_ptr<IBankMitigation>> per_bank_;
+  ActionBuffer scratch_;
 };
 
 }  // namespace tvp::mem

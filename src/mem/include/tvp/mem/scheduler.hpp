@@ -139,12 +139,12 @@ class CommandScheduler {
     if (observer_) observer_(dram::TimedCommand{command, bank, row, time_ps});
   }
   void run_mitigation_acts(Bank& bank, dram::BankId id, std::uint64_t now_ps,
-                           std::vector<MitigationAction>& actions);
+                           const MitigationAction* actions, std::size_t count);
   /// Deferred actions are flushed at idle gaps, or forcibly once this
   /// many accumulate on a bank (bounded postponement).
   static constexpr std::size_t kMaxDeferred = 8;
   void place_mitigation(Bank& bank, dram::BankId id, std::uint64_t now_ps,
-                        std::vector<MitigationAction>& actions);
+                        const ActionBuffer& actions);
   void flush_deferred(Bank& bank, dram::BankId id, std::uint64_t now_ps);
   void refresh_tick(std::uint64_t boundary_ps);
   std::uint32_t interval_in_window() const noexcept {
@@ -165,7 +165,6 @@ class CommandScheduler {
   std::size_t queued_ = 0;
   std::size_t peak_queue_ = 0;
   SchedulerStats stats_;
-  std::vector<MitigationAction> scratch_;
   CommandObserver observer_;
 };
 

@@ -58,8 +58,9 @@ std::uint64_t CommandScheduler::issue_act(Bank& bank, std::uint64_t earliest_ps)
 
 void CommandScheduler::run_mitigation_acts(Bank& bank, dram::BankId id,
                                            std::uint64_t now_ps,
-                                           std::vector<MitigationAction>& actions) {
-  if (actions.empty()) return;
+                                           const MitigationAction* actions,
+                                           std::size_t count) {
+  if (count == 0) return;
   std::uint64_t t = std::max(bank.ready_ps, now_ps);
   if (bank.row_open) {
     // Close the demand row first (respecting tRAS) — a mitigation ACT
@@ -69,7 +70,8 @@ void CommandScheduler::run_mitigation_acts(Bank& bank, dram::BankId id,
     bank.row_open = false;
     t = pre_ps + timing_.t_rp_ps;
   }
-  for (const auto& action : actions) {
+  for (std::size_t a = 0; a < count; ++a) {
+    const MitigationAction& action = actions[a];
     // Each extra activation is a closed ACT/PRE pair on this bank; act_n
     // touches both neighbours (two row cycles), kActRow one.
     const std::uint32_t rows =
@@ -85,19 +87,17 @@ void CommandScheduler::run_mitigation_acts(Bank& bank, dram::BankId id,
     }
   }
   bank.ready_ps = t;
-  actions.clear();
 }
 
 void CommandScheduler::place_mitigation(Bank& bank, dram::BankId id,
                                         std::uint64_t now_ps,
-                                        std::vector<MitigationAction>& actions) {
+                                        const ActionBuffer& actions) {
   if (actions.empty()) return;
   if (placement_ == MitigationPlacement::kImmediate) {
-    run_mitigation_acts(bank, id, now_ps, actions);
+    run_mitigation_acts(bank, id, now_ps, actions.data(), actions.size());
     return;
   }
   bank.deferred.insert(bank.deferred.end(), actions.begin(), actions.end());
-  actions.clear();
   // Bounded postponement: if no idle gap has shown up for a while, issue
   // anyway. (Deferring an act_n by a bounded amount is within the
   // protection model's own tolerance — CaPRoMi defers its activations a
@@ -109,9 +109,11 @@ void CommandScheduler::place_mitigation(Bank& bank, dram::BankId id,
 void CommandScheduler::flush_deferred(Bank& bank, dram::BankId id,
                                       std::uint64_t now_ps) {
   if (bank.deferred.empty()) return;
-  std::vector<MitigationAction> actions;
-  actions.swap(bank.deferred);
-  run_mitigation_acts(bank, id, now_ps, actions);
+  // The backlog vector is issued in place and then cleared (not
+  // swapped out), so its capacity is reused across flushes.
+  run_mitigation_acts(bank, id, now_ps, bank.deferred.data(),
+                      bank.deferred.size());
+  bank.deferred.clear();
 }
 
 void CommandScheduler::refresh_tick(std::uint64_t boundary_ps) {
@@ -135,11 +137,11 @@ void CommandScheduler::refresh_tick(std::uint64_t boundary_ps) {
     emit(dram::Command::kRefresh, id, 0, ref_ps);
     bank.ready_ps = ref_ps + timing_.base.t_rfc_ps;
     if (engine_ != nullptr) {
-      scratch_.clear();
-      engine_->on_refresh(id, ctx, scratch_);
       // REF-time actions (CaPRoMi's collective decisions) issue in the
       // refresh shadow either way — the bank is blocked anyway.
-      run_mitigation_acts(bank, id, bank.ready_ps, scratch_);
+      const ActionBuffer& actions = engine_->on_refresh(id, ctx);
+      run_mitigation_acts(bank, id, bank.ready_ps, actions.data(),
+                          actions.size());
     }
   }
 }
@@ -225,9 +227,8 @@ void CommandScheduler::service_bank(Bank& bank, dram::BankId id,
       ctx.interval_in_window = interval_in_window();
       ctx.global_interval = global_interval_;
       ctx.window_start = false;
-      scratch_.clear();
-      engine_->on_activate(id, pending.record.row, ctx, scratch_);
-      place_mitigation(bank, id, bank.ready_ps, scratch_);
+      place_mitigation(bank, id, bank.ready_ps,
+                       engine_->on_activate(id, pending.record.row, ctx));
     }
   }
 }

@@ -25,7 +25,7 @@ void Cat::reset_tree() {
 }
 
 void Cat::on_activate(dram::RowId row, const mem::MitigationContext&,
-                      std::vector<mem::MitigationAction>& out) {
+                      mem::ActionBuffer& out) {
   // Descend to the leaf covering `row` (branch on address bits, MSB
   // first — exactly the hardware's prefix walk).
   std::size_t index = 0;
@@ -72,7 +72,7 @@ void Cat::on_activate(dram::RowId row, const mem::MitigationContext&,
 }
 
 void Cat::on_refresh(const mem::MitigationContext& ctx,
-                     std::vector<mem::MitigationAction>&) {
+                     mem::ActionBuffer&) {
   // The tree is rebuilt each refresh window (Section II: "the tree is
   // reset at each new refresh window").
   if (ctx.window_start) reset_tree();

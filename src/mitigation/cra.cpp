@@ -18,7 +18,7 @@ Cra::Cra(CraConfig config, util::Rng) : cfg_(config) {
 }
 
 void Cra::on_activate(dram::RowId row, const mem::MitigationContext&,
-                      std::vector<mem::MitigationAction>& out) {
+                      mem::ActionBuffer& out) {
   if (++counts_[row] < cfg_.row_threshold) return;
   counts_[row] = 0;
   mem::MitigationAction action;
@@ -29,7 +29,7 @@ void Cra::on_activate(dram::RowId row, const mem::MitigationContext&,
 }
 
 void Cra::on_refresh(const mem::MitigationContext& ctx,
-                     std::vector<mem::MitigationAction>&) {
+                     mem::ActionBuffer&) {
   // Counters of the rows refreshed this interval restart (their victims'
   // charge is fresh again). CRA assumes the sequential slot mapping.
   const dram::RowId rpi = cfg_.rows_per_bank / cfg_.refresh_intervals;

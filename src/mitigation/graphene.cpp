@@ -18,7 +18,7 @@ Graphene::Graphene(GrapheneConfig config, util::Rng) : cfg_(config) {
 }
 
 void Graphene::on_activate(dram::RowId row, const mem::MitigationContext&,
-                           std::vector<mem::MitigationAction>& out) {
+                           mem::ActionBuffer& out) {
   Entry* entry = nullptr;
   const auto it = index_.find(row);
   if (it != index_.end()) {
@@ -63,7 +63,7 @@ void Graphene::on_activate(dram::RowId row, const mem::MitigationContext&,
 }
 
 void Graphene::on_refresh(const mem::MitigationContext& ctx,
-                          std::vector<mem::MitigationAction>&) {
+                          mem::ActionBuffer&) {
   if (!ctx.window_start) return;
   for (auto& e : entries_) e.valid = false;
   index_.clear();

@@ -28,9 +28,9 @@ class Cra final : public mem::IBankMitigation {
 
   const char* name() const noexcept override { return "CRA"; }
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
-                   std::vector<mem::MitigationAction>& out) override;
+                   mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext& ctx,
-                  std::vector<mem::MitigationAction>& out) override;
+                  mem::ActionBuffer& out) override;
   std::uint64_t state_bits() const noexcept override;
 
   std::uint32_t counter(dram::RowId row) const { return counts_.at(row); }

@@ -43,9 +43,9 @@ class Graphene final : public mem::IBankMitigation {
 
   const char* name() const noexcept override { return "Graphene"; }
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
-                   std::vector<mem::MitigationAction>& out) override;
+                   mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext& ctx,
-                  std::vector<mem::MitigationAction>& out) override;
+                  mem::ActionBuffer& out) override;
   std::uint64_t state_bits() const noexcept override;
 
   std::uint32_t spillover() const noexcept { return spill_; }

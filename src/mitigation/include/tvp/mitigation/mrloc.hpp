@@ -34,16 +34,16 @@ class MrLoc final : public mem::IBankMitigation {
 
   const char* name() const noexcept override { return "MRLoc"; }
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
-                   std::vector<mem::MitigationAction>& out) override;
+                   mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext&,
-                  std::vector<mem::MitigationAction>&) override {}
+                  mem::ActionBuffer&) override {}
   std::uint64_t state_bits() const noexcept override;
 
   std::size_t queue_size() const noexcept { return queue_.size(); }
 
  private:
   void observe_victim(dram::RowId victim, dram::RowId aggressor,
-                      std::vector<mem::MitigationAction>& out);
+                      mem::ActionBuffer& out);
 
   MrLocConfig cfg_;
   util::Rng rng_;

@@ -25,9 +25,9 @@ class Para final : public mem::IBankMitigation {
 
   const char* name() const noexcept override { return "PARA"; }
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
-                   std::vector<mem::MitigationAction>& out) override;
+                   mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext&,
-                  std::vector<mem::MitigationAction>&) override {}
+                  mem::ActionBuffer&) override {}
   /// Stateless apart from the 32-bit LFSR.
   std::uint64_t state_bits() const noexcept override { return 32; }
 

@@ -36,9 +36,9 @@ class Prac final : public mem::IBankMitigation {
 
   const char* name() const noexcept override { return "PRAC"; }
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
-                   std::vector<mem::MitigationAction>& out) override;
+                   mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext& ctx,
-                  std::vector<mem::MitigationAction>& out) override;
+                  mem::ActionBuffer& out) override;
   /// Controller-side state: none — the counters live in the array.
   std::uint64_t state_bits() const noexcept override { return 0; }
 

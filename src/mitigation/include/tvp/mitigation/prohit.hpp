@@ -34,9 +34,9 @@ class ProHit final : public mem::IBankMitigation {
 
   const char* name() const noexcept override { return "ProHit"; }
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
-                   std::vector<mem::MitigationAction>& out) override;
+                   mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext& ctx,
-                  std::vector<mem::MitigationAction>& out) override;
+                  mem::ActionBuffer& out) override;
   std::uint64_t state_bits() const noexcept override;
 
   std::size_t hot_size() const noexcept { return hot_.size(); }

@@ -40,9 +40,9 @@ class Trr final : public mem::IBankMitigation {
     return cfg_.rfm_enabled ? "TRR+RFM" : "TRR";
   }
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
-                   std::vector<mem::MitigationAction>& out) override;
+                   mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext& ctx,
-                  std::vector<mem::MitigationAction>& out) override;
+                  mem::ActionBuffer& out) override;
   std::uint64_t state_bits() const noexcept override;
 
   std::uint64_t rfm_commands() const noexcept { return rfm_commands_; }
@@ -54,7 +54,7 @@ class Trr final : public mem::IBankMitigation {
     bool valid = false;
   };
 
-  void refresh_opportunity(std::vector<mem::MitigationAction>& out);
+  void refresh_opportunity(mem::ActionBuffer& out);
 
   TrrConfig cfg_;
   util::Rng rng_;

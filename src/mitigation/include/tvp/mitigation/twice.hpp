@@ -39,9 +39,9 @@ class Twice final : public mem::IBankMitigation {
 
   const char* name() const noexcept override { return "TWiCe"; }
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
-                   std::vector<mem::MitigationAction>& out) override;
+                   mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext& ctx,
-                  std::vector<mem::MitigationAction>& out) override;
+                  mem::ActionBuffer& out) override;
   std::uint64_t state_bits() const noexcept override;
 
   std::size_t live_entries() const noexcept { return index_.size(); }

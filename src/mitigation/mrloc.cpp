@@ -18,7 +18,7 @@ MrLoc::MrLoc(MrLocConfig config, util::Rng rng) : cfg_(config), rng_(rng) {
 }
 
 void MrLoc::observe_victim(dram::RowId victim, dram::RowId aggressor,
-                           std::vector<mem::MitigationAction>& out) {
+                           mem::ActionBuffer& out) {
   const auto it = std::find(queue_.begin(), queue_.end(), victim);
   if (it != queue_.end()) {
     // Recency-weighted probability: depth 0 = oldest, depth N-1 = newest.
@@ -43,7 +43,7 @@ void MrLoc::observe_victim(dram::RowId victim, dram::RowId aggressor,
 }
 
 void MrLoc::on_activate(dram::RowId row, const mem::MitigationContext&,
-                        std::vector<mem::MitigationAction>& out) {
+                        mem::ActionBuffer& out) {
   if (row > 0) observe_victim(row - 1, row, out);
   if (row + 1 < cfg_.rows_per_bank) observe_victim(row + 1, row, out);
 }

@@ -11,7 +11,7 @@ Para::Para(ParaConfig config, util::Rng rng) : cfg_(config), rng_(rng) {
 }
 
 void Para::on_activate(dram::RowId row, const mem::MitigationContext&,
-                       std::vector<mem::MitigationAction>& out) {
+                       mem::ActionBuffer& out) {
   if (!rng_.bernoulli_q32(cfg_.p.raw())) return;
   // Pick one side at random; fall back to the other at the array edge.
   const bool up = (rng_.next() & 1) != 0;

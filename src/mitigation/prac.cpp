@@ -18,7 +18,7 @@ Prac::Prac(PracConfig config, util::Rng) : cfg_(config) {
 }
 
 void Prac::on_activate(dram::RowId row, const mem::MitigationContext&,
-                       std::vector<mem::MitigationAction>& out) {
+                       mem::ActionBuffer& out) {
   if (++counts_[row] < cfg_.row_threshold) return;
   counts_[row] = 0;
   ++alerts_;  // the device raises ALERT; the back-off refreshes neighbours
@@ -30,7 +30,7 @@ void Prac::on_activate(dram::RowId row, const mem::MitigationContext&,
 }
 
 void Prac::on_refresh(const mem::MitigationContext& ctx,
-                      std::vector<mem::MitigationAction>&) {
+                      mem::ActionBuffer&) {
   // The per-row counter restarts when the row's victims get their
   // scheduled refresh (same slot bookkeeping as CRA's in-DRAM table).
   const dram::RowId rpi = cfg_.rows_per_bank / cfg_.refresh_intervals;

@@ -53,14 +53,14 @@ void ProHit::observe_victim(dram::RowId victim, dram::RowId aggressor) {
 }
 
 void ProHit::on_activate(dram::RowId row, const mem::MitigationContext&,
-                         std::vector<mem::MitigationAction>& out) {
+                         mem::ActionBuffer& out) {
   (void)out;
   if (row > 0) observe_victim(row - 1, row);
   if (row + 1 < cfg_.rows_per_bank) observe_victim(row + 1, row);
 }
 
 void ProHit::on_refresh(const mem::MitigationContext&,
-                        std::vector<mem::MitigationAction>& out) {
+                        mem::ActionBuffer& out) {
   if (hot_.empty()) return;
   const Victim top = hot_.front();
   hot_.erase(hot_.begin());

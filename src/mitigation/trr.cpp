@@ -21,7 +21,7 @@ Trr::Trr(TrrConfig config, util::Rng rng) : cfg_(config), rng_(rng) {
 }
 
 void Trr::on_activate(dram::RowId row, const mem::MitigationContext&,
-                      std::vector<mem::MitigationAction>& out) {
+                      mem::ActionBuffer& out) {
   // Frequency-biased reservoir sampling.
   Sample* lowest = &sampler_.front();
   bool tracked = false;
@@ -48,7 +48,7 @@ void Trr::on_activate(dram::RowId row, const mem::MitigationContext&,
   }
 }
 
-void Trr::refresh_opportunity(std::vector<mem::MitigationAction>& out) {
+void Trr::refresh_opportunity(mem::ActionBuffer& out) {
   // Refresh the victims of the highest-scoring samples, then retire them.
   for (std::uint32_t budget = 0; budget < cfg_.victims_per_ref; ++budget) {
     Sample* best = nullptr;
@@ -65,7 +65,7 @@ void Trr::refresh_opportunity(std::vector<mem::MitigationAction>& out) {
 }
 
 void Trr::on_refresh(const mem::MitigationContext&,
-                     std::vector<mem::MitigationAction>& out) {
+                     mem::ActionBuffer& out) {
   raa_ = 0;  // REF also resets the RFM accumulation (DDR5 semantics)
   refresh_opportunity(out);
 }

@@ -21,7 +21,7 @@ Twice::Twice(TwiceConfig config, util::Rng) : cfg_(config) {
 }
 
 void Twice::on_activate(dram::RowId row, const mem::MitigationContext&,
-                        std::vector<mem::MitigationAction>& out) {
+                        mem::ActionBuffer& out) {
   // The hash index is a simulation shortcut for the hardware CAM lookup
   // (single-cycle associative match); behaviour is identical.
   const auto it = index_.find(row);
@@ -54,7 +54,7 @@ void Twice::on_activate(dram::RowId row, const mem::MitigationContext&,
 }
 
 void Twice::on_refresh(const mem::MitigationContext& ctx,
-                       std::vector<mem::MitigationAction>&) {
+                       mem::ActionBuffer&) {
   if (ctx.window_start) {
     for (auto& e : entries_) e.valid = false;
     index_.clear();

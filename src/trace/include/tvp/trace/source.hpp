@@ -22,6 +22,13 @@ class TraceSource {
 
   /// Next record, or nullopt when the stream is exhausted.
   virtual std::optional<AccessRecord> next() = 0;
+
+  /// Fills @p out with up to @p max records and returns the count
+  /// (0 = exhausted). The record sequence is exactly the one next()
+  /// would produce — batching only amortizes the per-record virtual
+  /// call from the consumer's side. The base implementation loops
+  /// next(); sources with cheap bulk access override it.
+  virtual std::size_t next_batch(AccessRecord* out, std::size_t max);
 };
 
 /// Replays a pre-built vector of records (must be time-sorted; verified
@@ -30,6 +37,8 @@ class VectorSource final : public TraceSource {
  public:
   explicit VectorSource(std::vector<AccessRecord> records);
   std::optional<AccessRecord> next() override;
+  /// Bulk copy out of the backing vector (one virtual call per batch).
+  std::size_t next_batch(AccessRecord* out, std::size_t max) override;
 
  private:
   std::vector<AccessRecord> records_;
@@ -42,6 +51,8 @@ class MergedSource final : public TraceSource {
  public:
   explicit MergedSource(std::vector<std::unique_ptr<TraceSource>> sources);
   std::optional<AccessRecord> next() override;
+  /// Runs the merge loop inline, one virtual call per batch.
+  std::size_t next_batch(AccessRecord* out, std::size_t max) override;
 
  private:
   struct Head {
@@ -69,6 +80,9 @@ class LimitSource final : public TraceSource {
   LimitSource(std::unique_ptr<TraceSource> inner, std::uint64_t limit_records,
               std::uint64_t end_ps);
   std::optional<AccessRecord> next() override;
+  /// Forwards to the inner source's batch path, applying the record and
+  /// time limits per record (identical cut-off to next()).
+  std::size_t next_batch(AccessRecord* out, std::size_t max) override;
 
  private:
   std::unique_ptr<TraceSource> inner_;

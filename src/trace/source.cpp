@@ -1,8 +1,19 @@
 #include "tvp/trace/source.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace tvp::trace {
+
+std::size_t TraceSource::next_batch(AccessRecord* out, std::size_t max) {
+  std::size_t n = 0;
+  while (n < max) {
+    auto rec = next();
+    if (!rec) break;
+    out[n++] = *rec;
+  }
+  return n;
+}
 
 VectorSource::VectorSource(std::vector<AccessRecord> records)
     : records_(std::move(records)) {
@@ -14,6 +25,13 @@ VectorSource::VectorSource(std::vector<AccessRecord> records)
 std::optional<AccessRecord> VectorSource::next() {
   if (pos_ >= records_.size()) return std::nullopt;
   return records_[pos_++];
+}
+
+std::size_t VectorSource::next_batch(AccessRecord* out, std::size_t max) {
+  const std::size_t n = std::min(max, records_.size() - pos_);
+  std::copy_n(records_.begin() + static_cast<std::ptrdiff_t>(pos_), n, out);
+  pos_ += n;
+  return n;
 }
 
 MergedSource::MergedSource(std::vector<std::unique_ptr<TraceSource>> sources)
@@ -36,6 +54,17 @@ std::optional<AccessRecord> MergedSource::next() {
   return head.record;
 }
 
+std::size_t MergedSource::next_batch(AccessRecord* out, std::size_t max) {
+  std::size_t n = 0;
+  while (n < max && !heads_.empty()) {
+    const Head head = heads_.top();
+    heads_.pop();
+    refill(head.index);
+    out[n++] = head.record;
+  }
+  return n;
+}
+
 LimitSource::LimitSource(std::unique_ptr<TraceSource> inner,
                          std::uint64_t limit_records, std::uint64_t end_ps)
     : inner_(std::move(inner)), remaining_(limit_records), end_ps_(end_ps) {
@@ -51,6 +80,25 @@ std::optional<AccessRecord> LimitSource::next() {
   }
   --remaining_;
   return rec;
+}
+
+std::size_t LimitSource::next_batch(AccessRecord* out, std::size_t max) {
+  if (remaining_ == 0) return 0;
+  const std::size_t want = static_cast<std::size_t>(
+      std::min<std::uint64_t>(max, remaining_));
+  const std::size_t got = inner_->next_batch(out, want);
+  // Cut at the time horizon exactly where next() would have: the first
+  // out-of-range record kills the stream (records are time-ordered, so
+  // everything after it is out of range too).
+  for (std::size_t i = 0; i < got; ++i) {
+    if (out[i].time_ps >= end_ps_) {
+      remaining_ = 0;
+      return i;
+    }
+  }
+  remaining_ -= got;
+  if (got < want) remaining_ = 0;  // inner exhausted
+  return got;
 }
 
 std::vector<AccessRecord> drain(TraceSource& source, std::size_t max_records) {

@@ -5,14 +5,29 @@
 namespace tvp::util {
 
 CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
-    : out_(path), arity_(header.size()) {
+    : out_(path), path_(path), arity_(header.size()) {
   if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
   if (arity_ == 0) throw std::invalid_argument("CsvWriter: empty header");
   write_row(header);
   rows_ = 0;  // header does not count
 }
 
-CsvWriter::~CsvWriter() = default;
+CsvWriter::~CsvWriter() {
+  // Best-effort close; errors are only diagnosable through close().
+  if (!closed_ && out_.is_open()) out_.flush();
+}
+
+void CsvWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  out_.flush();
+  if (!out_)
+    throw std::runtime_error("CsvWriter: flush failed for " + path_ +
+                             " (disk full or descriptor closed?)");
+  out_.close();
+  if (out_.fail())
+    throw std::runtime_error("CsvWriter: close failed for " + path_);
+}
 
 std::string CsvWriter::quote(const std::string& s) {
   if (s.find_first_of(",\"\n") == std::string::npos) return s;
@@ -26,6 +41,7 @@ std::string CsvWriter::quote(const std::string& s) {
 }
 
 void CsvWriter::write_row(const std::vector<std::string>& row) {
+  if (closed_) throw std::logic_error("CsvWriter: write_row after close");
   if (row.size() != arity_)
     throw std::invalid_argument("CsvWriter: row arity mismatch");
   for (std::size_t c = 0; c < row.size(); ++c) {
@@ -33,6 +49,11 @@ void CsvWriter::write_row(const std::vector<std::string>& row) {
     out_ << quote(row[c]);
   }
   out_ << '\n';
+  // A bad stream would otherwise swallow every subsequent row silently
+  // and the bench would end up with a truncated CSV that parses fine.
+  if (!out_)
+    throw std::runtime_error("CsvWriter: write failed for " + path_ +
+                             " (disk full or descriptor closed?)");
   ++rows_;
 }
 

@@ -13,22 +13,26 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x, std::uint64_t weight) {
-  const double w = static_cast<double>(weight);
-  std::size_t bin;
+  total_ += weight;
+  // Out-of-range samples are tallied in underflow()/overflow() only.
+  // They used to also land in the first/last bin (double-counted: the
+  // same sample showed up in both count(bin) and underflow()) and their
+  // raw x still skewed weighted_sum_; now bins and mean() cover exactly
+  // the in-range samples.
   if (x < lo_) {
     underflow_ += weight;
-    bin = 0;
-  } else if (x >= hi_) {
-    overflow_ += weight;
-    bin = counts_.size() - 1;
-  } else {
-    const double frac = (x - lo_) / (hi_ - lo_);
-    bin = std::min(static_cast<std::size_t>(frac * static_cast<double>(counts_.size())),
-                   counts_.size() - 1);
+    return;
   }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  const std::size_t bin =
+      std::min(static_cast<std::size_t>(frac * static_cast<double>(counts_.size())),
+               counts_.size() - 1);
   counts_[bin] += weight;
-  total_ += weight;
-  weighted_sum_ += x * w;
+  weighted_sum_ += x * static_cast<double>(weight);
 }
 
 double Histogram::bin_lo(std::size_t bin) const {
@@ -42,7 +46,8 @@ double Histogram::bin_hi(std::size_t bin) const {
 }
 
 double Histogram::mean() const noexcept {
-  return total_ ? weighted_sum_ / static_cast<double>(total_) : 0.0;
+  const std::uint64_t in_range = total_ - underflow_ - overflow_;
+  return in_range ? weighted_sum_ / static_cast<double>(in_range) : 0.0;
 }
 
 std::string Histogram::render(std::size_t width) const {

@@ -9,7 +9,10 @@
 namespace tvp::util {
 
 /// Streams rows to a CSV file; throws std::runtime_error if the file
-/// cannot be opened. The file is flushed and closed on destruction.
+/// cannot be opened or a write fails (full disk, closed descriptor),
+/// so a truncated CSV can never look like a success. Call close() to
+/// flush and verify the final state; the destructor closes best-effort
+/// (without throwing) if close() was not called.
 class CsvWriter {
  public:
   CsvWriter(const std::string& path, std::vector<std::string> header);
@@ -18,8 +21,14 @@ class CsvWriter {
   CsvWriter(const CsvWriter&) = delete;
   CsvWriter& operator=(const CsvWriter&) = delete;
 
-  /// Writes one row; arity must match the header.
+  /// Writes one row; arity must match the header. Throws
+  /// std::runtime_error if the stream went bad, std::logic_error after
+  /// close().
   void write_row(const std::vector<std::string>& row);
+
+  /// Flushes, verifies the stream is still healthy (throws
+  /// std::runtime_error otherwise) and closes the file. Idempotent.
+  void close();
 
   std::size_t rows_written() const noexcept { return rows_; }
 
@@ -27,8 +36,10 @@ class CsvWriter {
   static std::string quote(const std::string& s);
 
   std::ofstream out_;
+  std::string path_;
   std::size_t arity_;
   std::size_t rows_ = 0;
+  bool closed_ = false;
 };
 
 }  // namespace tvp::util

@@ -9,8 +9,13 @@
 
 namespace tvp::util {
 
-/// Linear-bin histogram over [lo, hi); values outside are clamped into
-/// the first / last bin and counted in underflow()/overflow().
+/// Linear-bin histogram over [lo, hi).
+///
+/// Out-of-range semantics: a sample below lo (or at/above hi) counts
+/// toward underflow() (overflow()) and total() only — it appears in no
+/// bin and does not contribute to mean(). Bins and mean() therefore
+/// describe exactly the in-range samples, and
+/// sum(count(b)) + underflow() + overflow() == total().
 class Histogram {
  public:
   /// @p bins must be >= 1 and @p hi > @p lo.
@@ -31,7 +36,7 @@ class Histogram {
   /// Exclusive upper edge of @p bin.
   double bin_hi(std::size_t bin) const;
 
-  /// Mean of the recorded values (bin midpoints for clamped values).
+  /// Mean of the in-range samples (0 if none).
   double mean() const noexcept;
 
   /// Multi-line ASCII rendering (one row per non-empty bin with a bar

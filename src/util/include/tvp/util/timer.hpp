@@ -1,0 +1,45 @@
+// Wall-clock timing and throughput reporting for the perf harness.
+//
+// The simulator's gating metric is ACTs/second (see bench/perf_hotpath):
+// Timer measures a monotonic wall-clock span, Throughput turns an
+// (items, seconds) pair into the two numbers every BENCH_*.json records
+// — items per second and nanoseconds per item.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace tvp::util {
+
+/// Monotonic stopwatch; starts at construction, restart() rearms it.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / the last restart().
+  double seconds() const;
+  /// Same span in integer nanoseconds.
+  std::uint64_t nanoseconds() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// An (item count, wall seconds) measurement with derived rates.
+struct Throughput {
+  std::uint64_t items = 0;
+  double seconds = 0.0;
+
+  /// items / seconds (0 when the span is empty).
+  double per_second() const noexcept;
+  /// Nanoseconds per item (0 when no items were processed).
+  double ns_per_item() const noexcept;
+};
+
+/// Convenience: snapshot a finished timer into a Throughput.
+Throughput throughput(std::uint64_t items, const Timer& timer);
+
+}  // namespace tvp::util

@@ -1,0 +1,28 @@
+#include "tvp/util/timer.hpp"
+
+namespace tvp::util {
+
+double Timer::seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+std::uint64_t Timer::nanoseconds() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start_)
+          .count());
+}
+
+double Throughput::per_second() const noexcept {
+  return seconds > 0.0 ? static_cast<double>(items) / seconds : 0.0;
+}
+
+double Throughput::ns_per_item() const noexcept {
+  return items > 0 ? seconds * 1e9 / static_cast<double>(items) : 0.0;
+}
+
+Throughput throughput(std::uint64_t items, const Timer& timer) {
+  return Throughput{items, timer.seconds()};
+}
+
+}  // namespace tvp::util

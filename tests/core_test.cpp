@@ -272,6 +272,30 @@ TEST(TiVaPRoMiConfig, Validation) {
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
+TEST(TiVaPRoMiConfig, ConstructorValidatesBeforeMembersConsumeConfig) {
+  // Regression: the base constructor used to build the history table
+  // from the raw config and only validate() afterwards, so an invalid
+  // config (zero rows, zero capacity, >255 entries) reached the table
+  // constructors first. The constructor must reject it up front with
+  // the config's own diagnostic.
+  auto zero_rows = small_config();
+  zero_rows.rows_per_bank = 0;
+  EXPECT_THROW(
+      ProbabilisticTiVaPRoMi(Variant::kLinear, zero_rows, util::Rng(1)),
+      std::invalid_argument);
+
+  auto zero_history = small_config();
+  zero_history.history_entries = 0;
+  EXPECT_THROW(
+      ProbabilisticTiVaPRoMi(Variant::kLinear, zero_history, util::Rng(1)),
+      std::invalid_argument);
+  EXPECT_THROW(CaPRoMi(zero_history, util::Rng(1)), std::invalid_argument);
+
+  auto wide_history = small_config();
+  wide_history.history_entries = 256;  // breaks the 8-bit link encoding
+  EXPECT_THROW(CaPRoMi(wide_history, util::Rng(1)), std::invalid_argument);
+}
+
 TEST(ProbabilisticTiVaPRoMi, WeightUsesRefreshSlotByDefault) {
   ProbabilisticTiVaPRoMi li(Variant::kLinear, small_config(), util::Rng(1));
   // Row 100 -> slot 6; at interval 10 the weight is 4.
@@ -301,7 +325,7 @@ TEST(ProbabilisticTiVaPRoMi, TriggerInsertsIntoHistoryAndEmitsActN) {
   cfg.refresh_intervals = 2;
   cfg.rows_per_bank = 32;
   ProbabilisticTiVaPRoMi li(Variant::kLinear, cfg, util::Rng(3));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   // weight at interval 1 for row 0 (slot 0) is 1 -> p = 0.5.
   int triggered = 0;
   for (int i = 0; i < 100 && out.empty(); ++i) li.on_activate(0, ctx_at(1), out);
@@ -317,7 +341,7 @@ TEST(ProbabilisticTiVaPRoMi, HistoryHitSuppressesWeight) {
   auto cfg = small_config();
   ProbabilisticTiVaPRoMi li(Variant::kLinear, cfg, util::Rng(5));
   // Force a history entry via many activations at high weight.
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   for (int i = 0; i < 100000 && out.empty(); ++i)
     li.on_activate(100, ctx_at(50), out);
   ASSERT_FALSE(out.empty());
@@ -335,7 +359,7 @@ TEST(ProbabilisticTiVaPRoMi, HistoryHitSuppressesWeight) {
 TEST(ProbabilisticTiVaPRoMi, WindowStartClearsHistory) {
   auto cfg = small_config();
   ProbabilisticTiVaPRoMi li(Variant::kLinear, cfg, util::Rng(7));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   for (int i = 0; i < 100000 && out.empty(); ++i)
     li.on_activate(100, ctx_at(50), out);
   ASSERT_TRUE(li.history().lookup(100).has_value());
@@ -350,7 +374,7 @@ TEST(ProbabilisticTiVaPRoMi, WindowStartClearsHistory) {
 TEST(ProbabilisticTiVaPRoMi, ZeroWeightNeverTriggers) {
   auto cfg = small_config();
   ProbabilisticTiVaPRoMi li(Variant::kLinear, cfg, util::Rng(9));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   // Row 0 has slot 0; at interval 0 the weight is 0 -> p = 0.
   for (int i = 0; i < 50000; ++i) li.on_activate(0, ctx_at(0), out);
   EXPECT_TRUE(out.empty());
@@ -371,7 +395,7 @@ TEST(ProbabilisticTiVaPRoMi, StateBitsAndFactoryNames) {
 TEST(CaPRoMi, CountsDuringIntervalDecidesAtRef) {
   auto cfg = small_config();
   CaPRoMi ca(cfg, util::Rng(11));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   // Activations never produce immediate actions.
   for (int i = 0; i < 200; ++i) {
     ca.on_activate(100, ctx_at(40), out);
@@ -392,7 +416,7 @@ TEST(CaPRoMi, CountsDuringIntervalDecidesAtRef) {
 TEST(CaPRoMi, WindowStartClearsBothTables) {
   auto cfg = small_config();
   CaPRoMi ca(cfg, util::Rng(13));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   for (int i = 0; i < 200; ++i) ca.on_activate(100, ctx_at(40), out);
   ca.on_refresh(ctx_at(40), out);
   out.clear();
@@ -406,7 +430,7 @@ TEST(CaPRoMi, WindowStartClearsBothTables) {
 TEST(CaPRoMi, HistoryLinkReducesWeight) {
   auto cfg = small_config();
   CaPRoMi ca(cfg, util::Rng(17));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   // First trigger at interval 40 -> history holds (100, 40).
   for (int i = 0; i < 200; ++i) ca.on_activate(100, ctx_at(40), out);
   ca.on_refresh(ctx_at(40), out);
@@ -430,7 +454,7 @@ TEST(CaPRoMi, ReissueCooldownSuppressesButStaysSafe) {
   auto cfg = small_config();
   cfg.capromi_reissue_cooldown = 8;
   CaPRoMi ca(cfg, util::Rng(23));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   // First trigger issues (no history yet).
   for (int i = 0; i < 200; ++i) ca.on_activate(100, ctx_at(40), out);
   ca.on_refresh(ctx_at(40), out);
@@ -458,7 +482,7 @@ TEST(CaPRoMi, CooldownZeroMatchesPaperBehaviour) {
   CaPRoMi paper_rules(cfg, util::Rng(29));
   cfg.capromi_reissue_cooldown = 0;
   CaPRoMi explicit_zero(cfg, util::Rng(29));
-  std::vector<mem::MitigationAction> a, b;
+  mem::ActionBuffer a, b;
   for (std::uint32_t i = 1; i < 40; ++i) {
     for (int act = 0; act < 30; ++act) {
       paper_rules.on_activate(act % 7 * 50, ctx_at(i), a);
@@ -483,7 +507,7 @@ TEST(TiVaPRoMi, DeterministicForSameSeed) {
                              Variant::kLogLinear}) {
     ProbabilisticTiVaPRoMi a(variant, cfg, util::Rng(99));
     ProbabilisticTiVaPRoMi b(variant, cfg, util::Rng(99));
-    std::vector<mem::MitigationAction> out_a, out_b;
+    mem::ActionBuffer out_a, out_b;
     for (int i = 0; i < 20000; ++i) {
       a.on_activate(i % 1024, ctx_at(i % 64), out_a);
       b.on_activate(i % 1024, ctx_at(i % 64), out_b);

@@ -4,12 +4,15 @@
 
 #include <cstdlib>
 
+#include "tvp/dram/disturbance.hpp"
 #include "tvp/exp/config_io.hpp"
 #include "tvp/exp/report.hpp"
 #include "tvp/exp/registry.hpp"
 #include "tvp/exp/runner.hpp"
 #include "tvp/exp/sweep.hpp"
 #include "tvp/exp/verdict.hpp"
+#include "tvp/mem/controller.hpp"
+#include "tvp/trace/source.hpp"
 
 namespace tvp::exp {
 namespace {
@@ -56,6 +59,67 @@ TEST(Runner, DeterministicForSameSeed) {
   EXPECT_EQ(a.stats.fp_extra_acts, b.stats.fp_extra_acts);
   EXPECT_EQ(a.flips, b.flips);
   EXPECT_EQ(a.records, b.records);
+}
+
+// Feeds @p records into a freshly built system for @p cfg, delivering
+// them in chunks of @p batch (batch == 1 degenerates to on_record).
+mem::ControllerStats feed_records(const SimConfig& cfg, std::size_t batch,
+                                  const std::vector<trace::AccessRecord>& records,
+                                  std::uint64_t* flips) {
+  util::Rng rng(cfg.seed);
+  (void)rng.fork();  // workload stream, unused: records are pre-drained
+  util::Rng engine_rng = rng.fork();
+  util::Rng controller_rng = rng.fork();
+  mem::MitigationEngine engine(
+      cfg.geometry.total_banks(),
+      make_factory(hw::Technique::kLoLiPRoMi, cfg.technique), engine_rng);
+  dram::DisturbanceModel disturbance(cfg.geometry.total_banks(),
+                                     cfg.geometry.rows_per_bank,
+                                     cfg.disturbance);
+  mem::ControllerConfig controller_cfg;
+  controller_cfg.geometry = cfg.geometry;
+  controller_cfg.timing = cfg.timing;
+  controller_cfg.refresh_policy = cfg.refresh_policy;
+  mem::MemoryController controller(controller_cfg, engine, disturbance,
+                                   controller_rng);
+  if (batch <= 1) {
+    for (const auto& r : records) controller.on_record(r);
+  } else {
+    for (std::size_t i = 0; i < records.size(); i += batch)
+      controller.on_records(records.data() + i,
+                            std::min(batch, records.size() - i));
+  }
+  controller.advance_to(cfg.duration_ps());
+  *flips = disturbance.flips().size();
+  return controller.stats();
+}
+
+TEST(Runner, BatchedDeliveryIsBitIdenticalToRecordAtATime) {
+  // The batched pull path must produce the same record sequence and the
+  // same RNG draw order as record-at-a-time delivery — identical stats
+  // and identical flip history, for any batch size.
+  SimConfig cfg = fast_config();
+  trace::AttackConfig attack;
+  attack.victims = {1000, 5000};
+  attack.rows_per_bank = cfg.geometry.rows_per_bank;
+  cfg.workload.attacks.push_back(attack);
+  cfg.finalize();
+  util::Rng workload_rng = util::Rng(cfg.seed).fork();
+  const auto records = trace::drain(*build_workload(cfg, workload_rng));
+  ASSERT_FALSE(records.empty());
+
+  std::uint64_t flips1 = 0;
+  const auto one = feed_records(cfg, 1, records, &flips1);
+  for (const std::size_t batch : {7ul, 256ul, records.size()}) {
+    std::uint64_t flips_b = 0;
+    const auto batched = feed_records(cfg, batch, records, &flips_b);
+    EXPECT_EQ(one.demand_acts, batched.demand_acts) << "batch " << batch;
+    EXPECT_EQ(one.extra_acts, batched.extra_acts) << "batch " << batch;
+    EXPECT_EQ(one.fp_extra_acts, batched.fp_extra_acts) << "batch " << batch;
+    EXPECT_EQ(one.triggers, batched.triggers) << "batch " << batch;
+    EXPECT_EQ(one.reads, batched.reads) << "batch " << batch;
+    EXPECT_EQ(flips1, flips_b) << "batch " << batch;
+  }
 }
 
 TEST(Runner, SeedChangesTheRun) {

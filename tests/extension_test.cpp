@@ -68,7 +68,7 @@ TEST(ShapedTiVaPRoMi, LinearShapeMatchesLiPRoMi) {
   cfg.pbase_exp = 10;
   core::ShapedTiVaPRoMi shaped(core::WeightShape::kLinear, cfg, util::Rng(9));
   core::ProbabilisticTiVaPRoMi li(core::Variant::kLinear, cfg, util::Rng(9));
-  std::vector<mem::MitigationAction> a, b;
+  mem::ActionBuffer a, b;
   mem::MitigationContext ctx;
   for (int i = 0; i < 20000; ++i) {
     ctx.interval_in_window = static_cast<std::uint32_t>(i % 64);
@@ -85,7 +85,7 @@ TEST(ShapedTiVaPRoMi, FactoryAndWindowClear) {
   cfg.pbase_exp = 10;
   const auto factory = core::make_shaped_factory(core::WeightShape::kSqrt, cfg);
   auto instance = factory(0, util::Rng(3));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   mem::MitigationContext ctx;
   ctx.interval_in_window = 50;
   for (int i = 0; i < 5000 && out.empty(); ++i)
@@ -112,7 +112,7 @@ TEST(Graphene, DeterministicTriggerAtThreshold) {
   cfg.entries = 4;
   cfg.row_threshold = 100;
   mitigation::Graphene g(cfg, util::Rng(1));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   for (int i = 0; i < 99; ++i) g.on_activate(7, ctx_at(0), out);
   EXPECT_TRUE(out.empty());
   g.on_activate(7, ctx_at(0), out);
@@ -126,7 +126,7 @@ TEST(Graphene, MisraGriesSwapKeepsHeavyHitters) {
   cfg.entries = 2;
   cfg.row_threshold = 1000;
   mitigation::Graphene g(cfg, util::Rng(1));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   // A heavy hitter accumulates; a stream of one-off rows must not be
   // able to evict it (their counts only chase the spillover).
   for (int i = 0; i < 500; ++i) g.on_activate(42, ctx_at(0), out);
@@ -144,7 +144,7 @@ TEST(Graphene, SpilloverBoundsTheMissedCount) {
   cfg.entries = 8;
   cfg.row_threshold = 50;
   mitigation::Graphene g(cfg, util::Rng(2));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   util::Rng rng(3);
   for (int i = 0; i < 5000; ++i)
     g.on_activate(static_cast<dram::RowId>(rng.below(100)), ctx_at(0), out);
@@ -157,7 +157,7 @@ TEST(Graphene, WindowStartResets) {
   cfg.entries = 4;
   cfg.row_threshold = 100;
   mitigation::Graphene g(cfg, util::Rng(1));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   for (int i = 0; i < 60; ++i) g.on_activate(7, ctx_at(0), out);
   EXPECT_EQ(g.tracked(), 1u);
   g.on_refresh(ctx_at(0, /*window_start=*/true), out);
@@ -215,7 +215,7 @@ TEST(Trr, SamplerTracksAndRefreshesHeavyHitter) {
   cfg.sampler_entries = 4;
   cfg.victims_per_ref = 1;
   mitigation::Trr trr(cfg, util::Rng(1));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   for (int i = 0; i < 100; ++i) trr.on_activate(500, ctx_at(0), out);
   EXPECT_TRUE(out.empty());  // no refresh opportunity yet
   trr.on_refresh(ctx_at(1), out);
@@ -233,7 +233,7 @@ TEST(Trr, RfmIssuesMidIntervalRefreshes) {
   cfg.rfm_enabled = true;
   cfg.raaimt = 32;
   mitigation::Trr trr(cfg, util::Rng(2));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   for (int i = 0; i < 100; ++i) trr.on_activate(500, ctx_at(0), out);
   // 100 ACTs with RAAIMT 32 -> 3 RFM opportunities.
   EXPECT_EQ(trr.rfm_commands(), 3u);
@@ -246,7 +246,7 @@ TEST(Trr, FrequencyBiasKeepsHotRowsOverNoise) {
   cfg.sampler_entries = 2;
   cfg.victims_per_ref = 1;
   mitigation::Trr trr(cfg, util::Rng(3));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   // Heavy hitter + a long stream of one-off rows.
   for (int i = 0; i < 200; ++i) {
     trr.on_activate(42, ctx_at(0), out);
@@ -357,7 +357,7 @@ TEST(Prac, DeterministicAlertAtDeratedThreshold) {
   cfg.refresh_intervals = 64;
   cfg.row_threshold = 50;
   mitigation::Prac prac(cfg, util::Rng(1));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   for (int i = 0; i < 49; ++i) prac.on_activate(100, ctx_at(0), out);
   EXPECT_TRUE(out.empty());
   prac.on_activate(100, ctx_at(0), out);
@@ -379,7 +379,7 @@ TEST(Prac, SlotRefreshResetsCounters) {
   cfg.refresh_intervals = 64;
   cfg.row_threshold = 50;
   mitigation::Prac prac(cfg, util::Rng(1));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   for (int i = 0; i < 30; ++i) prac.on_activate(100, ctx_at(0), out);
   prac.on_refresh(ctx_at(6), out);  // row 100 is in slot 6
   for (int i = 0; i < 30; ++i) prac.on_activate(100, ctx_at(7), out);
@@ -418,7 +418,7 @@ TEST(Cat, SingleAggressorTrackedToLeafAndMitigated) {
   cfg.split_quantum = 25;  // 10 levels * 25 = 250 < 500: safe descent
   cfg.node_budget = 64;
   mitigation::Cat cat(cfg, util::Rng(1));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   std::uint32_t acts = 0;
   while (out.empty() && acts < 2000) {
     cat.on_activate(600, ctx_at(0), out);
@@ -439,7 +439,7 @@ TEST(Cat, SaturationMakesItBlind) {
   cfg.split_quantum = 25;
   cfg.node_budget = 9;  // tiny budget: 4 splits and it is full
   mitigation::Cat cat(cfg, util::Rng(2));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   // Spread filler exhausts the budget...
   util::Rng rng(3);
   for (int i = 0; i < 500; ++i)
@@ -457,7 +457,7 @@ TEST(Cat, WindowResetRebuildsTheTree) {
   cfg.rows_per_bank = 1024;
   cfg.split_quantum = 10;
   mitigation::Cat cat(cfg, util::Rng(4));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   for (int i = 0; i < 100; ++i) cat.on_activate(600, ctx_at(0), out);
   EXPECT_GT(cat.nodes_used(), 1u);
   cat.on_refresh(ctx_at(0, /*window_start=*/true), out);

@@ -122,7 +122,7 @@ TEST(Fuzz, TwicePrunedCountsNeverExceedTrueCounts) {
   mitigation::Twice twice(cfg, util::Rng(1));
 
   std::map<dram::RowId, std::uint32_t> true_counts;
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   util::Rng rng(303);
   mem::MitigationContext ctx;
   for (std::uint32_t interval = 1; interval < 40; ++interval) {

@@ -26,12 +26,11 @@ class Probe final : public IBankMitigation {
 
   const char* name() const noexcept override { return "probe"; }
   void on_activate(dram::RowId row, const MitigationContext&,
-                   std::vector<MitigationAction>& out) override {
+                   ActionBuffer& out) override {
     shared_->activates.emplace_back(bank_, row);
     for (const auto& a : shared_->respond_with) out.push_back(a);
   }
-  void on_refresh(const MitigationContext& ctx,
-                  std::vector<MitigationAction>&) override {
+  void on_refresh(const MitigationContext& ctx, ActionBuffer&) override {
     shared_->refreshes.emplace_back(bank_, ctx.interval_in_window);
   }
   std::uint64_t state_bits() const noexcept override { return 7; }
@@ -104,7 +103,7 @@ TEST(MitigationEngine, RejectsBadConstruction) {
 
 TEST(NoMitigation, DoesNothing) {
   NoMitigation none;
-  std::vector<MitigationAction> out;
+  ActionBuffer out;
   none.on_activate(5, {}, out);
   none.on_refresh({}, out);
   EXPECT_TRUE(out.empty());
@@ -212,6 +211,57 @@ TEST(Controller, FirstExtraActRecorded) {
       MitigationAction::Kind::kActRow, 3, 3}};
   rig.controller.on_record(rec(30, 0, 3));
   EXPECT_EQ(rig.controller.stats().first_extra_act_at, 3u);
+}
+
+TEST(Controller, HotPathIsAllocationFreeInSteadyState) {
+  // The engine owns one scratch ActionBuffer that is cleared and reused
+  // on every dispatch. Emit more actions per ACT than the initial
+  // capacity so the buffer has to grow once, then verify the capacity
+  // never moves again — i.e. the steady state performs no heap
+  // allocation per record.
+  Rig rig;
+  std::vector<MitigationAction> burst;
+  for (dram::RowId r = 200; r < 200 + 3 * ActionBuffer::kInitialCapacity; ++r)
+    burst.push_back(MitigationAction{MitigationAction::Kind::kActRow, r, r});
+  rig.shared->respond_with = burst;
+
+  std::uint64_t t = 100;
+  for (int i = 0; i < 16; ++i, t += 100) rig.controller.on_record(rec(t, 0, 5));
+  const std::size_t settled = rig.engine.scratch().capacity();
+  EXPECT_GE(settled, burst.size());
+
+  for (int i = 0; i < 4096; ++i, t += 100)
+    rig.controller.on_record(rec(t, i % 2, 5 + (i % 64)));
+  EXPECT_EQ(rig.engine.scratch().capacity(), settled);
+  EXPECT_EQ(rig.engine.scratch().size(), burst.size());  // last dispatch
+}
+
+TEST(Controller, BatchedRecordsMatchRecordAtATime) {
+  // on_records is the controller half of the batched pull path: it must
+  // observe exactly the same sequence as repeated on_record calls.
+  std::vector<trace::AccessRecord> records;
+  std::uint64_t t = 100;
+  for (int i = 0; i < 1000; ++i, t += 150)
+    records.push_back(rec(t, i % 2, 10 + (i % 100), i % 7 == 0));
+
+  Rig one, batched;
+  one.shared->respond_with = {MitigationAction{
+      MitigationAction::Kind::kActNeighbors, 100, 100}};
+  batched.shared->respond_with = one.shared->respond_with;
+  for (const auto& r : records) one.controller.on_record(r);
+  for (std::size_t i = 0; i < records.size(); i += 33)
+    batched.controller.on_records(records.data() + i,
+                                  std::min<std::size_t>(33, records.size() - i));
+
+  EXPECT_EQ(one.shared->activates, batched.shared->activates);
+  EXPECT_EQ(one.controller.stats().demand_acts,
+            batched.controller.stats().demand_acts);
+  EXPECT_EQ(one.controller.stats().extra_acts,
+            batched.controller.stats().extra_acts);
+  EXPECT_EQ(one.controller.stats().reads, batched.controller.stats().reads);
+  EXPECT_EQ(one.controller.stats().writes, batched.controller.stats().writes);
+  EXPECT_EQ(one.controller.stats().delayed_acts,
+            batched.controller.stats().delayed_acts);
 }
 
 TEST(Controller, TrcStallsBackToBackActs) {

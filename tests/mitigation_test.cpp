@@ -27,7 +27,7 @@ TEST(Para, TriggerRateMatchesP) {
   ParaConfig cfg;
   cfg.p = util::FixedProb::from_double(0.01);
   Para para(cfg, util::Rng(3));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   const int n = 100000;
   for (int i = 0; i < n; ++i) para.on_activate(1000, ctx_at(0), out);
   EXPECT_NEAR(out.size() / static_cast<double>(n), 0.01, 0.002);
@@ -37,7 +37,7 @@ TEST(Para, RefreshesOneNeighbor) {
   ParaConfig cfg;
   cfg.p = util::FixedProb::from_double(1.0);
   Para para(cfg, util::Rng(5));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   int up = 0, down = 0;
   for (int i = 0; i < 1000; ++i) {
     out.clear();
@@ -58,7 +58,7 @@ TEST(Para, EdgeRowsPickTheOnlyNeighbor) {
   cfg.p = util::FixedProb::from_double(1.0);
   cfg.rows_per_bank = 64;
   Para para(cfg, util::Rng(7));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   for (int i = 0; i < 50; ++i) {
     out.clear();
     para.on_activate(0, ctx_at(0), out);
@@ -88,7 +88,7 @@ ProHitConfig prohit_fast() {
 
 TEST(ProHit, VictimClimbsToHotAndGetsRefreshed) {
   ProHit prohit(prohit_fast(), util::Rng(9));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   prohit.on_activate(1000, ctx_at(0), out);  // victims 999/1001 -> cold
   EXPECT_TRUE(out.empty());
   EXPECT_EQ(prohit.cold_size(), 2u);
@@ -104,7 +104,7 @@ TEST(ProHit, VictimClimbsToHotAndGetsRefreshed) {
 
 TEST(ProHit, EmptyHotMeansNoRefresh) {
   ProHit prohit(ProHitConfig{}, util::Rng(11));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   prohit.on_refresh(ctx_at(1), out);
   EXPECT_TRUE(out.empty());
 }
@@ -113,7 +113,7 @@ TEST(ProHit, ColdInsertionIsProbabilistic) {
   ProHitConfig cfg;
   cfg.insert_prob = util::FixedProb::pow2(4);  // 1/16
   ProHit prohit(cfg, util::Rng(13));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   // Single activation of distinct rows: cold fills slowly.
   int filled_after = 0;
   for (int i = 0; i < 100; ++i) {
@@ -128,7 +128,7 @@ TEST(ProHit, ColdEvictsFifoWhenFull) {
   ProHitConfig cfg = prohit_fast();
   cfg.promote_prob = util::FixedProb::from_double(0.0);  // stay in cold
   ProHit prohit(cfg, util::Rng(15));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   prohit.on_activate(100, ctx_at(0), out);  // victims 99, 101 fill cold (2)
   prohit.on_activate(200, ctx_at(0), out);  // victims 199, 201 evict both
   EXPECT_EQ(prohit.cold_size(), 2u);
@@ -149,7 +149,7 @@ TEST(MrLoc, FirstObservationNeverFires) {
   cfg.p_max = util::FixedProb::from_double(1.0);
   cfg.p_min = util::FixedProb::from_double(1.0);
   MrLoc mrloc(cfg, util::Rng(17));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   mrloc.on_activate(1000, ctx_at(0), out);
   EXPECT_TRUE(out.empty());  // victims not yet queued
   EXPECT_EQ(mrloc.queue_size(), 2u);
@@ -164,7 +164,7 @@ TEST(MrLoc, RecencyRaisesProbability) {
   cfg.p_min = util::FixedProb::from_double(0.0);
   cfg.p_max = util::FixedProb::from_double(1.0);
   MrLoc mrloc(cfg, util::Rng(19));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   mrloc.on_activate(1000, ctx_at(0), out);  // queue [999, 1001]
   EXPECT_TRUE(out.empty());
   // Re-observing the *most recent* victim (1001, back of the queue) uses
@@ -185,7 +185,7 @@ TEST(MrLoc, QueueEvictsOldest) {
   cfg.p_min = util::FixedProb::from_double(1.0);
   cfg.p_max = util::FixedProb::from_double(1.0);
   MrLoc mrloc(cfg, util::Rng(21));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   mrloc.on_activate(1000, ctx_at(0), out);           // 999, 1001
   mrloc.on_activate(2000, ctx_at(0), out);           // 1999, 2001 (full)
   mrloc.on_activate(3000, ctx_at(0), out);           // evicts 999, 1001
@@ -217,7 +217,7 @@ TwiceConfig twice_small() {
 
 TEST(Twice, DeterministicTriggerAtThreshold) {
   Twice twice(twice_small(), util::Rng(23));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   for (int i = 0; i < 99; ++i) twice.on_activate(7, ctx_at(0), out);
   EXPECT_TRUE(out.empty());
   twice.on_activate(7, ctx_at(0), out);
@@ -232,7 +232,7 @@ TEST(Twice, DeterministicTriggerAtThreshold) {
 
 TEST(Twice, PruningDropsSlowRows) {
   Twice twice(twice_small(), util::Rng(25));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   // 3 activations in one interval < slope 5: pruned at the boundary.
   for (int i = 0; i < 3; ++i) twice.on_activate(7, ctx_at(0), out);
   EXPECT_EQ(twice.live_entries(), 1u);
@@ -248,7 +248,7 @@ TEST(Twice, PrunedSlotIsReusable) {
   TwiceConfig cfg = twice_small();
   cfg.entries = 1;
   Twice twice(cfg, util::Rng(27));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   twice.on_activate(7, ctx_at(0), out);
   twice.on_activate(8, ctx_at(0), out);  // table full
   EXPECT_EQ(twice.overflow_drops(), 1u);
@@ -259,7 +259,7 @@ TEST(Twice, PrunedSlotIsReusable) {
 
 TEST(Twice, WindowStartClearsAll) {
   Twice twice(twice_small(), util::Rng(29));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   for (int i = 0; i < 50; ++i) twice.on_activate(7, ctx_at(0), out);
   twice.on_refresh(ctx_at(0, /*window_start=*/true), out);
   EXPECT_EQ(twice.live_entries(), 0u);
@@ -270,7 +270,7 @@ TEST(Twice, NeverPrunesASustainedAttacker) {
   // activations per interval is never pruned, so it always reaches the
   // threshold and gets mitigated.
   Twice twice(twice_small(), util::Rng(31));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   for (std::uint32_t interval = 0; interval < 30 && out.empty(); ++interval) {
     for (int i = 0; i < 6; ++i) twice.on_activate(7, ctx_at(interval), out);
     if (out.empty()) twice.on_refresh(ctx_at(interval + 1), out);
@@ -299,7 +299,7 @@ CraConfig cra_small() {
 
 TEST(Cra, TriggersExactlyAtThreshold) {
   Cra cra(cra_small(), util::Rng(33));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   for (int i = 0; i < 49; ++i) cra.on_activate(100, ctx_at(0), out);
   EXPECT_TRUE(out.empty());
   EXPECT_EQ(cra.counter(100), 49u);
@@ -311,7 +311,7 @@ TEST(Cra, TriggersExactlyAtThreshold) {
 
 TEST(Cra, RefreshClearsSlotCounters) {
   Cra cra(cra_small(), util::Rng(35));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   // Row 100 is in slot 100/16 = 6.
   for (int i = 0; i < 30; ++i) cra.on_activate(100, ctx_at(0), out);
   cra.on_refresh(ctx_at(6), out);  // slot 6 refreshed
@@ -323,7 +323,7 @@ TEST(Cra, RefreshClearsSlotCounters) {
 
 TEST(Cra, IndependentPerRowCounters) {
   Cra cra(cra_small(), util::Rng(37));
-  std::vector<mem::MitigationAction> out;
+  mem::ActionBuffer out;
   for (int i = 0; i < 20; ++i) cra.on_activate(100, ctx_at(0), out);
   for (int i = 0; i < 10; ++i) cra.on_activate(200, ctx_at(0), out);
   EXPECT_EQ(cra.counter(100), 20u);

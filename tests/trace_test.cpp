@@ -88,6 +88,79 @@ TEST(Drain, CollectsEverything) {
   EXPECT_EQ(drain(src).size(), 2u);
 }
 
+// -------------------------------------------------------------- next_batch
+
+// Drains @p a via next() and @p b via next_batch(chunk) and requires the
+// two record sequences to be identical.
+void expect_batch_equals_next(TraceSource& a, TraceSource& b,
+                              std::size_t chunk) {
+  std::vector<AccessRecord> via_next;
+  while (auto r = a.next()) via_next.push_back(*r);
+
+  std::vector<AccessRecord> via_batch;
+  std::vector<AccessRecord> buf(chunk);
+  for (;;) {
+    const std::size_t n = b.next_batch(buf.data(), buf.size());
+    if (n == 0) break;
+    ASSERT_LE(n, buf.size());
+    via_batch.insert(via_batch.end(), buf.begin(), buf.begin() + n);
+  }
+  ASSERT_EQ(via_next.size(), via_batch.size()) << "chunk " << chunk;
+  for (std::size_t i = 0; i < via_next.size(); ++i)
+    EXPECT_TRUE(via_next[i] == via_batch[i]) << "record " << i;
+}
+
+TEST(NextBatch, VectorSourceMatchesNext) {
+  const std::vector<AccessRecord> data{rec(1), rec(2), rec(2, 1, 7), rec(5),
+                                       rec(9, 3, 4)};
+  for (const std::size_t chunk : {1u, 2u, 3u, 16u}) {
+    VectorSource a(data), b(data);
+    expect_batch_equals_next(a, b, chunk);
+  }
+}
+
+std::unique_ptr<MergedSource> make_merged() {
+  std::vector<std::unique_ptr<TraceSource>> sources;
+  sources.push_back(std::make_unique<VectorSource>(
+      std::vector<AccessRecord>{rec(1), rec(4), rec(5, 0), rec(9)}));
+  sources.push_back(std::make_unique<VectorSource>(
+      std::vector<AccessRecord>{rec(2), rec(3), rec(5, 1), rec(10)}));
+  return std::make_unique<MergedSource>(std::move(sources));
+}
+
+TEST(NextBatch, MergedSourceMatchesNextIncludingTieBreaks) {
+  for (const std::size_t chunk : {1u, 3u, 64u}) {
+    auto a = make_merged();
+    auto b = make_merged();
+    expect_batch_equals_next(*a, *b, chunk);
+  }
+}
+
+TEST(NextBatch, LimitSourceHonoursCountAndTimeCuts) {
+  const std::vector<AccessRecord> data{rec(1), rec(2), rec(3), rec(4),
+                                       rec(50), rec(60)};
+  for (const std::size_t chunk : {1u, 2u, 4u, 16u}) {
+    LimitSource a(std::make_unique<VectorSource>(data), 3, ~0ull);
+    LimitSource b(std::make_unique<VectorSource>(data), 3, ~0ull);
+    expect_batch_equals_next(a, b, chunk);
+
+    LimitSource at(std::make_unique<VectorSource>(data), ~0ull, 10);
+    LimitSource bt(std::make_unique<VectorSource>(data), ~0ull, 10);
+    expect_batch_equals_next(at, bt, chunk);
+  }
+}
+
+TEST(NextBatch, DeadSourceKeepsReturningZero) {
+  LimitSource src(std::make_unique<VectorSource>(
+                      std::vector<AccessRecord>{rec(1), rec(2)}),
+                  1, ~0ull);
+  AccessRecord buf[4];
+  EXPECT_EQ(src.next_batch(buf, 4), 1u);
+  EXPECT_EQ(src.next_batch(buf, 4), 0u);
+  EXPECT_EQ(src.next_batch(buf, 4), 0u);
+  EXPECT_FALSE(src.next().has_value());
+}
+
 // ---------------------------------------------------------------- synthetic
 
 class SyntheticProfile : public ::testing::TestWithParam<AccessProfile> {};

@@ -407,13 +407,27 @@ TEST(Histogram, BinsAndClamping) {
   Histogram h(0, 10, 10);
   h.add(0.5);
   h.add(9.5);
-  h.add(-1);   // underflow -> first bin
-  h.add(100);  // overflow -> last bin
-  EXPECT_EQ(h.count(0), 2u);
-  EXPECT_EQ(h.count(9), 2u);
+  h.add(-1);   // underflow: counted in underflow()/total() only
+  h.add(100);  // overflow: counted in overflow()/total() only
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
   EXPECT_EQ(h.underflow(), 1u);
   EXPECT_EQ(h.overflow(), 1u);
   EXPECT_EQ(h.total(), 4u);
+  // Bins and the flow counters partition the samples exactly.
+  std::uint64_t binned = 0;
+  for (std::size_t b = 0; b < h.bins(); ++b) binned += h.count(b);
+  EXPECT_EQ(binned + h.underflow() + h.overflow(), h.total());
+}
+
+TEST(Histogram, MeanIgnoresOutOfRangeSamples) {
+  Histogram h(0, 10, 10);
+  h.add(2);
+  h.add(4);
+  h.add(-50);   // must not drag the mean down
+  h.add(1000);  // must not drag the mean up
+  // Mean is over in-range samples only.
+  EXPECT_DOUBLE_EQ(h.mean(), (2.0 + 4.0) / 2.0);
 }
 
 TEST(Histogram, EdgesAndMean) {
@@ -491,6 +505,39 @@ TEST(CsvWriter, WritesRowsToFile) {
   EXPECT_EQ(line, "1,2");
   std::getline(in, line);
   EXPECT_EQ(line, "\"x,y\",z");
+}
+
+TEST(CsvWriter, CloseIsExplicitAndIdempotent) {
+  const std::string path = ::testing::TempDir() + "/tvp_csv_close.csv";
+  CsvWriter w(path, {"a"});
+  w.write_row({"1"});
+  w.close();
+  w.close();  // second close is a no-op
+  EXPECT_THROW(w.write_row({"2"}), std::logic_error);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1");
+}
+
+TEST(CsvWriter, ReportsWriteFailureInsteadOfSilentTruncation) {
+  // Regression: write_row never checked the stream, so a full disk (or
+  // a closed descriptor) produced a truncated CSV that parsed fine.
+  // /dev/full fails every write at flush time; buffering means the
+  // error may surface on a later write_row or only at close(), so drive
+  // until something throws.
+  std::ifstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "/dev/full not available";
+  CsvWriter w("/dev/full", {"col"});
+  const std::string cell(1024, 'x');
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 1024; ++i) w.write_row({cell});
+        w.close();
+      },
+      std::runtime_error);
 }
 
 // ------------------------------------------------------------------- json
