@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# CI smoke test for the campaign service: start tvp_serve, drive it over
+# its unix socket with tvp_submit, and require the served matrix to be
+# byte-identical to a direct run_param_sweep (sweep_tool) of the same
+# spec. Also checks clean shutdown: daemon exit 0, no leaked socket.
+#
+# Usage: scripts/service_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+SERVE=$BUILD_DIR/tools/tvp_serve
+SUBMIT=$BUILD_DIR/tools/tvp_submit
+SWEEP=$BUILD_DIR/examples/sweep_tool
+for bin in "$SERVE" "$SUBMIT" "$SWEEP"; do
+  [ -x "$bin" ] || { echo "missing binary: $bin (build first)"; exit 1; }
+done
+
+WORK=$(mktemp -d)
+SERVE_PID=
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cat > "$WORK/smoke.cfg" <<'EOF'
+geometry.banks = 2
+windows = 1
+workload.benign_rate = 5
+seed = 3
+EOF
+
+SOCK=$WORK/tvp.sock
+"$SERVE" --socket="$SOCK" --journal-dir="$WORK/journals" &
+SERVE_PID=$!
+for _ in $(seq 1 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { echo "tvp_serve did not come up"; exit 1; }
+
+"$SUBMIT" --socket="$SOCK" ping
+
+"$SUBMIT" --socket="$SOCK" submit --name=ci_smoke \
+  --config="$WORK/smoke.cfg" --param=windows --values=1,2 \
+  --techniques=PARA,LiPRoMi --wait --csv="$WORK/served.csv"
+"$SUBMIT" --socket="$SOCK" status
+
+"$SWEEP" --param=windows --values=1,2 --config="$WORK/smoke.cfg" \
+  --techniques=PARA,LiPRoMi --csv="$WORK/direct.csv" > /dev/null
+
+cmp "$WORK/served.csv" "$WORK/direct.csv"
+echo "service matrix is byte-identical to direct run_param_sweep"
+
+"$SUBMIT" --socket="$SOCK" shutdown --drain
+if ! wait "$SERVE_PID"; then
+  echo "tvp_serve exited non-zero"; exit 1
+fi
+SERVE_PID=
+[ ! -e "$SOCK" ] || { echo "socket file leaked: $SOCK"; exit 1; }
+
+echo "service smoke OK"

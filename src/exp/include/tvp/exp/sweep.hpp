@@ -7,6 +7,10 @@
 // exploring their own questions (see examples/sweep_tool.cpp).
 #pragma once
 
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -36,6 +40,29 @@ struct SweepResult {
   }
 };
 
+/// Cell-granular execution hooks, the checkpoint/resume seam the
+/// campaign service (svc) builds on. Each cell is deterministic in
+/// (config, seed) and independent of every other cell, so a matrix
+/// assembled from preloaded (journal-replayed) cells plus freshly
+/// computed ones is bit-identical to an uninterrupted run.
+struct SweepHooks {
+  /// Cells already computed, keyed by row-major index; copied into the
+  /// result instead of re-running. Entries whose (value, technique)
+  /// disagree with the requested grid throw std::invalid_argument — a
+  /// stale journal must not silently corrupt a matrix.
+  const std::map<std::size_t, SweepCell>* preloaded = nullptr;
+  /// Called as each freshly computed cell completes (not for preloaded
+  /// cells). Invoked from worker threads — the callback must be
+  /// thread-safe; cells may complete in any order.
+  std::function<void(std::size_t index, const SweepCell& cell)> on_cell;
+  /// When it reads true, workers stop claiming new cells; in-flight
+  /// cells still finish (and reach on_cell). Skipped cells are left
+  /// with an empty technique string in the returned matrix.
+  const std::atomic<bool>* stop = nullptr;
+  /// Worker threads for the grid; 0 selects util::job_count().
+  std::size_t jobs = 0;
+};
+
 /// Runs the matrix: for each value, @p base with `param_key = value`
 /// applied, for each technique. @p param_key must be a recognised config
 /// key (config_io); values are config-file value strings. Throws on
@@ -46,6 +73,13 @@ SweepResult run_param_sweep(const util::KeyValueFile& base,
                             const std::string& param_key,
                             const std::vector<std::string>& values,
                             const std::vector<hw::Technique>& techniques);
+
+/// Same, with checkpoint/resume hooks (see SweepHooks).
+SweepResult run_param_sweep(const util::KeyValueFile& base,
+                            const std::string& param_key,
+                            const std::vector<std::string>& values,
+                            const std::vector<hw::Technique>& techniques,
+                            const SweepHooks& hooks);
 
 /// Formats the overhead matrix (values down, techniques across).
 util::TextTable sweep_overhead_table(const SweepResult& sweep);

@@ -11,13 +11,21 @@ SweepResult run_param_sweep(const util::KeyValueFile& base,
                             const std::string& param_key,
                             const std::vector<std::string>& values,
                             const std::vector<hw::Technique>& techniques) {
+  return run_param_sweep(base, param_key, values, techniques, SweepHooks{});
+}
+
+SweepResult run_param_sweep(const util::KeyValueFile& base,
+                            const std::string& param_key,
+                            const std::vector<std::string>& values,
+                            const std::vector<hw::Technique>& techniques,
+                            const SweepHooks& hooks) {
   if (values.empty() || techniques.empty())
     throw std::invalid_argument("run_param_sweep: empty values or techniques");
   const auto t0 = std::chrono::steady_clock::now();
   SweepResult sweep;
   sweep.param_key = param_key;
   sweep.values = values;
-  sweep.jobs = util::job_count();
+  sweep.jobs = hooks.jobs ? hooks.jobs : util::job_count();
   for (const auto t : techniques)
     sweep.techniques.emplace_back(hw::to_string(t));
 
@@ -34,18 +42,40 @@ SweepResult run_param_sweep(const util::KeyValueFile& base,
     configs.push_back(std::move(config));
   }
 
-  // Run the (value x technique) grid in parallel into pre-sized,
-  // row-major slots; each cell's run is independent (private SimConfig,
-  // private Rng), so the matrix is bit-identical for every job count.
+  // Seed the matrix with checkpointed cells; a cell whose identity does
+  // not match the grid means the journal belongs to a different sweep.
   sweep.cells.resize(values.size() * techniques.size());
+  std::vector<char> done(sweep.cells.size(), 0);
+  if (hooks.preloaded) {
+    for (const auto& [i, cell] : *hooks.preloaded) {
+      if (i >= sweep.cells.size())
+        throw std::invalid_argument("run_param_sweep: preloaded index out of range");
+      const std::size_t v = i / techniques.size();
+      const std::size_t t = i % techniques.size();
+      if (cell.value != values[v] ||
+          cell.technique != hw::to_string(techniques[t]))
+        throw std::invalid_argument(
+            "run_param_sweep: preloaded cell does not match the grid");
+      sweep.cells[i] = cell;
+      done[i] = 1;
+    }
+  }
+
+  // Run the remaining (value x technique) grid in parallel into
+  // pre-sized, row-major slots; each cell's run is independent (private
+  // SimConfig, private Rng), so the matrix is bit-identical for every
+  // job count — and for every preloaded/recomputed split.
   util::parallel_for_indexed(
       sweep.cells.size(), sweep.jobs, [&](std::size_t i) {
+        if (done[i]) return;
+        if (hooks.stop && hooks.stop->load(std::memory_order_relaxed)) return;
         const std::size_t v = i / techniques.size();
         const std::size_t t = i % techniques.size();
         SweepCell& cell = sweep.cells[i];
         cell.value = values[v];
         cell.technique = std::string(hw::to_string(techniques[t]));
         cell.result = run_simulation(techniques[t], configs[v]);
+        if (hooks.on_cell) hooks.on_cell(i, cell);
       });
   sweep.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();

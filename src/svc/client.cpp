@@ -1,0 +1,169 @@
+#include "tvp/svc/client.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "tvp/svc/wire.hpp"
+
+namespace tvp::svc {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error("svc::Client: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path)
+    throw std::runtime_error("svc::Client: unix path too long: " + path);
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket(AF_UNIX)");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    sys_fail("connect " + path);
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(const std::string& host, int port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &found);
+  if (rc != 0)
+    throw std::runtime_error(std::string("svc::Client: resolve ") + host +
+                             ": " + ::gai_strerror(rc));
+  int fd = -1;
+  for (addrinfo* ai = found; ai; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(found);
+  if (fd < 0)
+    throw std::runtime_error("svc::Client: cannot connect to " + host + ":" +
+                             std::to_string(port));
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), pending_(std::move(other.pending_)) {
+  other.fd_ = -1;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+util::JsonValue Client::request(const std::string& line) {
+  if (fd_ < 0) throw std::runtime_error("svc::Client: not connected");
+  std::string framed = line;
+  framed += '\n';
+  const char* data = framed.data();
+  std::size_t size = framed.size();
+  while (size > 0) {
+    const ssize_t n = ::write(fd_, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("write");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+
+  while (true) {
+    const std::size_t nl = pending_.find('\n');
+    if (nl != std::string::npos) {
+      const std::string response = pending_.substr(0, nl);
+      pending_.erase(0, nl + 1);
+      return util::JsonValue::parse(response);
+    }
+    char buf[16384];
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("read");
+    }
+    if (n == 0)
+      throw std::runtime_error("svc::Client: server closed the connection");
+    pending_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+util::JsonValue Client::checked(const std::string& line) {
+  util::JsonValue response = request(line);
+  if (!response.get_bool("ok", false))
+    throw std::runtime_error("svc::Client: server error: " +
+                             response.get("error", "unknown error"));
+  return response;
+}
+
+std::uint64_t Client::submit(const JobSpec& spec) {
+  return checked(submit_request(spec)).at("job").as_uint();
+}
+
+std::vector<JobStatus> Client::status() {
+  // Keep the response alive across the loop: the items() reference
+  // points into it, and a range-for does not extend the lifetime of a
+  // temporary behind a member-call chain.
+  const util::JsonValue response = checked(status_request());
+  std::vector<JobStatus> out;
+  for (const auto& job : response.at("jobs").items())
+    out.push_back(JobStatus::from_json(job));
+  return out;
+}
+
+JobStatus Client::status(std::uint64_t job_id) {
+  const auto response = checked(status_request(job_id));
+  const auto& jobs = response.at("jobs").items();
+  if (jobs.size() != 1)
+    throw std::runtime_error("svc::Client: malformed status response");
+  return JobStatus::from_json(jobs[0]);
+}
+
+util::JsonValue Client::results(std::uint64_t job_id) {
+  return checked(results_request(job_id));
+}
+
+void Client::cancel(std::uint64_t job_id) { checked(cancel_request(job_id)); }
+
+void Client::shutdown(bool drain) { checked(shutdown_request(drain)); }
+
+void Client::ping() { checked(ping_request()); }
+
+JobStatus Client::wait(std::uint64_t job_id, double timeout_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  while (true) {
+    const JobStatus current = status(job_id);
+    if (current.state == JobState::kDone ||
+        current.state == JobState::kFailed ||
+        current.state == JobState::kCancelled)
+      return current;
+    if (std::chrono::steady_clock::now() >= deadline)
+      throw std::runtime_error("svc::Client: timed out waiting for job " +
+                               std::to_string(job_id));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+}  // namespace tvp::svc

@@ -1,0 +1,297 @@
+#include "tvp/svc/engine.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+#include "tvp/exp/config_io.hpp"
+#include "tvp/svc/journal.hpp"
+#include "tvp/util/log.hpp"
+
+namespace tvp::svc {
+
+namespace fs = std::filesystem;
+
+CampaignEngine::CampaignEngine(EngineConfig config)
+    : config_(std::move(config)), queue_(config_.queue_capacity) {
+  if (!config_.journal_dir.empty()) fs::create_directories(config_.journal_dir);
+}
+
+CampaignEngine::~CampaignEngine() { shutdown(false); }
+
+std::string CampaignEngine::journal_path(const std::string& name) const {
+  if (config_.journal_dir.empty()) return "";
+  return (fs::path(config_.journal_dir) / (name + ".tvpj")).string();
+}
+
+std::vector<std::uint64_t> CampaignEngine::start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) throw std::logic_error("CampaignEngine: started twice");
+    started_ = true;
+  }
+
+  // Resume: every journal on disk is a job this engine accepted at some
+  // point. Unfinished ones recompute their missing cells; finished ones
+  // reload instantly (every cell preloads), making results queryable
+  // across restarts.
+  std::vector<std::uint64_t> resumed;
+  if (!config_.journal_dir.empty()) {
+    std::vector<std::string> paths;
+    for (const auto& entry : fs::directory_iterator(config_.journal_dir))
+      if (entry.is_regular_file() && entry.path().extension() == ".tvpj")
+        paths.push_back(entry.path().string());
+    std::sort(paths.begin(), paths.end());  // deterministic resume order
+    for (const auto& path : paths) {
+      try {
+        const Journal::Replay replay = Journal::replay(path);
+        std::string error;
+        const std::uint64_t id = submit(replay.spec, &error);
+        if (id == 0) {
+          TVP_LOG_WARN("svc: cannot resume %s: %s", path.c_str(),
+                       error.c_str());
+        } else {
+          TVP_LOG_INFO("svc: resuming job '%s' from %s (%zu/%zu cells done)",
+                       replay.spec.name.c_str(), path.c_str(),
+                       replay.cells.size(), replay.spec.cell_count());
+          resumed.push_back(id);
+        }
+      } catch (const std::exception& e) {
+        TVP_LOG_WARN("svc: skipping unreadable journal %s: %s", path.c_str(),
+                     e.what());
+      }
+    }
+  }
+
+  executor_ = std::thread([this] { executor_loop(); });
+  return resumed;
+}
+
+std::uint64_t CampaignEngine::submit(JobSpec spec, std::string* error) {
+  const auto reject = [&](const std::string& why) -> std::uint64_t {
+    if (error) *error = why;
+    return 0;
+  };
+
+  try {
+    spec.validate();
+  } catch (const std::exception& e) {
+    return reject(e.what());
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return reject("engine is shutting down");
+    for (const auto& [id, job] : jobs_)
+      if (job->spec.name == spec.name &&
+          (job->state == JobState::kQueued || job->state == JobState::kRunning))
+        return reject("a job named '" + spec.name + "' is already active");
+  }
+
+  // Make the job durable before queueing it: once submit returns an id,
+  // a crash cannot lose the job — the journal header is on disk.
+  const std::string path = journal_path(spec.name);
+  bool created_journal = false;
+  if (!path.empty()) {
+    if (fs::exists(path)) {
+      try {
+        const Journal::Replay replay = Journal::replay(path);
+        if (replay.spec.canonical_json() != spec.canonical_json())
+          return reject("journal " + path +
+                        " holds a different spec for this name; delete it or "
+                        "pick a new name");
+      } catch (const std::exception& e) {
+        return reject("journal " + path + " is unreadable: " + e.what());
+      }
+    } else {
+      try {
+        Journal::create(path, spec);  // header only; closed on scope exit
+        created_journal = true;
+      } catch (const std::exception& e) {
+        return reject(e.what());
+      }
+    }
+  }
+
+  auto job = std::make_shared<JobRec>();
+  job->spec = std::move(spec);
+  job->total = job->spec.cell_count();
+
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    job->id = id;
+    jobs_[id] = job;
+  }
+  if (!queue_.try_push(id)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.erase(id);
+    // A journal created for a job we never accepted must not resurrect
+    // it on the next start.
+    if (created_journal) fs::remove(path);
+    return reject("queue full (capacity " +
+                  std::to_string(queue_.capacity()) + "); retry later");
+  }
+  return id;
+}
+
+bool CampaignEngine::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  JobRec& job = *it->second;
+  switch (job.state) {
+    case JobState::kQueued:
+      job.state = JobState::kCancelled;
+      job.error = "cancelled while queued";
+      return true;
+    case JobState::kRunning:
+      job.cancel_requested = true;
+      job.stop.store(true, std::memory_order_relaxed);
+      return true;
+    case JobState::kDone:
+    case JobState::kFailed:
+    case JobState::kCancelled:
+      return false;
+  }
+  return false;
+}
+
+JobStatus CampaignEngine::status_of(const JobRec& job) const {
+  JobStatus status;
+  status.id = job.id;
+  status.name = job.spec.name;
+  status.state = job.state;
+  status.total_cells = job.total;
+  status.completed_cells = job.completed.load(std::memory_order_relaxed);
+  status.resumed_cells = job.resumed;
+  status.error = job.error;
+  return status;
+}
+
+std::optional<JobStatus> CampaignEngine::status(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return status_of(*it->second);
+}
+
+std::vector<JobStatus> CampaignEngine::statuses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobStatus> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(status_of(*job));
+  return out;
+}
+
+std::optional<exp::SweepResult> CampaignEngine::result(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second->state != JobState::kDone)
+    return std::nullopt;
+  return it->second->result;
+}
+
+void CampaignEngine::shutdown(bool finish_queued) {
+  std::lock_guard<std::mutex> serial(shutdown_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+    if (!finish_queued) {
+      abort_.store(true, std::memory_order_relaxed);
+      if (running_) running_->stop.store(true, std::memory_order_relaxed);
+    }
+  }
+  queue_.close();
+  if (executor_.joinable()) executor_.join();
+}
+
+void CampaignEngine::executor_loop() {
+  while (const auto id = queue_.pop()) {
+    std::shared_ptr<JobRec> job;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = jobs_.find(*id);
+      if (it == jobs_.end()) continue;
+      job = it->second;
+      if (job->state != JobState::kQueued) continue;  // cancelled in queue
+      if (abort_.load(std::memory_order_relaxed)) continue;  // stays on disk
+      job->state = JobState::kRunning;
+      running_ = job;
+    }
+    run_job(job);
+    std::lock_guard<std::mutex> lock(mu_);
+    running_.reset();
+  }
+}
+
+void CampaignEngine::run_job(const std::shared_ptr<JobRec>& job) {
+  const JobSpec& spec = job->spec;
+  TVP_LOG_INFO("svc: job %llu '%s' starting (%zu cells)",
+               static_cast<unsigned long long>(job->id), spec.name.c_str(),
+               job->total);
+  try {
+    const std::vector<hw::Technique> techniques = spec.parsed_techniques();
+    const util::KeyValueFile base = util::KeyValueFile::parse(spec.config_text);
+
+    std::map<std::size_t, exp::SweepCell> preloaded;
+    bool already_done = false;
+    std::optional<Journal> journal;
+    const std::string path = journal_path(spec.name);
+    if (!path.empty()) {
+      Journal::Replay replay = Journal::replay(path);
+      if (replay.spec.canonical_json() != spec.canonical_json())
+        throw std::runtime_error("journal " + path + " changed underneath the job");
+      preloaded = std::move(replay.cells);
+      already_done = replay.done;
+      journal.emplace(Journal::append_to(path, replay.dropped_bytes));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job->resumed = preloaded.size();
+    }
+    job->completed.store(preloaded.size(), std::memory_order_relaxed);
+
+    std::mutex journal_mu;  // serialises checkpoint appends from workers
+    exp::SweepHooks hooks;
+    hooks.preloaded = &preloaded;
+    hooks.stop = &job->stop;
+    hooks.jobs = config_.sweep_jobs;
+    hooks.on_cell = [&](std::size_t index, const exp::SweepCell& cell) {
+      std::lock_guard<std::mutex> lock(journal_mu);
+      if (journal) journal->append_cell(index, cell);
+      job->completed.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    exp::SweepResult sweep = exp::run_param_sweep(
+        base, spec.param_key, spec.values, techniques, hooks);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (job->stop.load(std::memory_order_relaxed)) {
+      job->state = JobState::kCancelled;
+      job->error = job->cancel_requested
+                       ? "cancelled"
+                       : "interrupted by shutdown; resumable from journal";
+      TVP_LOG_INFO("svc: job %llu '%s' stopped after %zu/%zu cells",
+                   static_cast<unsigned long long>(job->id), spec.name.c_str(),
+                   job->completed.load(std::memory_order_relaxed), job->total);
+      return;
+    }
+    if (journal && !already_done) journal->append_done();
+    job->result = std::move(sweep);
+    job->state = JobState::kDone;
+    TVP_LOG_INFO("svc: job %llu '%s' done (%zu cells, %zu resumed)",
+                 static_cast<unsigned long long>(job->id), spec.name.c_str(),
+                 job->total, job->resumed);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    job->state = JobState::kFailed;
+    job->error = e.what();
+    TVP_LOG_ERROR("svc: job %llu '%s' failed: %s",
+                  static_cast<unsigned long long>(job->id), spec.name.c_str(),
+                  e.what());
+  }
+}
+
+}  // namespace tvp::svc

@@ -1,0 +1,52 @@
+// Blocking NDJSON client for the campaign service (tvp_submit, tests,
+// and user tooling). One request line out, one response line back.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tvp/svc/job.hpp"
+#include "tvp/util/json.hpp"
+
+namespace tvp::svc {
+
+class Client {
+ public:
+  static Client connect_unix(const std::string& path);
+  static Client connect_tcp(const std::string& host, int port);
+
+  Client(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client& operator=(Client&&) = delete;
+  ~Client();
+
+  /// Sends one request line and parses the response line; throws
+  /// std::runtime_error on transport failure or malformed responses.
+  util::JsonValue request(const std::string& line);
+
+  /// Typed wrappers; each throws std::runtime_error carrying the
+  /// server's error text when the response is ok:false.
+  std::uint64_t submit(const JobSpec& spec);
+  std::vector<JobStatus> status();            ///< all jobs
+  JobStatus status(std::uint64_t job_id);
+  util::JsonValue results(std::uint64_t job_id);  ///< full results payload
+  void cancel(std::uint64_t job_id);
+  void shutdown(bool drain);
+  void ping();
+
+  /// Polls status() until the job reaches a terminal state; returns the
+  /// final status. Throws std::runtime_error after @p timeout_seconds.
+  JobStatus wait(std::uint64_t job_id, double timeout_seconds = 600.0);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  util::JsonValue checked(const std::string& line);  ///< throws on ok:false
+
+  int fd_ = -1;
+  std::string pending_;  // bytes read past the current response line
+};
+
+}  // namespace tvp::svc

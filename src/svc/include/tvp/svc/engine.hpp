@@ -1,0 +1,111 @@
+// CampaignEngine — owns long-running experiment jobs end to end.
+//
+// Jobs enter through a bounded JobQueue (backpressure), run one at a
+// time on an executor thread, and execute their sweep cells on the
+// existing util::job_count() worker pool via exp::SweepHooks. With a
+// journal directory configured, a job is durable from the moment submit
+// accepts it: the journal header is written (fsync'd) before the id is
+// queued, every completed cell is checkpointed, and start() re-enqueues
+// unfinished journals — a killed campaign resumes by replaying the
+// journal and recomputing only the missing cells, bit-identical to an
+// uninterrupted run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tvp/exp/sweep.hpp"
+#include "tvp/svc/job.hpp"
+#include "tvp/svc/queue.hpp"
+
+namespace tvp::svc {
+
+struct EngineConfig {
+  std::size_t queue_capacity = 64;
+  /// Directory for per-job journals (<name>.tvpj); empty disables
+  /// checkpointing (jobs are volatile). Created if missing.
+  std::string journal_dir;
+  /// Worker threads per sweep; 0 selects util::job_count() (TVP_JOBS).
+  std::size_t sweep_jobs = 0;
+};
+
+class CampaignEngine {
+ public:
+  explicit CampaignEngine(EngineConfig config);
+  ~CampaignEngine();
+
+  CampaignEngine(const CampaignEngine&) = delete;
+  CampaignEngine& operator=(const CampaignEngine&) = delete;
+
+  /// Starts the executor thread. With journaling enabled, first scans
+  /// journal_dir and re-submits every journal found there (unfinished
+  /// ones resume; finished ones reload instantly from their cells).
+  /// Returns the ids of resumed jobs.
+  std::vector<std::uint64_t> start();
+
+  /// Validates and enqueues a job. Returns the job id, or 0 with
+  /// @p error set when the job is rejected (malformed spec, duplicate
+  /// active name, journal/spec mismatch, or queue full — the latter is
+  /// the backpressure signal and is safe to retry).
+  std::uint64_t submit(JobSpec spec, std::string* error);
+
+  /// Queued jobs are cancelled in place; the running job stops claiming
+  /// new cells (in-flight cells finish and are checkpointed). Returns
+  /// false for unknown ids or jobs already in a terminal state.
+  bool cancel(std::uint64_t id);
+
+  std::optional<JobStatus> status(std::uint64_t id) const;
+  std::vector<JobStatus> statuses() const;  ///< all jobs, ascending id
+
+  /// The completed matrix of a kDone job; nullopt otherwise.
+  std::optional<exp::SweepResult> result(std::uint64_t id) const;
+
+  /// Stops the engine and joins the executor. @p finish_queued selects
+  /// drain semantics: true runs every queued job to completion first;
+  /// false stops the running job at the next cell boundary (its journal
+  /// keeps the completed cells, so the campaign resumes on the next
+  /// start) and leaves queued jobs untouched on disk. Idempotent.
+  void shutdown(bool finish_queued);
+
+  /// Journal file for a job name ("" when journaling is disabled).
+  std::string journal_path(const std::string& name) const;
+
+ private:
+  struct JobRec {
+    std::uint64_t id = 0;
+    JobSpec spec;
+    JobState state = JobState::kQueued;  // guarded by mu_
+    std::size_t total = 0;
+    std::atomic<std::size_t> completed{0};
+    std::size_t resumed = 0;             // guarded by mu_
+    std::string error;                   // guarded by mu_
+    std::atomic<bool> stop{false};
+    bool cancel_requested = false;       // guarded by mu_
+    std::optional<exp::SweepResult> result;  // guarded by mu_
+  };
+
+  void executor_loop();
+  void run_job(const std::shared_ptr<JobRec>& job);
+  JobStatus status_of(const JobRec& job) const;  // mu_ held
+
+  const EngineConfig config_;
+  JobQueue queue_;
+  std::mutex shutdown_mu_;  // serialises shutdown callers around join()
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::shared_ptr<JobRec>> jobs_;
+  std::shared_ptr<JobRec> running_;  // guarded by mu_
+  std::uint64_t next_id_ = 1;
+  std::atomic<bool> abort_{false};  // drop queued jobs instead of running
+  bool started_ = false;
+  bool stopped_ = false;
+  std::thread executor_;
+};
+
+}  // namespace tvp::svc

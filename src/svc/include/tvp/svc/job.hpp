@@ -1,0 +1,68 @@
+// Campaign jobs: a parameter sweep described entirely by value, so the
+// same description travels over the wire (submit requests), into the
+// journal header (crash-safe identity), and through the engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tvp/hw/technique.hpp"
+#include "tvp/util/json.hpp"
+
+namespace tvp::svc {
+
+/// One sweep job: base config text plus the (param, values, techniques)
+/// grid of exp::run_param_sweep. The name keys the journal file, so it
+/// is restricted to filesystem-safe characters.
+struct JobSpec {
+  std::string name;                      ///< [A-Za-z0-9_.-]+, journal key
+  std::string config_text;               ///< base config (KeyValueFile text)
+  std::string param_key;                 ///< config key being swept
+  std::vector<std::string> values;       ///< config-file value strings
+  std::vector<std::string> techniques;   ///< hw::to_string names
+
+  std::size_t cell_count() const noexcept {
+    return values.size() * techniques.size();
+  }
+
+  /// Resolves technique names; throws std::invalid_argument on unknown
+  /// names (typos must not silently change a campaign).
+  std::vector<hw::Technique> parsed_techniques() const;
+
+  /// Validates the spec shape (name charset, non-empty grid, parsable
+  /// config and techniques); throws std::invalid_argument on problems.
+  void validate() const;
+
+  /// Serialises the spec as a JSON object with a fixed key order; equal
+  /// specs produce equal text, so this string is the spec's identity
+  /// (the journal header is compared against it on resume).
+  std::string canonical_json() const;
+
+  /// Emits the spec into an open JSON object/array slot.
+  void write_json(util::JsonWriter& json) const;
+
+  /// Reads a spec from a parsed JSON object; throws std::runtime_error
+  /// on missing/mistyped fields.
+  static JobSpec from_json(const util::JsonValue& value);
+};
+
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+const char* to_string(JobState state) noexcept;
+
+/// A point-in-time view of one job, as reported over the wire.
+struct JobStatus {
+  std::uint64_t id = 0;
+  std::string name;
+  JobState state = JobState::kQueued;
+  std::size_t total_cells = 0;
+  std::size_t completed_cells = 0;  ///< includes resumed cells
+  std::size_t resumed_cells = 0;    ///< restored from the journal
+  std::string error;                ///< non-empty for kFailed
+
+  void write_json(util::JsonWriter& json) const;
+  static JobStatus from_json(const util::JsonValue& value);
+};
+
+}  // namespace tvp::svc

@@ -1,0 +1,85 @@
+// Append-only, fsync'd campaign journal.
+//
+// One NDJSON line per record:   {"crc":<crc32>,"e":<entry>}
+// where <entry> is one of
+//   {"type":"job", ...JobSpec...}          — header, always first
+//   {"type":"cell","i":N,...SweepCell...}  — a completed sweep cell
+//   {"type":"done"}                        — campaign finished
+//
+// Every append is written with a single write(2) and fsync'd before
+// append_cell returns, so after a crash the file is a valid journal
+// plus at most one torn trailing line. replay() drops that tail (CRC or
+// parse failure) and returns everything before it; dropped cells are
+// simply recomputed — each cell is deterministic, so resume stays
+// bit-identical to an uninterrupted run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "tvp/exp/sweep.hpp"
+#include "tvp/svc/job.hpp"
+
+namespace tvp::svc {
+
+/// CRC-32 (ISO 3309, zlib polynomial) of @p data; guards every journal
+/// line against torn writes and bit rot.
+std::uint32_t crc32(std::string_view data);
+
+class Journal {
+ public:
+  /// Creates (truncates) @p path and writes the job header. Throws
+  /// std::runtime_error on I/O failure.
+  static Journal create(const std::string& path, const JobSpec& spec);
+
+  /// Opens @p path for appending after a replay (resume). Pass the
+  /// replay's dropped_bytes so the torn tail is truncated first —
+  /// otherwise the next record would be glued onto the corrupt line and
+  /// both would be lost.
+  static Journal append_to(const std::string& path,
+                           std::size_t truncate_tail_bytes = 0);
+
+  Journal(Journal&& other) noexcept;
+  Journal& operator=(Journal&&) = delete;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  ~Journal();
+
+  /// Appends one completed cell: single write + fsync. Thread-safety is
+  /// the caller's job (the engine serialises appends with a mutex).
+  void append_cell(std::size_t index, const exp::SweepCell& cell);
+
+  /// Marks the campaign complete.
+  void append_done();
+
+  void close();
+  bool is_open() const noexcept { return fd_ >= 0; }
+
+  /// Everything recovered from a journal file.
+  struct Replay {
+    JobSpec spec;                                ///< from the header
+    std::map<std::size_t, exp::SweepCell> cells; ///< completed cells by index
+    bool done = false;                           ///< saw the done record
+    std::size_t dropped_bytes = 0;  ///< torn/corrupt tail that was ignored
+  };
+
+  /// Replays @p path. A corrupt or truncated record ends the replay:
+  /// that record and everything after it are reported in dropped_bytes
+  /// and otherwise ignored (safe — dropped cells are recomputed). A
+  /// missing or corrupt header throws std::runtime_error, as does I/O
+  /// failure; an unreadable journal must be surfaced, not silently
+  /// restarted from zero.
+  static Replay replay(const std::string& path);
+
+ private:
+  explicit Journal(int fd) : fd_(fd) {}
+
+  void append_line(const std::string& payload);
+
+  int fd_ = -1;
+};
+
+}  // namespace tvp::svc

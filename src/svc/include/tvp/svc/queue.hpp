@@ -1,0 +1,48 @@
+// Bounded, thread-safe FIFO of pending job ids.
+//
+// This is the service's backpressure point: try_push refuses when the
+// queue is full, and the wire layer turns that refusal into a
+// retryable "queue full" error instead of buffering unbounded work.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace tvp::svc {
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity);
+
+  /// Enqueues @p id; returns false (without blocking) when the queue is
+  /// full or closed.
+  bool try_push(std::uint64_t id);
+
+  /// Blocks until an id is available or the queue is closed; returns
+  /// nullopt only after close() once the queue has drained.
+  std::optional<std::uint64_t> pop();
+
+  /// Non-blocking pop; nullopt when empty.
+  std::optional<std::uint64_t> try_pop();
+
+  /// Rejects further pushes and wakes blocked poppers; already queued
+  /// ids are still handed out (drain semantics).
+  void close();
+
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool closed() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<std::uint64_t> items_;
+  bool closed_ = false;
+};
+
+}  // namespace tvp::svc

@@ -1,0 +1,37 @@
+// JSON (de)serialisation of run results, the payload format shared by
+// the journal (checkpointed cells) and the wire protocol (results).
+//
+// Round-trip is exact: every counter is a 64-bit integer, every double
+// is emitted with JsonWriter::value_exact, and RunningStat is saved via
+// its raw Welford state — a replayed cell is bit-identical to the cell
+// that was journaled, which is what makes resume indistinguishable from
+// an uninterrupted run.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "tvp/exp/sweep.hpp"
+#include "tvp/util/json.hpp"
+
+namespace tvp::svc {
+
+/// Emits @p result as a JSON object into an open value slot.
+void write_run_result(util::JsonWriter& json, const exp::RunResult& result);
+
+/// Parses a RunResult written by write_run_result; throws
+/// std::runtime_error on missing/mistyped fields.
+exp::RunResult read_run_result(const util::JsonValue& value);
+
+/// Emits one sweep cell `{i, value, technique, result}`.
+void write_sweep_cell(util::JsonWriter& json, std::size_t index,
+                      const exp::SweepCell& cell);
+
+/// Parses a cell; @p index receives the row-major position.
+exp::SweepCell read_sweep_cell(const util::JsonValue& value, std::size_t& index);
+
+/// Full matrix as one JSON document (wire `results` responses):
+/// {param, values, techniques, jobs, wall_seconds, cells:[...]}.
+std::string sweep_result_json(const exp::SweepResult& sweep);
+
+}  // namespace tvp::svc

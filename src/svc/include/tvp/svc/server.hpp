@@ -1,0 +1,90 @@
+// Socket front-end for the campaign engine.
+//
+// A single poll(2) loop serves every connection: requests are one
+// NDJSON line each and every handler is O(state) fast (the engine runs
+// jobs on its own thread), so one thread multiplexes the listener, all
+// clients, and a self-pipe that signal handlers poke for graceful
+// SIGINT/SIGTERM drain. Listens on a unix socket, 127.0.0.1 TCP, or
+// both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tvp/svc/engine.hpp"
+#include "tvp/svc/wire.hpp"
+
+namespace tvp::svc {
+
+struct ServerConfig {
+  /// Unix-domain socket path (empty = no unix listener). A stale file
+  /// from a killed daemon is replaced; the file is removed on close.
+  std::string unix_path;
+  /// TCP port on 127.0.0.1 (-1 = no TCP listener, 0 = ephemeral).
+  int tcp_port = -1;
+  EngineConfig engine;
+  /// A request line larger than this closes the connection (guards the
+  /// server against a runaway client).
+  std::size_t max_line_bytes = 4u << 20;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listeners and starts the engine (resuming journaled
+  /// campaigns); returns the resumed job ids. Throws std::runtime_error
+  /// on bind failure.
+  std::vector<std::uint64_t> start();
+
+  /// Actual TCP port after start() (for tcp_port = 0).
+  int tcp_port() const noexcept { return bound_port_; }
+
+  /// Serves until a shutdown request arrives or request_stop() is
+  /// called. On exit every connection is closed, the engine is shut
+  /// down (shutdown ops honour their drain flag; request_stop uses the
+  /// journal-and-exit path) and the unix socket file is removed.
+  void serve();
+
+  /// Wakes serve() and makes it exit via the graceful-drain path.
+  /// Async-signal-safe (writes one byte to a pipe).
+  void request_stop() noexcept;
+
+  /// Routes SIGINT/SIGTERM to request_stop() of @p server (one server
+  /// per process).
+  static void install_signal_handlers(Server& server);
+
+  CampaignEngine& engine() noexcept { return engine_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;
+    std::string out;
+    bool close_after_flush = false;
+  };
+
+  void close_listeners();
+  void close_all();
+  /// Handles every complete line in @p conn.in; false = drop connection.
+  bool handle_input(Connection& conn);
+  std::string handle_request(const Request& request);
+
+  ServerConfig config_;
+  CampaignEngine engine_;
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int bound_port_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  bool unix_bound_ = false;
+  bool shutdown_requested_ = false;  // via wire op
+  bool shutdown_drain_ = false;
+  std::vector<Connection> connections_;
+};
+
+}  // namespace tvp::svc

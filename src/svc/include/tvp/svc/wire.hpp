@@ -1,0 +1,65 @@
+// Newline-delimited-JSON wire protocol for the campaign service.
+//
+// One request object per line, one response object per line. Requests
+// carry an "op" discriminator:
+//   {"op":"submit","job":{...JobSpec...}}
+//   {"op":"status"} | {"op":"status","job":N}
+//   {"op":"results","job":N}
+//   {"op":"cancel","job":N}
+//   {"op":"shutdown"} | {"op":"shutdown","drain":true}
+//   {"op":"ping"}
+// Responses always carry "ok"; failures add "error". A full queue
+// answers submit with ok:false and "queue full..." — the backpressure
+// signal; clients retry later.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tvp/exp/sweep.hpp"
+#include "tvp/svc/job.hpp"
+
+namespace tvp::svc {
+
+/// Malformed request line (bad JSON, unknown op, missing fields).
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Request {
+  enum class Op { kSubmit, kStatus, kResults, kCancel, kShutdown, kPing };
+  Op op = Op::kPing;
+  JobSpec spec;                 ///< kSubmit
+  std::uint64_t job_id = 0;     ///< kResults/kCancel, kStatus when has_job_id
+  bool has_job_id = false;
+  bool drain = false;           ///< kShutdown: finish queued jobs first
+};
+
+/// Parses one request line; throws ProtocolError on malformed input.
+Request parse_request(const std::string& line);
+
+// Request builders (client side). Lines come without the trailing
+// newline; the transport appends it.
+std::string submit_request(const JobSpec& spec);
+std::string status_request();
+std::string status_request(std::uint64_t job_id);
+std::string results_request(std::uint64_t job_id);
+std::string cancel_request(std::uint64_t job_id);
+std::string shutdown_request(bool drain);
+std::string ping_request();
+
+// Response builders (server side).
+std::string error_response(const std::string& message);
+std::string ok_response();
+std::string submit_response(std::uint64_t job_id);
+std::string status_response(const std::vector<JobStatus>& jobs);
+/// Results payload: {"ok":true,"status":{...},"csv":"...","sweep":{...}};
+/// csv is exp::sweep_to_csv (the byte-stable results file), sweep the
+/// full per-cell matrix (result_io).
+std::string results_response(const JobStatus& status,
+                             const exp::SweepResult& sweep);
+
+}  // namespace tvp::svc

@@ -1,0 +1,210 @@
+#include "tvp/svc/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "tvp/svc/result_io.hpp"
+
+namespace tvp::svc {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+[[noreturn]] void io_fail(const std::string& what) {
+  throw std::runtime_error("Journal: " + what + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_fail("write failed");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : data)
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+Journal Journal::create(const std::string& path, const JobSpec& spec) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) io_fail("cannot create " + path);
+  Journal journal(fd);
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("type").value("job");
+  json.key("spec");
+  spec.write_json(json);
+  json.end_object();
+  journal.append_line(json.str());
+  return journal;
+}
+
+Journal Journal::append_to(const std::string& path,
+                           std::size_t truncate_tail_bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) io_fail("cannot open " + path);
+  if (truncate_tail_bytes > 0) {
+    // Cut off the torn tail replay() reported; appending after it would
+    // glue the new record onto the corrupt line and lose both.
+    const off_t size = ::lseek(fd, 0, SEEK_END);
+    if (size < 0 || static_cast<std::size_t>(size) < truncate_tail_bytes ||
+        ::ftruncate(fd, size - static_cast<off_t>(truncate_tail_bytes)) != 0 ||
+        ::fsync(fd) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      io_fail("cannot drop the torn tail of " + path);
+    }
+  }
+  return Journal(fd);
+}
+
+Journal::Journal(Journal&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Journal::~Journal() { close(); }
+
+void Journal::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Journal::append_line(const std::string& payload) {
+  if (fd_ < 0) throw std::logic_error("Journal: append on closed journal");
+  std::string line = "{\"crc\":" + std::to_string(crc32(payload)) +
+                     ",\"e\":" + payload + "}\n";
+  write_all(fd_, line.data(), line.size());
+  if (::fsync(fd_) != 0) io_fail("fsync failed");
+}
+
+void Journal::append_cell(std::size_t index, const exp::SweepCell& cell) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("type").value("cell");
+  json.key("cell");
+  write_sweep_cell(json, index, cell);
+  json.end_object();
+  append_line(json.str());
+}
+
+void Journal::append_done() {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("type").value("done");
+  json.end_object();
+  append_line(json.str());
+}
+
+Journal::Replay Journal::replay(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("Journal: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  Replay replay;
+  bool have_header = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t start = pos;
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn trailing line
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+
+    // Extract the payload textually (the CRC covers its exact bytes).
+    static constexpr std::string_view kPrefix = "{\"crc\":";
+    static constexpr std::string_view kSep = ",\"e\":";
+    std::size_t payload_begin = std::string::npos;
+    std::uint32_t want_crc = 0;
+    if (line.compare(0, kPrefix.size(), kPrefix) == 0 && line.back() == '}') {
+      const std::size_t sep = line.find(kSep, kPrefix.size());
+      if (sep != std::string::npos) {
+        bool digits_ok = sep > kPrefix.size();
+        std::uint64_t crc_value = 0;
+        for (std::size_t i = kPrefix.size(); i < sep && digits_ok; ++i) {
+          const char c = line[i];
+          if (c < '0' || c > '9') digits_ok = false;
+          crc_value = crc_value * 10 + static_cast<std::uint64_t>(c - '0');
+        }
+        if (digits_ok && crc_value <= 0xFFFFFFFFu) {
+          payload_begin = sep + kSep.size();
+          want_crc = static_cast<std::uint32_t>(crc_value);
+        }
+      }
+    }
+    if (payload_begin == std::string::npos) {
+      pos = start;
+      break;  // malformed framing: stop here, drop the rest
+    }
+    const std::string payload =
+        line.substr(payload_begin, line.size() - 1 - payload_begin);
+    if (crc32(payload) != want_crc) {
+      pos = start;
+      break;  // corrupt record
+    }
+
+    util::JsonValue entry;
+    std::string type;
+    try {
+      entry = util::JsonValue::parse(payload);
+      type = entry.at("type").as_string();
+      if (type == "job") {
+        if (have_header)
+          throw std::runtime_error("Journal: duplicate header in " + path);
+        replay.spec = JobSpec::from_json(entry.at("spec"));
+        have_header = true;
+      } else if (type == "cell") {
+        if (!have_header)
+          throw std::runtime_error("Journal: cell before header in " + path);
+        std::size_t index = 0;
+        exp::SweepCell cell = read_sweep_cell(entry.at("cell"), index);
+        replay.cells[index] = std::move(cell);
+      } else if (type == "done") {
+        replay.done = true;
+      } else {
+        pos = start;  // unknown record type (newer writer): stop here
+        break;
+      }
+    } catch (const std::runtime_error&) {
+      if (type == "job" || (!have_header && type.empty())) throw;
+      pos = start;  // undecodable record past the header: stop here
+      break;
+    }
+  }
+  if (!have_header)
+    throw std::runtime_error("Journal: missing or corrupt header in " + path);
+  replay.dropped_bytes = text.size() - pos;
+  return replay;
+}
+
+}  // namespace tvp::svc

@@ -1,0 +1,56 @@
+#include "tvp/svc/queue.hpp"
+
+#include <stdexcept>
+
+namespace tvp::svc {
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("JobQueue: zero capacity");
+}
+
+bool JobQueue::try_push(std::uint64_t id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(id);
+  }
+  ready_.notify_one();
+  return true;
+}
+
+std::optional<std::uint64_t> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;
+  const std::uint64_t id = items_.front();
+  items_.pop_front();
+  return id;
+}
+
+std::optional<std::uint64_t> JobQueue::try_pop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (items_.empty()) return std::nullopt;
+  const std::uint64_t id = items_.front();
+  items_.pop_front();
+  return id;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace tvp::svc

@@ -1,0 +1,334 @@
+#include "tvp/svc/server.hpp"
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "tvp/svc/wire.hpp"
+#include "tvp/util/log.hpp"
+
+namespace tvp::svc {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error("svc::Server: " + what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    sys_fail("fcntl(O_NONBLOCK)");
+}
+
+// One server per process: the signal handler can only touch a static.
+std::atomic<int> g_stop_fd{-1};
+
+void on_stop_signal(int) {
+  const int fd = g_stop_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), engine_(config_.engine) {
+  if (config_.unix_path.empty() && config_.tcp_port < 0)
+    throw std::invalid_argument("svc::Server: no listener configured");
+}
+
+Server::~Server() {
+  close_all();
+  if (g_stop_fd.load(std::memory_order_relaxed) == stop_pipe_[1])
+    g_stop_fd.store(-1, std::memory_order_relaxed);
+  for (const int fd : stop_pipe_)
+    if (fd >= 0) ::close(fd);
+}
+
+std::vector<std::uint64_t> Server::start() {
+  if (::pipe(stop_pipe_) != 0) sys_fail("pipe");
+  set_nonblocking(stop_pipe_[0]);
+  set_nonblocking(stop_pipe_[1]);
+
+  if (!config_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.unix_path.size() >= sizeof addr.sun_path)
+      throw std::runtime_error("svc::Server: unix path too long: " +
+                               config_.unix_path);
+    std::strncpy(addr.sun_path, config_.unix_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_fd_ < 0) sys_fail("socket(AF_UNIX)");
+    ::unlink(config_.unix_path.c_str());  // stale file from a killed daemon
+    if (::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+      sys_fail("bind " + config_.unix_path);
+    unix_bound_ = true;
+    if (::listen(unix_fd_, 16) != 0) sys_fail("listen(unix)");
+    set_nonblocking(unix_fd_);
+  }
+
+  if (config_.tcp_port >= 0) {
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_fd_ < 0) sys_fail("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(config_.tcp_port));
+    if (::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+      sys_fail("bind 127.0.0.1:" + std::to_string(config_.tcp_port));
+    if (::listen(tcp_fd_, 16) != 0) sys_fail("listen(tcp)");
+    set_nonblocking(tcp_fd_);
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+      sys_fail("getsockname");
+    bound_port_ = ntohs(bound.sin_port);
+  }
+
+  return engine_.start();
+}
+
+void Server::request_stop() noexcept {
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::install_signal_handlers(Server& server) {
+  g_stop_fd.store(server.stop_pipe_[1], std::memory_order_relaxed);
+  struct sigaction action{};
+  action.sa_handler = on_stop_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+void Server::serve() {
+  bool stop_signal = false;
+  while (!shutdown_requested_ && !stop_signal) {
+    std::vector<pollfd> fds;
+    fds.push_back({stop_pipe_[0], POLLIN, 0});
+    const std::size_t listeners_at = fds.size();
+    if (unix_fd_ >= 0) fds.push_back({unix_fd_, POLLIN, 0});
+    if (tcp_fd_ >= 0) fds.push_back({tcp_fd_, POLLIN, 0});
+    const std::size_t conns_at = fds.size();
+    for (const auto& conn : connections_) {
+      short events = POLLIN;
+      if (!conn.out.empty()) events |= POLLOUT;
+      fds.push_back({conn.fd, events, 0});
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("poll");
+    }
+
+    if (fds[0].revents & POLLIN) {
+      stop_signal = true;  // drain the pipe, then exit via graceful path
+      char buf[16];
+      while (::read(stop_pipe_[0], buf, sizeof buf) > 0) {
+      }
+    }
+
+    for (std::size_t i = listeners_at; i < conns_at; ++i) {
+      if (!(fds[i].revents & POLLIN)) continue;
+      while (true) {
+        const int conn_fd = ::accept(fds[i].fd, nullptr, nullptr);
+        if (conn_fd < 0) break;  // EAGAIN or transient error
+        set_nonblocking(conn_fd);
+        Connection conn;
+        conn.fd = conn_fd;
+        connections_.push_back(std::move(conn));
+      }
+    }
+
+    // Service existing connections; collect closures after the loop so
+    // indices into fds stay aligned with connections_.
+    std::vector<std::size_t> dead;
+    for (std::size_t i = conns_at; i < fds.size(); ++i) {
+      const std::size_t c = i - conns_at;
+      Connection& conn = connections_[c];
+      bool drop = (fds[i].revents & (POLLERR | POLLNVAL)) != 0;
+
+      if (!drop && (fds[i].revents & (POLLIN | POLLHUP))) {
+        char buf[16384];
+        while (true) {
+          const ssize_t n = ::read(conn.fd, buf, sizeof buf);
+          if (n > 0) {
+            conn.in.append(buf, static_cast<std::size_t>(n));
+            continue;
+          }
+          if (n == 0) {
+            conn.close_after_flush = true;  // peer finished sending
+            break;
+          }
+          if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+          drop = true;
+          break;
+        }
+        if (!drop && !handle_input(conn)) drop = true;
+      }
+
+      if (!drop && !conn.out.empty()) {
+        while (!conn.out.empty()) {
+          const ssize_t n = ::write(conn.fd, conn.out.data(), conn.out.size());
+          if (n > 0) {
+            conn.out.erase(0, static_cast<std::size_t>(n));
+            continue;
+          }
+          if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+          drop = true;
+          break;
+        }
+      }
+      if (conn.close_after_flush && conn.out.empty()) drop = true;
+      if (drop) dead.push_back(c);
+
+      if (shutdown_requested_) {
+        // The shutdown reply must reach its sender even though we stop
+        // polling: flush synchronously (bounded by SO_SNDBUF + a line).
+        for (auto& open : connections_) {
+          while (!open.out.empty()) {
+            const ssize_t n =
+                ::write(open.fd, open.out.data(), open.out.size());
+            if (n > 0) {
+              open.out.erase(0, static_cast<std::size_t>(n));
+              continue;
+            }
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+              pollfd wait{open.fd, POLLOUT, 0};
+              if (::poll(&wait, 1, 1000) <= 0) break;
+              continue;
+            }
+            if (errno == EINTR) continue;
+            break;
+          }
+        }
+        break;
+      }
+    }
+
+    for (auto it = dead.rbegin(); it != dead.rend(); ++it) {
+      ::close(connections_[*it].fd);
+      connections_.erase(connections_.begin() +
+                         static_cast<std::ptrdiff_t>(*it));
+    }
+  }
+
+  close_listeners();
+  if (shutdown_requested_) {
+    TVP_LOG_INFO("svc: shutdown requested (%s)",
+                 shutdown_drain_ ? "drain" : "stop at next cell");
+    engine_.shutdown(shutdown_drain_);
+  } else {
+    TVP_LOG_INFO("svc: signal received; checkpointing and exiting");
+    engine_.shutdown(false);
+  }
+  close_all();
+}
+
+bool Server::handle_input(Connection& conn) {
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t nl = conn.in.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string line = conn.in.substr(start, nl - start);
+    start = nl + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::string response;
+    try {
+      response = handle_request(parse_request(line));
+    } catch (const ProtocolError& e) {
+      response = error_response(e.what());
+    }
+    conn.out += response;
+    conn.out += '\n';
+    if (shutdown_requested_) break;
+  }
+  conn.in.erase(0, start);
+  if (conn.in.size() > config_.max_line_bytes) return false;  // runaway line
+  return true;
+}
+
+std::string Server::handle_request(const Request& request) {
+  switch (request.op) {
+    case Request::Op::kPing:
+      return ok_response();
+    case Request::Op::kSubmit: {
+      std::string error;
+      const std::uint64_t id = engine_.submit(request.spec, &error);
+      return id ? submit_response(id) : error_response(error);
+    }
+    case Request::Op::kStatus: {
+      if (!request.has_job_id) return status_response(engine_.statuses());
+      const auto status = engine_.status(request.job_id);
+      if (!status)
+        return error_response("unknown job " + std::to_string(request.job_id));
+      return status_response({*status});
+    }
+    case Request::Op::kResults: {
+      const auto status = engine_.status(request.job_id);
+      if (!status)
+        return error_response("unknown job " + std::to_string(request.job_id));
+      const auto result = engine_.result(request.job_id);
+      if (!result)
+        return error_response("job " + std::to_string(request.job_id) +
+                              " has no results (state: " +
+                              to_string(status->state) + ")");
+      return results_response(*status, *result);
+    }
+    case Request::Op::kCancel:
+      if (!engine_.cancel(request.job_id))
+        return error_response("job " + std::to_string(request.job_id) +
+                              " is unknown or already finished");
+      return ok_response();
+    case Request::Op::kShutdown:
+      shutdown_requested_ = true;
+      shutdown_drain_ = request.drain;
+      return ok_response();
+  }
+  return error_response("unhandled op");
+}
+
+void Server::close_listeners() {
+  if (unix_fd_ >= 0) {
+    ::close(unix_fd_);
+    unix_fd_ = -1;
+  }
+  if (tcp_fd_ >= 0) {
+    ::close(tcp_fd_);
+    tcp_fd_ = -1;
+  }
+  if (unix_bound_) {
+    ::unlink(config_.unix_path.c_str());
+    unix_bound_ = false;
+  }
+}
+
+void Server::close_all() {
+  close_listeners();
+  for (auto& conn : connections_) ::close(conn.fd);
+  connections_.clear();
+}
+
+}  // namespace tvp::svc

@@ -1,0 +1,164 @@
+#include "tvp/svc/wire.hpp"
+
+#include "tvp/svc/result_io.hpp"
+#include "tvp/util/json.hpp"
+
+namespace tvp::svc {
+
+namespace {
+
+std::string one_field_request(const char* op) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("op").value(op);
+  json.end_object();
+  return json.str();
+}
+
+std::string job_id_request(const char* op, std::uint64_t job_id) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("op").value(op);
+  json.key("job").value(job_id);
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  util::JsonValue doc;
+  try {
+    doc = util::JsonValue::parse(line);
+  } catch (const std::runtime_error& e) {
+    throw ProtocolError(e.what());
+  }
+  try {
+    if (!doc.is_object()) throw ProtocolError("request is not an object");
+    const std::string op = doc.at("op").as_string();
+    Request request;
+    if (op == "submit") {
+      request.op = Request::Op::kSubmit;
+      request.spec = JobSpec::from_json(doc.at("job"));
+    } else if (op == "status") {
+      request.op = Request::Op::kStatus;
+      if (const util::JsonValue* id = doc.find("job")) {
+        request.job_id = id->as_uint();
+        request.has_job_id = true;
+      }
+    } else if (op == "results") {
+      request.op = Request::Op::kResults;
+      request.job_id = doc.at("job").as_uint();
+      request.has_job_id = true;
+    } else if (op == "cancel") {
+      request.op = Request::Op::kCancel;
+      request.job_id = doc.at("job").as_uint();
+      request.has_job_id = true;
+    } else if (op == "shutdown") {
+      request.op = Request::Op::kShutdown;
+      request.drain = doc.get_bool("drain", false);
+    } else if (op == "ping") {
+      request.op = Request::Op::kPing;
+    } else {
+      throw ProtocolError("unknown op '" + op + "'");
+    }
+    return request;
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const std::runtime_error& e) {
+    throw ProtocolError(e.what());
+  }
+}
+
+std::string submit_request(const JobSpec& spec) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("op").value("submit");
+  json.key("job");
+  spec.write_json(json);
+  json.end_object();
+  return json.str();
+}
+
+std::string status_request() { return one_field_request("status"); }
+
+std::string status_request(std::uint64_t job_id) {
+  return job_id_request("status", job_id);
+}
+
+std::string results_request(std::uint64_t job_id) {
+  return job_id_request("results", job_id);
+}
+
+std::string cancel_request(std::uint64_t job_id) {
+  return job_id_request("cancel", job_id);
+}
+
+std::string shutdown_request(bool drain) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("op").value("shutdown");
+  json.key("drain").value(drain);
+  json.end_object();
+  return json.str();
+}
+
+std::string ping_request() { return one_field_request("ping"); }
+
+std::string error_response(const std::string& message) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("ok").value(false);
+  json.key("error").value(message);
+  json.end_object();
+  return json.str();
+}
+
+std::string ok_response() {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("ok").value(true);
+  json.end_object();
+  return json.str();
+}
+
+std::string submit_response(std::uint64_t job_id) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("ok").value(true);
+  json.key("job").value(job_id);
+  json.end_object();
+  return json.str();
+}
+
+std::string status_response(const std::vector<JobStatus>& jobs) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("ok").value(true);
+  json.key("jobs").begin_array();
+  for (const auto& job : jobs) job.write_json(json);
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::string results_response(const JobStatus& status,
+                             const exp::SweepResult& sweep) {
+  // The sweep matrix is already a JSON document; splice it in verbatim
+  // rather than re-walking the tree through JsonWriter.
+  util::JsonWriter head;
+  head.begin_object();
+  head.key("ok").value(true);
+  head.key("status");
+  status.write_json(head);
+  head.key("csv").value(exp::sweep_to_csv(sweep));
+  head.end_object();
+  std::string text = head.str();
+  text.pop_back();  // drop the closing '}'
+  text += ",\"sweep\":";
+  text += sweep_result_json(sweep);
+  text += "}";
+  return text;
+}
+
+}  // namespace tvp::svc

@@ -1,13 +1,18 @@
-// Minimal JSON emitter for machine-readable experiment results.
+// Minimal JSON support for machine-readable experiment results and the
+// campaign-service wire protocol.
 //
-// Write-only by design (the library never needs to parse JSON): nested
-// objects/arrays with automatic comma handling and string escaping.
+// JsonWriter emits documents (nested objects/arrays with automatic
+// comma handling and string escaping); JsonValue parses them back — the
+// read side exists for the svc subsystem, whose journal and socket
+// protocol are newline-delimited JSON.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace tvp::util {
@@ -37,6 +42,10 @@ class JsonWriter {
   JsonWriter& value(const std::string& v);
   JsonWriter& value(const char* v) { return value(std::string(v)); }
   JsonWriter& value(double v);
+  /// Like value(double) but with enough digits (%.17g) that parsing the
+  /// emitted text recovers the exact bit pattern. The svc journal uses
+  /// this: resume must be bit-identical to an uninterrupted run.
+  JsonWriter& value_exact(double v);
   JsonWriter& value(bool v);
   JsonWriter& value(std::int64_t v);
   JsonWriter& value(std::uint64_t v);
@@ -63,6 +72,67 @@ class JsonWriter {
   std::vector<bool> first_;  // first element in each open scope
   bool key_pending_ = false;
   bool done_ = false;
+};
+
+/// A parsed JSON document: an immutable tagged tree. Numbers keep their
+/// integral identity (int64/uint64 round-trip exactly, beyond the 2^53
+/// double-precision window — journal entries carry activation counts).
+/// Accessors throw std::runtime_error on type mismatch so protocol
+/// errors surface as one catchable family.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+
+  /// Parses a complete document (one value, surrounding whitespace
+  /// allowed); throws std::runtime_error naming the byte offset on
+  /// malformed input or trailing garbage.
+  static JsonValue parse(const std::string& text);
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  bool as_bool() const;
+  double as_double() const;         ///< any number
+  std::int64_t as_int() const;      ///< throws unless integral and in range
+  std::uint64_t as_uint() const;    ///< throws unless integral and >= 0
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;    ///< array elements
+  const std::vector<Member>& members() const;     ///< object members, source order
+
+  /// Object lookup; nullptr when absent (throws if not an object).
+  const JsonValue* find(const std::string& key) const;
+  /// Object lookup; throws naming the key when absent.
+  const JsonValue& at(const std::string& key) const;
+
+  /// Convenience getters for optional object members.
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::uint64_t get_uint(const std::string& key, std::uint64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;      // valid when int_exact_
+  std::uint64_t uint_ = 0;    // valid when uint_exact_
+  bool int_exact_ = false;
+  bool uint_exact_ = false;
+  std::string str_;
+  // Indirect so JsonValue stays movable/copyable without recursion in
+  // the type definition.
+  std::shared_ptr<std::vector<JsonValue>> items_;
+  std::shared_ptr<std::vector<Member>> members_;
 };
 
 }  // namespace tvp::util

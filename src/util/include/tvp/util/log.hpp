@@ -17,7 +17,10 @@ void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
 /// Emits a printf-formatted message at @p level to stderr, prefixed with
-/// the level name. Thread-compatible (the simulator is single-threaded).
+/// the level name. Thread-safe: the level gate is atomic and the whole
+/// line (prefix + message + newline) is flushed with one write, so
+/// messages from concurrent sweep workers and the campaign service
+/// never interleave mid-line.
 void log(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
 
 #define TVP_LOG_DEBUG(...) ::tvp::util::log(::tvp::util::LogLevel::kDebug, __VA_ARGS__)

@@ -31,6 +31,16 @@ class RunningStat {
   /// Merges another accumulator into this one (parallel Welford).
   void merge(const RunningStat& other) noexcept;
 
+  /// Exact internal state, for checkpoint serialisation (the svc
+  /// journal must restore an accumulator bit-identical to the one it
+  /// saved; mean/variance alone cannot reconstruct m2 exactly).
+  struct Raw {
+    std::size_t n = 0;
+    double mean = 0.0, m2 = 0.0, min = 0.0, max = 0.0, sum = 0.0;
+  };
+  Raw raw() const noexcept { return {n_, mean_, m2_, min_, max_, sum_}; }
+  static RunningStat from_raw(const Raw& raw) noexcept;
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

@@ -1,7 +1,9 @@
 #include "tvp/util/json.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace tvp::util {
@@ -85,6 +87,19 @@ JsonWriter& JsonWriter::value(double v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::value_exact(double v) {
+  pre_value();
+  if (std::isfinite(v)) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out_ << buf;
+  } else {
+    out_ << "null";
+  }
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
 JsonWriter& JsonWriter::value(bool v) {
   pre_value();
   out_ << (v ? "true" : "false");
@@ -110,6 +125,355 @@ std::string JsonWriter::str() const {
   if (!stack_.empty())
     throw std::logic_error("JsonWriter: unclosed containers");
   return out_.str();
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue — recursive-descent parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void type_error(const char* want, JsonValue::Type got) {
+  static const char* const names[] = {"null",  "bool",  "number",
+                                      "string", "array", "object"};
+  throw std::runtime_error(std::string("JsonValue: expected ") + want +
+                           ", got " + names[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  return num_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  if (int_exact_) return int_;
+  if (uint_exact_ && uint_ <= static_cast<std::uint64_t>(INT64_MAX))
+    return static_cast<std::int64_t>(uint_);
+  throw std::runtime_error("JsonValue: number is not an int64");
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  if (uint_exact_) return uint_;
+  if (int_exact_ && int_ >= 0) return static_cast<std::uint64_t>(int_);
+  throw std::runtime_error("JsonValue: number is not a uint64");
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return str_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return *items_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return *members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  for (const auto& [name, value] : members())
+    if (name == key) return &value;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  if (const JsonValue* v = find(key)) return *v;
+  throw std::runtime_error("JsonValue: missing key '" + key + "'");
+}
+
+std::string JsonValue::get(const std::string& key,
+                           const std::string& fallback) const {
+  const JsonValue* v = find(key);
+  return v ? v->as_string() : fallback;
+}
+
+std::uint64_t JsonValue::get_uint(const std::string& key,
+                                  std::uint64_t fallback) const {
+  const JsonValue* v = find(key);
+  return v ? v->as_uint() : fallback;
+}
+
+double JsonValue::get_double(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v ? v->as_double() : fallback;
+}
+
+bool JsonValue::get_bool(const std::string& key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v ? v->as_bool() : fallback;
+}
+
+/// Hand-written recursive descent over the document text. Depth is
+/// bounded so pathological nesting cannot overflow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* word) {
+    const std::size_t n = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        JsonValue v;
+        v.type_ = JsonValue::Type::kString;
+        v.str_ = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        JsonValue v;
+        v.type_ = JsonValue::Type::kBool;
+        if (consume_literal("true")) {
+          v.bool_ = true;
+        } else if (consume_literal("false")) {
+          v.bool_ = false;
+        } else {
+          fail("invalid literal");
+        }
+        return v;
+      }
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        return JsonValue();
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        fail("unexpected character");
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{');
+    JsonValue v;
+    v.type_ = JsonValue::Type::kObject;
+    v.members_ = std::make_shared<std::vector<JsonValue::Member>>();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.members_->emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[');
+    JsonValue v;
+    v.type_ = JsonValue::Type::kArray;
+    v.items_ = std::make_shared<std::vector<JsonValue>>();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items_->push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9')
+        code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      else
+        fail("invalid hex digit in \\u escape");
+    }
+    return code;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+              fail("unpaired surrogate");
+            pos_ += 2;
+            const unsigned lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-')
+        ++pos_;
+      else
+        break;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    JsonValue v;
+    v.type_ = JsonValue::Type::kNumber;
+    // Integral tokens additionally keep their exact 64-bit value.
+    if (token.find_first_of(".eE") == std::string::npos) {
+      errno = 0;
+      char* end = nullptr;
+      if (token[0] == '-') {
+        const long long i = std::strtoll(token.c_str(), &end, 10);
+        if (errno == 0 && end == token.c_str() + token.size()) {
+          v.int_ = i;
+          v.int_exact_ = true;
+        }
+      } else {
+        const unsigned long long u = std::strtoull(token.c_str(), &end, 10);
+        if (errno == 0 && end == token.c_str() + token.size()) {
+          v.uint_ = u;
+          v.uint_exact_ = true;
+          if (u <= static_cast<unsigned long long>(INT64_MAX)) {
+            v.int_ = static_cast<std::int64_t>(u);
+            v.int_exact_ = true;
+          }
+        }
+      }
+    }
+    errno = 0;
+    char* end = nullptr;
+    v.num_ = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return JsonParser(text).parse_document();
 }
 
 std::string JsonWriter::escape(const std::string& s) {

@@ -1,11 +1,13 @@
 #include "tvp/util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <string>
 
 namespace tvp::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,17 +21,52 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level = level; }
-LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
 
 void log(LogLevel level, const char* fmt, ...) {
-  if (level < g_level || g_level == LogLevel::kOff) return;
-  std::fprintf(stderr, "[tvp:%s] ", level_name(level));
+  const LogLevel min = g_level.load(std::memory_order_relaxed);
+  if (level < min || min == LogLevel::kOff) return;
+
+  // Format the complete line into one buffer and emit it with a single
+  // write, so lines from concurrent threads never interleave mid-line.
+  char stack_buf[512];
+  int prefix = std::snprintf(stack_buf, sizeof stack_buf, "[tvp:%s] ",
+                             level_name(level));
+  if (prefix < 0) return;
+
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  va_list args_retry;
+  va_copy(args_retry, args);
+  const int body = std::vsnprintf(stack_buf + prefix,
+                                  sizeof stack_buf - static_cast<std::size_t>(prefix),
+                                  fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (body < 0) {
+    va_end(args_retry);
+    return;
+  }
+
+  const std::size_t needed = static_cast<std::size_t>(prefix + body);
+  if (needed + 1 < sizeof stack_buf) {  // +1 for the newline
+    va_end(args_retry);
+    stack_buf[needed] = '\n';
+    std::fwrite(stack_buf, 1, needed + 1, stderr);
+    return;
+  }
+
+  std::string line(needed + 1, '\0');
+  std::snprintf(line.data(), needed + 1, "[tvp:%s] ", level_name(level));
+  std::vsnprintf(line.data() + prefix, needed + 1 - static_cast<std::size_t>(prefix),
+                 fmt, args_retry);
+  va_end(args_retry);
+  line[needed] = '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace tvp::util

@@ -19,6 +19,17 @@ void RunningStat::add(double x) noexcept {
   m2_ += delta * (x - mean_);
 }
 
+RunningStat RunningStat::from_raw(const Raw& raw) noexcept {
+  RunningStat s;
+  s.n_ = raw.n;
+  s.mean_ = raw.mean;
+  s.m2_ = raw.m2;
+  s.min_ = raw.min;
+  s.max_ = raw.max;
+  s.sum_ = raw.sum;
+  return s;
+}
+
 double RunningStat::variance() const noexcept {
   return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }

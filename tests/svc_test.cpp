@@ -1,0 +1,643 @@
+// Unit + integration tests for tvp::svc — the campaign service: job
+// queue, crash-safe journal, engine resume determinism, wire protocol,
+// and the socket server end to end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tvp/exp/sweep.hpp"
+#include "tvp/svc/client.hpp"
+#include "tvp/svc/engine.hpp"
+#include "tvp/svc/journal.hpp"
+#include "tvp/svc/queue.hpp"
+#include "tvp/svc/result_io.hpp"
+#include "tvp/svc/server.hpp"
+#include "tvp/svc/wire.hpp"
+
+namespace tvp::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A fresh scratch directory per test (unix sockets + journals).
+class SvcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("tvp_svc_") + info->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& leaf) const {
+    return (dir_ / leaf).string();
+  }
+
+  fs::path dir_;
+};
+
+/// A four-cell sweep (2 values x 2 techniques) that finishes in well
+/// under a second per cell.
+JobSpec tiny_spec(const std::string& name, std::uint64_t seed) {
+  JobSpec spec;
+  spec.name = name;
+  spec.config_text =
+      "geometry.banks = 2\n"
+      "windows = 1\n"
+      "workload.benign_rate = 5\n"
+      "seed = " + std::to_string(seed) + "\n";
+  spec.param_key = "windows";
+  spec.values = {"1", "2"};
+  spec.techniques = {"PARA", "LiPRoMi"};
+  return spec;
+}
+
+exp::SweepResult run_direct(const JobSpec& spec, std::size_t jobs) {
+  exp::SweepHooks hooks;
+  hooks.jobs = jobs;
+  return exp::run_param_sweep(util::KeyValueFile::parse(spec.config_text),
+                              spec.param_key, spec.values,
+                              spec.parsed_techniques(), hooks);
+}
+
+JobStatus wait_terminal(const CampaignEngine& engine, std::uint64_t id,
+                        double timeout_seconds = 120.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto status = engine.status(id);
+    if (status && (status->state == JobState::kDone ||
+                   status->state == JobState::kFailed ||
+                   status->state == JobState::kCancelled))
+      return *status;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ADD_FAILURE() << "job " << id << " did not reach a terminal state";
+  return JobStatus{};
+}
+
+// ---------------------------------------------------------------------------
+// JobQueue
+// ---------------------------------------------------------------------------
+
+TEST(JobQueue, FifoAndBounded) {
+  JobQueue queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3)) << "capacity 2 must refuse the third push";
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.pop(), std::optional<std::uint64_t>(1));
+  EXPECT_EQ(queue.pop(), std::optional<std::uint64_t>(2));
+  EXPECT_EQ(queue.try_pop(), std::nullopt);
+}
+
+TEST(JobQueue, CloseDrainsThenReturnsNull) {
+  JobQueue queue(4);
+  EXPECT_TRUE(queue.try_push(7));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(8)) << "closed queue must refuse pushes";
+  EXPECT_EQ(queue.pop(), std::optional<std::uint64_t>(7));
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(JobQueue, CloseWakesBlockedPopper) {
+  JobQueue queue(1);
+  std::thread popper([&] { EXPECT_EQ(queue.pop(), std::nullopt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  popper.join();
+}
+
+TEST(JobQueue, ZeroCapacityThrows) {
+  EXPECT_THROW(JobQueue(0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// JobSpec
+// ---------------------------------------------------------------------------
+
+TEST(JobSpec, CanonicalJsonRoundTrip) {
+  const JobSpec spec = tiny_spec("round_trip-1.a", 3);
+  const JobSpec back = JobSpec::from_json(util::JsonValue::parse(spec.canonical_json()));
+  EXPECT_EQ(back.canonical_json(), spec.canonical_json());
+  EXPECT_EQ(back.name, spec.name);
+  EXPECT_EQ(back.config_text, spec.config_text);
+  EXPECT_EQ(back.values, spec.values);
+  EXPECT_EQ(back.techniques, spec.techniques);
+}
+
+TEST(JobSpec, ValidateRejectsBadInput) {
+  JobSpec spec = tiny_spec("ok", 1);
+  EXPECT_NO_THROW(spec.validate());
+
+  JobSpec bad_name = spec;
+  bad_name.name = "has/slash";
+  EXPECT_THROW(bad_name.validate(), std::invalid_argument);
+
+  JobSpec bad_technique = spec;
+  bad_technique.techniques = {"NotATechnique"};
+  EXPECT_THROW(bad_technique.validate(), std::invalid_argument);
+
+  JobSpec empty_values = spec;
+  empty_values.values.clear();
+  EXPECT_THROW(empty_values.validate(), std::invalid_argument);
+
+  JobSpec bad_config = spec;
+  bad_config.config_text = "no equals sign here";
+  EXPECT_THROW(bad_config.validate(), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Result serialisation
+// ---------------------------------------------------------------------------
+
+TEST(ResultIo, RunResultRoundTripIsExact) {
+  const JobSpec spec = tiny_spec("exact", 11);
+  const exp::SweepResult sweep = run_direct(spec, 1);
+  ASSERT_FALSE(sweep.cells.empty());
+  for (const auto& cell : sweep.cells) {
+    util::JsonWriter json;
+    write_run_result(json, cell.result);
+    const exp::RunResult back =
+        read_run_result(util::JsonValue::parse(json.str()));
+
+    const exp::RunResult& ref = cell.result;
+    EXPECT_EQ(back.technique, ref.technique);
+    EXPECT_EQ(back.stats.demand_acts, ref.stats.demand_acts);
+    EXPECT_EQ(back.stats.extra_acts, ref.stats.extra_acts);
+    EXPECT_EQ(back.stats.fp_extra_acts, ref.stats.fp_extra_acts);
+    EXPECT_EQ(back.stats.triggers, ref.stats.triggers);
+    EXPECT_EQ(back.stats.refresh_intervals, ref.stats.refresh_intervals);
+    EXPECT_EQ(back.stats.rows_refreshed, ref.stats.rows_refreshed);
+    EXPECT_EQ(back.stats.reads, ref.stats.reads);
+    EXPECT_EQ(back.stats.writes, ref.stats.writes);
+    EXPECT_EQ(back.stats.delayed_acts, ref.stats.delayed_acts);
+    EXPECT_EQ(back.stats.first_extra_act_at, ref.stats.first_extra_act_at);
+    EXPECT_EQ(back.stats.extra_acts_by_phase, ref.stats.extra_acts_by_phase);
+    // RunningStat restores its exact Welford state (bit-identical).
+    const auto raw_back = back.stats.acts_per_interval.raw();
+    const auto raw_ref = ref.stats.acts_per_interval.raw();
+    EXPECT_EQ(raw_back.n, raw_ref.n);
+    EXPECT_EQ(raw_back.mean, raw_ref.mean);
+    EXPECT_EQ(raw_back.m2, raw_ref.m2);
+    EXPECT_EQ(raw_back.min, raw_ref.min);
+    EXPECT_EQ(raw_back.max, raw_ref.max);
+    EXPECT_EQ(raw_back.sum, raw_ref.sum);
+    EXPECT_EQ(back.flips, ref.flips);
+    EXPECT_EQ(back.victim_flips, ref.victim_flips);
+    ASSERT_EQ(back.flip_events.size(), ref.flip_events.size());
+    for (std::size_t i = 0; i < ref.flip_events.size(); ++i) {
+      EXPECT_EQ(back.flip_events[i].bank, ref.flip_events[i].bank);
+      EXPECT_EQ(back.flip_events[i].row, ref.flip_events[i].row);
+      EXPECT_EQ(back.flip_events[i].at_activation, ref.flip_events[i].at_activation);
+      EXPECT_EQ(back.flip_events[i].interval, ref.flip_events[i].interval);
+    }
+    EXPECT_EQ(back.peak_disturbance, ref.peak_disturbance);
+    EXPECT_EQ(back.state_bytes_per_bank, ref.state_bytes_per_bank);
+    EXPECT_EQ(back.records, ref.records);
+    EXPECT_EQ(back.wall_seconds, ref.wall_seconds);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------------
+
+TEST_F(SvcTest, JournalRoundTrip) {
+  const JobSpec spec = tiny_spec("journal_rt", 5);
+  const exp::SweepResult sweep = run_direct(spec, 1);
+  const std::string file = path("a.tvpj");
+  {
+    Journal journal = Journal::create(file, spec);
+    journal.append_cell(0, sweep.cells[0]);
+    journal.append_cell(2, sweep.cells[2]);
+    journal.append_done();
+  }
+  const Journal::Replay replay = Journal::replay(file);
+  EXPECT_EQ(replay.spec.canonical_json(), spec.canonical_json());
+  EXPECT_TRUE(replay.done);
+  EXPECT_EQ(replay.dropped_bytes, 0u);
+  ASSERT_EQ(replay.cells.size(), 2u);
+  EXPECT_EQ(replay.cells.at(0).technique, sweep.cells[0].technique);
+  EXPECT_EQ(replay.cells.at(2).value, sweep.cells[2].value);
+}
+
+TEST_F(SvcTest, JournalTornTrailingLineIsDropped) {
+  const JobSpec spec = tiny_spec("journal_torn", 5);
+  const exp::SweepResult sweep = run_direct(spec, 1);
+  const std::string file = path("torn.tvpj");
+  {
+    Journal journal = Journal::create(file, spec);
+    journal.append_cell(0, sweep.cells[0]);
+  }
+  // Simulate a crash mid-append: half a record, no newline.
+  {
+    std::ofstream out(file, std::ios::app | std::ios::binary);
+    out << "{\"crc\":123,\"e\":{\"type\":\"cell\",\"cell\":{\"i\":1,\"val";
+  }
+  const Journal::Replay replay = Journal::replay(file);
+  EXPECT_EQ(replay.cells.size(), 1u);
+  EXPECT_GT(replay.dropped_bytes, 0u);
+  EXPECT_FALSE(replay.done);
+}
+
+TEST_F(SvcTest, JournalCorruptTrailingEntryIsDropped) {
+  const JobSpec spec = tiny_spec("journal_corrupt", 5);
+  const exp::SweepResult sweep = run_direct(spec, 1);
+  const std::string file = path("corrupt.tvpj");
+  {
+    Journal journal = Journal::create(file, spec);
+    journal.append_cell(0, sweep.cells[0]);
+    journal.append_cell(1, sweep.cells[1]);
+  }
+  // Flip one byte inside the last record's payload: the CRC must
+  // reject it and replay must keep everything before it.
+  std::string text;
+  {
+    std::ifstream in(file, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  const std::size_t last_line = text.rfind("{\"crc\":");
+  ASSERT_NE(last_line, std::string::npos);
+  text[last_line + 40] ^= 0x01;
+  {
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  const Journal::Replay replay = Journal::replay(file);
+  EXPECT_EQ(replay.cells.size(), 1u);
+  EXPECT_TRUE(replay.cells.count(0));
+  EXPECT_GT(replay.dropped_bytes, 0u);
+}
+
+TEST_F(SvcTest, JournalMissingHeaderThrows) {
+  const std::string file = path("headerless.tvpj");
+  {
+    std::ofstream out(file, std::ios::binary);
+    out << "not a journal\n";
+  }
+  EXPECT_THROW(Journal::replay(file), std::runtime_error);
+  EXPECT_THROW(Journal::replay(path("absent.tvpj")), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep hooks (the exp-level checkpoint seam)
+// ---------------------------------------------------------------------------
+
+TEST(SweepHooks, PreloadedCellsAreNotRecomputed) {
+  const JobSpec spec = tiny_spec("hooks", 9);
+  const exp::SweepResult reference = run_direct(spec, 1);
+
+  std::map<std::size_t, exp::SweepCell> preloaded;
+  for (std::size_t i = 0; i < reference.cells.size(); ++i)
+    preloaded[i] = reference.cells[i];
+
+  std::atomic<int> computed{0};
+  exp::SweepHooks hooks;
+  hooks.preloaded = &preloaded;
+  hooks.on_cell = [&](std::size_t, const exp::SweepCell&) { ++computed; };
+  hooks.jobs = 1;
+  const exp::SweepResult resumed = exp::run_param_sweep(
+      util::KeyValueFile::parse(spec.config_text), spec.param_key, spec.values,
+      spec.parsed_techniques(), hooks);
+  EXPECT_EQ(computed.load(), 0) << "fully preloaded matrix must not rerun";
+  EXPECT_EQ(exp::sweep_to_csv(resumed), exp::sweep_to_csv(reference));
+}
+
+TEST(SweepHooks, MismatchedPreloadThrows) {
+  const JobSpec spec = tiny_spec("hooks_bad", 9);
+  const exp::SweepResult reference = run_direct(spec, 1);
+  std::map<std::size_t, exp::SweepCell> preloaded;
+  preloaded[0] = reference.cells[0];
+  preloaded[0].technique = "TWiCe";  // grid says PARA
+  exp::SweepHooks hooks;
+  hooks.preloaded = &preloaded;
+  EXPECT_THROW(
+      exp::run_param_sweep(util::KeyValueFile::parse(spec.config_text),
+                           spec.param_key, spec.values,
+                           spec.parsed_techniques(), hooks),
+      std::invalid_argument);
+}
+
+TEST(SweepHooks, StopSkipsRemainingCells) {
+  const JobSpec spec = tiny_spec("hooks_stop", 9);
+  std::atomic<bool> stop{false};
+  std::atomic<int> computed{0};
+  exp::SweepHooks hooks;
+  hooks.stop = &stop;
+  hooks.jobs = 1;
+  hooks.on_cell = [&](std::size_t, const exp::SweepCell&) {
+    if (++computed >= 2) stop.store(true);
+  };
+  const exp::SweepResult partial = exp::run_param_sweep(
+      util::KeyValueFile::parse(spec.config_text), spec.param_key, spec.values,
+      spec.parsed_techniques(), hooks);
+  EXPECT_EQ(computed.load(), 2);
+  std::size_t filled = 0;
+  for (const auto& cell : partial.cells)
+    if (!cell.technique.empty()) ++filled;
+  EXPECT_EQ(filled, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// CampaignEngine
+// ---------------------------------------------------------------------------
+
+TEST_F(SvcTest, EngineMatchesDirectSweep) {
+  EngineConfig config;
+  config.sweep_jobs = 2;
+  CampaignEngine engine(config);
+  engine.start();
+
+  const JobSpec spec = tiny_spec("direct_match", 21);
+  std::string error;
+  const std::uint64_t id = engine.submit(spec, &error);
+  ASSERT_NE(id, 0u) << error;
+  const JobStatus status = wait_terminal(engine, id);
+  EXPECT_EQ(status.state, JobState::kDone);
+  EXPECT_EQ(status.completed_cells, spec.cell_count());
+  const auto result = engine.result(id);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(exp::sweep_to_csv(*result), exp::sweep_to_csv(run_direct(spec, 1)));
+  engine.shutdown(true);
+}
+
+TEST_F(SvcTest, EngineRejectsBadSpecDuplicateNameAndFullQueue) {
+  EngineConfig config;
+  config.queue_capacity = 1;
+  CampaignEngine engine(config);  // not started: queued jobs stay queued
+
+  std::string error;
+  JobSpec bad = tiny_spec("bad", 1);
+  bad.techniques = {"NotReal"};
+  EXPECT_EQ(engine.submit(bad, &error), 0u);
+  EXPECT_NE(error.find("NotReal"), std::string::npos);
+
+  EXPECT_NE(engine.submit(tiny_spec("a", 1), &error), 0u) << error;
+  EXPECT_EQ(engine.submit(tiny_spec("a", 1), &error), 0u)
+      << "duplicate active name must be rejected";
+  EXPECT_NE(error.find("already active"), std::string::npos);
+
+  EXPECT_EQ(engine.submit(tiny_spec("b", 1), &error), 0u)
+      << "queue of capacity 1 must exert backpressure";
+  EXPECT_NE(error.find("queue full"), std::string::npos);
+}
+
+TEST_F(SvcTest, EngineCancelQueuedJob) {
+  EngineConfig config;
+  CampaignEngine engine(config);  // not started, so the job stays queued
+  std::string error;
+  const std::uint64_t id = engine.submit(tiny_spec("till_cancelled", 1), &error);
+  ASSERT_NE(id, 0u) << error;
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_EQ(engine.status(id)->state, JobState::kCancelled);
+  EXPECT_FALSE(engine.cancel(id)) << "terminal jobs cannot be cancelled again";
+  EXPECT_FALSE(engine.cancel(9999));
+}
+
+/// The acceptance criterion: a campaign killed mid-run and resumed from
+/// its journal produces a byte-identical results file, across seeds and
+/// job counts — including when the trailing journal entry was torn.
+TEST_F(SvcTest, KillAndResumeIsByteIdentical) {
+  int variant = 0;
+  for (const std::uint64_t seed : {1ull, 7ull}) {
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+      const bool corrupt_tail = (variant++ % 2) == 1;
+      const std::string name =
+          "kill_s" + std::to_string(seed) + "_j" + std::to_string(jobs);
+      const JobSpec spec = tiny_spec(name, seed);
+      const std::string csv_reference =
+          exp::sweep_to_csv(run_direct(spec, jobs));
+
+      // Phase 1 — the "killed" campaign: checkpoint cells into the
+      // journal, stop after two cells (as SIGKILL would).
+      const std::string journal_dir = path("journals_" + name);
+      fs::create_directories(journal_dir);
+      const std::string journal_file =
+          (fs::path(journal_dir) / (name + ".tvpj")).string();
+      {
+        Journal journal = Journal::create(journal_file, spec);
+        std::atomic<bool> stop{false};
+        std::atomic<int> cells{0};
+        std::mutex mu;
+        exp::SweepHooks hooks;
+        hooks.stop = &stop;
+        hooks.jobs = jobs;
+        hooks.on_cell = [&](std::size_t i, const exp::SweepCell& cell) {
+          std::lock_guard<std::mutex> lock(mu);
+          journal.append_cell(i, cell);
+          if (++cells >= 2) stop.store(true);
+        };
+        exp::run_param_sweep(util::KeyValueFile::parse(spec.config_text),
+                             spec.param_key, spec.values,
+                             spec.parsed_techniques(), hooks);
+      }
+
+      if (corrupt_tail) {
+        // Tear the final journal entry, as a crash mid-append would.
+        std::string text;
+        {
+          std::ifstream in(journal_file, std::ios::binary);
+          std::ostringstream buf;
+          buf << in.rdbuf();
+          text = buf.str();
+        }
+        ASSERT_GT(text.size(), 20u);
+        text.resize(text.size() - 17);  // chop mid-record, no newline
+        std::ofstream out(journal_file, std::ios::binary | std::ios::trunc);
+        out << text;
+      }
+
+      // Phase 2 — restart: the engine scans the journal dir, resumes
+      // the campaign, and recomputes only the missing cells.
+      EngineConfig config;
+      config.journal_dir = journal_dir;
+      config.sweep_jobs = jobs;
+      CampaignEngine engine(config);
+      const auto resumed = engine.start();
+      ASSERT_EQ(resumed.size(), 1u) << "journal must be picked up on start";
+      const JobStatus status = wait_terminal(engine, resumed[0]);
+      EXPECT_EQ(status.state, JobState::kDone) << status.error;
+      EXPECT_GT(status.resumed_cells, 0u) << "resume must reuse journal cells";
+      EXPECT_LT(status.resumed_cells, spec.cell_count())
+          << "the kill must have left work to do";
+      const auto result = engine.result(resumed[0]);
+      ASSERT_TRUE(result.has_value());
+      EXPECT_EQ(exp::sweep_to_csv(*result), csv_reference)
+          << "resumed campaign must be byte-identical (seed " << seed
+          << ", jobs " << jobs << ", corrupt_tail " << corrupt_tail << ")";
+      engine.shutdown(true);
+
+      // Restarting again finds the finished journal and reloads the
+      // whole matrix from it without recomputing anything.
+      CampaignEngine reloaded(config);
+      const auto reloaded_ids = reloaded.start();
+      ASSERT_EQ(reloaded_ids.size(), 1u);
+      const JobStatus reloaded_status = wait_terminal(reloaded, reloaded_ids[0]);
+      EXPECT_EQ(reloaded_status.state, JobState::kDone);
+      EXPECT_EQ(reloaded_status.resumed_cells, spec.cell_count());
+      EXPECT_EQ(exp::sweep_to_csv(*reloaded.result(reloaded_ids[0])),
+                csv_reference);
+      reloaded.shutdown(true);
+    }
+  }
+}
+
+TEST_F(SvcTest, SubmitRejectsJournalSpecMismatch) {
+  const std::string journal_dir = path("journals");
+  EngineConfig config;
+  config.journal_dir = journal_dir;
+  {
+    CampaignEngine engine(config);
+    std::string error;
+    ASSERT_NE(engine.submit(tiny_spec("same_name", 1), &error), 0u) << error;
+    // Job is durable from submit: the journal header exists already.
+    EXPECT_TRUE(fs::exists(engine.journal_path("same_name")));
+  }
+  CampaignEngine engine(config);
+  std::string error;
+  EXPECT_EQ(engine.submit(tiny_spec("same_name", 2), &error), 0u)
+      << "same name with a different spec must be rejected";
+  EXPECT_NE(error.find("different spec"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------------
+
+TEST(Wire, RequestRoundTrip) {
+  const JobSpec spec = tiny_spec("wire", 2);
+  Request submit = parse_request(submit_request(spec));
+  EXPECT_EQ(submit.op, Request::Op::kSubmit);
+  EXPECT_EQ(submit.spec.canonical_json(), spec.canonical_json());
+
+  Request all_status = parse_request(status_request());
+  EXPECT_EQ(all_status.op, Request::Op::kStatus);
+  EXPECT_FALSE(all_status.has_job_id);
+
+  Request one_status = parse_request(status_request(42));
+  EXPECT_TRUE(one_status.has_job_id);
+  EXPECT_EQ(one_status.job_id, 42u);
+
+  EXPECT_EQ(parse_request(results_request(7)).op, Request::Op::kResults);
+  EXPECT_EQ(parse_request(cancel_request(7)).op, Request::Op::kCancel);
+  EXPECT_EQ(parse_request(ping_request()).op, Request::Op::kPing);
+
+  Request shutdown = parse_request(shutdown_request(true));
+  EXPECT_EQ(shutdown.op, Request::Op::kShutdown);
+  EXPECT_TRUE(shutdown.drain);
+  EXPECT_FALSE(parse_request(shutdown_request(false)).drain);
+}
+
+TEST(Wire, MalformedRequestsThrowProtocolError) {
+  EXPECT_THROW(parse_request("not json"), ProtocolError);
+  EXPECT_THROW(parse_request("[1,2,3]"), ProtocolError);
+  EXPECT_THROW(parse_request("{\"op\":\"warp\"}"), ProtocolError);
+  EXPECT_THROW(parse_request("{\"op\":\"results\"}"), ProtocolError)
+      << "results without a job id is malformed";
+  EXPECT_THROW(parse_request("{\"op\":\"submit\",\"job\":{}}"), ProtocolError);
+}
+
+TEST(Wire, ErrorResponseParses) {
+  const util::JsonValue response =
+      util::JsonValue::parse(error_response("queue full"));
+  EXPECT_FALSE(response.get_bool("ok", true));
+  EXPECT_EQ(response.get("error", ""), "queue full");
+}
+
+// ---------------------------------------------------------------------------
+// Server + Client end to end
+// ---------------------------------------------------------------------------
+
+TEST_F(SvcTest, UnixSocketEndToEnd) {
+  ServerConfig config;
+  config.unix_path = path("svc.sock");
+  config.engine.journal_dir = path("journals");
+  config.engine.sweep_jobs = 2;
+  Server server(config);
+  server.start();
+  std::thread serving([&] { server.serve(); });
+
+  const JobSpec spec = tiny_spec("e2e", 33);
+  {
+    Client client = Client::connect_unix(config.unix_path);
+    client.ping();
+    const std::uint64_t id = client.submit(spec);
+    EXPECT_NE(id, 0u);
+    const JobStatus done = client.wait(id, 120.0);
+    EXPECT_EQ(done.state, JobState::kDone) << done.error;
+
+    const util::JsonValue results = client.results(id);
+    EXPECT_EQ(results.at("csv").as_string(),
+              exp::sweep_to_csv(run_direct(spec, 1)))
+        << "matrix over the socket must match a direct run_param_sweep";
+    EXPECT_EQ(results.at("sweep").at("cells").items().size(),
+              spec.cell_count());
+
+    // Unknown ids are wire errors, not crashes.
+    EXPECT_THROW(client.results(4242), std::runtime_error);
+
+    client.shutdown(/*drain=*/true);
+  }
+  serving.join();
+  EXPECT_FALSE(fs::exists(config.unix_path))
+      << "socket file must be removed on shutdown";
+}
+
+TEST_F(SvcTest, TcpEndToEndAndRawProtocol) {
+  ServerConfig config;
+  config.tcp_port = 0;  // ephemeral
+  Server server(config);
+  server.start();
+  ASSERT_GT(server.tcp_port(), 0);
+  std::thread serving([&] { server.serve(); });
+
+  {
+    Client client = Client::connect_tcp("127.0.0.1", server.tcp_port());
+    client.ping();
+    // A malformed line must produce ok:false, not kill the connection.
+    const util::JsonValue junk = client.request("this is not json");
+    EXPECT_FALSE(junk.get_bool("ok", true));
+    client.ping();  // connection still alive
+    client.shutdown(false);
+  }
+  serving.join();
+}
+
+TEST_F(SvcTest, SignalStopCheckpointsAndExits) {
+  ServerConfig config;
+  config.unix_path = path("svc.sock");
+  config.engine.journal_dir = path("journals");
+  config.engine.sweep_jobs = 1;
+  Server server(config);
+  server.start();
+  std::thread serving([&] { server.serve(); });
+
+  std::uint64_t id = 0;
+  {
+    Client client = Client::connect_unix(config.unix_path);
+    id = client.submit(tiny_spec("sig", 3));
+    EXPECT_NE(id, 0u);
+  }
+  // What a SIGINT/SIGTERM handler does — poke the stop pipe.
+  server.request_stop();
+  serving.join();
+  EXPECT_FALSE(fs::exists(config.unix_path));
+  // The job is journaled, so whatever progress was made survives for
+  // the next daemon; at minimum the header must exist.
+  EXPECT_TRUE(fs::exists(server.engine().journal_path("sig")));
+}
+
+}  // namespace
+}  // namespace tvp::svc

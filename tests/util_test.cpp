@@ -2,12 +2,18 @@
 // histogram, tables, bit utilities.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <limits>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "tvp/util/bitutil.hpp"
@@ -684,6 +690,211 @@ TEST(Flags, BooleanBeforeAnotherFlag) {
   Flags flags(3, argv, {"verbose", "n"});
   EXPECT_TRUE(flags.get_bool("verbose"));
   EXPECT_EQ(flags.get_int("n", 0), 3);
+}
+
+// -------------------------------------------------------------- json parse
+
+TEST(JsonValue, RoundTripsJsonWriterDocument) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("text").value("quote \" slash \\ newline \n tab \t ctrl \x01\x1f end");
+  json.key("max_uint").value(std::numeric_limits<std::uint64_t>::max());
+  json.key("min_int").value(std::numeric_limits<std::int64_t>::min());
+  json.key("yes").value(true);
+  json.key("no").value(false);
+  json.key("runs").begin_array();
+  json.value(1).value(2.5).value("three");
+  json.end_array();
+  json.key("nested").begin_object();
+  json.key("empty_array").begin_array().end_array();
+  json.key("empty_object").begin_object().end_object();
+  json.end_object();
+  json.end_object();
+
+  const JsonValue doc = JsonValue::parse(json.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("text").as_string(),
+            "quote \" slash \\ newline \n tab \t ctrl \x01\x1f end");
+  EXPECT_EQ(doc.at("max_uint").as_uint(),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(doc.at("min_int").as_int(),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_TRUE(doc.at("yes").as_bool());
+  EXPECT_FALSE(doc.at("no").as_bool());
+  const auto& runs = doc.at("runs").items();
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(runs[1].as_double(), 2.5);
+  EXPECT_EQ(runs[2].as_string(), "three");
+  EXPECT_TRUE(doc.at("nested").at("empty_array").items().empty());
+  EXPECT_TRUE(doc.at("nested").at("empty_object").members().empty());
+  EXPECT_EQ(doc.find("absent"), nullptr);
+  EXPECT_THROW(doc.at("absent"), std::runtime_error);
+}
+
+TEST(JsonValue, ValueExactDoublesAreBitIdentical) {
+  const double cases[] = {0.1,
+                          1.0 / 3.0,
+                          6.02214076e23,
+                          -5e-324,  // smallest subnormal
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::epsilon()};
+  for (const double v : cases) {
+    JsonWriter json;
+    json.begin_array();
+    json.value_exact(v);
+    json.end_array();
+    const double back = JsonValue::parse(json.str()).items()[0].as_double();
+    EXPECT_EQ(std::memcmp(&back, &v, sizeof v), 0)
+        << v << " did not round-trip exactly";
+  }
+}
+
+TEST(JsonValue, ParsesUnicodeEscapes) {
+  // \u00XX control escapes (what JsonWriter::escape emits), BMP
+  // characters, and a surrogate pair, all decoded to UTF-8.
+  const JsonValue doc =
+      JsonValue::parse("\"\\u0001\\u001f\\u0041\\u00e9\\u20ac\\ud83d\\ude00\"");
+  EXPECT_EQ(doc.as_string(), "\x01\x1f"
+                             "A\xc3\xa9\xe2\x82\xac\xf0\x9f\x98\x80");
+  EXPECT_THROW(JsonValue::parse("\"\\ud83d\""), std::runtime_error)
+      << "lone high surrogate must be rejected";
+  EXPECT_THROW(JsonValue::parse("\"\\uZZZZ\""), std::runtime_error);
+}
+
+TEST(JsonValue, RejectsMalformedDocuments) {
+  EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1,}"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1] trailing"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("nul"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("'single'"), std::runtime_error);
+  // The reported byte offset is part of the contract.
+  try {
+    JsonValue::parse("[1, oops]");
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("byte 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JsonValue, DepthLimitGuardsAgainstRunaway) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_THROW(JsonValue::parse(deep), std::runtime_error);
+  // A modest depth is fine.
+  std::string ok(64, '[');
+  ok += std::string(64, ']');
+  EXPECT_NO_THROW(JsonValue::parse(ok));
+}
+
+TEST(JsonValue, TypeMismatchesThrow) {
+  const JsonValue doc = JsonValue::parse("{\"n\":1.5,\"s\":\"x\",\"neg\":-1}");
+  EXPECT_THROW(doc.at("n").as_int(), std::runtime_error)
+      << "1.5 is not integral";
+  EXPECT_THROW(doc.at("neg").as_uint(), std::runtime_error);
+  EXPECT_THROW(doc.at("s").as_double(), std::runtime_error);
+  EXPECT_THROW(doc.at("n").as_string(), std::runtime_error);
+  EXPECT_THROW(doc.at("n").items(), std::runtime_error);
+  EXPECT_THROW(doc.items(), std::runtime_error);
+  EXPECT_EQ(doc.get("s", "fallback"), "x");
+  EXPECT_EQ(doc.get("missing", "fallback"), "fallback");
+  EXPECT_EQ(doc.get_uint("missing", 7), 7u);
+  EXPECT_DOUBLE_EQ(doc.get_double("n", 0.0), 1.5);
+  EXPECT_TRUE(doc.get_bool("missing", true));
+}
+
+// ------------------------------------------------------------ threaded log
+
+TEST(Log, ConcurrentEmissionsNeverInterleaveMidLine) {
+  // Redirect stderr to a file, hammer the logger from several threads,
+  // then verify every captured line is exactly one intact message —
+  // the single-write guarantee the campaign service relies on.
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kInfo);
+  const std::string path = ::testing::TempDir() + "/tvp_log_capture.txt";
+
+  std::fflush(stderr);
+  const int saved_fd = ::dup(::fileno(stderr));
+  ASSERT_GE(saved_fd, 0);
+  ASSERT_NE(std::freopen(path.c_str(), "w", stderr), nullptr);
+
+  constexpr int kThreads = 4;
+  constexpr int kLines = 250;
+  // One message crosses the 512-byte stack buffer to cover the heap path.
+  const std::string long_tail(600, 'x');
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t, &long_tail] {
+        for (int i = 0; i < kLines; ++i) {
+          if (i == 100) {
+            TVP_LOG_INFO("thread %d long %s", t, long_tail.c_str());
+          } else {
+            TVP_LOG_INFO("thread %d line %d end", t, i);
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+
+  std::fflush(stderr);
+  ::dup2(saved_fd, ::fileno(stderr));
+  ::close(saved_fd);
+  set_log_level(before);
+
+  std::set<std::string> expected;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kLines; ++i) {
+      expected.insert(i == 100
+                          ? "[tvp:INFO] thread " + std::to_string(t) +
+                                " long " + long_tail
+                          : "[tvp:INFO] thread " + std::to_string(t) +
+                                " line " + std::to_string(i) + " end");
+    }
+  }
+
+  std::ifstream in(path);
+  std::string line;
+  int count = 0;
+  while (std::getline(in, line)) {
+    ++count;
+    EXPECT_EQ(expected.count(line), 1u) << "interleaved line: " << line;
+  }
+  EXPECT_EQ(count, kThreads * kLines);
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------------- stats raw state
+
+TEST(RunningStat, RawStateRoundTripsBitIdentically) {
+  RunningStat stat;
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) stat.add(rng.exponential(3.7));
+
+  const RunningStat::Raw raw = stat.raw();
+  const RunningStat back = RunningStat::from_raw(raw);
+  EXPECT_EQ(back.count(), stat.count());
+  const auto bits_equal = [](double a, double b) {
+    return std::memcmp(&a, &b, sizeof a) == 0;
+  };
+  EXPECT_TRUE(bits_equal(back.mean(), stat.mean()));
+  EXPECT_TRUE(bits_equal(back.stddev(), stat.stddev()));
+  EXPECT_TRUE(bits_equal(back.min(), stat.min()));
+  EXPECT_TRUE(bits_equal(back.max(), stat.max()));
+  EXPECT_TRUE(bits_equal(back.sum(), stat.sum()));
+  // Continuing to add samples after restore matches the original stream.
+  RunningStat original_continued = stat;
+  RunningStat restored_continued = back;
+  original_continued.add(1.25);
+  restored_continued.add(1.25);
+  EXPECT_TRUE(bits_equal(original_continued.mean(), restored_continued.mean()));
+  EXPECT_TRUE(
+      bits_equal(original_continued.stddev(), restored_continued.stddev()));
 }
 
 }  // namespace

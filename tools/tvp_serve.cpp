@@ -1,0 +1,70 @@
+// tvp_serve — the campaign-service daemon.
+//
+//   ./build/tools/tvp_serve --socket=/tmp/tvp.sock --journal-dir=journals
+//   ./build/tools/tvp_serve --port=7077 --journal-dir=journals
+//
+// Accepts run/sweep jobs over a newline-delimited-JSON protocol (see
+// DESIGN.md "Campaign service"), executes them one at a time on the
+// TVP_JOBS worker pool, and checkpoints every completed sweep cell to
+// an fsync'd journal, so a killed daemon resumes exactly where it
+// stopped. SIGINT/SIGTERM drain gracefully: in-flight cells finish and
+// are journaled, the socket file is removed, and the process exits 0.
+#include <cstdio>
+#include <string>
+
+#include "tvp/svc/server.hpp"
+#include "tvp/util/cli.hpp"
+#include "tvp/util/log.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tvp;
+  try {
+    util::Flags flags(argc, argv,
+                      {"socket", "port", "journal-dir", "queue", "jobs",
+                       "verbose", "help"});
+    if (flags.get_bool("help") ||
+        (!flags.has("socket") && !flags.has("port"))) {
+      std::printf(
+          "usage: tvp_serve --socket=PATH | --port=N [options]\n"
+          "  --socket=PATH       listen on a unix socket\n"
+          "  --port=N            listen on 127.0.0.1:N (0 = ephemeral)\n"
+          "  --journal-dir=DIR   checkpoint campaigns here (enables resume)\n"
+          "  --queue=N           pending-job capacity (default 64)\n"
+          "  --jobs=N            worker threads per sweep (default TVP_JOBS)\n"
+          "  --verbose           info-level logging\n");
+      return flags.get_bool("help") ? 0 : 2;
+    }
+
+    util::set_log_level(flags.get_bool("verbose") ? util::LogLevel::kInfo
+                                                  : util::LogLevel::kWarn);
+
+    svc::ServerConfig config;
+    config.unix_path = flags.get("socket", "");
+    config.tcp_port = static_cast<int>(flags.get_int("port", -1));
+    config.engine.journal_dir = flags.get("journal-dir", "");
+    config.engine.queue_capacity =
+        static_cast<std::size_t>(flags.get_int("queue", 64));
+    config.engine.sweep_jobs =
+        static_cast<std::size_t>(flags.get_int("jobs", 0));
+
+    svc::Server server(config);
+    const auto resumed = server.start();
+    svc::Server::install_signal_handlers(server);
+
+    if (!config.unix_path.empty())
+      std::printf("tvp_serve: listening on %s\n", config.unix_path.c_str());
+    if (config.tcp_port >= 0)
+      std::printf("tvp_serve: listening on 127.0.0.1:%d\n", server.tcp_port());
+    if (!resumed.empty())
+      std::printf("tvp_serve: resumed %zu campaign(s) from %s\n",
+                  resumed.size(), config.engine.journal_dir.c_str());
+    std::fflush(stdout);
+
+    server.serve();
+    std::printf("tvp_serve: shut down cleanly\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tvp_serve: %s\n", e.what());
+    return 1;
+  }
+}
