@@ -81,7 +81,9 @@ util::JsonValue Client::request(const std::string& line) {
   const char* data = framed.data();
   std::size_t size = framed.size();
   while (size > 0) {
-    const ssize_t n = ::write(fd_, data, size);
+    // MSG_NOSIGNAL: a daemon that died mid-request must surface as a
+    // thrown EPIPE, not a SIGPIPE that kills the client process.
+    const ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       sys_fail("write");

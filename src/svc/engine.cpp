@@ -79,28 +79,41 @@ std::uint64_t CampaignEngine::submit(JobSpec spec, std::string* error) {
     return reject(e.what());
   }
 
+  // Reserve the name before releasing mu_ for journal I/O: without the
+  // reservation, two concurrent submits with one name could both pass
+  // the duplicate-active check and end up sharing a journal file.
+  const std::string name = spec.name;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopped_) return reject("engine is shutting down");
     for (const auto& [id, job] : jobs_)
-      if (job->spec.name == spec.name &&
+      if (job->spec.name == name &&
           (job->state == JobState::kQueued || job->state == JobState::kRunning))
-        return reject("a job named '" + spec.name + "' is already active");
+        return reject("a job named '" + name + "' is already active");
+    if (!pending_names_.insert(name).second)
+      return reject("a job named '" + name + "' is already being submitted");
   }
+  const auto unreserve = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_names_.erase(name);
+  };
 
   // Make the job durable before queueing it: once submit returns an id,
   // a crash cannot lose the job — the journal header is on disk.
-  const std::string path = journal_path(spec.name);
+  const std::string path = journal_path(name);
   bool created_journal = false;
   if (!path.empty()) {
     if (fs::exists(path)) {
       try {
         const Journal::Replay replay = Journal::replay(path);
-        if (replay.spec.canonical_json() != spec.canonical_json())
+        if (replay.spec.canonical_json() != spec.canonical_json()) {
+          unreserve();
           return reject("journal " + path +
                         " holds a different spec for this name; delete it or "
                         "pick a new name");
+        }
       } catch (const std::exception& e) {
+        unreserve();
         return reject("journal " + path + " is unreadable: " + e.what());
       }
     } else {
@@ -108,6 +121,7 @@ std::uint64_t CampaignEngine::submit(JobSpec spec, std::string* error) {
         Journal::create(path, spec);  // header only; closed on scope exit
         created_journal = true;
       } catch (const std::exception& e) {
+        unreserve();
         return reject(e.what());
       }
     }
@@ -123,13 +137,22 @@ std::uint64_t CampaignEngine::submit(JobSpec spec, std::string* error) {
     id = next_id_++;
     job->id = id;
     jobs_[id] = job;
+    // The jobs_ entry now holds the duplicate-active claim on the name.
+    pending_names_.erase(name);
   }
   if (!queue_.try_push(id)) {
     std::lock_guard<std::mutex> lock(mu_);
     jobs_.erase(id);
     // A journal created for a job we never accepted must not resurrect
     // it on the next start.
-    if (created_journal) fs::remove(path);
+    if (created_journal) {
+      try {
+        Journal::remove(path);
+      } catch (const std::exception& e) {
+        TVP_LOG_WARN("svc: cannot roll back journal %s: %s", path.c_str(),
+                     e.what());
+      }
+    }
     return reject("queue full (capacity " +
                   std::to_string(queue_.capacity()) + "); retry later");
   }

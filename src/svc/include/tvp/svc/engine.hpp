@@ -17,6 +17,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -100,6 +101,10 @@ class CampaignEngine {
   std::mutex shutdown_mu_;  // serialises shutdown callers around join()
   mutable std::mutex mu_;
   std::map<std::uint64_t, std::shared_ptr<JobRec>> jobs_;
+  /// Names mid-submit (reserved before mu_ is released for journal I/O,
+  /// so two concurrent submits with one name cannot both pass the
+  /// duplicate-active check). Guarded by mu_.
+  std::set<std::string> pending_names_;
   std::shared_ptr<JobRec> running_;  // guarded by mu_
   std::uint64_t next_id_ = 1;
   std::atomic<bool> abort_{false};  // drop queued jobs instead of running

@@ -31,9 +31,17 @@ std::uint32_t crc32(std::string_view data);
 
 class Journal {
  public:
-  /// Creates (truncates) @p path and writes the job header. Throws
-  /// std::runtime_error on I/O failure.
+  /// Creates (truncates) @p path, writes the job header, and fsyncs
+  /// both the file and its directory (a crash right after create must
+  /// not lose the directory entry). Throws std::runtime_error on I/O
+  /// failure.
   static Journal create(const std::string& path, const JobSpec& spec);
+
+  /// Removes @p path and fsyncs its directory so the removal is
+  /// durable (a rolled-back job must not resurrect after a crash).
+  /// A missing file is not an error. Throws std::runtime_error on I/O
+  /// failure.
+  static void remove(const std::string& path);
 
   /// Opens @p path for appending after a replay (resume). Pass the
   /// replay's dropped_bytes so the torn tail is truncated first —

@@ -69,6 +69,10 @@ class Server {
     bool close_after_flush = false;
   };
 
+  /// How long serve() stops polling the listeners after accept() fails
+  /// with fd exhaustion (EMFILE/ENFILE) before retrying.
+  static constexpr int kAcceptRetryMs = 100;
+
   void close_listeners();
   void close_all();
   /// Handles every complete line in @p conn.in; false = drop connection.
@@ -84,6 +88,7 @@ class Server {
   bool unix_bound_ = false;
   bool shutdown_requested_ = false;  // via wire op
   bool shutdown_drain_ = false;
+  bool accept_paused_ = false;  // backing off after EMFILE/ENFILE
   std::vector<Connection> connections_;
 };
 

@@ -6,6 +6,7 @@
 #include <array>
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -29,6 +30,23 @@ std::array<std::uint32_t, 256> make_crc_table() {
 
 [[noreturn]] void io_fail(const std::string& what) {
   throw std::runtime_error("Journal: " + what + ": " + std::strerror(errno));
+}
+
+// fsync'ing a file makes its *contents* durable but not its directory
+// entry: after a crash a freshly created (or removed) journal may not
+// exist (or still exist). Fsync the containing directory too.
+void fsync_parent_dir(const std::string& path) {
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) io_fail("cannot open directory " + dir);
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    io_fail("cannot fsync directory " + dir);
+  }
+  ::close(fd);
 }
 
 void write_all(int fd, const char* data, std::size_t size) {
@@ -64,7 +82,17 @@ Journal Journal::create(const std::string& path, const JobSpec& spec) {
   spec.write_json(json);
   json.end_object();
   journal.append_line(json.str());
+  // The header is durable only once its directory entry is too.
+  fsync_parent_dir(path);
   return journal;
+}
+
+void Journal::remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) {
+    if (errno == ENOENT) return;  // already gone — nothing to make durable
+    io_fail("cannot remove " + path);
+  }
+  fsync_parent_dir(path);
 }
 
 Journal Journal::append_to(const std::string& path,

@@ -59,6 +59,11 @@ Server::~Server() {
 }
 
 std::vector<std::uint64_t> Server::start() {
+  // A client that closes before its reply is flushed must surface as
+  // EPIPE on write (we drop the connection), not SIGPIPE (whose default
+  // action kills the daemon, bypassing the graceful drain path).
+  ::signal(SIGPIPE, SIG_IGN);
+
   if (::pipe(stop_pipe_) != 0) sys_fail("pipe");
   set_nonblocking(stop_pipe_[0]);
   set_nonblocking(stop_pipe_[1]);
@@ -127,8 +132,10 @@ void Server::serve() {
     std::vector<pollfd> fds;
     fds.push_back({stop_pipe_[0], POLLIN, 0});
     const std::size_t listeners_at = fds.size();
-    if (unix_fd_ >= 0) fds.push_back({unix_fd_, POLLIN, 0});
-    if (tcp_fd_ >= 0) fds.push_back({tcp_fd_, POLLIN, 0});
+    if (!accept_paused_) {
+      if (unix_fd_ >= 0) fds.push_back({unix_fd_, POLLIN, 0});
+      if (tcp_fd_ >= 0) fds.push_back({tcp_fd_, POLLIN, 0});
+    }
     const std::size_t conns_at = fds.size();
     for (const auto& conn : connections_) {
       short events = POLLIN;
@@ -136,11 +143,13 @@ void Server::serve() {
       fds.push_back({conn.fd, events, 0});
     }
 
-    const int ready = ::poll(fds.data(), fds.size(), -1);
+    const int ready =
+        ::poll(fds.data(), fds.size(), accept_paused_ ? kAcceptRetryMs : -1);
     if (ready < 0) {
       if (errno == EINTR) continue;
       sys_fail("poll");
     }
+    accept_paused_ = false;  // retry accept on the next iteration
 
     if (fds[0].revents & POLLIN) {
       stop_signal = true;  // drain the pipe, then exit via graceful path
@@ -153,7 +162,17 @@ void Server::serve() {
       if (!(fds[i].revents & POLLIN)) continue;
       while (true) {
         const int conn_fd = ::accept(fds[i].fd, nullptr, nullptr);
-        if (conn_fd < 0) break;  // EAGAIN or transient error
+        if (conn_fd < 0) {
+          if (errno == EINTR || errno == ECONNABORTED) continue;
+          if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+              errno == ENOMEM) {
+            // Out of fds: the level-triggered listener stays readable, so
+            // returning straight to poll would busy-spin at 100% CPU.
+            // Stop polling it for one iteration and retry after a delay.
+            accept_paused_ = true;
+          }
+          break;  // EAGAIN or transient error
+        }
         set_nonblocking(conn_fd);
         Connection conn;
         conn.fd = conn_fd;

@@ -2,9 +2,13 @@
 // queue, crash-safe journal, engine resume determinism, wire protocol,
 // and the socket server end to end.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -291,6 +295,15 @@ TEST_F(SvcTest, JournalMissingHeaderThrows) {
   EXPECT_THROW(Journal::replay(path("absent.tvpj")), std::runtime_error);
 }
 
+TEST_F(SvcTest, JournalRemoveIsDurableAndIdempotent) {
+  const std::string file = path("victim.tvpj");
+  Journal::create(file, tiny_spec("victim", 1)).close();
+  ASSERT_TRUE(fs::exists(file));
+  Journal::remove(file);
+  EXPECT_FALSE(fs::exists(file));
+  EXPECT_NO_THROW(Journal::remove(file)) << "removing an absent journal is ok";
+}
+
 // ---------------------------------------------------------------------------
 // Sweep hooks (the exp-level checkpoint seam)
 // ---------------------------------------------------------------------------
@@ -392,6 +405,32 @@ TEST_F(SvcTest, EngineRejectsBadSpecDuplicateNameAndFullQueue) {
   EXPECT_EQ(engine.submit(tiny_spec("b", 1), &error), 0u)
       << "queue of capacity 1 must exert backpressure";
   EXPECT_NE(error.find("queue full"), std::string::npos);
+}
+
+TEST_F(SvcTest, ConcurrentSubmitsOfOneNameAcceptExactlyOne) {
+  EngineConfig config;
+  config.journal_dir = path("journals");  // journal I/O widens the race window
+  CampaignEngine engine(config);  // not started: accepted jobs stay active
+
+  const JobSpec spec = tiny_spec("contested", 1);
+  constexpr int kThreads = 8;
+  std::atomic<int> go{0};
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      go.fetch_add(1);
+      while (go.load() < kThreads) {
+      }  // start all submits as close together as possible
+      std::string error;
+      if (engine.submit(spec, &error) != 0) accepted.fetch_add(1);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(accepted.load(), 1)
+      << "one name, one active job, one journal file";
+  EXPECT_EQ(engine.statuses().size(), 1u);
 }
 
 TEST_F(SvcTest, EngineCancelQueuedJob) {
@@ -612,6 +651,37 @@ TEST_F(SvcTest, TcpEndToEndAndRawProtocol) {
     client.ping();  // connection still alive
     client.shutdown(false);
   }
+  serving.join();
+}
+
+/// A client that sends a request and disconnects before the reply is
+/// flushed must cost the server one EPIPE (connection dropped), not a
+/// SIGPIPE that kills the daemon.
+TEST_F(SvcTest, ClientGoneBeforeReplyDoesNotKillServer) {
+  ServerConfig config;
+  config.unix_path = path("svc.sock");
+  Server server(config);
+  server.start();
+  std::thread serving([&] { server.serve(); });
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, config.unix_path.c_str(),
+               sizeof addr.sun_path - 1);
+  for (int i = 0; i < 8; ++i) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0);
+    const std::string request = ping_request() + "\n";
+    ASSERT_EQ(::write(fd, request.data(), request.size()),
+              static_cast<ssize_t>(request.size()));
+    ::close(fd);  // gone before the server writes the reply
+  }
+
+  Client client = Client::connect_unix(config.unix_path);
+  client.ping();  // the server survived every EPIPE
+  client.shutdown(false);
   serving.join();
 }
 
