@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Crash-consistency torture run: configure a build with the failpoint
+# sites armed (-DTVP_ENABLE_FAILPOINTS=ON), build it, and run the
+# torture harness (tests/torture_test.cpp) plus the rest of the test
+# suite in that configuration. The harness injects an errno and a
+# SIGKILL at every syscall of the campaign journal path and requires
+# each resumed campaign to be byte-identical to an uninterrupted run.
+#
+# Usage: scripts/torture.sh [--sanitize] [BUILD_DIR]
+#   --sanitize   add AddressSanitizer + UndefinedBehaviorSanitizer
+#   BUILD_DIR    defaults to build-torture
+#
+# The full ctest log is written to BUILD_DIR/torture_log.txt (CI uploads
+# it as an artifact).
+set -euo pipefail
+
+SANITIZE=0
+if [ "${1:-}" = "--sanitize" ]; then
+  SANITIZE=1
+  shift
+fi
+BUILD_DIR=${1:-build-torture}
+
+CMAKE_ARGS=(
+  -DTVP_ENABLE_FAILPOINTS=ON
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+)
+if [ "$SANITIZE" = 1 ]; then
+  SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  CMAKE_ARGS+=(
+    "-DCMAKE_CXX_FLAGS=$SAN_FLAGS"
+    "-DCMAKE_EXE_LINKER_FLAGS=$SAN_FLAGS"
+  )
+fi
+
+cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j
+
+# The torture harness forks SIGKILL children on purpose; keep ASan from
+# treating their deaths as failures and keep leak checking on the parent.
+export ASAN_OPTIONS=${ASAN_OPTIONS:-abort_on_error=0}
+
+LOG=$BUILD_DIR/torture_log.txt
+if (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)") 2>&1 | tee "$LOG"; then
+  echo "torture run OK (log: $LOG)"
+else
+  echo "torture run FAILED (log: $LOG)"
+  exit 1
+fi

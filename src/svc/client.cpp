@@ -14,10 +14,17 @@
 #include <thread>
 
 #include "tvp/svc/wire.hpp"
+#include "tvp/util/failpoint.hpp"
 
 namespace tvp::svc {
 
+namespace fp = util::fp;
+
 namespace {
+
+// Failpoint sites for the client's socket I/O (see util/failpoint.hpp).
+constexpr const char* kSiteSend = "client.send";
+constexpr const char* kSiteRecv = "client.recv";
 
 [[noreturn]] void sys_fail(const std::string& what) {
   throw std::runtime_error("svc::Client: " + what + ": " + std::strerror(errno));
@@ -83,11 +90,9 @@ util::JsonValue Client::request(const std::string& line) {
   while (size > 0) {
     // MSG_NOSIGNAL: a daemon that died mid-request must surface as a
     // thrown EPIPE, not a SIGPIPE that kills the client process.
-    const ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      sys_fail("write");
-    }
+    // send_eintr: a signal mid-send is retried, not a spurious error.
+    const ssize_t n = fp::send_eintr(kSiteSend, fd_, data, size, MSG_NOSIGNAL);
+    if (n < 0) sys_fail("write");
     data += n;
     size -= static_cast<std::size_t>(n);
   }
@@ -100,11 +105,8 @@ util::JsonValue Client::request(const std::string& line) {
       return util::JsonValue::parse(response);
     }
     char buf[16384];
-    const ssize_t n = ::read(fd_, buf, sizeof buf);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      sys_fail("read");
-    }
+    const ssize_t n = fp::read_eintr(kSiteRecv, fd_, buf, sizeof buf);
+    if (n < 0) sys_fail("read");
     if (n == 0)
       throw std::runtime_error("svc::Client: server closed the connection");
     pending_.append(buf, static_cast<std::size_t>(n));

@@ -43,6 +43,21 @@ std::vector<std::uint64_t> CampaignEngine::start() {
         paths.push_back(entry.path().string());
     std::sort(paths.begin(), paths.end());  // deterministic resume order
     for (const auto& path : paths) {
+      if (Journal::is_torn_create(path)) {
+        // A crash cut a previous create short before the header was
+        // durable; the submit never returned an id, so there is no job
+        // to resume — clear the stub instead of letting it block the
+        // name forever.
+        TVP_LOG_WARN("svc: removing journal stub from a crashed create: %s",
+                     path.c_str());
+        try {
+          Journal::remove(path);
+        } catch (const std::exception& e) {
+          TVP_LOG_WARN("svc: cannot remove journal stub %s: %s", path.c_str(),
+                       e.what());
+        }
+        continue;
+      }
       try {
         const Journal::Replay replay = Journal::replay(path);
         std::string error;
@@ -103,7 +118,19 @@ std::uint64_t CampaignEngine::submit(JobSpec spec, std::string* error) {
   const std::string path = journal_path(name);
   bool created_journal = false;
   if (!path.empty()) {
-    if (fs::exists(path)) {
+    bool reuse_existing = fs::exists(path);
+    if (reuse_existing && Journal::is_torn_create(path)) {
+      // Same rule as the start() scan: a header-less stub from a
+      // crashed create is not a job and must not poison the name.
+      try {
+        Journal::remove(path);
+        reuse_existing = false;
+      } catch (const std::exception& e) {
+        unreserve();
+        return reject("cannot clear journal stub " + path + ": " + e.what());
+      }
+    }
+    if (reuse_existing) {
       try {
         const Journal::Replay replay = Journal::replay(path);
         if (replay.spec.canonical_json() != spec.canonical_json()) {

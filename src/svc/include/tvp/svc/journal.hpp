@@ -19,6 +19,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "tvp/exp/sweep.hpp"
 #include "tvp/svc/job.hpp"
@@ -28,6 +29,12 @@ namespace tvp::svc {
 /// CRC-32 (ISO 3309, zlib polynomial) of @p data; guards every journal
 /// line against torn writes and bit rot.
 std::uint32_t crc32(std::string_view data);
+
+/// The name of every failpoint site in the journal I/O path
+/// (`journal.*`, see util/failpoint.hpp). The torture harness iterates
+/// this list to prove crash consistency at each site exhaustively; a
+/// new syscall in the journal must add its site here.
+const std::vector<std::string>& journal_failpoint_sites();
 
 class Journal {
  public:
@@ -42,6 +49,15 @@ class Journal {
   /// A missing file is not an error. Throws std::runtime_error on I/O
   /// failure.
   static void remove(const std::string& path);
+
+  /// True when @p path is a journal stub left by a crash (or I/O error)
+  /// during create(): the file exists but holds no complete record —
+  /// not even the header line made it to disk. The submit that wrote it
+  /// never returned an id, so the stub represents no job and is safe to
+  /// delete; anything with at least one newline is a real journal and
+  /// must be replayed or surfaced instead. Unreadable files report
+  /// false so replay() raises the real error.
+  static bool is_torn_create(const std::string& path);
 
   /// Opens @p path for appending after a replay (resume). Pass the
   /// replay's dropped_bytes so the torn tail is truncated first —

@@ -7,15 +7,31 @@
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <stdexcept>
 
 #include "tvp/svc/result_io.hpp"
+#include "tvp/util/failpoint.hpp"
 
 namespace tvp::svc {
 
+namespace fp = util::fp;
+
 namespace {
+
+// Every syscall in the journal path goes through a named failpoint site
+// (see util/failpoint.hpp); the torture harness enumerates these and
+// proves crash consistency at each one.
+constexpr const char* kSiteCreateOpen = "journal.create.open";
+constexpr const char* kSiteAppendOpen = "journal.append.open";
+constexpr const char* kSiteAppendWrite = "journal.append.write";
+constexpr const char* kSiteAppendFsync = "journal.append.fsync";
+constexpr const char* kSiteDirOpen = "journal.dir.open";
+constexpr const char* kSiteDirFsync = "journal.dir.fsync";
+constexpr const char* kSiteRemoveUnlink = "journal.remove.unlink";
+constexpr const char* kSiteTailTruncate = "journal.tail.ftruncate";
+constexpr const char* kSiteTailFsync = "journal.tail.fsync";
+constexpr const char* kSiteReplayOpen = "journal.replay.open";
+constexpr const char* kSiteReplayRead = "journal.replay.read";
 
 std::array<std::uint32_t, 256> make_crc_table() {
   std::array<std::uint32_t, 256> table{};
@@ -38,9 +54,9 @@ std::array<std::uint32_t, 256> make_crc_table() {
 void fsync_parent_dir(const std::string& path) {
   std::string dir = std::filesystem::path(path).parent_path().string();
   if (dir.empty()) dir = ".";
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  const int fd = fp::open(kSiteDirOpen, dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) io_fail("cannot open directory " + dir);
-  if (::fsync(fd) != 0) {
+  if (fp::fsync_eintr(kSiteDirFsync, fd) != 0) {
     const int saved = errno;
     ::close(fd);
     errno = saved;
@@ -49,19 +65,16 @@ void fsync_parent_dir(const std::string& path) {
   ::close(fd);
 }
 
-void write_all(int fd, const char* data, std::size_t size) {
-  while (size > 0) {
-    const ssize_t n = ::write(fd, data, size);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      io_fail("write failed");
-    }
-    data += n;
-    size -= static_cast<std::size_t>(n);
-  }
-}
-
 }  // namespace
+
+const std::vector<std::string>& journal_failpoint_sites() {
+  static const std::vector<std::string> sites = {
+      kSiteCreateOpen, kSiteAppendOpen,   kSiteAppendWrite,  kSiteAppendFsync,
+      kSiteDirOpen,    kSiteDirFsync,     kSiteRemoveUnlink, kSiteTailTruncate,
+      kSiteTailFsync,  kSiteReplayOpen,   kSiteReplayRead,
+  };
+  return sites;
+}
 
 std::uint32_t crc32(std::string_view data) {
   static const std::array<std::uint32_t, 256> table = make_crc_table();
@@ -72,7 +85,9 @@ std::uint32_t crc32(std::string_view data) {
 }
 
 Journal Journal::create(const std::string& path, const JobSpec& spec) {
-  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int fd =
+      fp::open(kSiteCreateOpen, path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+               0644);
   if (fd < 0) io_fail("cannot create " + path);
   Journal journal(fd);
   util::JsonWriter json;
@@ -81,14 +96,48 @@ Journal Journal::create(const std::string& path, const JobSpec& spec) {
   json.key("spec");
   spec.write_json(json);
   json.end_object();
-  journal.append_line(json.str());
-  // The header is durable only once its directory entry is too.
-  fsync_parent_dir(path);
+  try {
+    journal.append_line(json.str());
+    // The header is durable only once its directory entry is too.
+    fsync_parent_dir(path);
+  } catch (...) {
+    // A failed create must not leave a half-written file behind: the
+    // caller never got a journal, so a lingering stub would block every
+    // future submit under this name. Best-effort, raw unlink — this is
+    // error cleanup, not a durability point.
+    journal.close();
+    ::unlink(path.c_str());
+    throw;
+  }
   return journal;
 }
 
+bool Journal::is_torn_create(const std::string& path) {
+  // Raw syscalls on purpose: this classifies wreckage during recovery
+  // and must not consume failpoint hits the torture harness counted for
+  // the replay path.
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  char buf[1 << 12];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;  // unreadable — let replay() surface the real error
+    }
+    if (n == 0) break;
+    if (std::memchr(buf, '\n', static_cast<std::size_t>(n)) != nullptr) {
+      ::close(fd);
+      return false;  // at least one complete record: a real journal
+    }
+  }
+  ::close(fd);
+  return true;
+}
+
 void Journal::remove(const std::string& path) {
-  if (::unlink(path.c_str()) != 0) {
+  if (fp::unlink(kSiteRemoveUnlink, path.c_str()) != 0) {
     if (errno == ENOENT) return;  // already gone — nothing to make durable
     io_fail("cannot remove " + path);
   }
@@ -97,15 +146,16 @@ void Journal::remove(const std::string& path) {
 
 Journal Journal::append_to(const std::string& path,
                            std::size_t truncate_tail_bytes) {
-  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  const int fd = fp::open(kSiteAppendOpen, path.c_str(), O_WRONLY | O_APPEND);
   if (fd < 0) io_fail("cannot open " + path);
   if (truncate_tail_bytes > 0) {
     // Cut off the torn tail replay() reported; appending after it would
     // glue the new record onto the corrupt line and lose both.
     const off_t size = ::lseek(fd, 0, SEEK_END);
     if (size < 0 || static_cast<std::size_t>(size) < truncate_tail_bytes ||
-        ::ftruncate(fd, size - static_cast<off_t>(truncate_tail_bytes)) != 0 ||
-        ::fsync(fd) != 0) {
+        fp::ftruncate(kSiteTailTruncate, fd,
+                      size - static_cast<off_t>(truncate_tail_bytes)) != 0 ||
+        fp::fsync_eintr(kSiteTailFsync, fd) != 0) {
       const int saved = errno;
       ::close(fd);
       errno = saved;
@@ -130,8 +180,9 @@ void Journal::append_line(const std::string& payload) {
   if (fd_ < 0) throw std::logic_error("Journal: append on closed journal");
   std::string line = "{\"crc\":" + std::to_string(crc32(payload)) +
                      ",\"e\":" + payload + "}\n";
-  write_all(fd_, line.data(), line.size());
-  if (::fsync(fd_) != 0) io_fail("fsync failed");
+  if (!fp::write_full(kSiteAppendWrite, fd_, line.data(), line.size()))
+    io_fail("write failed");
+  if (fp::fsync_eintr(kSiteAppendFsync, fd_) != 0) io_fail("fsync failed");
 }
 
 void Journal::append_cell(std::size_t index, const exp::SweepCell& cell) {
@@ -153,11 +204,22 @@ void Journal::append_done() {
 }
 
 Journal::Replay Journal::replay(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("Journal: cannot read " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const std::string text = buf.str();
+  const int fd = fp::open(kSiteReplayOpen, path.c_str(), O_RDONLY);
+  if (fd < 0) io_fail("cannot read " + path);
+  std::string text;
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = fp::read_eintr(kSiteReplayRead, fd, buf, sizeof buf);
+    if (n < 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      io_fail("cannot read " + path);
+    }
+    if (n == 0) break;
+    text.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
 
   Replay replay;
   bool have_header = false;

@@ -15,11 +15,18 @@
 #include <stdexcept>
 
 #include "tvp/svc/wire.hpp"
+#include "tvp/util/failpoint.hpp"
 #include "tvp/util/log.hpp"
 
 namespace tvp::svc {
 
+namespace fp = util::fp;
+
 namespace {
+
+// Failpoint sites for the per-connection I/O (see util/failpoint.hpp).
+constexpr const char* kSiteConnRead = "server.conn.read";
+constexpr const char* kSiteConnWrite = "server.conn.write";
 
 [[noreturn]] void sys_fail(const std::string& what) {
   throw std::runtime_error("svc::Server: " + what + ": " + std::strerror(errno));
@@ -191,7 +198,10 @@ void Server::serve() {
       if (!drop && (fds[i].revents & (POLLIN | POLLHUP))) {
         char buf[16384];
         while (true) {
-          const ssize_t n = ::read(conn.fd, buf, sizeof buf);
+          // read_eintr: a signal mid-read must not surface as an error
+          // that drops the connection.
+          const ssize_t n = fp::read_eintr(kSiteConnRead, conn.fd, buf,
+                                           sizeof buf);
           if (n > 0) {
             conn.in.append(buf, static_cast<std::size_t>(n));
             continue;
@@ -200,7 +210,7 @@ void Server::serve() {
             conn.close_after_flush = true;  // peer finished sending
             break;
           }
-          if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
           drop = true;
           break;
         }
@@ -209,12 +219,13 @@ void Server::serve() {
 
       if (!drop && !conn.out.empty()) {
         while (!conn.out.empty()) {
-          const ssize_t n = ::write(conn.fd, conn.out.data(), conn.out.size());
+          const ssize_t n = fp::write_eintr(kSiteConnWrite, conn.fd,
+                                            conn.out.data(), conn.out.size());
           if (n > 0) {
             conn.out.erase(0, static_cast<std::size_t>(n));
             continue;
           }
-          if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
           drop = true;
           break;
         }
@@ -227,8 +238,8 @@ void Server::serve() {
         // polling: flush synchronously (bounded by SO_SNDBUF + a line).
         for (auto& open : connections_) {
           while (!open.out.empty()) {
-            const ssize_t n =
-                ::write(open.fd, open.out.data(), open.out.size());
+            const ssize_t n = fp::write_eintr(kSiteConnWrite, open.fd,
+                                              open.out.data(), open.out.size());
             if (n > 0) {
               open.out.erase(0, static_cast<std::size_t>(n));
               continue;
@@ -238,7 +249,6 @@ void Server::serve() {
               if (::poll(&wait, 1, 1000) <= 0) break;
               continue;
             }
-            if (errno == EINTR) continue;
             break;
           }
         }
@@ -270,6 +280,10 @@ bool Server::handle_input(Connection& conn) {
   while (true) {
     const std::size_t nl = conn.in.find('\n', start);
     if (nl == std::string::npos) break;
+    // Enforce the line limit on complete lines too — without this, an
+    // oversized line that arrives in one read chunk (newline included)
+    // would evade the runaway guard below and reach the parser.
+    if (nl - start > config_.max_line_bytes) return false;
     std::string line = conn.in.substr(start, nl - start);
     start = nl + 1;
     if (!line.empty() && line.back() == '\r') line.pop_back();

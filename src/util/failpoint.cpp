@@ -1,0 +1,191 @@
+#include "tvp/util/failpoint.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string_view>
+
+namespace tvp::util::failpoint {
+
+namespace {
+
+struct SiteState {
+  Policy policy;
+  std::uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  // less<> enables lookup by const char* without a temporary string on
+  // the (test-build-only) eval path.
+  std::map<std::string, SiteState, std::less<>> sites;
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+[[noreturn]] void die(Policy::Action action) {
+  if (action == Policy::Action::kKill) {
+    // Crash simulation: die exactly here with no unwinding, flushing or
+    // atexit — the closest userspace gets to pulling the power.
+    ::kill(::getpid(), SIGKILL);
+  }
+  std::abort();
+}
+
+int errno_from_name(const std::string& name) {
+  static const std::map<std::string, int> known = {
+      {"EACCES", EACCES}, {"EAGAIN", EAGAIN},   {"EBADF", EBADF},
+      {"EDQUOT", EDQUOT}, {"EFBIG", EFBIG},     {"EINTR", EINTR},
+      {"EINVAL", EINVAL}, {"EIO", EIO},         {"EMFILE", EMFILE},
+      {"ENFILE", ENFILE}, {"ENOENT", ENOENT},   {"ENOMEM", ENOMEM},
+      {"ENOSPC", ENOSPC}, {"EPIPE", EPIPE},     {"EROFS", EROFS},
+      {"ECONNRESET", ECONNRESET},
+  };
+  const auto it = known.find(name);
+  if (it != known.end()) return it->second;
+  // Decimal fallback for anything not in the table.
+  if (!name.empty() && name.find_first_not_of("0123456789") == std::string::npos)
+    return std::stoi(name);
+  throw std::invalid_argument("failpoint: unknown errno '" + name + "'");
+}
+
+std::string trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  const auto end = text.find_last_not_of(" \t");
+  return text.substr(begin, end - begin + 1);
+}
+
+// Parses one `site=action[@N]` entry.
+std::pair<std::string, Policy> parse_entry(const std::string& entry) {
+  const auto eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0)
+    throw std::invalid_argument("failpoint: entry '" + entry +
+                                "' is not site=action[@N]");
+  const std::string site = trim(entry.substr(0, eq));
+  std::string action = trim(entry.substr(eq + 1));
+
+  Policy policy;
+  const auto at = action.rfind('@');
+  if (at != std::string::npos) {
+    const std::string nth = action.substr(at + 1);
+    if (nth.empty() || nth.find_first_not_of("0123456789") != std::string::npos)
+      throw std::invalid_argument("failpoint: bad trigger '@" + nth + "' in '" +
+                                  entry + "'");
+    policy.nth = std::stoull(nth);
+    if (policy.nth == 0)
+      throw std::invalid_argument(
+          "failpoint: '@0' is invalid (omit '@N' to fire on every hit)");
+    action = trim(action.substr(0, at));
+  }
+
+  if (action == "off") {
+    policy.action = Policy::Action::kOff;
+  } else if (action == "abort") {
+    policy.action = Policy::Action::kAbort;
+  } else if (action == "kill") {
+    policy.action = Policy::Action::kKill;
+  } else if (action.rfind("return(", 0) == 0 && action.back() == ')') {
+    policy.action = Policy::Action::kReturnErrno;
+    policy.error =
+        errno_from_name(trim(action.substr(7, action.size() - 8)));
+  } else {
+    throw std::invalid_argument("failpoint: unknown action '" + action +
+                                "' in '" + entry + "'");
+  }
+  return {site, policy};
+}
+
+}  // namespace
+
+void set(const std::string& site, const Policy& policy) {
+  if (site.empty())
+    throw std::invalid_argument("failpoint: empty site name");
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.sites[site].policy = policy;
+}
+
+void clear(const std::string& site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.sites.find(site);
+  if (it != reg.sites.end()) it->second.policy = Policy{};
+}
+
+void reset() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.sites.clear();
+}
+
+void configure(const std::string& spec) {
+  // Parse the whole spec before applying anything: a malformed entry
+  // must not leave half a configuration behind.
+  std::vector<std::pair<std::string, Policy>> parsed;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const auto sep = spec.find_first_of(";,", pos);
+    const std::string entry = trim(
+        spec.substr(pos, sep == std::string::npos ? std::string::npos
+                                                  : sep - pos));
+    if (!entry.empty()) parsed.push_back(parse_entry(entry));
+    if (sep == std::string::npos) break;
+    pos = sep + 1;
+  }
+  for (const auto& [site, policy] : parsed) set(site, policy);
+}
+
+bool configure_from_env() {
+  const char* spec = std::getenv("TVP_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return false;
+  configure(spec);
+  return true;
+}
+
+std::uint64_t hits(const std::string& site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> counters() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(reg.sites.size());
+  for (const auto& [site, state] : reg.sites)
+    out.emplace_back(site, state.hits);
+  return out;
+}
+
+int eval(const char* site) noexcept {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(std::string_view(site));
+  if (it == reg.sites.end())
+    it = reg.sites.emplace(site, SiteState{}).first;
+  SiteState& state = it->second;
+  ++state.hits;
+  const Policy& policy = state.policy;
+  if (policy.action == Policy::Action::kOff) return 0;
+  if (policy.nth != 0 && state.hits != policy.nth) return 0;
+  switch (policy.action) {
+    case Policy::Action::kReturnErrno:
+      return policy.error;
+    case Policy::Action::kAbort:
+    case Policy::Action::kKill:
+      die(policy.action);
+    case Policy::Action::kOff:
+      break;
+  }
+  return 0;
+}
+
+}  // namespace tvp::util::failpoint

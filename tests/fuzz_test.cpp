@@ -110,6 +110,147 @@ TEST(Fuzz, CounterTableMatchesReference) {
   }
 }
 
+// ------------------------------------ counter table, differential model
+
+namespace {
+
+/// Independent reimplementation of the CaPRoMi counter-table contract
+/// (counter_table.hpp), kept deliberately separate from the production
+/// code: first-free-slot insertion, saturating 8-bit counts, the lock
+/// bit set on the increment path at the threshold, and exactly one
+/// rng.below(capacity) draw per full-table miss (whose victim keeps its
+/// slot when locked). Because both sides consume their own copy of the
+/// same seeded RNG, any divergence in *when* the table draws randomness
+/// shows up as diverging state, not just diverging victims.
+class RefCounterTable {
+ public:
+  struct Slot {
+    dram::RowId row = 0;
+    std::uint8_t count = 0;
+    bool locked = false;
+    bool valid = false;
+  };
+
+  RefCounterTable(std::size_t capacity, std::uint8_t lock_threshold)
+      : slots_(capacity), lock_(lock_threshold) {}
+
+  std::optional<std::size_t> on_activate(dram::RowId row, util::Rng& rng) {
+    std::size_t free_slot = slots_.size();
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].valid && slots_[i].row == row) {
+        if (slots_[i].count < 255) ++slots_[i].count;
+        if (slots_[i].count >= lock_) slots_[i].locked = true;
+        return i;
+      }
+      if (!slots_[i].valid && free_slot == slots_.size()) free_slot = i;
+    }
+    if (free_slot != slots_.size()) {
+      slots_[free_slot] = Slot{row, 1, false, true};
+      return free_slot;
+    }
+    const std::size_t victim = rng.below(slots_.size());
+    if (slots_[victim].locked) return std::nullopt;
+    slots_[victim] = Slot{row, 1, false, true};
+    return victim;
+  }
+
+  void clear() { slots_.assign(slots_.size(), Slot{}); }
+
+  const std::vector<Slot>& slots() const { return slots_; }
+
+ private:
+  std::vector<Slot> slots_;
+  std::uint8_t lock_;
+};
+
+void expect_same_state(const core::CounterTable& table,
+                       const RefCounterTable& model, int op) {
+  for (std::size_t i = 0; i < table.capacity(); ++i) {
+    const auto& got = table.slots()[i];
+    const auto& want = model.slots()[i];
+    ASSERT_EQ(got.valid, want.valid) << "slot " << i << " op " << op;
+    if (!want.valid) continue;
+    ASSERT_EQ(got.row, want.row) << "slot " << i << " op " << op;
+    ASSERT_EQ(got.count, want.count) << "slot " << i << " op " << op;
+    ASSERT_EQ(got.locked, want.locked) << "slot " << i << " op " << op;
+  }
+}
+
+}  // namespace
+
+TEST(Fuzz, CounterTableDifferentialAgainstIndependentModel) {
+  constexpr std::size_t kCapacity = 6;
+  // Thresholds bracketing the interesting regimes: near-instant locking,
+  // mid-range, and the paper's default of 64 (rarely reached, so random
+  // replacement dominates).
+  for (const std::uint8_t lock : {std::uint8_t{2}, std::uint8_t{5},
+                                  std::uint8_t{64}}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      core::CounterTable table(kCapacity, lock, 17);
+      RefCounterTable model(kCapacity, lock);
+      // Two RNGs, one seed: each side draws from its own stream, so the
+      // streams stay aligned only if both draw at the same operations.
+      util::Rng table_rng(seed);
+      util::Rng model_rng(seed);
+      util::Rng driver(seed * 977 + static_cast<std::uint64_t>(lock));
+      for (int op = 0; op < 4000; ++op) {
+        if (driver.below(200) == 0) {
+          table.clear();
+          model.clear();
+          continue;
+        }
+        // Alternate between a universe smaller than the table (pure
+        // hit/increment traffic) and much larger (replacement traffic).
+        const auto universe = driver.below(2) == 0 ? 4u : 64u;
+        const auto row = static_cast<dram::RowId>(driver.below(universe));
+        const auto got = table.on_activate(row, table_rng);
+        const auto want = model.on_activate(row, model_rng);
+        ASSERT_EQ(got, want) << "lock " << int(lock) << " seed " << seed
+                             << " op " << op;
+        expect_same_state(table, model, op);
+      }
+      // The RNG streams must still be aligned — i.e. the table drew
+      // exactly as often as the contract says.
+      EXPECT_EQ(table_rng.below(1u << 30), model_rng.below(1u << 30))
+          << "table consumed a different number of random draws";
+    }
+  }
+}
+
+TEST(Fuzz, CounterTableCountSaturatesLockedAt255) {
+  core::CounterTable table(4, 2, 17);
+  util::Rng rng(9);
+  std::optional<std::size_t> idx;
+  for (int i = 0; i < 300; ++i) idx = table.on_activate(42, rng);
+  ASSERT_TRUE(idx.has_value());
+  const auto& slot = table.slots()[*idx];
+  EXPECT_EQ(slot.count, 255) << "count must saturate, not wrap";
+  EXPECT_TRUE(slot.locked);
+  EXPECT_EQ(slot.row, 42u);
+}
+
+TEST(Fuzz, CounterTableFullyLockedRejectsEveryInsert) {
+  constexpr std::size_t kCapacity = 3;
+  core::CounterTable table(kCapacity, 2, 17);
+  util::Rng rng(31);
+  for (dram::RowId row = 0; row < kCapacity; ++row) {
+    table.on_activate(row, rng);
+    table.on_activate(row, rng);  // second hit reaches the threshold
+  }
+  for (const auto& slot : table.slots()) ASSERT_TRUE(slot.locked);
+  // Every further miss must fail replacement and leave the table as is,
+  // whichever victim the RNG proposes.
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    const auto row = static_cast<dram::RowId>(100 + attempt);
+    EXPECT_EQ(table.on_activate(row, rng), std::nullopt);
+  }
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    EXPECT_EQ(table.slots()[i].row, static_cast<dram::RowId>(i));
+    EXPECT_EQ(table.slots()[i].count, 2);
+  }
+  EXPECT_EQ(table.size(), kCapacity);
+}
+
 // -------------------------------------------------- TWiCe vs naive counts
 
 TEST(Fuzz, TwicePrunedCountsNeverExceedTrueCounts) {

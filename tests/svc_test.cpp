@@ -6,6 +6,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -681,6 +682,117 @@ TEST_F(SvcTest, ClientGoneBeforeReplyDoesNotKillServer) {
 
   Client client = Client::connect_unix(config.unix_path);
   client.ping();  // the server survived every EPIPE
+  client.shutdown(false);
+  serving.join();
+}
+
+// ----------------------------------------------- malformed wire input
+
+/// Every flavour of malformed request line must come back as an
+/// ok:false error reply on a still-usable connection — never a dropped
+/// connection, never a dead daemon.
+TEST_F(SvcTest, MalformedRequestLinesGetErrorRepliesNotCrashes) {
+  ServerConfig config;
+  config.unix_path = path("svc.sock");
+  Server server(config);
+  server.start();
+  std::thread serving([&] { server.serve(); });
+  {
+    Client client = Client::connect_unix(config.unix_path);
+    const std::vector<std::string> malformed = {
+        "{\"op\":\"submit\",\"job\"",            // truncated JSON
+        "{\"op\":\"submit\"}",                   // submit without a job
+        "{\"op\":\"warp\"}",                     // unknown command
+        "{\"op\":\"results\"}",                  // results without a job id
+        "[1,2,3]",                               // wrong JSON shape
+        std::string("{\"op\":\"\xff\xfe\"}"),    // invalid UTF-8 bytes
+        std::string("\x01\x02{}\x03", 5),        // binary garbage
+    };
+    for (const auto& line : malformed) {
+      SCOPED_TRACE("line: " + line);
+      util::JsonValue reply;
+      ASSERT_NO_THROW(reply = client.request(line))
+          << "malformed input must not drop the connection";
+      EXPECT_FALSE(reply.get_bool("ok", true));
+      EXPECT_FALSE(reply.get("error", "").empty())
+          << "the error reply must say what was wrong";
+    }
+    client.ping();  // the same connection still works
+    client.shutdown(false);
+  }
+  serving.join();
+}
+
+/// A request line above max_line_bytes costs that client its
+/// connection (runaway guard) but nothing else: no reply, no crash,
+/// and the next client is served normally.
+TEST_F(SvcTest, OversizedRequestLineDropsOnlyThatConnection) {
+  ServerConfig config;
+  config.unix_path = path("svc.sock");
+  config.max_line_bytes = 1024;
+  Server server(config);
+  server.start();
+  std::thread serving([&] { server.serve(); });
+  {
+    Client greedy = Client::connect_unix(config.unix_path);
+    const std::string huge(8 * 1024, 'x');  // 8x the limit, no newline yet
+    EXPECT_THROW(greedy.request(huge), std::runtime_error)
+        << "the runaway connection must be closed, not served";
+  }
+  Client polite = Client::connect_unix(config.unix_path);
+  polite.ping();
+  // Under the limit still works — the guard is about line length, not
+  // total traffic.
+  for (int i = 0; i < 32; ++i) polite.ping();
+  polite.shutdown(false);
+  serving.join();
+}
+
+/// Truncated frames (no trailing newline) and blank lines: the server
+/// must buffer the partial line without replying, skip the blanks, and
+/// survive the client vanishing mid-frame.
+TEST_F(SvcTest, TruncatedFramesAndBlankLinesLeaveTheServerHealthy) {
+  ServerConfig config;
+  config.unix_path = path("svc.sock");
+  Server server(config);
+  server.start();
+  std::thread serving([&] { server.serve(); });
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, config.unix_path.c_str(),
+               sizeof addr.sun_path - 1);
+  // Blank lines and a CRLF ping on one raw connection: exactly one
+  // reply must come back (blank lines are skipped, not answered).
+  {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0);
+    const std::string frames = "\n\r\n" + ping_request() + "\r\n";
+    ASSERT_EQ(::write(fd, frames.data(), frames.size()),
+              static_cast<ssize_t>(frames.size()));
+    char buf[4096];
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    ASSERT_GT(n, 0);
+    const std::string replies(buf, static_cast<std::size_t>(n));
+    EXPECT_EQ(std::count(replies.begin(), replies.end(), '\n'), 1)
+        << "one request in, one reply out: " << replies;
+    ::close(fd);
+  }
+  // A half-written frame followed by a disappearing client.
+  for (int i = 0; i < 4; ++i) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0);
+    const std::string partial = "{\"op\":\"sub";
+    ASSERT_EQ(::write(fd, partial.data(), partial.size()),
+              static_cast<ssize_t>(partial.size()));
+    ::close(fd);  // gone mid-frame
+  }
+  Client client = Client::connect_unix(config.unix_path);
+  client.ping();  // the daemon shrugged it all off
   client.shutdown(false);
   serving.join();
 }

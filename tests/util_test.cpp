@@ -11,6 +11,7 @@
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -20,6 +21,7 @@
 #include "tvp/util/cli.hpp"
 #include "tvp/util/config.hpp"
 #include "tvp/util/csv.hpp"
+#include "tvp/util/failpoint.hpp"
 #include "tvp/util/fixed_prob.hpp"
 #include "tvp/util/histogram.hpp"
 #include "tvp/util/json.hpp"
@@ -895,6 +897,106 @@ TEST(RunningStat, RawStateRoundTripsBitIdentically) {
   EXPECT_TRUE(bits_equal(original_continued.mean(), restored_continued.mean()));
   EXPECT_TRUE(
       bits_equal(original_continued.stddev(), restored_continued.stddev()));
+}
+
+// ---------------------------------------------------------------------------
+// Failpoint registry. The registry (spec parsing, policies, hit
+// counters) is always compiled — these tests run in both the default
+// and the -DTVP_ENABLE_FAILPOINTS=ON build, so they must not assume
+// either value of failpoint::compiled_in(). Only eval() is exercised
+// here; the armed syscall shims are covered by torture_test.
+// ---------------------------------------------------------------------------
+
+class Failpoint : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::reset(); }
+  void TearDown() override { failpoint::reset(); }
+};
+
+TEST_F(Failpoint, OffSiteEvaluatesToZeroButCounts) {
+  EXPECT_EQ(failpoint::eval("util.test.noop"), 0);
+  EXPECT_EQ(failpoint::eval("util.test.noop"), 0);
+  EXPECT_EQ(failpoint::hits("util.test.noop"), 2u);
+  EXPECT_EQ(failpoint::hits("util.test.never_hit"), 0u);
+}
+
+TEST_F(Failpoint, ReturnErrnoFiresOnEveryHit) {
+  failpoint::Policy policy;
+  policy.action = failpoint::Policy::Action::kReturnErrno;
+  policy.error = EIO;
+  failpoint::set("util.test.every", policy);
+  EXPECT_EQ(failpoint::eval("util.test.every"), EIO);
+  EXPECT_EQ(failpoint::eval("util.test.every"), EIO);
+}
+
+TEST_F(Failpoint, NthPolicyFiresExactlyOnce) {
+  failpoint::Policy policy;
+  policy.action = failpoint::Policy::Action::kReturnErrno;
+  policy.error = ENOSPC;
+  policy.nth = 3;
+  failpoint::set("util.test.nth", policy);
+  EXPECT_EQ(failpoint::eval("util.test.nth"), 0);
+  EXPECT_EQ(failpoint::eval("util.test.nth"), 0);
+  EXPECT_EQ(failpoint::eval("util.test.nth"), ENOSPC);
+  EXPECT_EQ(failpoint::eval("util.test.nth"), 0) << "@N is one-shot";
+  EXPECT_EQ(failpoint::hits("util.test.nth"), 4u);
+}
+
+TEST_F(Failpoint, ClearDisarmsOneSiteResetDisarmsAll) {
+  failpoint::Policy policy;
+  policy.action = failpoint::Policy::Action::kReturnErrno;
+  policy.error = EIO;
+  failpoint::set("util.test.a", policy);
+  failpoint::set("util.test.b", policy);
+  failpoint::clear("util.test.a");
+  EXPECT_EQ(failpoint::eval("util.test.a"), 0);
+  EXPECT_EQ(failpoint::eval("util.test.b"), EIO);
+  EXPECT_EQ(failpoint::hits("util.test.a"), 1u)
+      << "clear() keeps the hit counter";
+  failpoint::reset();
+  EXPECT_EQ(failpoint::eval("util.test.b"), 0);
+  EXPECT_EQ(failpoint::hits("util.test.a"), 0u);
+}
+
+TEST_F(Failpoint, ConfigureParsesSpecStrings) {
+  failpoint::configure(
+      "journal.append.write=return(ENOSPC)@2;journal.append.fsync=return(5)");
+  EXPECT_EQ(failpoint::eval("journal.append.write"), 0);
+  EXPECT_EQ(failpoint::eval("journal.append.write"), ENOSPC);
+  EXPECT_EQ(failpoint::eval("journal.append.fsync"), 5)
+      << "numeric errnos pass through";
+}
+
+TEST_F(Failpoint, ConfigureRejectsMalformedSpecsAtomically) {
+  EXPECT_THROW(failpoint::configure("журнал"), std::invalid_argument);
+  EXPECT_THROW(failpoint::configure("site=explode"), std::invalid_argument);
+  EXPECT_THROW(failpoint::configure("site=return(EIO)@0"),
+               std::invalid_argument);
+  EXPECT_THROW(failpoint::configure("site=return(EWHAT)"),
+               std::invalid_argument);
+  // A bad entry anywhere must leave the whole spec unapplied — a
+  // half-armed torture run would silently test less than it claims.
+  EXPECT_THROW(failpoint::configure("good.site=return(EIO);bad="),
+               std::invalid_argument);
+  EXPECT_EQ(failpoint::eval("good.site"), 0);
+}
+
+TEST_F(Failpoint, CountersSnapshotsEveryTouchedSite) {
+  failpoint::eval("util.test.x");
+  failpoint::eval("util.test.y");
+  failpoint::eval("util.test.y");
+  std::map<std::string, std::uint64_t> counters;
+  for (const auto& [site, count] : failpoint::counters())
+    counters[site] = count;
+  EXPECT_EQ(counters.at("util.test.x"), 1u);
+  EXPECT_EQ(counters.at("util.test.y"), 2u);
+}
+
+TEST_F(Failpoint, AbortAndKillSpecsParse) {
+  // Only parsing — firing them would take the test process down.
+  failpoint::configure("util.test.boom=abort;util.test.kaboom=kill@7");
+  EXPECT_EQ(failpoint::eval("util.test.kaboom"), 0)
+      << "kill@7 must stay quiet before the 7th hit";
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 
 #include "tvp/svc/server.hpp"
 #include "tvp/util/cli.hpp"
+#include "tvp/util/failpoint.hpp"
 #include "tvp/util/log.hpp"
 
 int main(int argc, char** argv) {
@@ -21,7 +22,7 @@ int main(int argc, char** argv) {
   try {
     util::Flags flags(argc, argv,
                       {"socket", "port", "journal-dir", "queue", "jobs",
-                       "verbose", "help"});
+                       "failpoints", "verbose", "help"});
     if (flags.get_bool("help") ||
         (!flags.has("socket") && !flags.has("port"))) {
       std::printf(
@@ -31,8 +32,28 @@ int main(int argc, char** argv) {
           "  --journal-dir=DIR   checkpoint campaigns here (enables resume)\n"
           "  --queue=N           pending-job capacity (default 64)\n"
           "  --jobs=N            worker threads per sweep (default TVP_JOBS)\n"
+          "  --failpoints=SPEC   arm fault-injection sites (testing builds;\n"
+          "                      same syntax as TVP_FAILPOINTS, see DESIGN §7)\n"
           "  --verbose           info-level logging\n");
       return flags.get_bool("help") ? 0 : 2;
+    }
+
+    // Fault injection (torture testing): --failpoints wins over the
+    // TVP_FAILPOINTS environment variable. A production build refuses
+    // the flag outright — silently ignoring it would fake coverage.
+    const std::string failpoints = flags.get("failpoints", "");
+    if (!failpoints.empty()) {
+      if (!util::failpoint::compiled_in()) {
+        std::fprintf(stderr,
+                     "tvp_serve: --failpoints requires a build with "
+                     "-DTVP_ENABLE_FAILPOINTS=ON\n");
+        return 2;
+      }
+      util::failpoint::configure(failpoints);
+      std::printf("tvp_serve: failpoints armed: %s\n", failpoints.c_str());
+    } else if (util::failpoint::compiled_in() &&
+               util::failpoint::configure_from_env()) {
+      std::printf("tvp_serve: failpoints armed from TVP_FAILPOINTS\n");
     }
 
     util::set_log_level(flags.get_bool("verbose") ? util::LogLevel::kInfo
