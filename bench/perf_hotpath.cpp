@@ -11,11 +11,22 @@
 // BENCH_hotpath.json so future PRs have a throughput trajectory to
 // regress against (see README, "Performance baseline").
 //
+// Each variant is measured twice: serial (bank_jobs = 1, the regression
+// baseline — "results" in the JSON) and sharded (per-bank parallel
+// execution on the worker pool — "parallel" in the JSON). Both passes
+// produce bit-identical simulation results; the sharded pass is the
+// aggregate-throughput story.
+//
 // Usage:
-//   perf_hotpath [--acts=N] [--seed=S] [--out=FILE] [--smoke]
-//     --acts   records to drive through each variant (default 2000000)
-//     --smoke  CI-sized run (50000 ACTs) — same shape, seconds not minutes
-//     --out    JSON output path (default BENCH_hotpath.json)
+//   perf_hotpath [--acts=N] [--seed=S] [--batch=N] [--bank-jobs=N]
+//                [--out=FILE] [--smoke]
+//     --acts       records to drive through each variant (default 2000000)
+//     --batch      records per on_records call (default 4096, the runner's)
+//     --bank-jobs  workers for the sharded pass (default 0 = TVP_JOBS /
+//                  hardware concurrency, capped at the bank count)
+//     --smoke      CI-sized run (50000 ACTs) — same shape, seconds not minutes
+//     --out        JSON output path (default BENCH_hotpath.json)
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -30,6 +41,7 @@
 #include "tvp/mitigation/graphene.hpp"
 #include "tvp/util/cli.hpp"
 #include "tvp/util/json.hpp"
+#include "tvp/util/parallel.hpp"
 #include "tvp/util/timer.hpp"
 
 namespace {
@@ -48,7 +60,8 @@ struct Result {
 Result run_variant(const std::string& name,
                    const mem::BankMitigationFactory& factory,
                    const exp::SimConfig& config,
-                   const std::vector<trace::AccessRecord>& trace) {
+                   const std::vector<trace::AccessRecord>& trace,
+                   std::size_t batch, std::size_t bank_jobs) {
   // Same fork order as run_custom_simulation (workload first, even
   // though the trace here is pre-generated) so per-variant RNG streams
   // match what a real run of that variant would see.
@@ -70,15 +83,13 @@ Result run_variant(const std::string& name,
   controller_cfg.remap_rows = config.remap_rows;
   controller_cfg.remap_swaps = config.remap_swaps;
   controller_cfg.act_n_radius = config.act_n_radius;
+  controller_cfg.bank_jobs = bank_jobs;
   mem::MemoryController controller(controller_cfg, engine, disturbance,
                                    controller_rng);
 
-  // Same batch size as the production runner loop, so the measured
-  // number is the number the experiments actually see.
-  constexpr std::size_t kBatch = 256;
   util::Timer timer;
-  for (std::size_t i = 0; i < trace.size(); i += kBatch) {
-    const std::size_t n = std::min(kBatch, trace.size() - i);
+  for (std::size_t i = 0; i < trace.size(); i += batch) {
+    const std::size_t n = std::min(batch, trace.size() - i);
     controller.on_records(trace.data() + i, n);
   }
   Result r;
@@ -93,16 +104,25 @@ Result run_variant(const std::string& name,
 }  // namespace
 
 int main(int argc, char** argv) try {
-  util::Flags flags(argc, argv, {"acts", "seed", "out", "smoke", "help"});
+  util::Flags flags(argc, argv,
+                    {"acts", "seed", "batch", "bank-jobs", "out", "smoke",
+                     "help"});
   if (flags.get_bool("help")) {
     std::printf(
-        "usage: perf_hotpath [--acts=N] [--seed=S] [--out=FILE] [--smoke]\n");
+        "usage: perf_hotpath [--acts=N] [--seed=S] [--batch=N] "
+        "[--bank-jobs=N] [--out=FILE] [--smoke]\n");
     return 0;
   }
   const bool smoke = flags.get_bool("smoke");
   const std::uint64_t acts = static_cast<std::uint64_t>(
       flags.get_int("acts", smoke ? 50'000 : 2'000'000));
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  // Default batch matches the production runner's feed loop, so the
+  // measured number is the number the experiments actually see.
+  const std::size_t batch =
+      static_cast<std::size_t>(flags.get_int("batch", 4096));
+  const std::size_t bank_jobs_flag =
+      static_cast<std::size_t>(flags.get_int("bank-jobs", 0));
   const std::string out_path = flags.get("out", "BENCH_hotpath.json");
 
   // Fixed workload: the standard campaign (benign mix + ramped attacks)
@@ -128,8 +148,14 @@ int main(int argc, char** argv) try {
     return 1;
   }
 
-  std::printf("perf_hotpath: %zu records, %u banks, seed %llu%s\n\n",
-              trace.size(), config.geometry.total_banks(),
+  // Workers the sharded pass actually gets (the controller applies the
+  // same resolution + bank cap internally).
+  const std::size_t banks = config.geometry.total_banks();
+  const std::size_t bank_jobs = std::min(
+      bank_jobs_flag == 0 ? util::job_count() : bank_jobs_flag, banks);
+
+  std::printf("perf_hotpath: %zu records, %u banks, batch %zu, seed %llu%s\n\n",
+              trace.size(), config.geometry.total_banks(), batch,
               static_cast<unsigned long long>(seed), smoke ? " (smoke)" : "");
 
   // The unprotected baseline, the paper's nine, and Graphene.
@@ -146,14 +172,43 @@ int main(int argc, char** argv) try {
   variants.emplace_back("Graphene",
                         mitigation::make_graphene_factory(graphene_cfg));
 
+  std::printf("serial (bank_jobs=1):\n");
   std::vector<Result> results;
   for (const auto& [name, factory] : variants) {
-    results.push_back(run_variant(name, factory, config, trace));
+    results.push_back(run_variant(name, factory, config, trace, batch, 1));
     const Result& r = results.back();
     std::printf("  %-12s %10.3f MACTs/s  %8.1f ns/ACT  (%llu extra acts)\n",
                 r.technique.c_str(), r.feed.per_second() / 1e6,
                 r.feed.ns_per_item(),
                 static_cast<unsigned long long>(r.extra_acts));
+  }
+
+  // Second pass: per-bank sharded execution. Simulation results are
+  // bit-identical to the serial pass (asserted here on the aggregate
+  // counters; the full equivalence contract lives in the test suite).
+  std::printf("\nsharded (bank_jobs=%zu):\n", bank_jobs);
+  std::vector<Result> parallel_results;
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    parallel_results.push_back(run_variant(variants[v].first,
+                                           variants[v].second, config, trace,
+                                           batch, bank_jobs));
+    const Result& r = parallel_results.back();
+    if (r.extra_acts != results[v].extra_acts ||
+        r.triggers != results[v].triggers) {
+      std::fprintf(stderr,
+                   "perf_hotpath: sharded run of %s diverged from serial "
+                   "(extra %llu vs %llu, triggers %llu vs %llu)\n",
+                   r.technique.c_str(),
+                   static_cast<unsigned long long>(r.extra_acts),
+                   static_cast<unsigned long long>(results[v].extra_acts),
+                   static_cast<unsigned long long>(r.triggers),
+                   static_cast<unsigned long long>(results[v].triggers));
+      return 1;
+    }
+    std::printf("  %-12s %10.3f MACTs/s  %8.1f ns/ACT  (%.2fx serial)\n",
+                r.technique.c_str(), r.feed.per_second() / 1e6,
+                r.feed.ns_per_item(),
+                r.feed.per_second() / results[v].feed.per_second());
   }
 
   util::JsonWriter json;
@@ -165,6 +220,8 @@ int main(int argc, char** argv) try {
   json.key("rows_per_bank").value(static_cast<std::uint64_t>(config.geometry.rows_per_bank));
   json.key("seed").value(seed);
   json.key("windows").value(static_cast<std::uint64_t>(config.windows));
+  json.key("batch").value(static_cast<std::uint64_t>(batch));
+  json.key("bank_jobs").value(static_cast<std::uint64_t>(bank_jobs));
   json.key("smoke").value(smoke);
 #ifdef NDEBUG
   json.key("assertions").value(false);
@@ -172,20 +229,26 @@ int main(int argc, char** argv) try {
   json.key("assertions").value(true);
 #endif
   json.end_object();
-  json.key("results").begin_array();
-  for (const Result& r : results) {
-    json.begin_object();
-    json.key("technique").value(r.technique);
-    json.key("acts").value(r.feed.items);
-    json.key("seconds").value(r.feed.seconds);
-    json.key("acts_per_sec").value(r.feed.per_second());
-    json.key("ns_per_act").value(r.feed.ns_per_item());
-    json.key("extra_acts").value(r.extra_acts);
-    json.key("triggers").value(r.triggers);
-    json.key("state_bytes_per_bank").value(r.state_bytes_per_bank);
-    json.end_object();
-  }
-  json.end_array();
+  const auto emit_results = [&](const std::vector<Result>& rs) {
+    json.begin_array();
+    for (const Result& r : rs) {
+      json.begin_object();
+      json.key("technique").value(r.technique);
+      json.key("acts").value(r.feed.items);
+      json.key("seconds").value(r.feed.seconds);
+      json.key("acts_per_sec").value(r.feed.per_second());
+      json.key("ns_per_act").value(r.feed.ns_per_item());
+      json.key("extra_acts").value(r.extra_acts);
+      json.key("triggers").value(r.triggers);
+      json.key("state_bytes_per_bank").value(r.state_bytes_per_bank);
+      json.end_object();
+    }
+    json.end_array();
+  };
+  json.key("results");
+  emit_results(results);
+  json.key("parallel");
+  emit_results(parallel_results);
   json.end_object();
 
   std::ofstream out(out_path);

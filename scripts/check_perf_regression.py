@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Compare a fresh perf_hotpath run against the committed baseline.
+
+Raw ACTs/sec numbers are useless across machines (and across days on a
+shared CI runner): the whole fleet drifts together with CPU generation,
+load and frequency scaling. What stays stable is the *shape* — how much
+each technique costs relative to the unmitigated 'none' walk of the same
+build on the same machine. So this checker compares none-normalized
+ratios:
+
+    score(t) = acts_per_sec(t) / acts_per_sec(none)     per file,
+    regression(t) = 1 - score_new(t) / score_base(t)
+
+and fails when any technique regressed by more than the threshold
+(default 20%). A genuine kernel pessimization moves the ratio; a slow
+runner does not.
+
+Usage:
+    check_perf_regression.py NEW.json [BASELINE.json] [--threshold=0.20]
+
+BASELINE.json defaults to the committed BENCH_hotpath.json next to this
+script's repo root. Exit 0 = fine, 1 = regression, 2 = bad input.
+
+Override: set TVP_ALLOW_PERF_REGRESSION=1 to demote failures to
+warnings. Use it when a PR *intentionally* trades hot-path speed for
+something else (say, a more faithful model) — and say so in the PR
+description, because the new BENCH_hotpath.json you commit becomes the
+next baseline.
+"""
+
+import json
+import os
+import sys
+
+
+def die(msg: str) -> None:
+    print(f"check_perf_regression: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_scores(path: str) -> dict:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"cannot read {path}: {e}")
+    results = doc.get("results")
+    if not results:
+        die(f"{path}: no 'results' array")
+    by_name = {r["technique"]: float(r["acts_per_sec"]) for r in results}
+    none = by_name.get("none")
+    if not none:
+        die(f"{path}: no 'none' baseline technique in results")
+    return {t: v / none for t, v in by_name.items() if t != "none"}
+
+
+def main(argv: list) -> int:
+    threshold = 0.20
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        else:
+            paths.append(arg)
+    if not paths:
+        die("need NEW.json (and optionally BASELINE.json)")
+    new_path = paths[0]
+    if len(paths) > 1:
+        base_path = paths[1]
+    else:
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        base_path = os.path.join(repo, "BENCH_hotpath.json")
+
+    base = load_scores(base_path)
+    new = load_scores(new_path)
+
+    allow = os.environ.get("TVP_ALLOW_PERF_REGRESSION", "") not in ("", "0")
+    failed = []
+    print(f"{'technique':<12} {'base':>8} {'new':>8} {'delta':>8}")
+    for t in sorted(base):
+        if t not in new:
+            print(f"{t:<12} {base[t]:>8.4f} {'gone':>8} {'':>8}")
+            failed.append(f"{t}: missing from {new_path}")
+            continue
+        delta = new[t] / base[t] - 1.0
+        flag = ""
+        if delta < -threshold:
+            flag = "  <-- REGRESSION"
+            failed.append(f"{t}: {delta * 100:+.1f}% (none-normalized)")
+        print(f"{t:<12} {base[t]:>8.4f} {new[t]:>8.4f} {delta * 100:>+7.1f}%{flag}")
+
+    if failed:
+        kind = "warning (TVP_ALLOW_PERF_REGRESSION set)" if allow else "FAIL"
+        print(f"\n{kind}: {len(failed)} technique(s) regressed more than "
+              f"{threshold * 100:.0f}% vs {base_path}:", file=sys.stderr)
+        for f in failed:
+            print(f"  {f}", file=sys.stderr)
+        return 0 if allow else 1
+    print(f"\nOK: no technique regressed more than {threshold * 100:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

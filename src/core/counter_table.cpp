@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "tvp/util/scan.hpp"
+
 namespace tvp::core {
 
 CounterTable::CounterTable(std::size_t capacity, std::uint8_t lock_threshold,
@@ -14,30 +16,34 @@ CounterTable::CounterTable(std::size_t capacity, std::uint8_t lock_threshold,
   if (lock_threshold_ == 0)
     throw std::invalid_argument("CounterTable: zero lock threshold");
   slots_.assign(capacity, Entry{});
+  rows_.assign(capacity, 0);
 }
 
 std::optional<std::size_t> CounterTable::on_activate(dram::RowId row,
                                                      util::Rng& rng) {
-  std::size_t free_slot = slots_.size();
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    Entry& e = slots_[i];
-    if (e.valid && e.row == row) {
-      if (e.count < 0xFF) ++e.count;
-      if (e.count >= lock_threshold_) e.locked = true;
-      return i;
-    }
-    if (!e.valid && free_slot == slots_.size()) free_slot = i;
+  // Dense scan over the valid prefix (see the invariant note in the
+  // header); identical decisions to a full valid-checked sweep because
+  // no slot past size_ is ever valid.
+  const std::size_t n = size_;
+  const std::size_t hit = util::find_u32(rows_.data(), n, row);
+  if (hit != n) {
+    Entry& e = slots_[hit];
+    if (e.count < 0xFF) ++e.count;
+    if (e.count >= lock_threshold_) e.locked = true;
+    return hit;
   }
-  if (free_slot != slots_.size()) {
-    slots_[free_slot] = Entry{row, 1, false, true, kNoLink};
-    ++size_;
-    return free_slot;
+  if (n < slots_.size()) {
+    slots_[n] = Entry{row, 1, false, true, kNoLink};
+    rows_[n] = row;
+    size_ = n + 1;
+    return n;
   }
   // Full: one random replacement attempt; locked entries win (Fig. 3
   // "fail" edge) and the new row is simply not tracked this interval.
   const std::size_t victim = rng.below(slots_.size());
   if (slots_[victim].locked) return std::nullopt;
   slots_[victim] = Entry{row, 1, false, true, kNoLink};
+  rows_[victim] = row;
   return victim;
 }
 

@@ -1,5 +1,6 @@
 #include "tvp/core/history_table.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace tvp::core {
@@ -14,19 +15,19 @@ HistoryTable::HistoryTable(std::size_t capacity, unsigned row_bits,
         "HistoryTable: capacity above 255 breaks 8-bit link indices "
         "(slot 255 would collide with CounterTable::kNoLink = 0xFF)");
   slots_.assign(capacity_, Entry{});
+  packed_rows_.assign(capacity_, kInvalidRow);
 }
 
 std::optional<std::uint32_t> HistoryTable::lookup(dram::RowId row) const noexcept {
-  for (const auto& e : slots_)
-    if (e.valid && e.row == row) return e.interval;
-  return std::nullopt;
+  const std::size_t i = find(row);
+  if (i == capacity_) return std::nullopt;
+  return slots_[i].interval;
 }
 
 std::optional<std::uint8_t> HistoryTable::index_of(dram::RowId row) const noexcept {
-  for (std::size_t i = 0; i < slots_.size(); ++i)
-    if (slots_[i].valid && slots_[i].row == row)
-      return static_cast<std::uint8_t>(i);
-  return std::nullopt;
+  const std::size_t i = find(row);
+  if (i == capacity_) return std::nullopt;
+  return static_cast<std::uint8_t>(i);
 }
 
 std::uint32_t HistoryTable::interval_at(std::uint8_t index) const {
@@ -42,20 +43,21 @@ dram::RowId HistoryTable::row_at(std::uint8_t index) const {
 }
 
 void HistoryTable::insert(dram::RowId row, std::uint32_t interval) {
-  for (auto& e : slots_) {
-    if (e.valid && e.row == row) {
-      e.interval = interval;  // update in place, keep the slot
-      return;
-    }
+  const std::size_t i = find(row);
+  if (i != capacity_) {
+    slots_[i].interval = interval;  // update in place, keep the slot
+    return;
   }
   // Overwrite the oldest slot (hardware FIFO head pointer).
   slots_[head_] = Entry{row, interval, true};
+  packed_rows_[head_] = row;
   head_ = (head_ + 1) % capacity_;
   if (size_ < capacity_) ++size_;
 }
 
 void HistoryTable::clear() noexcept {
   for (auto& e : slots_) e.valid = false;
+  std::fill(packed_rows_.begin(), packed_rows_.end(), kInvalidRow);
   head_ = 0;
   size_ = 0;
 }

@@ -62,7 +62,13 @@ class CounterTable {
   std::uint64_t state_bits() const noexcept;
 
  private:
+  // Valid entries always occupy the prefix [0, size_): clear() empties
+  // the whole table, inserts fill the first free slot (== size_), and
+  // replacement overwrites a valid slot in place. The hot-path scan in
+  // on_activate relies on this — it sweeps the dense rows_ mirror up to
+  // size_ with no validity checks, which the compiler vectorizes.
   std::vector<Entry> slots_;
+  std::vector<dram::RowId> rows_;  // rows_[i] == slots_[i].row for i < size_
   std::size_t size_ = 0;
   std::uint8_t lock_threshold_;
   unsigned row_bits_;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "tvp/dram/geometry.hpp"
+#include "tvp/util/scan.hpp"
 
 namespace tvp::core {
 
@@ -60,10 +61,26 @@ class HistoryTable {
     bool valid = false;
   };
 
+  /// Marks an invalid slot in the packed row array. Safe as a sentinel:
+  /// a real row id is < rows_per_bank <= 2^32 - 1, so it never equals
+  /// 0xFFFFFFFF.
+  static constexpr dram::RowId kInvalidRow = 0xFFFFFFFFu;
+
+  std::size_t find(dram::RowId row) const noexcept {
+    // The simulator's hottest scan (once per ACT for every *PRoMi
+    // variant): a chunked SIMD sweep of a contiguous row array — invalid
+    // slots hold kInvalidRow and simply never match.
+    return util::find_u32(packed_rows_.data(), capacity_, row);
+  }
+
   // Fixed slots with a head pointer, like the hardware FIFO: slot
   // indices stay stable until the slot itself is overwritten, which is
-  // what keeps CaPRoMi's link indices valid.
+  // what keeps CaPRoMi's link indices valid. packed_rows_ mirrors the
+  // slots' row ids (kInvalidRow when invalid) so the per-ACT membership
+  // scan touches one dense cache line instead of striding over Entry
+  // structs.
   std::vector<Entry> slots_;
+  std::vector<dram::RowId> packed_rows_;
   std::size_t capacity_;
   std::size_t head_ = 0;
   std::size_t size_ = 0;

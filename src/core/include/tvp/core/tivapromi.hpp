@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "tvp/core/counter_table.hpp"
 #include "tvp/core/history_table.hpp"
@@ -65,18 +66,35 @@ class TiVaPRoMiBase : public mem::IBankMitigation {
   const HistoryTable& history() const noexcept { return history_; }
 
  protected:
-  /// The controller-side assumed refresh slot f_r = r / RowsPI.
+  /// The controller-side assumed refresh slot f_r = r / RowsPI. RowsPI
+  /// is a power of two in every paper configuration, so the hot path
+  /// divides by shifting; the general division is kept as fallback.
   std::uint32_t assumed_slot(dram::RowId row) const noexcept {
-    return static_cast<std::uint32_t>(row / cfg_.rows_per_interval());
+    return rpi_is_pow2_
+               ? static_cast<std::uint32_t>(row >> rpi_shift_)
+               : static_cast<std::uint32_t>(row / cfg_.rows_per_interval());
   }
   /// Triggers the extra activation: emits act_n and updates the table.
   void trigger(dram::RowId row, std::uint32_t interval,
                mem::ActionBuffer& out);
+  /// Precomputes the Q0.32 Bernoulli thresholds for every linear weight
+  /// w in [0, RefInt): lut[w] = (Pbase * weight_fn(w)).raw(). The batch
+  /// kernels replace the per-ACT weight-shaping + scaled-multiply with
+  /// one table load; bit-identical by construction.
+  template <typename WeightFn>
+  std::vector<std::uint64_t> make_threshold_lut(WeightFn&& weight_fn) const {
+    std::vector<std::uint64_t> lut(cfg_.refresh_intervals);
+    for (std::uint32_t w = 0; w < cfg_.refresh_intervals; ++w)
+      lut[w] = pbase_.scaled(weight_fn(w)).raw();
+    return lut;
+  }
 
   TiVaPRoMiConfig cfg_;
   util::Rng rng_;
   HistoryTable history_;
   util::FixedProb pbase_;
+  bool rpi_is_pow2_ = false;
+  unsigned rpi_shift_ = 0;
 };
 
 /// LiPRoMi / LoPRoMi / LoLiPRoMi: decision on every ACT (Fig. 2 FSM).
@@ -88,6 +106,9 @@ class ProbabilisticTiVaPRoMi final : public TiVaPRoMiBase {
   const char* name() const noexcept override;
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
                    mem::ActionBuffer& out) override;
+  void on_activates(const mem::BatchedAct* acts, std::size_t n,
+                    const mem::MitigationContext& ctx,
+                    mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext& ctx,
                   mem::ActionBuffer& out) override;
   std::uint64_t state_bits() const noexcept override;
@@ -98,6 +119,11 @@ class ProbabilisticTiVaPRoMi final : public TiVaPRoMiBase {
 
  private:
   Variant variant_;
+  // Per-linear-weight Bernoulli thresholds, split by history-table
+  // outcome (LoLiPRoMi weights hits linearly and misses
+  // logarithmically; for the other variants the two tables coincide).
+  std::vector<std::uint64_t> lut_hit_;
+  std::vector<std::uint64_t> lut_miss_;
 };
 
 /// CaPRoMi: counters during the interval, collective decision at REF
@@ -109,6 +135,9 @@ class CaPRoMi final : public TiVaPRoMiBase {
   const char* name() const noexcept override { return "CaPRoMi"; }
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
                    mem::ActionBuffer& out) override;
+  void on_activates(const mem::BatchedAct* acts, std::size_t n,
+                    const mem::MitigationContext& ctx,
+                    mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext& ctx,
                   mem::ActionBuffer& out) override;
   std::uint64_t state_bits() const noexcept override;
@@ -151,6 +180,9 @@ class ShapedTiVaPRoMi final : public TiVaPRoMiBase {
   const char* name() const noexcept override;
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
                    mem::ActionBuffer& out) override;
+  void on_activates(const mem::BatchedAct* acts, std::size_t n,
+                    const mem::MitigationContext& ctx,
+                    mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext& ctx,
                   mem::ActionBuffer& out) override;
   std::uint64_t state_bits() const noexcept override;
@@ -160,6 +192,7 @@ class ShapedTiVaPRoMi final : public TiVaPRoMiBase {
 
  private:
   WeightShape shape_;
+  std::vector<std::uint64_t> lut_;  // threshold per linear weight
 };
 
 mem::BankMitigationFactory make_shaped_factory(WeightShape shape,

@@ -58,7 +58,11 @@ TiVaPRoMiBase::TiVaPRoMiBase(TiVaPRoMiConfig config, util::Rng rng)
       history_(cfg_.history_entries,
                util::bits_for(cfg_.rows_per_bank),
                util::bits_for(cfg_.refresh_intervals)),
-      pbase_(cfg_.pbase()) {}
+      pbase_(cfg_.pbase()) {
+  const dram::RowId rpi = cfg_.rows_per_interval();
+  rpi_is_pow2_ = (rpi & (rpi - 1)) == 0;
+  if (rpi_is_pow2_) rpi_shift_ = util::ceil_log2(rpi);
+}
 
 void TiVaPRoMiBase::trigger(dram::RowId row, std::uint32_t interval,
                             mem::ActionBuffer& out) {
@@ -77,6 +81,22 @@ ProbabilisticTiVaPRoMi::ProbabilisticTiVaPRoMi(Variant variant,
   if (variant_ == Variant::kCounterAssisted)
     throw std::invalid_argument(
         "ProbabilisticTiVaPRoMi: use the CaPRoMi class for kCounterAssisted");
+  const auto linear = [](std::uint32_t w) { return w; };
+  const auto logarithmic = [](std::uint32_t w) { return log_weight(w); };
+  switch (variant_) {
+    case Variant::kLinear:
+      lut_hit_ = make_threshold_lut(linear);
+      lut_miss_ = lut_hit_;
+      break;
+    case Variant::kLogarithmic:
+      lut_hit_ = make_threshold_lut(logarithmic);
+      lut_miss_ = lut_hit_;
+      break;
+    default:  // kLogLinear
+      lut_hit_ = make_threshold_lut(linear);
+      lut_miss_ = make_threshold_lut(logarithmic);
+      break;
+  }
 }
 
 const char* ProbabilisticTiVaPRoMi::name() const noexcept {
@@ -111,6 +131,33 @@ void ProbabilisticTiVaPRoMi::on_activate(dram::RowId row,
   if (rng_.bernoulli_q32(p.raw())) trigger(row, ctx.interval_in_window, out);
 }
 
+void ProbabilisticTiVaPRoMi::on_activates(const mem::BatchedAct* acts,
+                                          std::size_t n,
+                                          const mem::MitigationContext& ctx,
+                                          mem::ActionBuffer& out) {
+  // The batch decision kernel: no per-ACT virtual dispatch, weight
+  // shaping and the Pbase multiply folded into the threshold LUTs. The
+  // per-element decisions — including which ACTs consume an RNG draw
+  // (bernoulli_q32 draws nothing at threshold 0) — are identical to
+  // on_activate.
+  const std::uint32_t ref_int = cfg_.refresh_intervals;
+  const std::uint64_t* const hit_lut = lut_hit_.data();
+  const std::uint64_t* const miss_lut = lut_miss_.data();
+  const std::uint32_t interval = ctx.interval_in_window;
+  for (std::size_t i = 0; i < n; ++i) {
+    const dram::RowId row = acts[i].row;
+    const auto stored = history_.lookup(row);
+    const std::uint32_t reference = stored ? *stored : assumed_slot(row);
+    const std::uint32_t w = linear_weight(interval, reference, ref_int);
+    const std::uint64_t threshold = stored ? hit_lut[w] : miss_lut[w];
+    if (rng_.bernoulli_q32(threshold)) {
+      const std::size_t before = out.size();
+      trigger(row, interval, out);
+      out.stamp_origin(before, static_cast<std::uint32_t>(i));
+    }
+  }
+}
+
 void ProbabilisticTiVaPRoMi::on_refresh(const mem::MitigationContext& ctx,
                                         mem::ActionBuffer&) {
   // Fig. 2 ref path: update the interval counter (implicit — the
@@ -136,6 +183,20 @@ void CaPRoMi::on_activate(dram::RowId row, const mem::MitigationContext&,
   // Parallel history search: link the counter entry to the history slot
   // so the REF-time weight can reuse the stored interval.
   if (const auto slot = history_.index_of(row)) counters_.set_link(*index, *slot);
+}
+
+void CaPRoMi::on_activates(const mem::BatchedAct* acts, std::size_t n,
+                           const mem::MitigationContext&, mem::ActionBuffer&) {
+  // The ACT path emits nothing (decisions happen at REF), so the batch
+  // kernel is the devirtualized counting loop; the table scans
+  // themselves are the dense sweeps in CounterTable/HistoryTable.
+  for (std::size_t i = 0; i < n; ++i) {
+    const dram::RowId row = acts[i].row;
+    const auto index = counters_.on_activate(row, rng_);
+    if (!index) continue;
+    if (const auto slot = history_.index_of(row))
+      counters_.set_link(*index, *slot);
+  }
 }
 
 void CaPRoMi::on_refresh(const mem::MitigationContext& ctx,
@@ -211,7 +272,11 @@ std::uint32_t shaped_weight(WeightShape shape, std::uint32_t w,
 
 ShapedTiVaPRoMi::ShapedTiVaPRoMi(WeightShape shape, TiVaPRoMiConfig config,
                                  util::Rng rng)
-    : TiVaPRoMiBase(config, rng), shape_(shape) {}
+    : TiVaPRoMiBase(config, rng), shape_(shape) {
+  lut_ = make_threshold_lut([this](std::uint32_t w) {
+    return shaped_weight(shape_, w, cfg_.refresh_intervals);
+  });
+}
 
 const char* ShapedTiVaPRoMi::name() const noexcept { return to_string(shape_); }
 
@@ -228,6 +293,26 @@ void ShapedTiVaPRoMi::on_activate(dram::RowId row, const mem::MitigationContext&
                                   mem::ActionBuffer& out) {
   const util::FixedProb p = pbase_.scaled(weight_for(row, ctx.interval_in_window));
   if (rng_.bernoulli_q32(p.raw())) trigger(row, ctx.interval_in_window, out);
+}
+
+void ShapedTiVaPRoMi::on_activates(const mem::BatchedAct* acts, std::size_t n,
+                                   const mem::MitigationContext& ctx,
+                                   mem::ActionBuffer& out) {
+  // Same kernel as ProbabilisticTiVaPRoMi with a single shaped LUT.
+  const std::uint32_t ref_int = cfg_.refresh_intervals;
+  const std::uint64_t* const lut = lut_.data();
+  const std::uint32_t interval = ctx.interval_in_window;
+  for (std::size_t i = 0; i < n; ++i) {
+    const dram::RowId row = acts[i].row;
+    const auto stored = history_.lookup(row);
+    const std::uint32_t reference = stored ? *stored : assumed_slot(row);
+    const std::uint32_t w = linear_weight(interval, reference, ref_int);
+    if (rng_.bernoulli_q32(lut[w])) {
+      const std::size_t before = out.size();
+      trigger(row, interval, out);
+      out.stamp_origin(before, static_cast<std::uint32_t>(i));
+    }
+  }
 }
 
 void ShapedTiVaPRoMi::on_refresh(const mem::MitigationContext& ctx,

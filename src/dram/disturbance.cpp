@@ -86,6 +86,57 @@ std::uint64_t DisturbanceModel::disturbance_q8(BankId bank, RowId row) const {
   return counts_[static_cast<std::size_t>(bank) * rows_ + row];
 }
 
+DisturbanceModel::Lane DisturbanceModel::lane(BankId bank) {
+  if (bank >= banks_) throw std::out_of_range("DisturbanceModel::lane");
+  Lane l;
+  l.model_ = this;
+  l.bank_ = bank;
+  return l;
+}
+
+void DisturbanceModel::commit_lanes(Lane* const* lanes, std::size_t n_lanes,
+                                    const std::uint64_t* prefix) {
+  const std::uint64_t base = activations_;
+  bool any_flips = false;
+  for (std::size_t i = 0; i < n_lanes; ++i) {
+    activations_ += lanes[i]->activations_;
+    peak_q8_ = std::max(peak_q8_, lanes[i]->peak_q8_);
+    any_flips = any_flips || !lanes[i]->pending_.empty();
+  }
+  if (any_flips) {
+    if (prefix == nullptr)
+      throw std::invalid_argument(
+          "DisturbanceModel::commit_lanes: flips pending but no prefix");
+    // Flips are rare (a mitigation failure); re-sequencing them into the
+    // serial activation order may allocate, exactly like the serial
+    // path's flips_ push_back.
+    struct Tagged {
+      BankId bank;
+      Lane::PendingFlip flip;
+    };
+    std::vector<Tagged> all;
+    for (std::size_t i = 0; i < n_lanes; ++i)
+      for (const auto& f : lanes[i]->pending_)
+        all.push_back(Tagged{lanes[i]->bank_, f});
+    // stable: a single activation can flip both neighbours (same serial
+    // and offset) — their relative order must stay row-1-before-row+1,
+    // exactly as the serial path pushes them.
+    std::stable_sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+      if (a.flip.serial != b.flip.serial) return a.flip.serial < b.flip.serial;
+      return a.flip.offset < b.flip.offset;
+    });
+    for (const auto& t : all)
+      flips_.push_back(FlipEvent{t.bank, t.flip.row,
+                                 base + prefix[t.flip.serial] + t.flip.offset + 1,
+                                 t.flip.interval});
+  }
+  for (std::size_t i = 0; i < n_lanes; ++i) {
+    lanes[i]->activations_ = 0;
+    lanes[i]->peak_q8_ = 0;
+    lanes[i]->pending_.clear();
+  }
+}
+
 void DisturbanceModel::reset() {
   std::fill(counts_.begin(), counts_.end(), 0);
   std::fill(flipped_.begin(), flipped_.end(), 0);

@@ -89,6 +89,68 @@ class DisturbanceModel {
   /// Clears counters and flip history (new experiment).
   void reset();
 
+  /// A per-bank shard of the model for one parallel region.
+  ///
+  /// Per-row charge state (counts_/flipped_) is naturally disjoint per
+  /// bank, so a Lane mutates it directly; the *shared* members
+  /// (activations_, peak_q8_, flips_) are accumulated lane-locally and
+  /// folded back by commit_lanes() in a way that is bit-identical to
+  /// serial execution. Each activation is tagged with its position in
+  /// the serial order — (serial, offset) where `serial` is the record's
+  /// index within the region and `offset` numbers the activations that
+  /// record performs (0 = the demand ACT, 1.. = mitigation extras in
+  /// issue order) — so commit_lanes can re-sequence flip events and
+  /// reconstruct their exact at_activation values via a prefix sum of
+  /// per-record activation totals.
+  ///
+  /// Lanes of distinct banks may run on different threads; a Lane itself
+  /// is not thread-safe. A Lane is bound to (model, bank) once and
+  /// reused across regions; commit_lanes resets it for the next region.
+  class Lane {
+   public:
+    Lane() = default;
+
+    /// Same physical effect as DisturbanceModel::on_activate for the
+    /// lane's bank; see the class comment for the (serial, offset) tag.
+    void on_activate(RowId row, std::uint32_t interval, std::uint32_t serial,
+                     std::uint32_t offset);
+
+    /// Activations performed through this lane since the last commit.
+    std::uint64_t activations() const noexcept { return activations_; }
+    bool has_pending_flips() const noexcept { return !pending_.empty(); }
+
+   private:
+    friend class DisturbanceModel;
+    struct PendingFlip {
+      RowId row = 0;
+      std::uint32_t interval = 0;
+      std::uint32_t serial = 0;
+      std::uint32_t offset = 0;
+    };
+    void disturb(RowId row, std::uint64_t amount_q8, std::uint32_t interval,
+                 std::uint32_t serial, std::uint32_t offset);
+
+    DisturbanceModel* model_ = nullptr;
+    BankId bank_ = 0;
+    std::uint64_t activations_ = 0;
+    std::uint64_t peak_q8_ = 0;
+    std::vector<PendingFlip> pending_;
+  };
+
+  /// Binds a lane to @p bank. At most one live lane per bank; the lane
+  /// must not outlive the model.
+  Lane lane(BankId bank);
+
+  /// Folds a region's lanes back into the model (serial; call after the
+  /// parallel region joins). @p prefix re-sequences flips: prefix[j] is
+  /// the number of activations performed by all records with serial
+  /// index < j in the region (across every lane), so a flip tagged
+  /// (serial, offset) happened at global activation
+  /// activations() + prefix[serial] + offset + 1. @p prefix may be null
+  /// when no lane has pending flips. Lanes are reset for reuse.
+  void commit_lanes(Lane* const* lanes, std::size_t n_lanes,
+                    const std::uint64_t* prefix);
+
  private:
   void disturb(BankId bank, RowId row, std::uint64_t amount_q8,
                std::uint32_t interval);
@@ -106,5 +168,50 @@ class DisturbanceModel {
   std::uint64_t activations_ = 0;
   std::uint64_t peak_q8_ = 0;
 };
+
+// Lane's per-activation path is defined inline: it runs once per demand
+// or mitigation ACT (10^8+ calls per campaign) and the bodies are a few
+// loads and compares — the out-of-line call cost would rival the work.
+
+inline void DisturbanceModel::Lane::disturb(RowId row, std::uint64_t amount_q8,
+                                            std::uint32_t interval,
+                                            std::uint32_t serial,
+                                            std::uint32_t offset) {
+  const std::size_t idx = static_cast<std::size_t>(bank_) * model_->rows_ + row;
+  auto& c = model_->counts_[idx];
+  c += amount_q8;
+  if (c > peak_q8_) peak_q8_ = c;
+  const std::uint64_t threshold_q8 =
+      static_cast<std::uint64_t>(model_->thresholds_.empty()
+                                     ? model_->params_.flip_threshold
+                                     : model_->thresholds_[idx])
+      << 8;
+  if (c >= threshold_q8 && !model_->flipped_[idx]) {
+    model_->flipped_[idx] = 1;
+    pending_.push_back(PendingFlip{row, interval, serial, offset});
+  }
+}
+
+inline void DisturbanceModel::Lane::on_activate(RowId row,
+                                                std::uint32_t interval,
+                                                std::uint32_t serial,
+                                                std::uint32_t offset) {
+  ++activations_;
+  // The activated row's own charge is restored (no shared state touched:
+  // the (bank, row) cell belongs to this lane's bank).
+  const std::size_t idx = static_cast<std::size_t>(bank_) * model_->rows_ + row;
+  model_->counts_[idx] = 0;
+  model_->flipped_[idx] = 0;
+  const RowId rows = model_->rows_;
+  if (row > 0) disturb(row - 1, 256, interval, serial, offset);
+  if (row + 1 < rows) disturb(row + 1, 256, interval, serial, offset);
+  if (model_->params_.blast_radius >= 2) {
+    const std::uint64_t w = model_->params_.distance2_weight_q8;
+    if (w != 0) {
+      if (row > 1) disturb(row - 2, w, interval, serial, offset);
+      if (row + 2 < rows) disturb(row + 2, w, interval, serial, offset);
+    }
+  }
+}
 
 }  // namespace tvp::dram

@@ -52,6 +52,11 @@ struct SimConfig {
   std::size_t remap_swaps = 16;
   std::uint32_t act_n_radius = 1;  ///< see mem::ControllerConfig
   dram::DisturbanceParams disturbance;
+  /// Per-bank sharding of the controller hot path (see
+  /// mem::ControllerConfig::bank_jobs): 1 = serial (default; seed sweeps
+  /// already parallelize across runs), 0 = auto (TVP_JOBS), N = N
+  /// workers. Results are bit-identical for every setting.
+  std::size_t bank_jobs = 1;
   std::uint32_t windows = 2;  ///< refresh windows to simulate
   std::uint64_t seed = 1;
   WorkloadSpec workload;

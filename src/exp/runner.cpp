@@ -140,6 +140,7 @@ RunResult run_custom_simulation(const mem::BankMitigationFactory& factory,
   controller_cfg.remap_rows = cfg.remap_rows;
   controller_cfg.remap_swaps = cfg.remap_swaps;
   controller_cfg.act_n_radius = cfg.act_n_radius;
+  controller_cfg.bank_jobs = cfg.bank_jobs;
   mem::MemoryController controller(controller_cfg, engine, disturbance,
                                    controller_rng);
 
@@ -155,7 +156,9 @@ RunResult run_custom_simulation(const mem::BankMitigationFactory& factory,
   // instead of one next() per record. The record sequence — and thus
   // every RNG draw — is identical to the record-at-a-time loop (the
   // bit-identical-results test in exp_test holds the two paths equal).
-  constexpr std::size_t kBatchRecords = 256;
+  // 4096 keeps refresh segments long enough for the per-bank batch
+  // kernels (and the bank_jobs sharding) to amortize their dispatch.
+  constexpr std::size_t kBatchRecords = 4096;
   std::vector<trace::AccessRecord> batch(kBatchRecords);
   for (;;) {
     const std::size_t n = workload->next_batch(batch.data(), batch.size());

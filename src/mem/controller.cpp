@@ -1,9 +1,14 @@
 #include "tvp/mem/controller.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace tvp::mem {
+
+namespace {
+constexpr std::uint64_t kNoTrigger = std::numeric_limits<std::uint64_t>::max();
+}  // namespace
 
 MemoryController::MemoryController(ControllerConfig config, MitigationEngine& engine,
                                    dram::DisturbanceModel& disturbance,
@@ -30,6 +35,17 @@ MemoryController::MemoryController(ControllerConfig config, MitigationEngine& en
   bank_ready_ps_.assign(cfg_.geometry.total_banks(), 0);
   interval_acts_.assign(cfg_.geometry.total_banks(), 0);
   next_refresh_ps_ = timing_.t_refi_ps();
+
+  const std::uint32_t banks = cfg_.geometry.total_banks();
+  shards_ = std::vector<BankShard>(banks);
+  lane_ptrs_.reserve(banks);
+  for (std::uint32_t b = 0; b < banks; ++b) {
+    shards_[b].lane = disturbance_.lane(b);
+    lane_ptrs_.push_back(&shards_[b].lane);
+  }
+  std::size_t jobs = cfg_.bank_jobs == 0 ? util::job_count() : cfg_.bank_jobs;
+  jobs = std::min<std::size_t>(jobs, banks);
+  if (jobs > 1) pool_ = std::make_unique<util::WorkerPool>(jobs);
 }
 
 void MemoryController::process_refresh_boundaries(std::uint64_t up_to_ps) {
@@ -152,7 +168,204 @@ void MemoryController::on_record(const trace::AccessRecord& record) {
 
 void MemoryController::on_records(const trace::AccessRecord* records,
                                   std::size_t count) {
-  for (std::size_t i = 0; i < count; ++i) on_record(records[i]);
+  std::size_t i = 0;
+  while (i < count) {
+    if (records[i].time_ps < now_ps_)
+      throw std::invalid_argument(
+          "MemoryController: records must be time-ordered");
+    process_refresh_boundaries(records[i].time_ps);
+    // A refresh segment: the maximal time-ordered run strictly before
+    // the next refresh boundary (the mitigation context is constant
+    // inside it). An out-of-order record ends the segment and is
+    // rejected by the check above on the next pass, after the valid
+    // prefix has been processed — exactly the state a serial on_record
+    // loop leaves behind.
+    std::size_t end = i + 1;
+    while (end < count && records[end].time_ps >= records[end - 1].time_ps &&
+           records[end].time_ps < next_refresh_ps_)
+      ++end;
+    process_segment(records + i, end - i);
+    i = end;
+  }
+}
+
+void MemoryController::process_segment(const trace::AccessRecord* records,
+                                       std::size_t count) {
+  const std::uint32_t banks = engine_.banks();
+
+  // Address validation up-front; the valid prefix is still processed, so
+  // a throw leaves the same state as the serial loop's throw.
+  std::size_t valid = count;
+  const char* bad_bank = nullptr;
+  const char* bad_row = nullptr;
+  for (std::size_t j = 0; j < count; ++j) {
+    if (records[j].bank >= banks) {
+      valid = j;
+      bad_bank = "MemoryController: bank out of range";
+      break;
+    }
+    if (records[j].row >= cfg_.geometry.rows_per_bank) {
+      valid = j;
+      bad_row = "MemoryController: row out of range";
+      break;
+    }
+  }
+
+  if (valid > 0) {
+    now_ps_ = records[valid - 1].time_ps;
+    const auto interval = interval_in_window();
+
+    MitigationContext ctx;
+    ctx.interval_in_window = interval;
+    ctx.global_interval = global_interval_;
+    ctx.window_start = false;
+
+    for (std::uint32_t b = 0; b < banks; ++b) {
+      BankShard& s = shards_[b];
+      s.serials.clear();
+      s.acts.clear();
+      s.totals.clear();
+      s.reads = s.writes = s.delayed = s.triggers = s.extra = s.fp_extra = 0;
+      s.first_trigger_serial = kNoTrigger;
+      s.bank_ready_ps = bank_ready_ps_[b];
+    }
+    for (std::size_t j = 0; j < valid; ++j) {
+      BankShard& s = shards_[records[j].bank];
+      s.serials.push_back(static_cast<std::uint32_t>(j));
+      s.acts.push_back(BatchedAct{records[j].row});
+    }
+
+    if (pool_) {
+      pool_->run(banks, [&](std::size_t b) {
+        run_bank_shard(static_cast<dram::BankId>(b), records, ctx);
+      });
+    } else {
+      for (std::uint32_t b = 0; b < banks; ++b)
+        run_bank_shard(b, records, ctx);
+    }
+
+    // Serial reduce: fold shard outputs into the shared counters in bank
+    // order. Every sum is independent of which thread produced it, and
+    // the order-dependent aggregates (first_extra_act_at, flip events)
+    // are reconstructed from the segment-serial tags, so the result is
+    // bit-identical to serial execution for any bank_jobs.
+    const std::uint64_t demand_before = stats_.demand_acts;
+    const std::size_t phase_bin =
+        interval * ControllerStats::kPhaseBins / timing_.refresh_intervals;
+    std::uint64_t first_serial = kNoTrigger;
+    bool any_flips = false;
+    for (std::uint32_t b = 0; b < banks; ++b) {
+      const BankShard& s = shards_[b];
+      stats_.demand_acts += s.serials.size();
+      stats_.reads += s.reads;
+      stats_.writes += s.writes;
+      stats_.delayed_acts += s.delayed;
+      stats_.triggers += s.triggers;
+      stats_.extra_acts += s.extra;
+      stats_.fp_extra_acts += s.fp_extra;
+      stats_.extra_acts_by_phase[phase_bin] += s.extra;
+      interval_acts_[b] += static_cast<std::uint32_t>(s.serials.size());
+      bank_ready_ps_[b] = s.bank_ready_ps;
+      first_serial = std::min(first_serial, s.first_trigger_serial);
+      any_flips = any_flips || s.lane.has_pending_flips();
+    }
+    if (stats_.first_extra_act_at == 0 && first_serial != kNoTrigger)
+      stats_.first_extra_act_at = demand_before + first_serial + 1;
+
+    const std::uint64_t* prefix = nullptr;
+    if (any_flips) {
+      // Per-serial activation totals scattered from the shards, then
+      // prefix-summed: prefix[j] = activations performed by records < j.
+      act_prefix_.assign(valid, 0);
+      for (std::uint32_t b = 0; b < banks; ++b) {
+        const BankShard& s = shards_[b];
+        for (std::size_t k = 0; k < s.serials.size(); ++k)
+          act_prefix_[s.serials[k]] = s.totals[k];
+      }
+      std::uint64_t running = 0;
+      for (std::size_t j = 0; j < valid; ++j) {
+        const std::uint64_t t = act_prefix_[j];
+        act_prefix_[j] = running;
+        running += t;
+      }
+      prefix = act_prefix_.data();
+    }
+    disturbance_.commit_lanes(lane_ptrs_.data(), lane_ptrs_.size(), prefix);
+  }
+
+  if (bad_bank || bad_row) {
+    now_ps_ = records[valid].time_ps;
+    throw std::out_of_range(bad_bank ? bad_bank : bad_row);
+  }
+}
+
+void MemoryController::run_bank_shard(dram::BankId bank,
+                                      const trace::AccessRecord* records,
+                                      const MitigationContext& ctx) {
+  BankShard& s = shards_[bank];
+  const std::size_t n = s.serials.size();
+  if (n == 0) return;
+
+  const std::uint32_t interval = ctx.interval_in_window;
+  const ActionBuffer& actions =
+      engine_.on_activates(bank, s.acts.data(), n, ctx);
+  const MitigationAction* act = actions.begin();
+  const MitigationAction* const act_end = actions.end();
+
+  const bool enforce = cfg_.enforce_timing;
+  const std::uint64_t t_rc = timing_.t_rc_ps;
+  const auto rows = cfg_.geometry.rows_per_bank;
+  const auto radius = static_cast<std::int64_t>(cfg_.act_n_radius);
+  std::uint64_t ready = s.bank_ready_ps;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint32_t serial = s.serials[k];
+    const trace::AccessRecord& rec = records[serial];
+    if (enforce) {
+      if (ready > rec.time_ps) ++s.delayed;
+      ready = std::max(ready, rec.time_ps) + t_rc;
+    }
+    if (rec.write)
+      ++s.writes;
+    else
+      ++s.reads;
+    s.lane.on_activate(remapper_.to_physical(rec.row), interval, serial, 0);
+
+    std::uint32_t offset = 0;  // activations this record has performed - 1
+    for (; act != act_end && act->origin == k; ++act) {
+      ++s.triggers;
+      if (s.first_trigger_serial == kNoTrigger) s.first_trigger_serial = serial;
+      std::uint32_t cost = 0;
+      switch (act->kind) {
+        case MitigationAction::Kind::kActNeighbors: {
+          const dram::RowId physical = remapper_.to_physical(act->row);
+          for (std::int64_t d = -radius; d <= radius; ++d) {
+            if (d == 0) continue;
+            const std::int64_t neighbor =
+                static_cast<std::int64_t>(physical) + d;
+            if (neighbor < 0 || neighbor >= static_cast<std::int64_t>(rows))
+              continue;
+            if (enforce) ready += t_rc;
+            s.lane.on_activate(static_cast<dram::RowId>(neighbor), interval,
+                               serial, ++offset);
+            ++cost;
+          }
+          break;
+        }
+        case MitigationAction::Kind::kActRow: {
+          if (enforce) ready += t_rc;
+          s.lane.on_activate(remapper_.to_physical(act->row), interval, serial,
+                             ++offset);
+          cost = 1;
+          break;
+        }
+      }
+      s.extra += cost;
+      if (oracle_ && !oracle_(bank, act->suspect)) s.fp_extra += cost;
+    }
+    s.totals.push_back(1 + offset);
+  }
+  s.bank_ready_ps = ready;
 }
 
 void MemoryController::advance_to(std::uint64_t time_ps) {

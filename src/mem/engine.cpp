@@ -16,6 +16,7 @@ MitigationEngine::MitigationEngine(std::uint32_t banks,
       throw std::invalid_argument("MitigationEngine: factory returned null");
     per_bank_.push_back(std::move(instance));
   }
+  bank_scratch_ = std::vector<BankScratch>(banks);
 }
 
 std::uint64_t MitigationEngine::state_bits_total() const noexcept {

@@ -7,6 +7,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "tvp/dram/disturbance.hpp"
@@ -16,6 +17,7 @@
 #include "tvp/dram/timing.hpp"
 #include "tvp/mem/mitigation.hpp"
 #include "tvp/trace/record.hpp"
+#include "tvp/util/parallel.hpp"
 #include "tvp/util/stats.hpp"
 
 namespace tvp::mem {
@@ -67,6 +69,15 @@ struct ControllerConfig {
   /// distance two — the countermeasure to half-double-style attacks
   /// (see the extension_attacks bench). Cost scales accordingly.
   std::uint32_t act_n_radius = 1;
+  /// Worker threads for the batched (on_records) hot path: independent
+  /// banks of one refresh segment run concurrently, bit-identical to
+  /// serial execution (per-bank state is disjoint; shared counters are
+  /// slot-and-reduced; flip events are re-sequenced into serial order).
+  /// 1 = serial (the default — seed sweeps already parallelize across
+  /// runs, so per-run sharding would oversubscribe), 0 = auto
+  /// (TVP_JOBS), N = exactly N workers. With bank_jobs > 1 the
+  /// aggressor oracle must be safe to call from multiple threads.
+  std::size_t bank_jobs = 1;
 };
 
 /// Ground-truth oracle: is @p suspect row of @p bank a real aggressor?
@@ -85,9 +96,15 @@ class MemoryController {
   void on_record(const trace::AccessRecord& record);
 
   /// Feeds a batch of requests (same ordering contract as on_record).
-  /// Processing is record-for-record identical to calling on_record in a
-  /// loop — batching only amortizes the per-record call overhead of the
-  /// trace-source -> controller hand-off.
+  ///
+  /// This is the hot path: the batch is split into *refresh segments*
+  /// (maximal runs that cross no refresh boundary, so the mitigation
+  /// context is constant), each segment is grouped by bank, and every
+  /// bank's run is handed to its technique in one on_activates call —
+  /// concurrently across banks when cfg.bank_jobs > 1. The observable
+  /// result (stats, disturbance state, flip events, RNG streams) is
+  /// bit-identical to calling on_record per record, in any jobs setting;
+  /// see DESIGN.md "The ACT hot path" for the argument.
   void on_records(const trace::AccessRecord* records, std::size_t count);
 
   /// Advances refresh processing up to @p time_ps without new requests
@@ -109,12 +126,38 @@ class MemoryController {
   std::uint64_t global_interval() const noexcept { return global_interval_; }
 
  private:
+  /// Per-bank working state of one refresh segment. Cache-line aligned
+  /// and written only by the worker that owns the bank, so concurrent
+  /// shards never share a written line.
+  struct alignas(64) BankShard {
+    std::vector<std::uint32_t> serials;  ///< segment-serial index per record
+    std::vector<BatchedAct> acts;        ///< the bank's ACT run, in order
+    std::vector<std::uint32_t> totals;   ///< activations per record (1+extras)
+    dram::DisturbanceModel::Lane lane;
+    // Per-segment outputs, folded into stats_ by the serial reduce.
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t delayed = 0;
+    std::uint64_t triggers = 0;
+    std::uint64_t extra = 0;
+    std::uint64_t fp_extra = 0;
+    std::uint64_t first_trigger_serial = 0;  ///< UINT64_MAX = none
+    std::uint64_t bank_ready_ps = 0;
+  };
+
   void process_refresh_boundaries(std::uint64_t up_to_ps);
   void refresh_interval_tick();
   void issue_actions(dram::BankId bank, const ActionBuffer& actions,
                      std::uint32_t interval);
   void activate_physical(dram::BankId bank, dram::RowId physical_row,
                          std::uint32_t interval);
+  /// Runs one refresh segment (no boundary inside): group by bank,
+  /// per-bank batch dispatch + replay (parallel when configured), then
+  /// the serial reduce into stats_ / the disturbance model.
+  void process_segment(const trace::AccessRecord* records, std::size_t count);
+  /// The per-bank half of process_segment (runs on a worker thread).
+  void run_bank_shard(dram::BankId bank, const trace::AccessRecord* records,
+                      const MitigationContext& ctx);
 
   ControllerConfig cfg_;
   dram::Timing timing_;
@@ -130,6 +173,13 @@ class MemoryController {
   std::uint64_t next_refresh_ps_;          // time of the next REF command
   std::vector<std::uint64_t> bank_ready_ps_;
   std::vector<std::uint32_t> interval_acts_;  // per-bank ACTs this interval
+
+  // Batched hot-path scratch (reused across segments; steady-state
+  // allocation-free once capacities stabilize).
+  std::vector<BankShard> shards_;
+  std::vector<dram::DisturbanceModel::Lane*> lane_ptrs_;
+  std::vector<std::uint64_t> act_prefix_;  // per-serial activation prefix sums
+  std::unique_ptr<util::WorkerPool> pool_;  // only when bank_jobs > 1
 };
 
 }  // namespace tvp::mem

@@ -40,6 +40,13 @@ struct MitigationAction {
   /// false-positive accounting compares this against the real aggressor
   /// set. For kActNeighbors this equals `row`.
   dram::RowId suspect = 0;
+  /// Index of the ACT (within an on_activates batch) that produced this
+  /// action; 0 for single-ACT dispatch. The batched controller uses it to
+  /// issue actions in record order (exact serial equivalence). Techniques
+  /// overriding on_activates must fill it (the default override and
+  /// ActionBuffer::stamp_origin do it for them) and must append actions
+  /// in non-decreasing origin order.
+  std::uint32_t origin = 0;
 };
 
 /// Timing/context of the observed command.
@@ -69,6 +76,14 @@ class ActionBuffer {
 
   void push_back(const MitigationAction& action) { storage_.push_back(action); }
 
+  /// Tags every action appended since @p from (a size() snapshot) with
+  /// @p origin — the batch index of the ACT that produced them. Batch
+  /// kernels call this once per processed ACT that emitted anything.
+  void stamp_origin(std::size_t from, std::uint32_t origin) noexcept {
+    for (std::size_t i = from; i < storage_.size(); ++i)
+      storage_[i].origin = origin;
+  }
+
   /// Drops all actions but keeps the allocation.
   void clear() noexcept { storage_.clear(); }
 
@@ -93,6 +108,15 @@ class ActionBuffer {
   std::vector<MitigationAction> storage_;
 };
 
+/// One ACT of a same-bank batch handed to IBankMitigation::on_activates.
+/// Deliberately just the row: the MitigationContext is constant across a
+/// controller-built batch (it never crosses a refresh boundary), so it
+/// is passed once per span instead of being copied per element — the
+/// grouping pass in the controller writes 4 bytes per record, not 32.
+struct BatchedAct {
+  dram::RowId row = 0;
+};
+
 /// Per-bank mitigation state machine.
 class IBankMitigation {
  public:
@@ -105,6 +129,25 @@ class IBankMitigation {
   /// to @p out.
   virtual void on_activate(dram::RowId row, const MitigationContext& ctx,
                            ActionBuffer& out) = 0;
+
+  /// Observes a batch of same-bank ACTs in arrival order — the hot path
+  /// of 10^8-ACT campaigns. @p ctx applies to every element (a
+  /// controller batch never crosses a refresh boundary). Must be
+  /// decision-for-decision identical to calling on_activate once per
+  /// element (same RNG draw order, same state transitions); each
+  /// appended action must carry the batch index of the ACT that produced
+  /// it in MitigationAction::origin, appended in non-decreasing origin
+  /// order. The default implementation delegates to on_activate and
+  /// stamps origins; techniques override it with branch-light batch
+  /// kernels (no per-ACT virtual dispatch, lookup tables).
+  virtual void on_activates(const BatchedAct* acts, std::size_t n,
+                            const MitigationContext& ctx, ActionBuffer& out) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t before = out.size();
+      on_activate(acts[i].row, ctx, out);
+      out.stamp_origin(before, static_cast<std::uint32_t>(i));
+    }
+  }
 
   /// Observes the REF command that starts refresh interval ctx.interval_
   /// in_window; appends any (deferred) extra activations to @p out.
@@ -126,6 +169,8 @@ class NoMitigation final : public IBankMitigation {
   const char* name() const noexcept override { return "none"; }
   void on_activate(dram::RowId, const MitigationContext&,
                    ActionBuffer&) override {}
+  void on_activates(const BatchedAct*, std::size_t, const MitigationContext&,
+                    ActionBuffer&) override {}
   void on_refresh(const MitigationContext&, ActionBuffer&) override {}
   std::uint64_t state_bits() const noexcept override { return 0; }
 };
@@ -167,13 +212,38 @@ class MitigationEngine {
     return scratch_;
   }
 
+  /// Batch dispatch (the controller's grouped-by-bank hot path): hands a
+  /// same-bank span of ACTs to the bank's technique in one virtual call.
+  /// Returns the *bank-owned* scratch buffer — unlike on_activate's
+  /// shared scratch it is private to @p bank, so independent banks may
+  /// run concurrently; it stays valid until the next on_activates call
+  /// for the same bank.
+  const ActionBuffer& on_activates(dram::BankId bank, const BatchedAct* acts,
+                                   std::size_t n, const MitigationContext& ctx) {
+    ActionBuffer& buf = bank_scratch_[bank].buffer;
+    buf.clear();
+    per_bank_[bank]->on_activates(acts, n, ctx, buf);
+    return buf;
+  }
+
   /// The engine-owned scratch buffer (read-only; exposed so tests can
   /// assert its capacity stabilizes in steady state).
   const ActionBuffer& scratch() const noexcept { return scratch_; }
+  /// Per-bank scratch of the batch path (same steady-state guarantee).
+  const ActionBuffer& bank_scratch(dram::BankId bank) const {
+    return bank_scratch_.at(bank).buffer;
+  }
 
  private:
+  /// Cache-line separated so concurrent bank workers never write the
+  /// same line through adjacent buffers.
+  struct alignas(64) BankScratch {
+    ActionBuffer buffer;
+  };
+
   std::vector<std::unique_ptr<IBankMitigation>> per_bank_;
   ActionBuffer scratch_;
+  std::vector<BankScratch> bank_scratch_;
 };
 
 }  // namespace tvp::mem

@@ -28,6 +28,19 @@ void Cra::on_activate(dram::RowId row, const mem::MitigationContext&,
   out.push_back(action);
 }
 
+void Cra::on_activates(const mem::BatchedAct* acts, std::size_t n,
+                        const mem::MitigationContext& ctx,
+                        mem::ActionBuffer& out) {
+  // Devirtualized batch loop: one virtual call per same-bank span
+  // instead of one per ACT; decisions and RNG draws are identical to
+  // per-element on_activate.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t before = out.size();
+    Cra::on_activate(acts[i].row, ctx, out);
+    out.stamp_origin(before, static_cast<std::uint32_t>(i));
+  }
+}
+
 void Cra::on_refresh(const mem::MitigationContext& ctx,
                      mem::ActionBuffer&) {
   // Counters of the rows refreshed this interval restart (their victims'

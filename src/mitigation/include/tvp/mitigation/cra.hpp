@@ -29,6 +29,9 @@ class Cra final : public mem::IBankMitigation {
   const char* name() const noexcept override { return "CRA"; }
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
                    mem::ActionBuffer& out) override;
+  void on_activates(const mem::BatchedAct* acts, std::size_t n,
+                    const mem::MitigationContext& ctx,
+                    mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext& ctx,
                   mem::ActionBuffer& out) override;
   std::uint64_t state_bits() const noexcept override;

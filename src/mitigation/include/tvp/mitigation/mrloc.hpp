@@ -8,9 +8,15 @@
 // Overhead ends up close to PARA's and the technique remains vulnerable
 // to multi-aggressor patterns (the queue thrashes, so the weighted boost
 // never engages — Table III: vulnerable = yes).
+//
+// The queue is a flat contiguous array (oldest first) rather than a
+// linked structure: the membership scan — two per ACT, the simulator's
+// former hottest loop — is a vectorizable sweep of at most queue_entries
+// row ids, and erase/evict are single memmoves. The recency-weighted
+// probabilities for the steady (full-queue) state come from a
+// precomputed table, so the hot path performs no division.
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "tvp/mem/mitigation.hpp"
@@ -35,19 +41,28 @@ class MrLoc final : public mem::IBankMitigation {
   const char* name() const noexcept override { return "MRLoc"; }
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
                    mem::ActionBuffer& out) override;
+  void on_activates(const mem::BatchedAct* acts, std::size_t n,
+                    const mem::MitigationContext& ctx,
+                    mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext&,
                   mem::ActionBuffer&) override {}
   std::uint64_t state_bits() const noexcept override;
 
   std::size_t queue_size() const noexcept { return queue_.size(); }
+  /// The probability assigned to queue depth @p depth (0 = oldest) at
+  /// the current queue size — exposed so tests can pin the recency ramp,
+  /// including the degenerate single-entry queue.
+  util::FixedProb probability_at(std::size_t depth) const;
 
  private:
   void observe_victim(dram::RowId victim, dram::RowId aggressor,
                       mem::ActionBuffer& out);
+  std::uint64_t raw_probability(std::size_t depth, std::size_t size) const;
 
   MrLocConfig cfg_;
   util::Rng rng_;
-  std::deque<dram::RowId> queue_;  // back = most recent
+  std::vector<dram::RowId> queue_;       // [0] = oldest, back = most recent
+  std::vector<std::uint64_t> full_lut_;  // raw prob per depth, full queue
 };
 
 mem::BankMitigationFactory make_mrloc_factory(MrLocConfig config = {});

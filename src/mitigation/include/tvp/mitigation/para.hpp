@@ -26,6 +26,9 @@ class Para final : public mem::IBankMitigation {
   const char* name() const noexcept override { return "PARA"; }
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
                    mem::ActionBuffer& out) override;
+  void on_activates(const mem::BatchedAct* acts, std::size_t n,
+                    const mem::MitigationContext& ctx,
+                    mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext&,
                   mem::ActionBuffer&) override {}
   /// Stateless apart from the 32-bit LFSR.

@@ -30,6 +30,19 @@ void Para::on_activate(dram::RowId row, const mem::MitigationContext&,
   out.push_back(action);
 }
 
+void Para::on_activates(const mem::BatchedAct* acts, std::size_t n,
+                         const mem::MitigationContext& ctx,
+                         mem::ActionBuffer& out) {
+  // Devirtualized batch loop: one virtual call per same-bank span
+  // instead of one per ACT; decisions and RNG draws are identical to
+  // per-element on_activate.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t before = out.size();
+    Para::on_activate(acts[i].row, ctx, out);
+    out.stamp_origin(before, static_cast<std::uint32_t>(i));
+  }
+}
+
 mem::BankMitigationFactory make_para_factory(ParaConfig config) {
   return [config](dram::BankId, util::Rng rng) -> std::unique_ptr<mem::IBankMitigation> {
     return std::make_unique<Para>(config, rng);

@@ -29,6 +29,19 @@ void Prac::on_activate(dram::RowId row, const mem::MitigationContext&,
   out.push_back(action);
 }
 
+void Prac::on_activates(const mem::BatchedAct* acts, std::size_t n,
+                         const mem::MitigationContext& ctx,
+                         mem::ActionBuffer& out) {
+  // Devirtualized batch loop: one virtual call per same-bank span
+  // instead of one per ACT; decisions and RNG draws are identical to
+  // per-element on_activate.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t before = out.size();
+    Prac::on_activate(acts[i].row, ctx, out);
+    out.stamp_origin(before, static_cast<std::uint32_t>(i));
+  }
+}
+
 void Prac::on_refresh(const mem::MitigationContext& ctx,
                       mem::ActionBuffer&) {
   // The per-row counter restarts when the row's victims get their

@@ -59,6 +59,19 @@ void ProHit::on_activate(dram::RowId row, const mem::MitigationContext&,
   if (row + 1 < cfg_.rows_per_bank) observe_victim(row + 1, row);
 }
 
+void ProHit::on_activates(const mem::BatchedAct* acts, std::size_t n,
+                           const mem::MitigationContext& ctx,
+                           mem::ActionBuffer& out) {
+  // Devirtualized batch loop: one virtual call per same-bank span
+  // instead of one per ACT; decisions and RNG draws are identical to
+  // per-element on_activate.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t before = out.size();
+    ProHit::on_activate(acts[i].row, ctx, out);
+    out.stamp_origin(before, static_cast<std::uint32_t>(i));
+  }
+}
+
 void ProHit::on_refresh(const mem::MitigationContext&,
                         mem::ActionBuffer& out) {
   if (hot_.empty()) return;

@@ -48,6 +48,19 @@ void Trr::on_activate(dram::RowId row, const mem::MitigationContext&,
   }
 }
 
+void Trr::on_activates(const mem::BatchedAct* acts, std::size_t n,
+                        const mem::MitigationContext& ctx,
+                        mem::ActionBuffer& out) {
+  // Devirtualized batch loop: one virtual call per same-bank span
+  // instead of one per ACT; decisions and RNG draws are identical to
+  // per-element on_activate.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t before = out.size();
+    Trr::on_activate(acts[i].row, ctx, out);
+    out.stamp_origin(before, static_cast<std::uint32_t>(i));
+  }
+}
+
 void Trr::refresh_opportunity(mem::ActionBuffer& out) {
   // Refresh the victims of the highest-scoring samples, then retire them.
   for (std::uint32_t budget = 0; budget < cfg_.victims_per_ref; ++budget) {

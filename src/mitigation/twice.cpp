@@ -53,6 +53,19 @@ void Twice::on_activate(dram::RowId row, const mem::MitigationContext&,
   peak_live_ = std::max(peak_live_, live_entries());
 }
 
+void Twice::on_activates(const mem::BatchedAct* acts, std::size_t n,
+                          const mem::MitigationContext& ctx,
+                          mem::ActionBuffer& out) {
+  // Devirtualized batch loop: one virtual call per same-bank span
+  // instead of one per ACT; decisions and RNG draws are identical to
+  // per-element on_activate.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t before = out.size();
+    Twice::on_activate(acts[i].row, ctx, out);
+    out.stamp_origin(before, static_cast<std::uint32_t>(i));
+  }
+}
+
 void Twice::on_refresh(const mem::MitigationContext& ctx,
                        mem::ActionBuffer&) {
   if (ctx.window_start) {

@@ -10,8 +10,13 @@
 // how many workers ran the grid.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace tvp::util {
 
@@ -32,5 +37,67 @@ void parallel_for_indexed(std::size_t count, std::size_t jobs,
 /// Same, with job_count() workers.
 void parallel_for_indexed(std::size_t count,
                           const std::function<void(std::size_t)>& body);
+
+/// A persistent pool of worker threads for fine-grained parallel regions.
+///
+/// parallel_for_indexed spawns and joins a thread per call, which costs
+/// tens of microseconds — fine for a seed sweep where each iteration is a
+/// whole simulation, fatal for the controller's per-bank sharding where a
+/// region (one refresh segment) is a few microseconds of work. WorkerPool
+/// keeps its threads alive and dispatches a region by bumping an atomic
+/// generation counter that idle workers *spin* on for a bounded time
+/// before falling back to a condition variable: back-to-back regions (the
+/// hot-path case) cost no syscalls at all.
+///
+/// Work is striped statically — participant w runs indices w, w+P,
+/// w+2P, ... — so there is no shared claim counter on the hot path, and
+/// each region is a full barrier: run() returns only after every worker
+/// has acknowledged the region (via a padded per-worker generation slot),
+/// which is what makes the body/count publication race-free.
+///
+/// run() has the same contract as parallel_for_indexed: body(i) runs
+/// exactly once for every i in [0, count), the call returns only when all
+/// iterations finished, and the first exception is rethrown. run() may
+/// only be called from one thread at a time (the pool owner); bodies must
+/// not call run() recursively on the same pool.
+class WorkerPool {
+ public:
+  /// Spawns @p workers - 1 threads (the caller participates as the last
+  /// worker). workers <= 1 spawns nothing and run() executes inline.
+  explicit WorkerPool(std::size_t workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t workers() const noexcept { return workers_; }
+
+  /// Runs body(i) for every i in [0, count); blocks until all are done.
+  void run(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  /// Cache-line isolated per-worker acknowledgement slot: the worker
+  /// stores the generation it finished, the owner spins on it.
+  struct alignas(64) Ack {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  void worker_loop(std::size_t stripe);
+  void drain(std::size_t stripe, std::size_t count,
+             const std::function<void(std::size_t)>& body);
+
+  std::size_t workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;                   // publication + sleep protocol
+  std::condition_variable start_cv_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::size_t count_ = 0;           // published under mu_, read via the
+  const std::function<void(std::size_t)>* body_ = nullptr;  // generation acquire
+  std::size_t sleepers_ = 0;        // workers parked on start_cv_ (under mu_)
+  std::atomic<bool> stop_{false};
+  std::vector<Ack> acks_;           // one per spawned thread
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;  // under error_mu_
+};
 
 }  // namespace tvp::util

@@ -1,0 +1,34 @@
+// Branch-light first-match scan for the small associative tables on the
+// ACT hot path (history table, CaPRoMi counters, MRLoc queue — 16 to 64
+// entries each, probed once or twice per activation).
+//
+// A plain early-exit loop compiles to a serial compare-and-branch per
+// element, which the auto-vectorizer refuses; this helper tests fixed
+// 16-wide chunks with a branch only *between* chunks, so the inner loop
+// vectorizes into a handful of SIMD compares. Semantics are exactly
+// "index of first match, or n".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tvp::util {
+
+inline std::size_t find_u32(const std::uint32_t* data, std::size_t n,
+                            std::uint32_t needle) noexcept {
+  constexpr std::size_t kChunk = 16;
+  std::size_t i = 0;
+  for (; i + kChunk <= n; i += kChunk) {
+    std::uint32_t any = 0;
+    for (std::size_t j = 0; j < kChunk; ++j)
+      any |= static_cast<std::uint32_t>(data[i + j] == needle);
+    if (any) break;
+  }
+  // Scalar resolve: the matching chunk (first match is in it by
+  // construction) or the sub-chunk tail.
+  for (; i < n; ++i)
+    if (data[i] == needle) return i;
+  return n;
+}
+
+}  // namespace tvp::util

@@ -12,6 +12,7 @@
 #include "tvp/exp/sweep.hpp"
 #include "tvp/exp/verdict.hpp"
 #include "tvp/mem/controller.hpp"
+#include "tvp/mitigation/graphene.hpp"
 #include "tvp/trace/source.hpp"
 
 namespace tvp::exp {
@@ -94,6 +95,62 @@ mem::ControllerStats feed_records(const SimConfig& cfg, std::size_t batch,
   return controller.stats();
 }
 
+/// Everything the batch-equivalence contract pins: the controller
+/// counters plus the disturbance model's ground truth.
+struct FeedOutcome {
+  mem::ControllerStats stats;
+  std::vector<dram::FlipEvent> flips;
+  std::uint64_t activations = 0;
+  std::uint64_t peak_q8 = 0;
+};
+
+/// Like feed_records, but parameterized over technique, batch size and
+/// bank_jobs, with the aggressor oracle wired for FPR accounting.
+/// batch == 0 selects the record-at-a-time on_record loop (the
+/// reference); any other batch delivers through on_records.
+FeedOutcome feed_outcome(const SimConfig& cfg,
+                         const mem::BankMitigationFactory& factory,
+                         std::size_t batch, std::size_t bank_jobs,
+                         const std::unordered_set<std::uint64_t>* aggressors,
+                         const std::vector<trace::AccessRecord>& records) {
+  util::Rng rng(cfg.seed);
+  (void)rng.fork();  // workload stream, unused: records are pre-drained
+  util::Rng engine_rng = rng.fork();
+  util::Rng controller_rng = rng.fork();
+  mem::MitigationEngine engine(cfg.geometry.total_banks(), factory, engine_rng);
+  dram::DisturbanceModel disturbance(cfg.geometry.total_banks(),
+                                     cfg.geometry.rows_per_bank,
+                                     cfg.disturbance);
+  mem::ControllerConfig controller_cfg;
+  controller_cfg.geometry = cfg.geometry;
+  controller_cfg.timing = cfg.timing;
+  controller_cfg.refresh_policy = cfg.refresh_policy;
+  controller_cfg.bank_jobs = bank_jobs;
+  mem::MemoryController controller(controller_cfg, engine, disturbance,
+                                   controller_rng);
+  if (aggressors) {
+    controller.set_aggressor_oracle(
+        [aggressors](dram::BankId bank, dram::RowId row) {
+          return aggressors->count((static_cast<std::uint64_t>(bank) << 32) |
+                                   row) != 0;
+        });
+  }
+  if (batch == 0) {
+    for (const auto& r : records) controller.on_record(r);
+  } else {
+    for (std::size_t i = 0; i < records.size(); i += batch)
+      controller.on_records(records.data() + i,
+                            std::min(batch, records.size() - i));
+  }
+  controller.advance_to(cfg.duration_ps());
+  FeedOutcome out;
+  out.stats = controller.stats();
+  out.flips = disturbance.flips();
+  out.activations = disturbance.activations();
+  out.peak_q8 = disturbance.peak_disturbance_q8();
+  return out;
+}
+
 TEST(Runner, BatchedDeliveryIsBitIdenticalToRecordAtATime) {
   // The batched pull path must produce the same record sequence and the
   // same RNG draw order as record-at-a-time delivery — identical stats
@@ -119,6 +176,93 @@ TEST(Runner, BatchedDeliveryIsBitIdenticalToRecordAtATime) {
     EXPECT_EQ(one.triggers, batched.triggers) << "batch " << batch;
     EXPECT_EQ(one.reads, batched.reads) << "batch " << batch;
     EXPECT_EQ(flips1, flips_b) << "batch " << batch;
+  }
+}
+
+TEST(Runner, EveryTechniqueBatchAndShardingAreBitIdentical) {
+  // The full batch-equivalence contract: for every technique (the
+  // unprotected baseline, the paper's nine, and Graphene), delivery via
+  // on_records — at any batch size, serial or per-bank sharded — must be
+  // bit-identical to a record-at-a-time on_record loop: every counter
+  // (including the FPR / ground-truth accounting driven by the
+  // aggressor oracle), the phase histogram, first_extra_act_at, and the
+  // exact flip-event history.
+  // A deliberately tiny system — 99 full simulations run below. The
+  // refresh interval length (tREFI) matches DDR4 so per-interval ACT
+  // budgets and *PRoMi weight schedules keep their real shape; thresholds
+  // are scaled down so deterministic techniques trigger and real flips
+  // land within the short run.
+  SimConfig cfg;
+  cfg.geometry.banks_per_rank = 4;
+  cfg.geometry.rows_per_bank = 16384;
+  cfg.timing.t_refw_ps = 2'000'000'000;  // 2 ms window
+  cfg.timing.refresh_intervals = 256;    // keeps tREFI at ~7.8 us
+  cfg.windows = 1;
+  cfg.workload.benign_acts_per_interval_per_bank = 5.0;
+  cfg.technique.flip_threshold = 4000;   // counter_threshold() == 1000
+  cfg.disturbance.flip_threshold = 3000;
+  trace::AttackConfig attack;
+  attack.victims = {1000, 5000};
+  attack.rows_per_bank = cfg.geometry.rows_per_bank;
+  attack.interarrival_ps = 180'000;  // 4 * tRC: ~11 K attack ACTs
+  cfg.workload.attacks.push_back(attack);
+  cfg.finalize();
+
+  std::unordered_set<std::uint64_t> aggressors;
+  util::Rng workload_rng = util::Rng(cfg.seed).fork();
+  const auto records =
+      trace::drain(*build_workload(cfg, workload_rng, &aggressors));
+  ASSERT_FALSE(records.empty());
+  ASSERT_FALSE(aggressors.empty());
+
+  std::vector<std::pair<std::string, mem::BankMitigationFactory>> variants;
+  variants.emplace_back("none", [](dram::BankId, util::Rng) {
+    return std::make_unique<mem::NoMitigation>();
+  });
+  for (const auto t : hw::kAllTechniques)
+    variants.emplace_back(std::string(hw::to_string(t)),
+                          make_factory(t, cfg.technique));
+  mitigation::GrapheneConfig graphene_cfg;
+  graphene_cfg.rows_per_bank = cfg.geometry.rows_per_bank;
+  graphene_cfg.row_threshold = cfg.technique.counter_threshold();
+  variants.emplace_back("Graphene",
+                        mitigation::make_graphene_factory(graphene_cfg));
+
+  for (const auto& [name, factory] : variants) {
+    const FeedOutcome base =
+        feed_outcome(cfg, factory, 0, 1, &aggressors, records);
+    for (const std::size_t batch : {1ul, 7ul, 256ul, 4096ul}) {
+      for (const std::size_t jobs : {1ul, 8ul}) {
+        const FeedOutcome got =
+            feed_outcome(cfg, factory, batch, jobs, &aggressors, records);
+        const std::string label =
+            name + " batch " + std::to_string(batch) + " jobs " +
+            std::to_string(jobs);
+        EXPECT_EQ(base.stats.demand_acts, got.stats.demand_acts) << label;
+        EXPECT_EQ(base.stats.extra_acts, got.stats.extra_acts) << label;
+        EXPECT_EQ(base.stats.fp_extra_acts, got.stats.fp_extra_acts) << label;
+        EXPECT_EQ(base.stats.triggers, got.stats.triggers) << label;
+        EXPECT_EQ(base.stats.reads, got.stats.reads) << label;
+        EXPECT_EQ(base.stats.writes, got.stats.writes) << label;
+        EXPECT_EQ(base.stats.delayed_acts, got.stats.delayed_acts) << label;
+        EXPECT_EQ(base.stats.refresh_intervals, got.stats.refresh_intervals)
+            << label;
+        EXPECT_EQ(base.stats.first_extra_act_at, got.stats.first_extra_act_at)
+            << label;
+        EXPECT_EQ(base.stats.extra_acts_by_phase, got.stats.extra_acts_by_phase)
+            << label;
+        EXPECT_EQ(base.activations, got.activations) << label;
+        EXPECT_EQ(base.peak_q8, got.peak_q8) << label;
+        ASSERT_EQ(base.flips.size(), got.flips.size()) << label;
+        for (std::size_t f = 0; f < base.flips.size(); ++f) {
+          EXPECT_EQ(base.flips[f].bank, got.flips[f].bank) << label;
+          EXPECT_EQ(base.flips[f].row, got.flips[f].row) << label;
+          EXPECT_EQ(base.flips[f].at_activation, got.flips[f].at_activation)
+              << label;
+          EXPECT_EQ(base.flips[f].interval, got.flips[f].interval) << label;
+        }
+      }
+    }
   }
 }
 

@@ -203,6 +203,39 @@ TEST(MrLoc, StateBitsAndValidation) {
   EXPECT_THROW(MrLoc(bad, util::Rng(1)), std::invalid_argument);
 }
 
+TEST(MrLoc, SingleEntryQueueUsesRampMidpoint) {
+  // Degenerate recency weighting: a single-entry queue's sole victim is
+  // simultaneously the oldest and the newest entry, so the linear ramp
+  // collapses to its midpoint (p_min + p_max) / 2. (The old behaviour
+  // assigned the full p_max, double-counting recency: one hit in a cold
+  // queue was treated as the strongest locality signal possible.)
+  MrLocConfig cfg;
+  cfg.p_min = util::FixedProb::from_double(0.25);
+  cfg.p_max = util::FixedProb::from_double(0.75);
+  MrLoc mrloc(cfg, util::Rng(23));
+  mem::ActionBuffer out;
+  mrloc.on_activate(0, ctx_at(0), out);  // row 0 has one victim: row 1
+  ASSERT_EQ(mrloc.queue_size(), 1u);
+  const std::uint64_t expected =
+      cfg.p_min.raw() + (cfg.p_max.raw() - cfg.p_min.raw()) / 2;
+  EXPECT_EQ(mrloc.probability_at(0).raw(), expected);
+}
+
+TEST(MrLoc, TwoEntryQueueSpansFullRamp) {
+  // With two entries the ramp endpoints apply exactly: depth 0 (oldest)
+  // draws at p_min, depth 1 (newest) at p_max.
+  MrLocConfig cfg;
+  cfg.p_min = util::FixedProb::from_double(0.125);
+  cfg.p_max = util::FixedProb::from_double(0.875);
+  MrLoc mrloc(cfg, util::Rng(23));
+  mem::ActionBuffer out;
+  mrloc.on_activate(1000, ctx_at(0), out);  // queues victims [999, 1001]
+  ASSERT_EQ(mrloc.queue_size(), 2u);
+  EXPECT_EQ(mrloc.probability_at(0).raw(), cfg.p_min.raw());
+  EXPECT_EQ(mrloc.probability_at(1).raw(), cfg.p_max.raw());
+  EXPECT_THROW(mrloc.probability_at(2), std::out_of_range);
+}
+
 // -------------------------------------------------------------------- TWiCe
 
 TwiceConfig twice_small() {
