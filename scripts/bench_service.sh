@@ -1,0 +1,156 @@
+#!/usr/bin/env bash
+# Campaign-service load benchmark + kill-during-load torture.
+#
+# Three phases against a real tvp_serve daemon:
+#   1. baseline  — svc_load with --workers=1
+#   2. scaled    — the same load with --workers=<nproc> (jobs/sec ratio
+#                  is the executor-pool speedup; meaningful on
+#                  multi-core hosts only)
+#   3. kill      — SIGKILL the daemon mid-load (32 clients submitting),
+#                  restart it on the same journal dir, wait for every
+#                  resumed job to finish, and require each job's CSV to
+#                  be byte-identical to a direct sweep_tool run
+#
+# Publishes BENCH_service.json (jobs/sec per phase, speedup, p50/p99
+# status latency, connections sustained, kill/resume verdict).
+#
+# Usage: scripts/bench_service.sh [BUILD_DIR]   (default: build)
+# Env:   SVC_LOAD_CLIENTS (default 32), SVC_LOAD_CONNS (default 256),
+#        SVC_LOAD_MIN_SPEEDUP (default 0 = report only, no gate)
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+SERVE=$BUILD_DIR/tools/tvp_serve
+SUBMIT=$BUILD_DIR/tools/tvp_submit
+LOAD=$BUILD_DIR/bench/svc_load
+SWEEP=$BUILD_DIR/examples/sweep_tool
+for bin in "$SERVE" "$SUBMIT" "$LOAD" "$SWEEP"; do
+  [ -x "$bin" ] || { echo "missing binary: $bin (build first)"; exit 1; }
+done
+
+CLIENTS=${SVC_LOAD_CLIENTS:-32}
+CONNS=${SVC_LOAD_CONNS:-256}
+MIN_SPEEDUP=${SVC_LOAD_MIN_SPEEDUP:-0}
+NPROC=$(nproc)
+
+WORK=$(mktemp -d)
+SERVE_PID=
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SOCK=$WORK/tvp.sock
+
+start_daemon() {  # args: workers journal_dir queue
+  "$SERVE" --socket="$SOCK" --journal-dir="$2" --workers="$1" --queue="$3" &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+  [ -S "$SOCK" ] || { echo "tvp_serve did not come up"; exit 1; }
+}
+
+stop_daemon() {
+  "$SUBMIT" --socket="$SOCK" shutdown >/dev/null
+  wait "$SERVE_PID" || { echo "tvp_serve exited non-zero"; exit 1; }
+  SERVE_PID=
+}
+
+# ---- phase 1: single worker baseline --------------------------------
+echo "== baseline: workers=1, clients=$CLIENTS =="
+start_daemon 1 "$WORK/journals_base" 512
+"$LOAD" --socket="$SOCK" --clients="$CLIENTS" --jobs-per-client=2 \
+  --stream-clients=2 --conns="$CONNS" --prefix=base \
+  --out="$WORK/baseline.json" > /dev/null
+stop_daemon
+
+# ---- phase 2: worker pool at nproc ----------------------------------
+echo "== scaled: workers=$NPROC, clients=$CLIENTS =="
+start_daemon "$NPROC" "$WORK/journals_multi" 512
+"$LOAD" --socket="$SOCK" --clients="$CLIENTS" --jobs-per-client=2 \
+  --stream-clients=2 --conns="$CONNS" --prefix=multi \
+  --out="$WORK/scaled.json" > /dev/null
+stop_daemon
+
+# ---- phase 3: kill during load, resume, verify ----------------------
+echo "== kill-during-load: workers=4, clients=$CLIENTS =="
+JDIR=$WORK/journals_kill
+start_daemon 4 "$JDIR" 512
+"$LOAD" --socket="$SOCK" --clients="$CLIENTS" --jobs-per-client=2 \
+  --stream-clients=0 --conns=0 --prefix=kill \
+  --no-wait --tolerate-errors > /dev/null &
+LOAD_PID=$!
+sleep 1  # let the load land mid-flight
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=
+wait "$LOAD_PID" || true  # clients see dead sockets; tolerated
+
+JOURNALS=$(ls "$JDIR"/*.tvpj 2>/dev/null | wc -l)
+echo "daemon killed; $JOURNALS journaled job(s) survive"
+[ "$JOURNALS" -gt 0 ] || { echo "kill landed before any journal"; exit 1; }
+
+start_daemon 4 "$JDIR" 512
+for _ in $(seq 1 600); do
+  PENDINGCOUNT=$("$SUBMIT" --socket="$SOCK" status | grep -c -E ': (queued|running),' || true)
+  [ "$PENDINGCOUNT" -eq 0 ] && break
+  sleep 0.5
+done
+[ "${PENDINGCOUNT:-1}" -eq 0 ] || { echo "resumed jobs did not finish"; exit 1; }
+
+# Every load job shares one spec grid; one direct run is the reference.
+cat > "$WORK/load.cfg" <<'EOF'
+geometry.banks = 2
+windows = 1
+workload.benign_rate = 5
+seed = 3
+EOF
+"$SWEEP" --param=windows --values=1,2 --config="$WORK/load.cfg" \
+  --techniques=PARA --csv="$WORK/ref.csv" > /dev/null
+
+RESUMED=0
+VERIFIED=0
+while read -r id; do
+  [ -n "$id" ] || continue
+  RESUMED=$((RESUMED + 1))
+  "$SUBMIT" --socket="$SOCK" results --job="$id" --csv="$WORK/job.csv" > /dev/null
+  cmp "$WORK/job.csv" "$WORK/ref.csv" || { echo "job $id diverged"; exit 1; }
+  VERIFIED=$((VERIFIED + 1))
+done < <("$SUBMIT" --socket="$SOCK" status | awk '$1=="job" && $4=="done," {print $2}')
+echo "all $VERIFIED/$RESUMED resumed job(s) byte-identical to direct run"
+[ "$VERIFIED" -gt 0 ] || { echo "no job reached done after resume"; exit 1; }
+stop_daemon
+
+# ---- merge ----------------------------------------------------------
+python3 - "$WORK/baseline.json" "$WORK/scaled.json" "$NPROC" "$RESUMED" "$VERIFIED" \
+  "$MIN_SPEEDUP" > BENCH_service.json <<'PY'
+import json, sys
+base = json.load(open(sys.argv[1]))
+scaled = json.load(open(sys.argv[2]))
+nproc, resumed, verified = int(sys.argv[3]), int(sys.argv[4]), int(sys.argv[5])
+min_speedup = float(sys.argv[6])
+speedup = (scaled["jobs_per_sec"] / base["jobs_per_sec"]
+           if base["jobs_per_sec"] > 0 else 0.0)
+out = {
+    "bench": "campaign-service load",
+    "host_cores": nproc,
+    "baseline_workers1": base,
+    "scaled_workers_nproc": scaled,
+    "speedup_jobs_per_sec": round(speedup, 3),
+    "kill_during_load": {
+        "workers": 4,
+        "clients": base["clients"],
+        "jobs_resumed_done": verified,
+        "jobs_terminal": resumed,
+        "byte_identical": True,
+    },
+}
+json.dump(out, sys.stdout, indent=2)
+print()
+if min_speedup > 0 and speedup < min_speedup:
+    sys.stderr.write(
+        f"speedup {speedup:.2f}x below required {min_speedup}x\n")
+    sys.exit(1)
+PY
+
+echo "service bench OK (speedup $(python3 -c 'import json;print(json.load(open("BENCH_service.json"))["speedup_jobs_per_sec"])')x on $NPROC core(s)); BENCH_service.json written"

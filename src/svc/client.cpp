@@ -97,6 +97,11 @@ util::JsonValue Client::request(const std::string& line) {
     size -= static_cast<std::size_t>(n);
   }
 
+  return read_line();
+}
+
+util::JsonValue Client::read_line() {
+  if (fd_ < 0) throw std::runtime_error("svc::Client: not connected");
   while (true) {
     const std::size_t nl = pending_.find('\n');
     if (nl != std::string::npos) {
@@ -153,6 +158,30 @@ void Client::cancel(std::uint64_t job_id) { checked(cancel_request(job_id)); }
 void Client::shutdown(bool drain) { checked(shutdown_request(drain)); }
 
 void Client::ping() { checked(ping_request()); }
+
+Client::StreamEnd Client::stream_results(
+    std::uint64_t job_id,
+    const std::function<void(const util::JsonValue& cell)>& on_cell) {
+  const util::JsonValue ack = checked(stream_results_request(job_id));
+  if (!ack.get_bool("stream", false))
+    throw std::runtime_error(
+        "svc::Client: server did not acknowledge the stream");
+  while (true) {
+    const util::JsonValue event = read_line();
+    const std::string kind = event.get("stream", "");
+    if (kind == "cell") {
+      if (on_cell) on_cell(event.at("cell"));
+    } else if (kind == "end") {
+      StreamEnd end;
+      end.state = parse_job_state(event.at("state").as_string());
+      end.error = event.get("error", "");
+      return end;
+    } else {
+      throw std::runtime_error("svc::Client: unexpected line in stream: " +
+                               (kind.empty() ? "not a stream event" : kind));
+    }
+  }
+}
 
 JobStatus Client::wait(std::uint64_t job_id, double timeout_seconds) {
   const auto deadline = std::chrono::steady_clock::now() +

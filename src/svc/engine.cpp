@@ -3,17 +3,37 @@
 #include <algorithm>
 #include <filesystem>
 #include <stdexcept>
+#include <utility>
 
 #include "tvp/exp/config_io.hpp"
 #include "tvp/svc/journal.hpp"
+#include "tvp/svc/result_io.hpp"
 #include "tvp/util/log.hpp"
 
 namespace tvp::svc {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+std::size_t resolve_workers(std::size_t configured) {
+  if (configured > 0) return configured;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::string serialize_cell(std::size_t index, const exp::SweepCell& cell) {
+  util::JsonWriter json;
+  write_sweep_cell(json, index, cell);
+  return json.str();
+}
+
+}  // namespace
+
 CampaignEngine::CampaignEngine(EngineConfig config)
-    : config_(std::move(config)), queue_(config_.queue_capacity) {
+    : config_(std::move(config)),
+      worker_count_(resolve_workers(config_.workers)),
+      queue_(config_.queue_capacity) {
   if (!config_.journal_dir.empty()) fs::create_directories(config_.journal_dir);
 }
 
@@ -78,7 +98,11 @@ std::vector<std::uint64_t> CampaignEngine::start() {
     }
   }
 
-  executor_ = std::thread([this] { executor_loop(); });
+  executors_.reserve(worker_count_);
+  for (std::size_t i = 0; i < worker_count_; ++i)
+    executors_.emplace_back([this] { executor_loop(); });
+  TVP_LOG_INFO("svc: engine started with %zu executor worker(s)",
+               worker_count_);
   return resumed;
 }
 
@@ -187,25 +211,35 @@ std::uint64_t CampaignEngine::submit(JobSpec spec, std::string* error) {
 }
 
 bool CampaignEngine::cancel(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = jobs_.find(id);
-  if (it == jobs_.end()) return false;
-  JobRec& job = *it->second;
-  switch (job.state) {
-    case JobState::kQueued:
-      job.state = JobState::kCancelled;
-      job.error = "cancelled while queued";
-      return true;
-    case JobState::kRunning:
-      job.cancel_requested = true;
-      job.stop.store(true, std::memory_order_relaxed);
-      return true;
-    case JobState::kDone:
-    case JobState::kFailed:
-    case JobState::kCancelled:
-      return false;
+  std::shared_ptr<JobRec> ended;  // cancelled-in-queue: end stream below
+  bool accepted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    JobRec& job = *it->second;
+    switch (job.state) {
+      case JobState::kQueued:
+        job.state = JobState::kCancelled;
+        job.error = "cancelled while queued";
+        ended = it->second;
+        accepted = true;
+        break;
+      case JobState::kRunning:
+        job.cancel_requested = true;
+        job.stop.store(true, std::memory_order_relaxed);
+        accepted = true;
+        break;
+      case JobState::kDone:
+      case JobState::kFailed:
+      case JobState::kCancelled:
+        return false;
+    }
   }
-  return false;
+  // Stream end events fire outside mu_ (callbacks must not observe the
+  // engine lock held); a queued job has no worker to fire them for it.
+  if (ended) deliver_end(ended, JobState::kCancelled, ended->error);
+  return accepted;
 }
 
 JobStatus CampaignEngine::status_of(const JobRec& job) const {
@@ -243,6 +277,75 @@ std::optional<exp::SweepResult> CampaignEngine::result(std::uint64_t id) const {
   return it->second->result;
 }
 
+std::uint64_t CampaignEngine::subscribe(std::uint64_t id, StreamCellFn on_cell,
+                                        StreamEndFn on_end) {
+  std::shared_ptr<JobRec> job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return 0;
+    job = it->second;
+  }
+
+  std::lock_guard<std::mutex> stream_lock(job->stream_mu);
+  // Replay-then-register under one stream_mu hold: a live cell cannot
+  // land between the replay and the registration, so delivery is
+  // exactly-once and in completion order.
+  if (on_cell)
+    for (const std::string& cell_json : job->stream_cells) on_cell(cell_json);
+  const std::uint64_t token = job->next_stream_token++;
+  if (job->stream_ended) {
+    // Terminal already: everything delivered synchronously; nothing to
+    // register (the returned token is valid but already-expired).
+    JobState state;
+    std::string error;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      state = job->state;
+      error = job->error;
+    }
+    if (on_end) on_end(state, error);
+    return token;
+  }
+  job->stream_subs.emplace(token,
+                           StreamSub{std::move(on_cell), std::move(on_end)});
+  return token;
+}
+
+void CampaignEngine::unsubscribe(std::uint64_t id, std::uint64_t token) {
+  std::shared_ptr<JobRec> job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return;
+    job = it->second;
+  }
+  std::lock_guard<std::mutex> stream_lock(job->stream_mu);
+  job->stream_subs.erase(token);
+}
+
+void CampaignEngine::deliver_cell(const std::shared_ptr<JobRec>& job,
+                                  const std::string& cell_json) {
+  std::lock_guard<std::mutex> stream_lock(job->stream_mu);
+  if (job->stream_ended) return;
+  job->stream_cells.push_back(cell_json);
+  for (const auto& [token, sub] : job->stream_subs)
+    if (sub.on_cell) sub.on_cell(cell_json);
+}
+
+void CampaignEngine::deliver_end(const std::shared_ptr<JobRec>& job,
+                                 JobState state, const std::string& error) {
+  std::map<std::uint64_t, StreamSub> subs;
+  {
+    std::lock_guard<std::mutex> stream_lock(job->stream_mu);
+    if (job->stream_ended) return;
+    job->stream_ended = true;
+    subs.swap(job->stream_subs);
+  }
+  for (const auto& [token, sub] : subs)
+    if (sub.on_end) sub.on_end(state, error);
+}
+
 void CampaignEngine::shutdown(bool finish_queued) {
   std::lock_guard<std::mutex> serial(shutdown_mu_);
   {
@@ -250,11 +353,36 @@ void CampaignEngine::shutdown(bool finish_queued) {
     stopped_ = true;
     if (!finish_queued) {
       abort_.store(true, std::memory_order_relaxed);
-      if (running_) running_->stop.store(true, std::memory_order_relaxed);
+      for (const auto& [id, job] : running_)
+        job->stop.store(true, std::memory_order_relaxed);
     }
   }
   queue_.close();
-  if (executor_.joinable()) executor_.join();
+  for (std::thread& t : executors_) t.join();
+  executors_.clear();
+
+  // Flush every open subscription: the executors are gone, so jobs that
+  // never reached a terminal state (queued under abort, or dropped from
+  // the closing queue) would otherwise leave their subscribers waiting
+  // forever. Delivering the current state keeps the end-event contract.
+  std::vector<std::shared_ptr<JobRec>> jobs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs.reserve(jobs_.size());
+    for (const auto& [id, job] : jobs_) jobs.push_back(job);
+  }
+  for (const auto& job : jobs) {
+    JobState state;
+    std::string error;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      state = job->state;
+      error = job->error.empty() && state == JobState::kQueued
+                  ? "engine shut down before the job ran; resumable"
+                  : job->error;
+    }
+    deliver_end(job, state, error);
+  }
 }
 
 void CampaignEngine::executor_loop() {
@@ -268,11 +396,11 @@ void CampaignEngine::executor_loop() {
       if (job->state != JobState::kQueued) continue;  // cancelled in queue
       if (abort_.load(std::memory_order_relaxed)) continue;  // stays on disk
       job->state = JobState::kRunning;
-      running_ = job;
+      running_.emplace(job->id, job);
     }
     run_job(job);
     std::lock_guard<std::mutex> lock(mu_);
-    running_.reset();
+    running_.erase(job->id);
   }
 }
 
@@ -303,44 +431,68 @@ void CampaignEngine::run_job(const std::shared_ptr<JobRec>& job) {
     }
     job->completed.store(preloaded.size(), std::memory_order_relaxed);
 
+    // Resumed cells are "completed" for stream purposes too: replay them
+    // in index order before the sweep starts, so a subscriber sees every
+    // cell exactly once whether or not the job was ever interrupted.
+    for (const auto& [index, cell] : preloaded)
+      deliver_cell(job, serialize_cell(index, cell));
+
     std::mutex journal_mu;  // serialises checkpoint appends from workers
     exp::SweepHooks hooks;
     hooks.preloaded = &preloaded;
     hooks.stop = &job->stop;
     hooks.jobs = config_.sweep_jobs;
     hooks.on_cell = [&](std::size_t index, const exp::SweepCell& cell) {
-      std::lock_guard<std::mutex> lock(journal_mu);
-      if (journal) journal->append_cell(index, cell);
-      job->completed.fetch_add(1, std::memory_order_relaxed);
+      const std::string cell_json = serialize_cell(index, cell);
+      {
+        std::lock_guard<std::mutex> lock(journal_mu);
+        if (journal) journal->append_cell(index, cell);
+        job->completed.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Stream after the checkpoint: a streamed cell is always durable,
+      // so a resume never re-streams less than the client already saw.
+      deliver_cell(job, cell_json);
     };
 
     exp::SweepResult sweep = exp::run_param_sweep(
         base, spec.param_key, spec.values, techniques, hooks);
 
-    std::lock_guard<std::mutex> lock(mu_);
-    if (job->stop.load(std::memory_order_relaxed)) {
-      job->state = JobState::kCancelled;
-      job->error = job->cancel_requested
-                       ? "cancelled"
-                       : "interrupted by shutdown; resumable from journal";
-      TVP_LOG_INFO("svc: job %llu '%s' stopped after %zu/%zu cells",
-                   static_cast<unsigned long long>(job->id), spec.name.c_str(),
-                   job->completed.load(std::memory_order_relaxed), job->total);
-      return;
+    JobState final_state;
+    std::string final_error;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job->stop.load(std::memory_order_relaxed)) {
+        job->state = JobState::kCancelled;
+        job->error = job->cancel_requested
+                         ? "cancelled"
+                         : "interrupted by shutdown; resumable from journal";
+        TVP_LOG_INFO("svc: job %llu '%s' stopped after %zu/%zu cells",
+                     static_cast<unsigned long long>(job->id),
+                     spec.name.c_str(),
+                     job->completed.load(std::memory_order_relaxed),
+                     job->total);
+      } else {
+        if (journal && !already_done) journal->append_done();
+        job->result = std::move(sweep);
+        job->state = JobState::kDone;
+        TVP_LOG_INFO("svc: job %llu '%s' done (%zu cells, %zu resumed)",
+                     static_cast<unsigned long long>(job->id),
+                     spec.name.c_str(), job->total, job->resumed);
+      }
+      final_state = job->state;
+      final_error = job->error;
     }
-    if (journal && !already_done) journal->append_done();
-    job->result = std::move(sweep);
-    job->state = JobState::kDone;
-    TVP_LOG_INFO("svc: job %llu '%s' done (%zu cells, %zu resumed)",
-                 static_cast<unsigned long long>(job->id), spec.name.c_str(),
-                 job->total, job->resumed);
+    deliver_end(job, final_state, final_error);
   } catch (const std::exception& e) {
-    std::lock_guard<std::mutex> lock(mu_);
-    job->state = JobState::kFailed;
-    job->error = e.what();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job->state = JobState::kFailed;
+      job->error = e.what();
+    }
     TVP_LOG_ERROR("svc: job %llu '%s' failed: %s",
                   static_cast<unsigned long long>(job->id), spec.name.c_str(),
                   e.what());
+    deliver_end(job, JobState::kFailed, e.what());
   }
 }
 

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -40,10 +41,27 @@ class Client {
   /// final status. Throws std::runtime_error after @p timeout_seconds.
   JobStatus wait(std::uint64_t job_id, double timeout_seconds = 600.0);
 
+  /// How a results stream finished.
+  struct StreamEnd {
+    JobState state = JobState::kQueued;
+    std::string error;
+  };
+
+  /// Subscribes to the job's cell stream ({"op":"results","stream":true})
+  /// and blocks until the end event: @p on_cell receives each parsed
+  /// {i,value,technique,result} cell object — already-completed cells
+  /// replay first, live ones follow as they finish — and the returned
+  /// StreamEnd carries the job's terminal state. Throws
+  /// std::runtime_error on server errors or transport failure.
+  StreamEnd stream_results(
+      std::uint64_t job_id,
+      const std::function<void(const util::JsonValue& cell)>& on_cell);
+
  private:
   explicit Client(int fd) : fd_(fd) {}
 
   util::JsonValue checked(const std::string& line);  ///< throws on ok:false
+  util::JsonValue read_line();  ///< next response/event line, parsed
 
   int fd_ = -1;
   std::string pending_;  // bytes read past the current response line

@@ -1,18 +1,28 @@
 // CampaignEngine — owns long-running experiment jobs end to end.
 //
-// Jobs enter through a bounded JobQueue (backpressure), run one at a
-// time on an executor thread, and execute their sweep cells on the
-// existing util::job_count() worker pool via exp::SweepHooks. With a
-// journal directory configured, a job is durable from the moment submit
-// accepts it: the journal header is written (fsync'd) before the id is
-// queued, every completed cell is checkpointed, and start() re-enqueues
-// unfinished journals — a killed campaign resumes by replaying the
-// journal and recomputing only the missing cells, bit-identical to an
-// uninterrupted run.
+// Jobs enter through a bounded JobQueue (backpressure) and run on a
+// pool of N executor workers (EngineConfig::workers, default hardware
+// concurrency); each worker owns exactly one job at a time, and with it
+// that job's journal — two workers never touch one journal, so
+// kill-and-resume stays byte-identical per job no matter how many jobs
+// run concurrently. With a journal directory configured, a job is
+// durable from the moment submit accepts it: the journal header is
+// written (fsync'd) before the id is queued, every completed cell is
+// checkpointed, and start() re-enqueues unfinished journals — a killed
+// campaign resumes by replaying the journal and recomputing only the
+// missing cells, bit-identical to an uninterrupted run.
+//
+// Streaming: subscribe() attaches per-job observers that receive every
+// completed cell (already-completed cells replay synchronously before
+// subscribe returns, live cells follow in completion order, each
+// exactly once) and a single end event when the job reaches a terminal
+// state. shutdown() flushes every open subscription with an end event,
+// so stream consumers are never left hanging on drain.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -34,18 +44,32 @@ struct EngineConfig {
   /// checkpointing (jobs are volatile). Created if missing.
   std::string journal_dir;
   /// Worker threads per sweep; 0 selects util::job_count() (TVP_JOBS).
+  /// Each *job* gets this many sweep threads, so total thread demand is
+  /// roughly workers x sweep_jobs.
   std::size_t sweep_jobs = 0;
+  /// Executor workers — jobs running concurrently; 0 selects
+  /// std::thread::hardware_concurrency().
+  std::size_t workers = 0;
 };
 
 class CampaignEngine {
  public:
+  /// Streamed cell payload: the serialized
+  /// {"i":N,"value":...,"technique":...,"result":{...}} object of
+  /// result_io's write_sweep_cell — the same record the journal holds.
+  using StreamCellFn = std::function<void(const std::string& cell_json)>;
+  /// Fired exactly once per subscription when the job reaches a
+  /// terminal state (or engine shutdown flushes it while queued).
+  using StreamEndFn =
+      std::function<void(JobState final_state, const std::string& error)>;
+
   explicit CampaignEngine(EngineConfig config);
   ~CampaignEngine();
 
   CampaignEngine(const CampaignEngine&) = delete;
   CampaignEngine& operator=(const CampaignEngine&) = delete;
 
-  /// Starts the executor thread. With journaling enabled, first scans
+  /// Starts the executor workers. With journaling enabled, first scans
   /// journal_dir and re-submits every journal found there (unfinished
   /// ones resume; finished ones reload instantly from their cells).
   /// Returns the ids of resumed jobs.
@@ -57,7 +81,7 @@ class CampaignEngine {
   /// the backpressure signal and is safe to retry).
   std::uint64_t submit(JobSpec spec, std::string* error);
 
-  /// Queued jobs are cancelled in place; the running job stops claiming
+  /// Queued jobs are cancelled in place; a running job stops claiming
   /// new cells (in-flight cells finish and are checkpointed). Returns
   /// false for unknown ids or jobs already in a terminal state.
   bool cancel(std::uint64_t id);
@@ -68,17 +92,42 @@ class CampaignEngine {
   /// The completed matrix of a kDone job; nullopt otherwise.
   std::optional<exp::SweepResult> result(std::uint64_t id) const;
 
-  /// Stops the engine and joins the executor. @p finish_queued selects
+  /// Attaches a stream observer to job @p id. Already-completed cells
+  /// are replayed (in completion order) before subscribe returns; live
+  /// cells follow, each delivered exactly once; @p on_end fires once at
+  /// the terminal state, after which the subscription is gone. For a
+  /// job already terminal, everything is delivered synchronously here.
+  /// Callbacks run under the job's stream lock, from sweep worker
+  /// threads or the subscribing thread — they must be fast and must not
+  /// call back into the engine. Returns a token for unsubscribe(), or
+  /// 0 when the job id is unknown.
+  std::uint64_t subscribe(std::uint64_t id, StreamCellFn on_cell,
+                          StreamEndFn on_end);
+
+  /// Detaches a subscription; unknown ids/tokens are a no-op (the
+  /// subscription may already have ended).
+  void unsubscribe(std::uint64_t id, std::uint64_t token);
+
+  /// Stops the engine and joins the executors. @p finish_queued selects
   /// drain semantics: true runs every queued job to completion first;
-  /// false stops the running job at the next cell boundary (its journal
-  /// keeps the completed cells, so the campaign resumes on the next
-  /// start) and leaves queued jobs untouched on disk. Idempotent.
+  /// false stops running jobs at the next cell boundary (their journals
+  /// keep the completed cells, so the campaigns resume on the next
+  /// start) and leaves queued jobs untouched on disk. Every open stream
+  /// subscription is flushed with an end event. Idempotent.
   void shutdown(bool finish_queued);
 
   /// Journal file for a job name ("" when journaling is disabled).
   std::string journal_path(const std::string& name) const;
 
+  /// Executor workers resolved from the config (for logging/tools).
+  std::size_t worker_count() const noexcept { return worker_count_; }
+
  private:
+  struct StreamSub {
+    StreamCellFn on_cell;
+    StreamEndFn on_end;
+  };
+
   struct JobRec {
     std::uint64_t id = 0;
     JobSpec spec;
@@ -90,13 +139,30 @@ class CampaignEngine {
     std::atomic<bool> stop{false};
     bool cancel_requested = false;       // guarded by mu_
     std::optional<exp::SweepResult> result;  // guarded by mu_
+
+    // Stream state, guarded by stream_mu (never held together with mu_
+    // except in mu_ -> stream_mu order).
+    std::mutex stream_mu;
+    std::vector<std::string> stream_cells;  ///< replay log for late subscribers
+    bool stream_ended = false;
+    std::map<std::uint64_t, StreamSub> stream_subs;
+    std::uint64_t next_stream_token = 1;
   };
 
   void executor_loop();
   void run_job(const std::shared_ptr<JobRec>& job);
   JobStatus status_of(const JobRec& job) const;  // mu_ held
+  /// Appends @p cell_json to the job's replay log and fans it out to
+  /// every subscriber.
+  void deliver_cell(const std::shared_ptr<JobRec>& job,
+                    const std::string& cell_json);
+  /// Fires every subscriber's end callback once and seals the stream;
+  /// a second call is a no-op.
+  void deliver_end(const std::shared_ptr<JobRec>& job, JobState state,
+                   const std::string& error);
 
   const EngineConfig config_;
+  std::size_t worker_count_ = 1;
   JobQueue queue_;
   std::mutex shutdown_mu_;  // serialises shutdown callers around join()
   mutable std::mutex mu_;
@@ -105,12 +171,13 @@ class CampaignEngine {
   /// so two concurrent submits with one name cannot both pass the
   /// duplicate-active check). Guarded by mu_.
   std::set<std::string> pending_names_;
-  std::shared_ptr<JobRec> running_;  // guarded by mu_
+  /// Jobs currently owned by a worker, by id. Guarded by mu_.
+  std::map<std::uint64_t, std::shared_ptr<JobRec>> running_;
   std::uint64_t next_id_ = 1;
   std::atomic<bool> abort_{false};  // drop queued jobs instead of running
   bool started_ = false;
   bool stopped_ = false;
-  std::thread executor_;
+  std::vector<std::thread> executors_;
 };
 
 }  // namespace tvp::svc

@@ -51,6 +51,9 @@ enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
 
 const char* to_string(JobState state) noexcept;
 
+/// Inverse of to_string; throws std::runtime_error on unknown names.
+JobState parse_job_state(const std::string& name);
+
 /// A point-in-time view of one job, as reported over the wire.
 struct JobStatus {
   std::uint64_t id = 0;

@@ -1,15 +1,32 @@
 // Socket front-end for the campaign engine.
 //
-// A single poll(2) loop serves every connection: requests are one
-// NDJSON line each and every handler is O(state) fast (the engine runs
-// jobs on its own thread), so one thread multiplexes the listener, all
-// clients, and a self-pipe that signal handlers poke for graceful
-// SIGINT/SIGTERM drain. Listens on a unix socket, 127.0.0.1 TCP, or
-// both.
+// One epoll(7) loop serves every connection edge-triggered: requests
+// are one NDJSON line each and every handler is O(state) fast (the
+// engine runs jobs on its worker pool), so one thread multiplexes the
+// listeners, thousands of clients, a wake pipe that sweep workers poke
+// to deliver stream events, and a self-pipe that signal handlers poke
+// for graceful SIGINT/SIGTERM drain. Listens on a unix socket,
+// 127.0.0.1 TCP, or both.
+//
+// Slow clients cannot hurt the daemon: pending output is drained
+// through an offset cursor (no O(n²) re-copying under a trickling
+// SO_SNDBUF) and is capped at max_out_bytes per connection — a client
+// that requests but never reads is dropped, not buffered until OOM.
+//
+// Shutdown (wire op or signal) drains gracefully: listeners close
+// immediately, the engine stops on its own thread, and the loop keeps
+// serving status requests and flushing replies/stream events until the
+// engine is down and every subscriber saw its end event (bounded by a
+// flush grace period for unreachable clients).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "tvp/svc/engine.hpp"
@@ -19,7 +36,9 @@ namespace tvp::svc {
 
 struct ServerConfig {
   /// Unix-domain socket path (empty = no unix listener). A stale file
-  /// from a killed daemon is replaced; the file is removed on close.
+  /// from a killed daemon is replaced after a connect-probe confirms
+  /// nothing answers there; start() throws instead of severing a live
+  /// daemon. The file is removed on close.
   std::string unix_path;
   /// TCP port on 127.0.0.1 (-1 = no TCP listener, 0 = ephemeral).
   int tcp_port = -1;
@@ -27,6 +46,14 @@ struct ServerConfig {
   /// A request line larger than this closes the connection (guards the
   /// server against a runaway client).
   std::size_t max_line_bytes = 4u << 20;
+  /// listen(2) backlog for both listeners; 0 selects SOMAXCONN.
+  int backlog = 0;
+  /// Pending (unsent) output allowed per connection before the server
+  /// drops it as a slow reader.
+  std::size_t max_out_bytes = 64u << 20;
+  /// SO_SNDBUF for accepted connections; 0 keeps the kernel default.
+  /// Tests shrink this to force partial writes.
+  int sndbuf_bytes = 0;
 };
 
 class Server {
@@ -39,16 +66,17 @@ class Server {
 
   /// Binds the listeners and starts the engine (resuming journaled
   /// campaigns); returns the resumed job ids. Throws std::runtime_error
-  /// on bind failure.
+  /// on bind failure or when a live daemon already serves unix_path.
   std::vector<std::uint64_t> start();
 
   /// Actual TCP port after start() (for tcp_port = 0).
   int tcp_port() const noexcept { return bound_port_; }
 
   /// Serves until a shutdown request arrives or request_stop() is
-  /// called. On exit every connection is closed, the engine is shut
-  /// down (shutdown ops honour their drain flag; request_stop uses the
-  /// journal-and-exit path) and the unix socket file is removed.
+  /// called, then drains: listeners close, the engine shuts down on a
+  /// helper thread (wire shutdowns honour their drain flag; signals use
+  /// the journal-and-exit path) while the loop keeps flushing replies
+  /// and stream end events, and the unix socket file is removed.
   void serve();
 
   /// Wakes serve() and makes it exit via the graceful-drain path.
@@ -63,33 +91,83 @@ class Server {
 
  private:
   struct Connection {
+    std::uint64_t id = 0;  ///< epoll cookie; stable across fd reuse
     int fd = -1;
     std::string in;
     std::string out;
+    /// Bytes of `out` already written. Draining advances this cursor
+    /// instead of erasing the front (which is O(n²) when a large
+    /// payload trickles through a small SO_SNDBUF); the buffer is
+    /// compacted when the cursor dominates it.
+    std::size_t out_pos = 0;
     bool close_after_flush = false;
+    /// Active stream subscriptions on this connection: job id ->
+    /// engine subscription token (released when the connection drops).
+    std::map<std::uint64_t, std::uint64_t> streams;
+  };
+
+  /// A stream event produced on an engine/sweep thread, routed to the
+  /// epoll thread via the wake pipe (only the epoll thread touches
+  /// connection buffers).
+  struct Delivery {
+    std::uint64_t conn_id = 0;
+    std::uint64_t job_id = 0;
+    std::string line;
+    bool end = false;  ///< last event of this subscription
   };
 
   /// How long serve() stops polling the listeners after accept() fails
   /// with fd exhaustion (EMFILE/ENFILE) before retrying.
   static constexpr int kAcceptRetryMs = 100;
+  /// After the engine finishes draining, how long serve() keeps trying
+  /// to flush remaining client buffers before giving up on them.
+  static constexpr int kFlushGraceMs = 5000;
 
   void close_listeners();
   void close_all();
+  void close_conn(std::uint64_t id);
+  /// Accepts until EAGAIN on @p listen_fd; pauses accepting on fd
+  /// exhaustion.
+  void accept_ready(int listen_fd);
+  void pause_accept();
+  void resume_accept();
   /// Handles every complete line in @p conn.in; false = drop connection.
   bool handle_input(Connection& conn);
-  std::string handle_request(const Request& request);
+  std::string handle_request(Connection& conn, const Request& request);
+  /// Writes pending output until EAGAIN or empty; false = drop (write
+  /// error or the slow-reader cap tripped).
+  bool flush_out(Connection& conn);
+  /// Queues a stream event for the epoll thread and wakes it. Safe from
+  /// any thread.
+  void enqueue_delivery(Delivery delivery);
+  /// Applies queued deliveries to their connections (epoll thread only).
+  void drain_deliveries();
+  /// Starts the graceful drain exactly once: closes the listeners and
+  /// shuts the engine down on a helper thread while serve() keeps
+  /// flushing.
+  void begin_shutdown(bool drain);
 
   ServerConfig config_;
   CampaignEngine engine_;
+  int epoll_fd_ = -1;
   int unix_fd_ = -1;
   int tcp_fd_ = -1;
   int bound_port_ = -1;
   int stop_pipe_[2] = {-1, -1};
+  int wake_pipe_[2] = {-1, -1};
   bool unix_bound_ = false;
   bool shutdown_requested_ = false;  // via wire op
   bool shutdown_drain_ = false;
   bool accept_paused_ = false;  // backing off after EMFILE/ENFILE
-  std::vector<Connection> connections_;
+  bool stopping_ = false;       // graceful drain in progress
+  std::atomic<bool> engine_done_{false};
+  std::thread drain_thread_;
+  std::chrono::steady_clock::time_point flush_deadline_{};
+  bool flush_deadline_set_ = false;
+  std::uint64_t next_conn_id_ = 16;  // ids below are loop-internal cookies
+  std::map<std::uint64_t, Connection> conns_;
+  std::mutex deliveries_mu_;
+  std::vector<Delivery> deliveries_;
 };
 
 }  // namespace tvp::svc

@@ -4,13 +4,22 @@
 // carry an "op" discriminator:
 //   {"op":"submit","job":{...JobSpec...}}
 //   {"op":"status"} | {"op":"status","job":N}
-//   {"op":"results","job":N}
+//   {"op":"results","job":N} | {"op":"results","job":N,"stream":true}
 //   {"op":"cancel","job":N}
 //   {"op":"shutdown"} | {"op":"shutdown","drain":true}
 //   {"op":"ping"}
 // Responses always carry "ok"; failures add "error". A full queue
 // answers submit with ok:false and "queue full..." — the backpressure
 // signal; clients retry later.
+//
+// Streaming: `results` with "stream":true answers with a stream ack
+// {"ok":true,"stream":true,"status":{...}} and then pushes one event
+// line per completed cell — already-completed cells replay first, live
+// cells follow as they finish — ending with a terminal event:
+//   {"stream":"cell","job":N,"cell":{i,value,technique,result}}
+//   {"stream":"end","job":N,"state":"done","error":""}
+// Events are interleaved with the connection's regular responses, so a
+// streaming client distinguishes them by the "stream" string key.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +45,7 @@ struct Request {
   std::uint64_t job_id = 0;     ///< kResults/kCancel, kStatus when has_job_id
   bool has_job_id = false;
   bool drain = false;           ///< kShutdown: finish queued jobs first
+  bool stream = false;          ///< kResults: push cells as they finish
 };
 
 /// Parses one request line; throws ProtocolError on malformed input.
@@ -47,6 +57,7 @@ std::string submit_request(const JobSpec& spec);
 std::string status_request();
 std::string status_request(std::uint64_t job_id);
 std::string results_request(std::uint64_t job_id);
+std::string stream_results_request(std::uint64_t job_id);
 std::string cancel_request(std::uint64_t job_id);
 std::string shutdown_request(bool drain);
 std::string ping_request();
@@ -61,5 +72,15 @@ std::string status_response(const std::vector<JobStatus>& jobs);
 /// full per-cell matrix (result_io).
 std::string results_response(const JobStatus& status,
                              const exp::SweepResult& sweep);
+
+// Stream events (server side). The ack confirms the subscription; cell
+// events carry the serialized {i,value,technique,result} object of
+// result_io::write_sweep_cell verbatim; the end event is the last line
+// of the stream.
+std::string stream_ack_response(const JobStatus& status);
+std::string stream_cell_event(std::uint64_t job_id,
+                              const std::string& cell_json);
+std::string stream_end_event(std::uint64_t job_id, JobState state,
+                             const std::string& error);
 
 }  // namespace tvp::svc

@@ -98,6 +98,13 @@ const char* to_string(JobState state) noexcept {
   return "?";
 }
 
+JobState parse_job_state(const std::string& name) {
+  for (const auto s : {JobState::kQueued, JobState::kRunning, JobState::kDone,
+                       JobState::kFailed, JobState::kCancelled})
+    if (name == to_string(s)) return s;
+  throw std::runtime_error("JobState: unknown state '" + name + "'");
+}
+
 void JobStatus::write_json(util::JsonWriter& json) const {
   json.begin_object();
   json.key("id").value(id);
@@ -114,17 +121,7 @@ JobStatus JobStatus::from_json(const util::JsonValue& value) {
   JobStatus status;
   status.id = value.at("id").as_uint();
   status.name = value.at("name").as_string();
-  const std::string state = value.at("state").as_string();
-  bool known = false;
-  for (const auto s : {JobState::kQueued, JobState::kRunning, JobState::kDone,
-                       JobState::kFailed, JobState::kCancelled}) {
-    if (state == to_string(s)) {
-      status.state = s;
-      known = true;
-      break;
-    }
-  }
-  if (!known) throw std::runtime_error("JobStatus: unknown state '" + state + "'");
+  status.state = parse_job_state(value.at("state").as_string());
   status.total_cells = value.at("total_cells").as_uint();
   status.completed_cells = value.at("completed_cells").as_uint();
   status.resumed_cells = value.at("resumed_cells").as_uint();

@@ -5,6 +5,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -13,6 +14,7 @@
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <utility>
 
 #include "tvp/svc/wire.hpp"
 #include "tvp/util/failpoint.hpp"
@@ -24,9 +26,26 @@ namespace fp = util::fp;
 
 namespace {
 
-// Failpoint sites for the per-connection I/O (see util/failpoint.hpp).
+// Failpoint sites for the server's syscall paths (see
+// util/failpoint.hpp). The epoll.ctl site is armed only for connection
+// registration — injecting there must drop one connection, never the
+// daemon.
 constexpr const char* kSiteConnRead = "server.conn.read";
 constexpr const char* kSiteConnWrite = "server.conn.write";
+constexpr const char* kSiteAccept = "server.accept";
+constexpr const char* kSiteEpollWait = "server.epoll.wait";
+constexpr const char* kSiteEpollCtl = "server.epoll.ctl";
+
+// epoll cookies for the loop's own fds; connection ids start at 16.
+constexpr std::uint64_t kIdStop = 0;
+constexpr std::uint64_t kIdWake = 1;
+constexpr std::uint64_t kIdUnix = 2;
+constexpr std::uint64_t kIdTcp = 3;
+
+// Compact the drained prefix of an output buffer only once it is both
+// sizeable and the majority of the buffer — keeps the amortized drain
+// cost linear regardless of SO_SNDBUF.
+constexpr std::size_t kCompactBytes = 64u << 10;
 
 [[noreturn]] void sys_fail(const std::string& what) {
   throw std::runtime_error("svc::Server: " + what + ": " + std::strerror(errno));
@@ -36,6 +55,45 @@ void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
     sys_fail("fcntl(O_NONBLOCK)");
+}
+
+sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path)
+    throw std::runtime_error("svc::Server: unix path too long: " + path);
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  return addr;
+}
+
+/// Connect-probes @p path. True when a live daemon accepted the
+/// connection (binding over it would sever a running service); false
+/// when nothing answers (stale socket file, safe to replace).
+/// @p pinged reports whether the peer answered a protocol ping within
+/// the probe window.
+bool unix_socket_alive(const std::string& path, bool* pinged) {
+  *pinged = false;
+  sockaddr_un addr = unix_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket(AF_UNIX probe)");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);  // ECONNREFUSED / ENOENT: nobody home
+    return false;
+  }
+  // Someone accepted — the daemon is alive whatever it says. Ping it
+  // anyway so the refusal message can tell "live and healthy" from
+  // "accepting but mute".
+  const std::string line = ping_request() + "\n";
+  if (::send(fd, line.data(), line.size(), MSG_NOSIGNAL) ==
+      static_cast<ssize_t>(line.size())) {
+    pollfd wait{fd, POLLIN, 0};
+    if (::poll(&wait, 1, 250) > 0) {
+      char buf[256];
+      if (::recv(fd, buf, sizeof buf, 0) > 0) *pinged = true;
+    }
+  }
+  ::close(fd);
+  return true;
 }
 
 // One server per process: the signal handler can only touch a static.
@@ -58,11 +116,15 @@ Server::Server(ServerConfig config)
 }
 
 Server::~Server() {
+  if (drain_thread_.joinable()) drain_thread_.join();
   close_all();
   if (g_stop_fd.load(std::memory_order_relaxed) == stop_pipe_[1])
     g_stop_fd.store(-1, std::memory_order_relaxed);
   for (const int fd : stop_pipe_)
     if (fd >= 0) ::close(fd);
+  for (const int fd : wake_pipe_)
+    if (fd >= 0) ::close(fd);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
 }
 
 std::vector<std::uint64_t> Server::start() {
@@ -71,26 +133,46 @@ std::vector<std::uint64_t> Server::start() {
   // action kills the daemon, bypassing the graceful drain path).
   ::signal(SIGPIPE, SIG_IGN);
 
-  if (::pipe(stop_pipe_) != 0) sys_fail("pipe");
-  set_nonblocking(stop_pipe_[0]);
-  set_nonblocking(stop_pipe_[1]);
+  if (::pipe(stop_pipe_) != 0) sys_fail("pipe(stop)");
+  if (::pipe(wake_pipe_) != 0) sys_fail("pipe(wake)");
+  for (const int fd : {stop_pipe_[0], stop_pipe_[1], wake_pipe_[0],
+                       wake_pipe_[1]})
+    set_nonblocking(fd);
+
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) sys_fail("epoll_create1");
+  const auto watch = [&](int fd, std::uint64_t id, std::uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0)
+      sys_fail("epoll_ctl(ADD)");
+  };
+  watch(stop_pipe_[0], kIdStop, EPOLLIN);
+  watch(wake_pipe_[0], kIdWake, EPOLLIN);
+
+  const int backlog = config_.backlog > 0 ? config_.backlog : SOMAXCONN;
 
   if (!config_.unix_path.empty()) {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (config_.unix_path.size() >= sizeof addr.sun_path)
-      throw std::runtime_error("svc::Server: unix path too long: " +
-                               config_.unix_path);
-    std::strncpy(addr.sun_path, config_.unix_path.c_str(),
-                 sizeof addr.sun_path - 1);
+    // Never sever a live daemon: probe before replacing the socket
+    // file. Only a dead path (nobody accepts) is treated as stale.
+    bool pinged = false;
+    if (unix_socket_alive(config_.unix_path, &pinged))
+      throw std::runtime_error(
+          "svc::Server: another daemon is already serving " +
+          config_.unix_path +
+          (pinged ? " (it answers ping)" : " (it accepts connections)") +
+          "; refusing to start");
+    sockaddr_un addr = unix_addr(config_.unix_path);
     unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (unix_fd_ < 0) sys_fail("socket(AF_UNIX)");
     ::unlink(config_.unix_path.c_str());  // stale file from a killed daemon
     if (::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
       sys_fail("bind " + config_.unix_path);
     unix_bound_ = true;
-    if (::listen(unix_fd_, 16) != 0) sys_fail("listen(unix)");
+    if (::listen(unix_fd_, backlog) != 0) sys_fail("listen(unix)");
     set_nonblocking(unix_fd_);
+    watch(unix_fd_, kIdUnix, EPOLLIN);
   }
 
   if (config_.tcp_port >= 0) {
@@ -104,13 +186,14 @@ std::vector<std::uint64_t> Server::start() {
     addr.sin_port = htons(static_cast<std::uint16_t>(config_.tcp_port));
     if (::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
       sys_fail("bind 127.0.0.1:" + std::to_string(config_.tcp_port));
-    if (::listen(tcp_fd_, 16) != 0) sys_fail("listen(tcp)");
+    if (::listen(tcp_fd_, backlog) != 0) sys_fail("listen(tcp)");
     set_nonblocking(tcp_fd_);
     sockaddr_in bound{};
     socklen_t len = sizeof bound;
     if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0)
       sys_fail("getsockname");
     bound_port_ = ntohs(bound.sin_port);
+    watch(tcp_fd_, kIdTcp, EPOLLIN);
   }
 
   return engine_.start();
@@ -133,75 +216,217 @@ void Server::install_signal_handlers(Server& server) {
   ::sigaction(SIGTERM, &action, nullptr);
 }
 
+void Server::pause_accept() {
+  if (accept_paused_) return;
+  accept_paused_ = true;
+  // Stop watching the listeners: with a stale backlog they would wake
+  // epoll_wait immediately every iteration, spinning at 100% CPU while
+  // we wait for an fd to free up.
+  if (unix_fd_ >= 0) ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, unix_fd_, nullptr);
+  if (tcp_fd_ >= 0) ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, tcp_fd_, nullptr);
+}
+
+void Server::resume_accept() {
+  if (!accept_paused_) return;
+  accept_paused_ = false;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  if (unix_fd_ >= 0) {
+    ev.data.u64 = kIdUnix;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, unix_fd_, &ev) != 0)
+      sys_fail("epoll_ctl(re-add unix listener)");
+  }
+  if (tcp_fd_ >= 0) {
+    ev.data.u64 = kIdTcp;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, tcp_fd_, &ev) != 0)
+      sys_fail("epoll_ctl(re-add tcp listener)");
+  }
+}
+
+void Server::accept_ready(int listen_fd) {
+  while (true) {
+    const int conn_fd =
+        fp::accept4(kSiteAccept, listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
+    if (conn_fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM)
+        pause_accept();  // retry after kAcceptRetryMs
+      break;  // EAGAIN or transient error
+    }
+    if (config_.sndbuf_bytes > 0)
+      ::setsockopt(conn_fd, SOL_SOCKET, SO_SNDBUF, &config_.sndbuf_bytes,
+                   sizeof config_.sndbuf_bytes);
+    Connection conn;
+    conn.id = next_conn_id_++;
+    conn.fd = conn_fd;
+    epoll_event ev{};
+    // Edge-triggered: registered once, never modified. The contract is
+    // read-until-EAGAIN and write-until-EAGAIN on every edge; ADD
+    // delivers an initial edge if data already arrived.
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
+    ev.data.u64 = conn.id;
+    if (fp::epoll_ctl(kSiteEpollCtl, epoll_fd_, EPOLL_CTL_ADD, conn_fd, &ev) !=
+        0) {
+      TVP_LOG_WARN("svc: cannot register connection: %s",
+                   std::strerror(errno));
+      ::close(conn_fd);
+      continue;
+    }
+    conns_.emplace(conn.id, std::move(conn));
+  }
+}
+
+void Server::close_conn(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  for (const auto& [job_id, token] : it->second.streams)
+    engine_.unsubscribe(job_id, token);
+  ::close(it->second.fd);  // kernel drops the epoll registration
+  conns_.erase(it);
+}
+
+bool Server::flush_out(Connection& conn) {
+  while (conn.out_pos < conn.out.size()) {
+    const ssize_t n =
+        fp::write_eintr(kSiteConnWrite, conn.fd, conn.out.data() + conn.out_pos,
+                        conn.out.size() - conn.out_pos);
+    if (n > 0) {
+      conn.out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return false;
+  }
+  if (conn.out_pos >= conn.out.size()) {
+    conn.out.clear();
+    conn.out_pos = 0;
+  } else if (conn.out_pos >= kCompactBytes &&
+             conn.out_pos >= conn.out.size() / 2) {
+    conn.out.erase(0, conn.out_pos);
+    conn.out_pos = 0;
+  }
+  if (conn.out.size() - conn.out_pos > config_.max_out_bytes) {
+    // Slow (or absent) reader: the connection keeps generating output
+    // it never drains. Drop it instead of buffering until OOM.
+    TVP_LOG_WARN("svc: dropping slow reader (conn %llu, %zu bytes pending)",
+                 static_cast<unsigned long long>(conn.id),
+                 conn.out.size() - conn.out_pos);
+    return false;
+  }
+  return true;
+}
+
+void Server::enqueue_delivery(Delivery delivery) {
+  {
+    std::lock_guard<std::mutex> lock(deliveries_mu_);
+    deliveries_.push_back(std::move(delivery));
+  }
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    // EAGAIN on a full pipe is fine: the loop already has a pending
+    // wake it has not consumed yet.
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::drain_deliveries() {
+  std::vector<Delivery> batch;
+  {
+    std::lock_guard<std::mutex> lock(deliveries_mu_);
+    batch.swap(deliveries_);
+  }
+  for (auto& delivery : batch) {
+    const auto it = conns_.find(delivery.conn_id);
+    if (it == conns_.end()) continue;  // subscriber already dropped
+    Connection& conn = it->second;
+    conn.out += delivery.line;
+    conn.out += '\n';
+    if (delivery.end) conn.streams.erase(delivery.job_id);
+    if (!flush_out(conn) || (conn.close_after_flush && conn.out.empty() &&
+                             conn.streams.empty()))
+      close_conn(delivery.conn_id);
+  }
+}
+
+void Server::begin_shutdown(bool drain) {
+  if (stopping_) return;
+  stopping_ = true;
+  TVP_LOG_INFO("svc: %s; draining (%s)",
+               shutdown_requested_ ? "shutdown requested" : "signal received",
+               drain ? "finish queued jobs" : "stop at next cell");
+  // New clients see a dead socket immediately; existing ones keep
+  // being served (status polls, stream flushes) while the engine winds
+  // down on its own thread — a long drain must not freeze the loop.
+  close_listeners();
+  drain_thread_ = std::thread([this, drain] {
+    engine_.shutdown(drain);
+    engine_done_.store(true, std::memory_order_release);
+    Delivery poke;  // wake the loop so it re-evaluates the exit condition
+    poke.conn_id = 0;
+    enqueue_delivery(std::move(poke));
+  });
+}
+
 void Server::serve() {
-  bool stop_signal = false;
-  while (!shutdown_requested_ && !stop_signal) {
-    std::vector<pollfd> fds;
-    fds.push_back({stop_pipe_[0], POLLIN, 0});
-    const std::size_t listeners_at = fds.size();
-    if (!accept_paused_) {
-      if (unix_fd_ >= 0) fds.push_back({unix_fd_, POLLIN, 0});
-      if (tcp_fd_ >= 0) fds.push_back({tcp_fd_, POLLIN, 0});
-    }
-    const std::size_t conns_at = fds.size();
-    for (const auto& conn : connections_) {
-      short events = POLLIN;
-      if (!conn.out.empty()) events |= POLLOUT;
-      fds.push_back({conn.fd, events, 0});
-    }
+  constexpr int kMaxEvents = 128;
+  epoll_event events[kMaxEvents];
+
+  while (true) {
+    int timeout = -1;
+    if (accept_paused_)
+      timeout = kAcceptRetryMs;
+    else if (stopping_)
+      timeout = 50;
 
     const int ready =
-        ::poll(fds.data(), fds.size(), accept_paused_ ? kAcceptRetryMs : -1);
+        fp::epoll_wait(kSiteEpollWait, epoll_fd_, events, kMaxEvents, timeout);
     if (ready < 0) {
       if (errno == EINTR) continue;
-      sys_fail("poll");
+      sys_fail("epoll_wait");
     }
-    accept_paused_ = false;  // retry accept on the next iteration
-
-    if (fds[0].revents & POLLIN) {
-      stop_signal = true;  // drain the pipe, then exit via graceful path
-      char buf[16];
-      while (::read(stop_pipe_[0], buf, sizeof buf) > 0) {
-      }
+    if (accept_paused_) {
+      // The back-off elapsed (or something else woke us): watch the
+      // listeners again and sweep any backlog that piled up meanwhile.
+      resume_accept();
+      if (unix_fd_ >= 0) accept_ready(unix_fd_);
+      if (tcp_fd_ >= 0) accept_ready(tcp_fd_);
     }
 
-    for (std::size_t i = listeners_at; i < conns_at; ++i) {
-      if (!(fds[i].revents & POLLIN)) continue;
-      while (true) {
-        const int conn_fd = ::accept(fds[i].fd, nullptr, nullptr);
-        if (conn_fd < 0) {
-          if (errno == EINTR || errno == ECONNABORTED) continue;
-          if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
-              errno == ENOMEM) {
-            // Out of fds: the level-triggered listener stays readable, so
-            // returning straight to poll would busy-spin at 100% CPU.
-            // Stop polling it for one iteration and retry after a delay.
-            accept_paused_ = true;
-          }
-          break;  // EAGAIN or transient error
+    for (int i = 0; i < ready; ++i) {
+      const std::uint64_t id = events[i].data.u64;
+      const std::uint32_t ev = events[i].events;
+
+      if (id == kIdStop) {
+        char buf[16];
+        while (::read(stop_pipe_[0], buf, sizeof buf) > 0) {
         }
-        set_nonblocking(conn_fd);
-        Connection conn;
-        conn.fd = conn_fd;
-        connections_.push_back(std::move(conn));
+        begin_shutdown(false);
+        continue;
       }
-    }
+      if (id == kIdWake) {
+        char buf[256];
+        while (::read(wake_pipe_[0], buf, sizeof buf) > 0) {
+        }
+        continue;  // deliveries drain below
+      }
+      if (id == kIdUnix || id == kIdTcp) {
+        accept_ready(id == kIdUnix ? unix_fd_ : tcp_fd_);
+        continue;
+      }
 
-    // Service existing connections; collect closures after the loop so
-    // indices into fds stay aligned with connections_.
-    std::vector<std::size_t> dead;
-    for (std::size_t i = conns_at; i < fds.size(); ++i) {
-      const std::size_t c = i - conns_at;
-      Connection& conn = connections_[c];
-      bool drop = (fds[i].revents & (POLLERR | POLLNVAL)) != 0;
+      const auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // closed earlier in this batch
+      Connection& conn = it->second;
+      bool drop = (ev & EPOLLERR) != 0;
 
-      if (!drop && (fds[i].revents & (POLLIN | POLLHUP))) {
+      if (!drop && (ev & (EPOLLIN | EPOLLHUP | EPOLLRDHUP))) {
         char buf[16384];
         while (true) {
           // read_eintr: a signal mid-read must not surface as an error
           // that drops the connection.
-          const ssize_t n = fp::read_eintr(kSiteConnRead, conn.fd, buf,
-                                           sizeof buf);
+          const ssize_t n =
+              fp::read_eintr(kSiteConnRead, conn.fd, buf, sizeof buf);
           if (n > 0) {
             conn.in.append(buf, static_cast<std::size_t>(n));
             continue;
@@ -217,61 +442,43 @@ void Server::serve() {
         if (!drop && !handle_input(conn)) drop = true;
       }
 
-      if (!drop && !conn.out.empty()) {
-        while (!conn.out.empty()) {
-          const ssize_t n = fp::write_eintr(kSiteConnWrite, conn.fd,
-                                            conn.out.data(), conn.out.size());
-          if (n > 0) {
-            conn.out.erase(0, static_cast<std::size_t>(n));
-            continue;
-          }
-          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-          drop = true;
-          break;
-        }
-      }
-      if (conn.close_after_flush && conn.out.empty()) drop = true;
-      if (drop) dead.push_back(c);
+      if (!drop) drop = !flush_out(conn);  // covers EPOLLOUT edges too
+      if (!drop && conn.close_after_flush && conn.out.empty() &&
+          conn.streams.empty())
+        drop = true;
+      if (drop) close_conn(id);
+    }
 
-      if (shutdown_requested_) {
-        // The shutdown reply must reach its sender even though we stop
-        // polling: flush synchronously (bounded by SO_SNDBUF + a line).
-        for (auto& open : connections_) {
-          while (!open.out.empty()) {
-            const ssize_t n = fp::write_eintr(kSiteConnWrite, open.fd,
-                                              open.out.data(), open.out.size());
-            if (n > 0) {
-              open.out.erase(0, static_cast<std::size_t>(n));
-              continue;
-            }
-            if (errno == EAGAIN || errno == EWOULDBLOCK) {
-              pollfd wait{open.fd, POLLOUT, 0};
-              if (::poll(&wait, 1, 1000) <= 0) break;
-              continue;
-            }
+    // Stream events from sweep threads (and replays enqueued by
+    // handle_request above — the subscription ack is already in
+    // conn.out, so replayed cells follow it on the wire).
+    drain_deliveries();
+
+    if (shutdown_requested_) begin_shutdown(shutdown_drain_);
+
+    if (stopping_ && engine_done_.load(std::memory_order_acquire)) {
+      if (!flush_deadline_set_) {
+        flush_deadline_set_ = true;
+        flush_deadline_ = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(kFlushGraceMs);
+      }
+      bool pending;
+      {
+        std::lock_guard<std::mutex> lock(deliveries_mu_);
+        pending = !deliveries_.empty();
+      }
+      if (!pending)
+        for (const auto& [id, conn] : conns_)
+          if (conn.out_pos < conn.out.size()) {
+            pending = true;
             break;
           }
-        }
+      if (!pending || std::chrono::steady_clock::now() >= flush_deadline_)
         break;
-      }
-    }
-
-    for (auto it = dead.rbegin(); it != dead.rend(); ++it) {
-      ::close(connections_[*it].fd);
-      connections_.erase(connections_.begin() +
-                         static_cast<std::ptrdiff_t>(*it));
     }
   }
 
-  close_listeners();
-  if (shutdown_requested_) {
-    TVP_LOG_INFO("svc: shutdown requested (%s)",
-                 shutdown_drain_ ? "drain" : "stop at next cell");
-    engine_.shutdown(shutdown_drain_);
-  } else {
-    TVP_LOG_INFO("svc: signal received; checkpointing and exiting");
-    engine_.shutdown(false);
-  }
+  if (drain_thread_.joinable()) drain_thread_.join();
   close_all();
 }
 
@@ -290,20 +497,19 @@ bool Server::handle_input(Connection& conn) {
     if (line.empty()) continue;
     std::string response;
     try {
-      response = handle_request(parse_request(line));
+      response = handle_request(conn, parse_request(line));
     } catch (const ProtocolError& e) {
       response = error_response(e.what());
     }
     conn.out += response;
     conn.out += '\n';
-    if (shutdown_requested_) break;
   }
   conn.in.erase(0, start);
   if (conn.in.size() > config_.max_line_bytes) return false;  // runaway line
   return true;
 }
 
-std::string Server::handle_request(const Request& request) {
+std::string Server::handle_request(Connection& conn, const Request& request) {
   switch (request.op) {
     case Request::Op::kPing:
       return ok_response();
@@ -323,6 +529,42 @@ std::string Server::handle_request(const Request& request) {
       const auto status = engine_.status(request.job_id);
       if (!status)
         return error_response("unknown job " + std::to_string(request.job_id));
+      if (request.stream) {
+        if (conn.streams.count(request.job_id))
+          return error_response("already streaming job " +
+                                std::to_string(request.job_id) +
+                                " on this connection");
+        const std::uint64_t conn_id = conn.id;
+        const std::uint64_t job_id = request.job_id;
+        // The callbacks only enqueue + wake: connection state stays
+        // owned by the epoll thread, and the engine's stream lock never
+        // waits on server locks (no deadlock cycle). Replayed cells are
+        // enqueued synchronously here; the loop drains them after the
+        // ack below is already queued, so the client always sees
+        // ack -> replayed cells -> live cells -> end.
+        const std::uint64_t token = engine_.subscribe(
+            job_id,
+            [this, conn_id, job_id](const std::string& cell_json) {
+              Delivery d;
+              d.conn_id = conn_id;
+              d.job_id = job_id;
+              d.line = stream_cell_event(job_id, cell_json);
+              enqueue_delivery(std::move(d));
+            },
+            [this, conn_id, job_id](JobState state, const std::string& error) {
+              Delivery d;
+              d.conn_id = conn_id;
+              d.job_id = job_id;
+              d.line = stream_end_event(job_id, state, error);
+              d.end = true;
+              enqueue_delivery(std::move(d));
+            });
+        if (token == 0)
+          return error_response("unknown job " +
+                                std::to_string(request.job_id));
+        conn.streams[job_id] = token;
+        return stream_ack_response(*status);
+      }
       const auto result = engine_.result(request.job_id);
       if (!result)
         return error_response("job " + std::to_string(request.job_id) +
@@ -360,8 +602,8 @@ void Server::close_listeners() {
 
 void Server::close_all() {
   close_listeners();
-  for (auto& conn : connections_) ::close(conn.fd);
-  connections_.clear();
+  for (auto& [id, conn] : conns_) ::close(conn.fd);
+  conns_.clear();
 }
 
 }  // namespace tvp::svc

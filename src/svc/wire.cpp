@@ -50,6 +50,7 @@ Request parse_request(const std::string& line) {
       request.op = Request::Op::kResults;
       request.job_id = doc.at("job").as_uint();
       request.has_job_id = true;
+      request.stream = doc.get_bool("stream", false);
     } else if (op == "cancel") {
       request.op = Request::Op::kCancel;
       request.job_id = doc.at("job").as_uint();
@@ -88,6 +89,16 @@ std::string status_request(std::uint64_t job_id) {
 
 std::string results_request(std::uint64_t job_id) {
   return job_id_request("results", job_id);
+}
+
+std::string stream_results_request(std::uint64_t job_id) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("op").value("results");
+  json.key("job").value(job_id);
+  json.key("stream").value(true);
+  json.end_object();
+  return json.str();
 }
 
 std::string cancel_request(std::uint64_t job_id) {
@@ -159,6 +170,46 @@ std::string results_response(const JobStatus& status,
   text += sweep_result_json(sweep);
   text += "}";
   return text;
+}
+
+std::string stream_ack_response(const JobStatus& status) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("ok").value(true);
+  json.key("stream").value(true);
+  json.key("status");
+  status.write_json(json);
+  json.end_object();
+  return json.str();
+}
+
+std::string stream_cell_event(std::uint64_t job_id,
+                              const std::string& cell_json) {
+  // The cell is already a JSON object (result_io::write_sweep_cell);
+  // splice it in verbatim like results_response does for the matrix.
+  util::JsonWriter head;
+  head.begin_object();
+  head.key("stream").value("cell");
+  head.key("job").value(job_id);
+  head.end_object();
+  std::string text = head.str();
+  text.pop_back();  // drop the closing '}'
+  text += ",\"cell\":";
+  text += cell_json;
+  text += "}";
+  return text;
+}
+
+std::string stream_end_event(std::uint64_t job_id, JobState state,
+                             const std::string& error) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("stream").value("end");
+  json.key("job").value(job_id);
+  json.key("state").value(to_string(state));
+  json.key("error").value(error);
+  json.end_object();
+  return json.str();
 }
 
 }  // namespace tvp::svc

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <fcntl.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -156,6 +157,25 @@ inline ssize_t send(const char* site, int fd, const void* buf, std::size_t len,
                     int flags) {
   TVP_FAILPOINT_INJECT(site, -1);
   return ::send(fd, buf, len, flags);
+}
+
+inline int accept4(const char* site, int fd, ::sockaddr* addr,
+                   ::socklen_t* len, int flags) {
+  TVP_FAILPOINT_INJECT(site, -1);
+  return ::accept4(fd, addr, len, flags);
+}
+
+inline int epoll_ctl(const char* site, int epoll_fd, int op, int fd,
+                     struct ::epoll_event* event) {
+  TVP_FAILPOINT_INJECT(site, -1);
+  return ::epoll_ctl(epoll_fd, op, fd, event);
+}
+
+inline int epoll_wait(const char* site, int epoll_fd,
+                      struct ::epoll_event* events, int max_events,
+                      int timeout_ms) {
+  TVP_FAILPOINT_INJECT(site, -1);
+  return ::epoll_wait(epoll_fd, events, max_events, timeout_ms);
 }
 
 // EINTR-hardened variants: retry while the call — real or injected —

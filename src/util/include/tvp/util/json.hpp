@@ -112,6 +112,11 @@ class JsonValue {
   /// Object lookup; throws naming the key when absent.
   const JsonValue& at(const std::string& key) const;
 
+  /// Serialises the tree back to compact JSON text. Numbers round-trip
+  /// exactly (integers keep their 64-bit identity, doubles re-emit with
+  /// %.17g), so parse(dump()) reproduces an equal tree.
+  std::string dump() const;
+
   /// Convenience getters for optional object members.
   std::string get(const std::string& key, const std::string& fallback) const;
   std::uint64_t get_uint(const std::string& key, std::uint64_t fallback) const;

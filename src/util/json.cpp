@@ -215,6 +215,80 @@ bool JsonValue::get_bool(const std::string& key, bool fallback) const {
   return v ? v->as_bool() : fallback;
 }
 
+namespace {
+
+void dump_value(const JsonValue& value, std::string& out) {
+  switch (value.type()) {
+    case JsonValue::Type::kNull:
+      out += "null";
+      return;
+    case JsonValue::Type::kBool:
+      out += value.as_bool() ? "true" : "false";
+      return;
+    case JsonValue::Type::kNumber: {
+      // Preserve the number's identity the same way the writer does:
+      // integral values as integers, everything else with %.17g so the
+      // exact bit pattern survives a parse.
+      try {
+        out += std::to_string(value.as_uint());
+        return;
+      } catch (const std::runtime_error&) {
+      }
+      try {
+        out += std::to_string(value.as_int());
+        return;
+      } catch (const std::runtime_error&) {
+      }
+      const double d = value.as_double();
+      char buf[40];
+      if (std::isfinite(d))
+        std::snprintf(buf, sizeof buf, "%.17g", d);
+      else
+        std::snprintf(buf, sizeof buf, "null");
+      out += buf;
+      return;
+    }
+    case JsonValue::Type::kString:
+      out += '"';
+      out += JsonWriter::escape(value.as_string());
+      out += '"';
+      return;
+    case JsonValue::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& item : value.items()) {
+        if (!first) out += ',';
+        first = false;
+        dump_value(item, out);
+      }
+      out += ']';
+      return;
+    }
+    case JsonValue::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : value.members()) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += JsonWriter::escape(key);
+        out += "\":";
+        dump_value(member, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
 /// Hand-written recursive descent over the document text. Depth is
 /// bounded so pathological nesting cannot overflow the stack.
 class JsonParser {

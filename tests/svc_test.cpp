@@ -8,8 +8,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -74,6 +76,23 @@ exp::SweepResult run_direct(const JobSpec& spec, std::size_t jobs) {
                               spec.parsed_techniques(), hooks);
 }
 
+/// Raw unix-socket connect for tests that speak the wire protocol by
+/// hand (misbehaving clients the Client class cannot imitate).
+int raw_connect(const std::string& socket_path, int socket_flags = 0) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | socket_flags, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;  // keep the connect failure visible past close
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  return fd;
+}
+
 JobStatus wait_terminal(const CampaignEngine& engine, std::uint64_t id,
                         double timeout_seconds = 120.0) {
   const auto deadline = std::chrono::steady_clock::now() +
@@ -124,6 +143,32 @@ TEST(JobQueue, CloseWakesBlockedPopper) {
 
 TEST(JobQueue, ZeroCapacityThrows) {
   EXPECT_THROW(JobQueue(0), std::invalid_argument);
+}
+
+/// The executor pool pops from one queue on N threads: every pushed id
+/// must come out exactly once, and close() must release every popper.
+TEST(JobQueue, ConcurrentPoppersDrainEachItemExactlyOnce) {
+  JobQueue queue(256);
+  constexpr std::uint64_t kItems = 200;
+  std::mutex mu;
+  std::vector<std::uint64_t> popped;
+  std::vector<std::thread> poppers;
+  for (int i = 0; i < 4; ++i)
+    poppers.emplace_back([&] {
+      while (const auto id = queue.pop()) {
+        std::lock_guard<std::mutex> lock(mu);
+        popped.push_back(*id);
+      }
+    });
+  for (std::uint64_t i = 1; i <= kItems; ++i) {
+    while (!queue.try_push(i))  // poppers may lag a full queue briefly
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  queue.close();  // drains the remainder, then unblocks every popper
+  for (auto& popper : poppers) popper.join();
+  std::sort(popped.begin(), popped.end());
+  ASSERT_EQ(popped.size(), kItems) << "no item may be lost or duplicated";
+  for (std::uint64_t i = 0; i < kItems; ++i) EXPECT_EQ(popped[i], i + 1);
 }
 
 // ---------------------------------------------------------------------------
@@ -552,6 +597,160 @@ TEST_F(SvcTest, SubmitRejectsJournalSpecMismatch) {
   EXPECT_NE(error.find("different spec"), std::string::npos);
 }
 
+/// Executor-pool isolation: jobs running concurrently on four workers
+/// must each produce the same matrix as a direct solo run, and each
+/// journal must hold exactly its own job, sealed done — two workers
+/// never touch one journal.
+TEST_F(SvcTest, MultiWorkerJobsKeepIsolatedJournalsAndExactResults) {
+  EngineConfig config;
+  config.journal_dir = path("journals");
+  config.workers = 4;
+  config.sweep_jobs = 1;
+  CampaignEngine engine(config);
+  engine.start();
+
+  constexpr int kJobs = 8;
+  std::vector<JobSpec> specs;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < kJobs; ++i) {
+    specs.push_back(tiny_spec("pool_" + std::to_string(i),
+                              40 + static_cast<std::uint64_t>(i)));
+    std::string error;
+    const std::uint64_t id = engine.submit(specs.back(), &error);
+    ASSERT_NE(id, 0u) << error;
+    ids.push_back(id);
+  }
+  for (int i = 0; i < kJobs; ++i) {
+    const JobStatus status = wait_terminal(engine, ids[i]);
+    EXPECT_EQ(status.state, JobState::kDone) << status.error;
+    const auto result = engine.result(ids[i]);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(exp::sweep_to_csv(*result), exp::sweep_to_csv(run_direct(specs[i], 1)))
+        << "job " << specs[i].name << " must match its solo run";
+  }
+  engine.shutdown(true);
+
+  for (const JobSpec& spec : specs) {
+    const Journal::Replay replay =
+        Journal::replay(engine.journal_path(spec.name));
+    EXPECT_TRUE(replay.done) << spec.name;
+    EXPECT_EQ(replay.cells.size(), spec.cell_count()) << spec.name;
+    EXPECT_EQ(replay.spec.canonical_json(), spec.canonical_json())
+        << "journal must hold exactly its own job's spec";
+  }
+}
+
+// ------------------------------------------------- engine streaming
+
+TEST_F(SvcTest, SubscribeDeliversEveryCellExactlyOnceThenEnds) {
+  EngineConfig config;
+  config.workers = 1;
+  config.sweep_jobs = 2;
+  CampaignEngine engine(config);
+
+  std::string error;
+  const std::uint64_t id = engine.submit(tiny_spec("stream_live", 5), &error);
+  ASSERT_NE(id, 0u) << error;
+  EXPECT_EQ(engine.subscribe(4242, nullptr, nullptr), 0u)
+      << "unknown job ids yield token 0, not a crash";
+
+  std::mutex mu;
+  std::vector<std::uint64_t> indices;
+  std::atomic<bool> ended{false};
+  JobState end_state = JobState::kQueued;
+  // Subscribed before start(): every cell arrives live.
+  const std::uint64_t token = engine.subscribe(
+      id,
+      [&](const std::string& cell_json) {
+        const auto cell = util::JsonValue::parse(cell_json);
+        std::lock_guard<std::mutex> lock(mu);
+        indices.push_back(cell.at("i").as_uint());
+      },
+      [&](JobState state, const std::string&) {
+        end_state = state;
+        ended.store(true);
+      });
+  ASSERT_NE(token, 0u);
+  engine.start();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  while (!ended.load() && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(ended.load()) << "the end event must fire at the terminal state";
+  EXPECT_EQ(end_state, JobState::kDone);
+  const std::size_t total = tiny_spec("stream_live", 5).cell_count();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    std::sort(indices.begin(), indices.end());
+    ASSERT_EQ(indices.size(), total) << "every cell exactly once";
+    for (std::size_t i = 0; i < total; ++i) EXPECT_EQ(indices[i], i);
+  }
+
+  // A late subscriber on the finished job replays the whole matrix and
+  // ends synchronously, inside this subscribe call.
+  std::vector<std::uint64_t> replayed;
+  bool replay_ended = false;
+  JobState replay_state = JobState::kQueued;
+  engine.subscribe(
+      id,
+      [&](const std::string& cell_json) {
+        replayed.push_back(util::JsonValue::parse(cell_json).at("i").as_uint());
+      },
+      [&](JobState state, const std::string&) {
+        replay_state = state;
+        replay_ended = true;
+      });
+  EXPECT_TRUE(replay_ended);
+  EXPECT_EQ(replay_state, JobState::kDone);
+  std::sort(replayed.begin(), replayed.end());
+  ASSERT_EQ(replayed.size(), total);
+  for (std::size_t i = 0; i < total; ++i) EXPECT_EQ(replayed[i], i);
+  engine.shutdown(true);
+}
+
+/// Subscribers never hang: a cancel fires the end event immediately,
+/// and shutdown flushes subscriptions of jobs that never got to run.
+TEST_F(SvcTest, SubscribersSeeEndOnCancelAndOnShutdownFlush) {
+  EngineConfig config;
+  CampaignEngine engine(config);  // not started: jobs stay queued
+  std::string error;
+  const std::uint64_t cancelled =
+      engine.submit(tiny_spec("stream_cancel", 1), &error);
+  ASSERT_NE(cancelled, 0u) << error;
+  const std::uint64_t flushed =
+      engine.submit(tiny_spec("stream_flush", 1), &error);
+  ASSERT_NE(flushed, 0u) << error;
+
+  bool cancel_ended = false;
+  JobState cancel_state = JobState::kQueued;
+  ASSERT_NE(engine.subscribe(cancelled, nullptr,
+                             [&](JobState state, const std::string&) {
+                               cancel_state = state;
+                               cancel_ended = true;
+                             }),
+            0u);
+  bool flush_ended = false;
+  JobState flush_state = JobState::kDone;
+  std::string flush_error;
+  ASSERT_NE(engine.subscribe(flushed, nullptr,
+                             [&](JobState state, const std::string& e) {
+                               flush_state = state;
+                               flush_error = e;
+                               flush_ended = true;
+                             }),
+            0u);
+
+  EXPECT_TRUE(engine.cancel(cancelled));
+  EXPECT_TRUE(cancel_ended) << "cancel of a queued job ends its stream now";
+  EXPECT_EQ(cancel_state, JobState::kCancelled);
+
+  engine.shutdown(false);
+  EXPECT_TRUE(flush_ended) << "shutdown must flush open subscriptions";
+  EXPECT_EQ(flush_state, JobState::kQueued);
+  EXPECT_NE(flush_error.find("resumable"), std::string::npos) << flush_error;
+}
+
 // ---------------------------------------------------------------------------
 // Wire protocol
 // ---------------------------------------------------------------------------
@@ -819,6 +1018,256 @@ TEST_F(SvcTest, SignalStopCheckpointsAndExits) {
   // The job is journaled, so whatever progress was made survives for
   // the next daemon; at minimum the header must exist.
   EXPECT_TRUE(fs::exists(server.engine().journal_path("sig")));
+}
+
+// ----------------------------------------------- streaming over the wire
+
+TEST_F(SvcTest, StreamingResultsEndToEnd) {
+  ServerConfig config;
+  config.unix_path = path("svc.sock");
+  config.engine.journal_dir = path("journals");
+  config.engine.sweep_jobs = 1;
+  config.engine.workers = 2;
+  Server server(config);
+  server.start();
+  std::thread serving([&] { server.serve(); });
+  {
+    Client submitter = Client::connect_unix(config.unix_path);
+    Client watcher = Client::connect_unix(config.unix_path);
+    const JobSpec spec = tiny_spec("stream_e2e", 17);
+    const std::uint64_t id = submitter.submit(spec);
+    ASSERT_NE(id, 0u);
+
+    // Subscribe from a second connection while the job runs: replayed
+    // cells (if any) arrive first, live cells follow, then the end.
+    std::vector<std::uint64_t> indices;
+    const Client::StreamEnd end =
+        watcher.stream_results(id, [&](const util::JsonValue& cell) {
+          indices.push_back(cell.at("i").as_uint());
+        });
+    EXPECT_EQ(end.state, JobState::kDone) << end.error;
+    std::sort(indices.begin(), indices.end());
+    ASSERT_EQ(indices.size(), spec.cell_count()) << "every cell exactly once";
+    for (std::size_t i = 0; i < spec.cell_count(); ++i)
+      EXPECT_EQ(indices[i], i);
+    watcher.ping();  // the connection is a plain request line after the end
+
+    // Streaming a finished job replays the whole matrix from the engine's
+    // log and ends immediately.
+    std::size_t replayed = 0;
+    const Client::StreamEnd again = submitter.stream_results(
+        id, [&](const util::JsonValue&) { ++replayed; });
+    EXPECT_EQ(again.state, JobState::kDone);
+    EXPECT_EQ(replayed, spec.cell_count());
+
+    EXPECT_THROW(submitter.stream_results(4242, nullptr), std::runtime_error)
+        << "streaming an unknown job is a wire error";
+    submitter.shutdown(true);
+  }
+  serving.join();
+}
+
+// ----------------------------------------------- slow-client protections
+
+/// A client that requests large results and never reads must be dropped
+/// at max_out_bytes — not buffered until the daemon OOMs (the unbounded
+/// conn.out regression).
+TEST_F(SvcTest, SlowReaderIsDroppedAtTheOutputCap) {
+  ServerConfig config;
+  config.unix_path = path("svc.sock");
+  config.engine.sweep_jobs = 1;
+  config.max_out_bytes = 16u << 10;  // trip the cap quickly
+  config.sndbuf_bytes = 4096;        // and keep the kernel from hiding it
+  Server server(config);
+  server.start();
+  std::thread serving([&] { server.serve(); });
+
+  std::uint64_t id = 0;
+  {
+    Client client = Client::connect_unix(config.unix_path);
+    id = client.submit(tiny_spec("hoard", 3));
+    ASSERT_NE(id, 0u);
+    EXPECT_EQ(client.wait(id, 120.0).state, JobState::kDone);
+  }
+
+  const int fd = raw_connect(config.unix_path);
+  ASSERT_GE(fd, 0);
+  const std::string request = results_request(id) + "\n";
+  bool dropped = false;
+  for (int i = 0; i < 4096 && !dropped; ++i) {
+    if (::send(fd, request.data(), request.size(), MSG_NOSIGNAL) < 0)
+      dropped = true;  // the server closed on us: EPIPE/ECONNRESET
+    else if (i % 16 == 15)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ::close(fd);
+  EXPECT_TRUE(dropped)
+      << "a reader that never drains its results must lose the connection";
+
+  Client healthy = Client::connect_unix(config.unix_path);
+  healthy.ping();  // only the hoarder paid; the daemon is fine
+  healthy.shutdown(false);
+  serving.join();
+}
+
+/// A response trickling through a tiny SO_SNDBUF must arrive byte-equal
+/// to a greedily-read one: the offset-cursor drain (the O(n²) erase
+/// regression) must neither drop nor duplicate bytes across partial
+/// writes.
+TEST_F(SvcTest, TrickledReaderGetsTheSameBytesAsAGreedyOne) {
+  ServerConfig config;
+  config.unix_path = path("svc.sock");
+  config.engine.sweep_jobs = 1;
+  config.sndbuf_bytes = 4096;  // forces many partial writes per response
+  Server server(config);
+  server.start();
+  std::thread serving([&] { server.serve(); });
+
+  std::uint64_t id = 0;
+  {
+    // 12 cells so the results payload outgrows SO_SNDBUF by a few times.
+    JobSpec spec = tiny_spec("trickle", 3);
+    spec.values = {"1", "2", "3", "4", "5", "6"};
+    Client client = Client::connect_unix(config.unix_path);
+    id = client.submit(spec);
+    ASSERT_NE(id, 0u);
+    EXPECT_EQ(client.wait(id, 120.0).state, JobState::kDone);
+  }
+
+  const std::string request = results_request(id) + "\n";
+  const auto fetch = [&](std::size_t chunk_bytes, int delay_us) {
+    std::string response;
+    const int fd = raw_connect(config.unix_path);
+    if (fd < 0) return response;
+    if (::send(fd, request.data(), request.size(), MSG_NOSIGNAL) !=
+        static_cast<ssize_t>(request.size())) {
+      ::close(fd);
+      return response;
+    }
+    std::vector<char> buf(chunk_bytes);
+    while (response.find('\n') == std::string::npos) {
+      const ssize_t n = ::read(fd, buf.data(), buf.size());
+      if (n <= 0) break;
+      response.append(buf.data(), static_cast<std::size_t>(n));
+      if (delay_us > 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+    ::close(fd);
+    return response;
+  };
+
+  const std::string greedy = fetch(64u << 10, 0);
+  ASSERT_GT(greedy.size(), 4096u)
+      << "the payload must outgrow SO_SNDBUF or nothing trickles";
+  const std::string trickled = fetch(256, 200);
+  EXPECT_EQ(trickled, greedy);
+
+  Client client = Client::connect_unix(config.unix_path);
+  client.shutdown(false);
+  serving.join();
+}
+
+// ----------------------------------------------- unix socket takeover
+
+/// Starting a second daemon on a live socket must refuse — not unlink
+/// the socket out from under the first daemon (the unconditional-unlink
+/// regression).
+TEST_F(SvcTest, SecondDaemonOnALiveSocketRefusesToStart) {
+  ServerConfig config;
+  config.unix_path = path("svc.sock");
+  Server first(config);
+  first.start();
+  std::thread serving([&] { first.serve(); });
+  {
+    Server second(config);
+    try {
+      second.start();
+      FAIL() << "the second daemon must refuse to start";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("another daemon"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  // The refusal must have left the first daemon fully reachable.
+  Client client = Client::connect_unix(config.unix_path);
+  client.ping();
+  client.shutdown(false);
+  serving.join();
+}
+
+/// A socket file with nothing listening behind it (daemon SIGKILLed) is
+/// stale: start() replaces it silently.
+TEST_F(SvcTest, StaleSocketFileIsReplacedOnStart) {
+  const std::string sock = path("svc.sock");
+  {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, sock.c_str(), sizeof addr.sun_path - 1);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    ::close(fd);  // the file stays; nobody will ever accept on it
+  }
+  ASSERT_TRUE(fs::exists(sock));
+
+  ServerConfig config;
+  config.unix_path = sock;
+  Server server(config);
+  ASSERT_NO_THROW(server.start());
+  std::thread serving([&] { server.serve(); });
+  Client client = Client::connect_unix(sock);
+  client.ping();
+  client.shutdown(false);
+  serving.join();
+}
+
+// ----------------------------------------------- configurable backlog
+
+/// The listen(2) backlog is plumbed from ServerConfig (the hardcoded-16
+/// regression): with backlog=1 a connect burst overflows while nobody
+/// accepts; with the SOMAXCONN default the same burst fits.
+TEST_F(SvcTest, ListenBacklogIsConfigurable) {
+  {
+    ServerConfig config;
+    config.unix_path = path("default.sock");  // backlog 0 -> SOMAXCONN
+    Server server(config);
+    server.start();  // bound and listening; serve() never runs
+    std::vector<int> fds;
+    for (int i = 0; i < 16; ++i) {
+      const int fd = raw_connect(config.unix_path, SOCK_NONBLOCK);
+      EXPECT_GE(fd, 0) << "burst connect " << i
+                       << " must fit a SOMAXCONN backlog: "
+                       << std::strerror(errno);
+      if (fd >= 0) fds.push_back(fd);
+    }
+    for (const int fd : fds) ::close(fd);
+  }
+
+  ServerConfig config;
+  config.unix_path = path("tiny.sock");
+  config.backlog = 1;
+  Server server(config);
+  server.start();
+  int refused = 0;
+  std::vector<int> fds;
+  for (int i = 0; i < 16; ++i) {
+    const int fd = raw_connect(config.unix_path, SOCK_NONBLOCK);
+    if (fd < 0)
+      ++refused;
+    else
+      fds.push_back(fd);
+  }
+  EXPECT_GT(refused, 0) << "backlog=1 must overflow on a 16-connect burst";
+
+  // Once serve() starts accepting, the backlog drains and refused
+  // clients simply retry.
+  std::thread serving([&] { server.serve(); });
+  for (const int fd : fds) ::close(fd);
+  Client client = Client::connect_unix(config.unix_path);
+  client.ping();
+  client.shutdown(false);
+  serving.join();
 }
 
 }  // namespace

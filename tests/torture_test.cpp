@@ -17,9 +17,12 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <mutex>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -445,6 +448,124 @@ TEST_F(TortureTest, ServerSurvivesInjectedConnectionFaults) {
   }
   failpoint::reset();
 
+  Client healthy = Client::connect_unix(config.unix_path);
+  EXPECT_NO_THROW(healthy.ping()) << "the daemon must have survived it all";
+  healthy.shutdown(false);
+  serving.join();
+}
+
+/// Streaming across a crash: the daemon is SIGKILLed mid-checkpoint,
+/// and a subscriber attached to the *resumed* engine must still see
+/// every cell exactly once — journaled cells replayed, the rest live —
+/// with the matrix byte-identical to an uninterrupted run.
+TEST_F(TortureTest, StreamThenKillResumeReplaysEveryCellExactlyOnce) {
+  const std::string dir = path("journals");
+  fs::create_directories(dir);
+
+  const pid_t pid = ::fork();
+  ASSERT_NE(pid, -1) << std::strerror(errno);
+  if (pid == 0) {
+    util::set_log_level(util::LogLevel::kOff);
+    failpoint::reset();
+    failpoint::Policy policy;
+    policy.action = failpoint::Policy::Action::kKill;
+    policy.nth = 2;  // die inside the second checkpoint append
+    failpoint::set("journal.append.write", policy);
+    run_campaign_once(dir);
+    ::_exit(7);  // unreachable unless the failpoint never fired
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid) << std::strerror(errno);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << "child did not die at the failpoint (status " << status << ")";
+
+  failpoint::reset();
+  EngineConfig config;
+  config.journal_dir = dir;
+  config.sweep_jobs = 1;
+  config.workers = 4;  // resume correctness must not depend on one worker
+  CampaignEngine engine(config);
+  const std::vector<std::uint64_t> resumed = engine.start();
+  ASSERT_EQ(resumed.size(), 1u) << "the torn journal must be picked up";
+
+  std::mutex mu;
+  std::vector<std::uint64_t> streamed;
+  std::atomic<bool> ended{false};
+  JobState end_state = JobState::kQueued;
+  // Whether this lands before the first live cell or after the job is
+  // already done, the replay log keeps delivery exactly-once.
+  ASSERT_NE(engine.subscribe(
+                resumed[0],
+                [&](const std::string& cell_json) {
+                  const auto cell = util::JsonValue::parse(cell_json);
+                  std::lock_guard<std::mutex> lock(mu);
+                  streamed.push_back(cell.at("i").as_uint());
+                },
+                [&](JobState state, const std::string&) {
+                  end_state = state;
+                  ended.store(true);
+                }),
+            0u);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  while (!ended.load() && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(ended.load()) << "the subscriber must see an end event";
+  EXPECT_EQ(end_state, JobState::kDone);
+
+  const std::size_t total = torture_spec().cell_count();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    std::sort(streamed.begin(), streamed.end());
+    ASSERT_EQ(streamed.size(), total)
+        << "replayed + live cells must cover the matrix with no duplicates";
+    for (std::size_t i = 0; i < total; ++i) EXPECT_EQ(streamed[i], i);
+  }
+  EXPECT_EQ(exp::sweep_to_csv(*engine.result(resumed[0])), reference_csv());
+  engine.shutdown(true);
+}
+
+// ---------------------------------------------------------------------------
+// Epoll-path injection: loop-level faults are retried or cost one
+// connection — never the daemon.
+// ---------------------------------------------------------------------------
+
+TEST_F(TortureTest, ServerSurvivesInjectedEpollFaults) {
+  ServerConfig config;
+  config.unix_path = path("svc.sock");
+  Server server(config);
+  server.start();
+  std::thread serving([&] { server.serve(); });
+
+  // EINTR out of epoll_wait (a signal landed) must be retried, not
+  // treated as a fatal loop error.
+  {
+    failpoint::reset();
+    failpoint::Policy policy;
+    policy.action = failpoint::Policy::Action::kReturnErrno;
+    policy.error = EINTR;
+    policy.nth = failpoint::hits("server.epoll.wait") + 1;
+    failpoint::set("server.epoll.wait", policy);
+    Client client = Client::connect_unix(config.unix_path);
+    EXPECT_NO_THROW(client.ping());
+  }
+
+  // A failed epoll registration of a fresh connection (fd pressure)
+  // drops that connection only.
+  {
+    failpoint::reset();
+    failpoint::Policy policy;
+    policy.action = failpoint::Policy::Action::kReturnErrno;
+    policy.error = EIO;
+    policy.nth = 1;  // the next connection to register
+    failpoint::set("server.epoll.ctl", policy);
+    Client victim = Client::connect_unix(config.unix_path);
+    EXPECT_THROW(victim.ping(), std::runtime_error)
+        << "the unregistered connection must have been closed";
+  }
+
+  failpoint::reset();
   Client healthy = Client::connect_unix(config.unix_path);
   EXPECT_NO_THROW(healthy.ping()) << "the daemon must have survived it all";
   healthy.shutdown(false);

@@ -4,11 +4,13 @@
 //   ./build/tools/tvp_serve --port=7077 --journal-dir=journals
 //
 // Accepts run/sweep jobs over a newline-delimited-JSON protocol (see
-// DESIGN.md "Campaign service"), executes them one at a time on the
-// TVP_JOBS worker pool, and checkpoints every completed sweep cell to
-// an fsync'd journal, so a killed daemon resumes exactly where it
-// stopped. SIGINT/SIGTERM drain gracefully: in-flight cells finish and
-// are journaled, the socket file is removed, and the process exits 0.
+// DESIGN.md "Campaign service"), executes them on a pool of --workers
+// concurrent executors (each sweep itself parallel over TVP_JOBS), and
+// checkpoints every completed sweep cell to an fsync'd journal, so a
+// killed daemon resumes exactly where it stopped. SIGINT/SIGTERM drain
+// gracefully: in-flight cells finish and are journaled, stream
+// subscribers get their end events, the socket file is removed, and
+// the process exits 0.
 #include <cstdio>
 #include <string>
 
@@ -22,7 +24,7 @@ int main(int argc, char** argv) {
   try {
     util::Flags flags(argc, argv,
                       {"socket", "port", "journal-dir", "queue", "jobs",
-                       "failpoints", "verbose", "help"});
+                       "workers", "backlog", "failpoints", "verbose", "help"});
     if (flags.get_bool("help") ||
         (!flags.has("socket") && !flags.has("port"))) {
       std::printf(
@@ -31,7 +33,9 @@ int main(int argc, char** argv) {
           "  --port=N            listen on 127.0.0.1:N (0 = ephemeral)\n"
           "  --journal-dir=DIR   checkpoint campaigns here (enables resume)\n"
           "  --queue=N           pending-job capacity (default 64)\n"
+          "  --workers=N         concurrent jobs (default: hw threads)\n"
           "  --jobs=N            worker threads per sweep (default TVP_JOBS)\n"
+          "  --backlog=N         listen(2) backlog (default SOMAXCONN)\n"
           "  --failpoints=SPEC   arm fault-injection sites (testing builds;\n"
           "                      same syntax as TVP_FAILPOINTS, see DESIGN §7)\n"
           "  --verbose           info-level logging\n");
@@ -67,6 +71,9 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(flags.get_int("queue", 64));
     config.engine.sweep_jobs =
         static_cast<std::size_t>(flags.get_int("jobs", 0));
+    config.engine.workers =
+        static_cast<std::size_t>(flags.get_int("workers", 0));
+    config.backlog = static_cast<int>(flags.get_int("backlog", 0));
 
     svc::Server server(config);
     const auto resumed = server.start();
@@ -76,6 +83,8 @@ int main(int argc, char** argv) {
       std::printf("tvp_serve: listening on %s\n", config.unix_path.c_str());
     if (config.tcp_port >= 0)
       std::printf("tvp_serve: listening on 127.0.0.1:%d\n", server.tcp_port());
+    std::printf("tvp_serve: %zu executor worker(s)\n",
+                server.engine().worker_count());
     if (!resumed.empty())
       std::printf("tvp_serve: resumed %zu campaign(s) from %s\n",
                   resumed.size(), config.engine.journal_dir.c_str());

@@ -5,6 +5,7 @@
 //       [--techniques=PARA,LiPRoMi] [--wait] [--csv=out.csv]
 //   tvp_submit --socket=... status [--job=N]
 //   tvp_submit --socket=... results --job=N [--csv=out.csv]
+//   tvp_submit --socket=... watch --job=N     (stream cells as they finish)
 //   tvp_submit --socket=... cancel --job=N
 //   tvp_submit --socket=... shutdown [--drain]
 //   tvp_submit --socket=... ping
@@ -58,6 +59,7 @@ int usage(bool ok) {
       "           [--config=FILE] [--techniques=a,b,...] [--wait] [--csv=FILE]\n"
       "  status   [--job=N]\n"
       "  results  --job=N [--csv=FILE]\n"
+      "  watch    --job=N   (stream cell records live, NDJSON on stdout)\n"
       "  cancel   --job=N\n"
       "  shutdown [--drain]\n"
       "  ping\n");
@@ -150,6 +152,20 @@ int main(int argc, char** argv) {
         std::fputs(csv.c_str(), stdout);
       }
       return 0;
+    }
+    if (command == "watch") {
+      if (!flags.has("job")) return usage(false);
+      const auto job_id = static_cast<std::uint64_t>(flags.get_int("job", 0));
+      const auto end = client.stream_results(
+          job_id, [](const util::JsonValue& cell) {
+            std::printf("%s\n", cell.dump().c_str());
+            std::fflush(stdout);
+          });
+      std::fprintf(stderr, "job %llu ended: %s%s%s\n",
+                   static_cast<unsigned long long>(job_id),
+                   svc::to_string(end.state), end.error.empty() ? "" : " — ",
+                   end.error.c_str());
+      return end.state == svc::JobState::kDone ? 0 : 1;
     }
     if (command == "cancel") {
       if (!flags.has("job")) return usage(false);
