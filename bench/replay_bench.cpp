@@ -1,0 +1,266 @@
+// replay_bench — corpus record/replay throughput vs workload generation.
+//
+// The whole point of recording a corpus is that replaying it is much
+// cheaper than regenerating the workload: generation walks the RNG,
+// the per-attack phase machines and the k-way benign/attack merge for
+// every record, while replay is an mmap'd, CRC-checked memcpy. This
+// bench puts a number on that claim and gates on it.
+//
+// Phases, all over the identical record stream:
+//   generate       build_workload + drain (what every non-replay run pays)
+//   record         CorpusWriter append + durable close
+//   replay_cold    first MmapSource, first pass — every block CRC-verified
+//   replay_shared  a second, fresh MmapSource — what every sweep cell
+//                  after the first pays: the process-wide mapping cache
+//                  hands it the already-verified mapping
+//   replay_warm    rewind + another pass on one source (zero work)
+//
+// An untimed pass also checks every replayed record equals the
+// generated one, so the speedups are only reported for an identical
+// stream. Gates (exit 1) on replay_shared — the steady-state per-cell
+// replay cost — being at least --min-speedup (default 5x) faster than
+// generation; writes BENCH_replay.json either way so CI can chart the
+// trajectory.
+//
+// Usage:
+//   replay_bench [--acts=N] [--seed=S] [--out=FILE] [--corpus=FILE]
+//                [--min-speedup=X] [--smoke]
+//     --acts         records to generate and replay (default 2000000)
+//     --corpus       corpus path (default: a temp file, removed on exit)
+//     --min-speedup  required shared-replay-vs-generation ratio (default 5)
+//     --smoke        CI-sized run (50000 ACTs) — same shape, seconds
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "tvp/exp/report.hpp"
+#include "tvp/exp/runner.hpp"
+#include "tvp/trace/corpus.hpp"
+#include "tvp/trace/source.hpp"
+#include "tvp/util/cli.hpp"
+#include "tvp/util/json.hpp"
+#include "tvp/util/timer.hpp"
+
+namespace {
+
+using namespace tvp;
+
+struct Phase {
+  std::string name;
+  util::Throughput rate;
+};
+
+void print_phase(const Phase& phase) {
+  std::printf("  %-12s %10.3f Mrec/s  %8.1f ns/rec  (%.3f s)\n",
+              phase.name.c_str(), phase.rate.per_second() / 1e6,
+              phase.rate.ns_per_item(), phase.rate.seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  util::Flags flags(argc, argv,
+                    {"acts", "seed", "out", "corpus", "min-speedup", "smoke",
+                     "help"});
+  if (flags.get_bool("help")) {
+    std::printf(
+        "usage: replay_bench [--acts=N] [--seed=S] [--out=FILE] "
+        "[--corpus=FILE] [--min-speedup=X] [--smoke]\n");
+    return 0;
+  }
+  const bool smoke = flags.get_bool("smoke");
+  // Smoke still uses 500k records: the phases run in well under a
+  // second, and anything smaller is dominated by page-fault and timer
+  // noise rather than the record/replay paths under test.
+  const std::uint64_t acts = static_cast<std::uint64_t>(
+      flags.get_int("acts", smoke ? 500'000 : 2'000'000));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const double min_speedup =
+      static_cast<double>(flags.get_int("min-speedup", 5));
+  const std::string out_path = flags.get("out", "BENCH_replay.json");
+  const bool keep_corpus = flags.has("corpus");
+  const std::string corpus_path =
+      keep_corpus ? flags.get("corpus", "")
+                  : (std::filesystem::temp_directory_path() /
+                     ("replay_bench_" + std::to_string(::getpid()) + ".tvpc"))
+                        .string();
+
+  // The standard paper campaign (benign mix + ramped attacks), scaled
+  // to supply `acts` records — the same sizing rule as perf_hotpath.
+  exp::SimConfig config;
+  config.seed = seed;
+  exp::install_standard_campaign(config);
+  const double acts_per_window =
+      (config.workload.benign_acts_per_interval_per_bank + 20.0) *
+      static_cast<double>(config.timing.refresh_intervals) *
+      static_cast<double>(config.geometry.total_banks());
+  config.windows = static_cast<std::uint32_t>(static_cast<double>(acts) /
+                                              acts_per_window) +
+                   1;
+  config.finalize();
+
+  std::printf("replay_bench: ~%llu records, %u banks, seed %llu%s\n\n",
+              static_cast<unsigned long long>(acts),
+              config.geometry.total_banks(),
+              static_cast<unsigned long long>(seed), smoke ? " (smoke)" : "");
+
+  // --- generate: what every non-replay run pays per simulation.
+  util::Rng workload_rng = util::Rng(config.seed).fork();
+  util::Timer generate_timer;
+  auto workload = exp::build_workload(config, workload_rng);
+  const std::vector<trace::AccessRecord> records =
+      trace::drain(*workload, static_cast<std::size_t>(acts));
+  const Phase generate{"generate",
+                       util::throughput(records.size(), generate_timer)};
+  if (records.empty()) {
+    std::fprintf(stderr, "replay_bench: workload produced no records\n");
+    return 1;
+  }
+  print_phase(generate);
+
+  // --- record: append + durable close.
+  util::Timer record_timer;
+  std::uint32_t identity = 0;
+  {
+    trace::CorpusWriter writer(corpus_path, {});
+    writer.append(records.data(), records.size());
+    identity = writer.close();
+  }
+  const Phase record{"record", util::throughput(records.size(), record_timer)};
+  print_phase(record);
+  const std::uint64_t corpus_bytes = std::filesystem::file_size(corpus_path);
+
+  // --- replay, cold then warm, on one source so the warm pass gets the
+  // trust-after-verify fast path.
+  trace::MmapSource source(corpus_path);
+  util::Timer cold_timer;
+  const trace::AccessRecord* span = nullptr;
+  std::uint64_t replayed = 0;
+  while (const std::size_t n = source.next_span(&span)) replayed += n;
+  const Phase cold{"replay_cold", util::throughput(replayed, cold_timer)};
+  print_phase(cold);
+  if (replayed != records.size()) {
+    std::fprintf(stderr, "replay_bench: replay lost records (%llu of %zu)\n",
+                 static_cast<unsigned long long>(replayed), records.size());
+    return 1;
+  }
+
+  // Untimed identity pass: every replayed record must equal the
+  // generated one field by field (memcmp would trip over the struct's
+  // indeterminate in-memory tail padding, which the file zeroes).
+  source.rewind();
+  std::uint64_t checked = 0;
+  while (const std::size_t n = source.next_span(&span)) {
+    for (std::size_t i = 0; i < n; ++i, ++checked)
+      if (!(span[i] == records[checked])) {
+        std::fprintf(stderr,
+                     "replay_bench: record %llu diverged from generation\n",
+                     static_cast<unsigned long long>(checked));
+        return 1;
+      }
+  }
+
+  // A fresh source over the same file: open + parse + stream, exactly
+  // what every sweep cell after the first pays. The shared mapping
+  // cache means no page faults and no CRC re-sweep.
+  util::Timer shared_timer;
+  trace::MmapSource second(corpus_path);
+  std::uint64_t shared_replayed = 0;
+  while (const std::size_t n = second.next_span(&span)) shared_replayed += n;
+  const Phase shared{"replay_shared",
+                     util::throughput(shared_replayed, shared_timer)};
+  print_phase(shared);
+  if (shared_replayed != records.size()) {
+    std::fprintf(stderr, "replay_bench: shared replay lost records\n");
+    return 1;
+  }
+
+  source.rewind();
+  util::Timer warm_timer;
+  std::uint64_t warm_replayed = 0;
+  while (const std::size_t n = source.next_span(&span)) warm_replayed += n;
+  const Phase warm{"replay_warm", util::throughput(warm_replayed, warm_timer)};
+  print_phase(warm);
+  if (warm_replayed != records.size()) {
+    std::fprintf(stderr, "replay_bench: warm replay lost records\n");
+    return 1;
+  }
+
+  const double cold_speedup = cold.rate.per_second() / generate.rate.per_second();
+  const double shared_speedup =
+      shared.rate.per_second() / generate.rate.per_second();
+  const double warm_speedup = warm.rate.per_second() / generate.rate.per_second();
+  const bool passed = shared_speedup >= min_speedup;
+  std::printf(
+      "\ncorpus %s: %llu bytes, identity %08x\n"
+      "speedup vs generation: cold %.1fx, shared %.1fx, warm %.1fx "
+      "(gate on shared: >= %.1fx)\n",
+      corpus_path.c_str(), static_cast<unsigned long long>(corpus_bytes),
+      identity, cold_speedup, shared_speedup, warm_speedup, min_speedup);
+
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("replay_bench");
+  json.key("config").begin_object();
+  json.key("acts").value(static_cast<std::uint64_t>(records.size()));
+  json.key("banks").value(
+      static_cast<std::uint64_t>(config.geometry.total_banks()));
+  json.key("windows").value(static_cast<std::uint64_t>(config.windows));
+  json.key("seed").value(seed);
+  json.key("smoke").value(smoke);
+  json.key("corpus_bytes").value(corpus_bytes);
+  json.key("identity").value(static_cast<std::uint64_t>(identity));
+#ifdef NDEBUG
+  json.key("assertions").value(false);
+#else
+  json.key("assertions").value(true);
+#endif
+  json.end_object();
+  json.key("results").begin_array();
+  for (const Phase* phase : {&generate, &record, &cold, &shared, &warm}) {
+    json.begin_object();
+    json.key("phase").value(phase->name);
+    json.key("records").value(phase->rate.items);
+    json.key("seconds").value(phase->rate.seconds);
+    json.key("records_per_sec").value(phase->rate.per_second());
+    json.key("ns_per_record").value(phase->rate.ns_per_item());
+    json.end_object();
+  }
+  json.end_array();
+  json.key("speedup").begin_object();
+  json.key("cold_vs_generation").value(cold_speedup);
+  json.key("shared_vs_generation").value(shared_speedup);
+  json.key("warm_vs_generation").value(warm_speedup);
+  json.key("min_required").value(min_speedup);
+  json.key("passed").value(passed);
+  json.end_object();
+  json.end_object();
+
+  std::ofstream out(out_path);
+  out << json.str() << '\n';
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "replay_bench: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!keep_corpus) std::filesystem::remove(corpus_path);
+  if (!passed) {
+    std::fprintf(stderr,
+                 "replay_bench: FAIL — shared replay is only %.1fx generation "
+                 "(need >= %.1fx)\n",
+                 shared_speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "replay_bench: %s\n", e.what());
+  return 2;
+}

@@ -88,9 +88,14 @@ int main(int argc, char** argv) {
     config.refresh_policy = dram::RefreshPolicy::kCounterMask;
 
   // The flag-driven attack applies when no config supplied one, or when
-  // --victims is given explicitly (overriding the config's attacks).
-  const auto victims =
-      flags.get_int("victims", config.workload.attacks.empty() ? 1 : 0);
+  // --victims is given explicitly (overriding the config's attacks). A
+  // replay workload gets no implicit attack: the corpus already carries
+  // the recorded attack records, and silently stacking a live attacker
+  // on top would break replay == generation. An explicit --victims=N
+  // still overlays one on purpose.
+  const bool implicit_attack = config.workload.attacks.empty() &&
+                               config.workload.model != exp::BenignModel::kReplay;
+  const auto victims = flags.get_int("victims", implicit_attack ? 1 : 0);
   if (victims > 0 && flags.has("victims")) config.workload.attacks.clear();
   if (victims > 0 && config.workload.attacks.empty()) {
     util::Rng rng(config.seed);

@@ -16,7 +16,7 @@ const std::set<std::string>& known_keys() {
       "disturbance.flip_threshold", "disturbance.blast_radius",
       "disturbance.distance2_weight_q8", "disturbance.variation_pct",
       "workload.benign_rate",
-      "workload.model", "technique.pbase_exp", "technique.history_entries",
+      "workload.model", "workload.trace", "technique.pbase_exp", "technique.history_entries",
       "technique.counter_entries", "technique.para_p", "technique.mrloc_p_min",
       "technique.mrloc_p_max", "technique.twice_entries",
       "technique.capromi_cooldown", "attack.count",
@@ -40,6 +40,7 @@ BenignModel parse_model(const std::string& name) {
   if (name == "mixed") return BenignModel::kMixedSynthetic;
   if (name == "cache") return BenignModel::kCacheFrontend;
   if (name == "uniform") return BenignModel::kUniformRandom;
+  if (name == "replay") return BenignModel::kReplay;
   throw std::invalid_argument("config: unknown workload.model '" + name + "'");
 }
 
@@ -116,6 +117,8 @@ void apply_config(SimConfig& config, const util::KeyValueFile& file) {
       "workload.benign_rate", config.workload.benign_acts_per_interval_per_bank);
   if (file.has("workload.model"))
     config.workload.model = parse_model(file.get("workload.model", ""));
+  config.workload.trace_path =
+      file.get("workload.trace", config.workload.trace_path);
 
   config.technique.pbase_exp = static_cast<unsigned>(
       file.get_int("technique.pbase_exp", config.technique.pbase_exp));
@@ -221,9 +224,12 @@ std::string to_config_text(const SimConfig& config) {
       case BenignModel::kMixedSynthetic: return "mixed";
       case BenignModel::kCacheFrontend: return "cache";
       case BenignModel::kUniformRandom: return "uniform";
+      case BenignModel::kReplay: return "replay";
     }
     return "mixed";
   }());
+  if (!config.workload.trace_path.empty())
+    file.set("workload.trace", config.workload.trace_path);
   file.set("technique.pbase_exp", std::to_string(config.technique.pbase_exp));
   file.set("technique.history_entries",
            std::to_string(config.technique.params.history_entries));

@@ -17,6 +17,7 @@
 #include "tvp/hw/technique.hpp"
 #include "tvp/mem/controller.hpp"
 #include "tvp/trace/attack.hpp"
+#include "tvp/trace/corpus.hpp"
 #include "tvp/trace/source.hpp"
 #include "tvp/util/stats.hpp"
 
@@ -28,6 +29,7 @@ enum class BenignModel {
   kCacheFrontend,   ///< multi-core cores behind L1/L2 (gem5 stand-in)
   kUniformRandom,   ///< zero-reuse uniform rows (worst case for history
                     ///< tables; the A4 sensitivity ablation)
+  kReplay,          ///< replay a recorded .tvpc corpus (workload.trace)
 };
 
 const char* to_string(BenignModel model) noexcept;
@@ -39,6 +41,10 @@ struct WorkloadSpec {
   /// landing at Table I's average of ~40 including the aggressors.
   double benign_acts_per_interval_per_bank = 20.0;
   BenignModel model = BenignModel::kMixedSynthetic;
+  /// Corpus file replayed when model == kReplay (records AND the
+  /// aggressor oracle come from the file; benign_acts is ignored).
+  /// Extra attacks may still be layered on top.
+  std::string trace_path;
   /// Attacker threads (empty = benign-only run).
   std::vector<trace::AttackConfig> attacks;
 };
@@ -122,10 +128,19 @@ SeedSweepResult run_seed_sweep(hw::Technique technique, SimConfig config,
 
 /// Builds the trace for @p config (exposed for tests and trace export).
 /// @p aggressors, if non-null, receives the ground-truth aggressor keys
-/// (bank << 32 | row) of all configured attacks.
+/// (bank << 32 | row) of all configured attacks — including, for replay
+/// workloads, the oracle stored in the corpus footer.
 std::unique_ptr<trace::TraceSource> build_workload(
     const SimConfig& config, util::Rng& rng,
     std::unordered_set<std::uint64_t>* aggressors = nullptr);
+
+/// Generates the workload @p config describes and records it — records
+/// plus aggressor oracle — to @p path as a v2 corpus. The generation
+/// consumes the same RNG fork run_custom_simulation would, so replaying
+/// the corpus reproduces the generated run bit-identically. Returns the
+/// corpus identity (footer CRC).
+std::uint32_t record_corpus(const SimConfig& config, const std::string& path,
+                            trace::CorpusWriter::Options options = {});
 
 /// Reads TVP_SCALE from the environment: "full" selects the paper-scale
 /// configuration (16 banks, more windows); anything else the scaled one.

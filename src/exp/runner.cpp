@@ -21,6 +21,7 @@ const char* to_string(BenignModel model) noexcept {
     case BenignModel::kMixedSynthetic: return "mixed-synthetic";
     case BenignModel::kCacheFrontend: return "cache-frontend";
     case BenignModel::kUniformRandom: return "uniform-random";
+    case BenignModel::kReplay: return "replay";
   }
   return "?";
 }
@@ -39,6 +40,9 @@ void SimConfig::finalize() {
   technique.params.rows_per_bank = geometry.rows_per_bank;
   technique.params.refresh_intervals = timing.refresh_intervals;
   if (windows == 0) throw std::invalid_argument("SimConfig: zero windows");
+  if (workload.model == BenignModel::kReplay && workload.trace_path.empty())
+    throw std::invalid_argument(
+        "SimConfig: replay workload needs workload.trace");
   for (const auto& attack : workload.attacks) {
     if (attack.bank >= geometry.total_banks())
       throw std::invalid_argument("SimConfig: attack bank out of range");
@@ -53,7 +57,17 @@ std::unique_ptr<trace::TraceSource> build_workload(
     std::unordered_set<std::uint64_t>* aggressors) {
   std::vector<std::unique_ptr<trace::TraceSource>> sources;
 
-  if (config.workload.benign_acts_per_interval_per_bank > 0.0) {
+  if (config.workload.model == BenignModel::kReplay) {
+    // The corpus already contains the full recorded stream (benign and
+    // attack records alike) plus the ground-truth aggressor oracle; the
+    // workload RNG is untouched.
+    auto corpus =
+        std::make_unique<trace::MmapSource>(config.workload.trace_path);
+    if (aggressors != nullptr)
+      aggressors->insert(corpus->info().aggressors.begin(),
+                         corpus->info().aggressors.end());
+    sources.push_back(std::move(corpus));
+  } else if (config.workload.benign_acts_per_interval_per_bank > 0.0) {
     if (config.workload.model == BenignModel::kUniformRandom) {
       trace::SyntheticConfig c;
       c.profile = trace::AccessProfile::kRandom;
@@ -103,8 +117,16 @@ std::unique_ptr<trace::TraceSource> build_workload(
     sources.push_back(std::move(attack));
   }
 
-  auto merged = std::make_unique<trace::MergedSource>(std::move(sources));
-  return std::make_unique<trace::LimitSource>(std::move(merged), ~0ull,
+  // A single source needs no merge — and skipping it preserves the
+  // source's zero-copy span support (the k-way heap can't hand out
+  // borrowed spans). A 1-way merge is a passthrough, so the record
+  // sequence is unchanged either way.
+  std::unique_ptr<trace::TraceSource> stream;
+  if (sources.size() == 1)
+    stream = std::move(sources.front());
+  else
+    stream = std::make_unique<trace::MergedSource>(std::move(sources));
+  return std::make_unique<trace::LimitSource>(std::move(stream), ~0ull,
                                               config.duration_ps());
 }
 
@@ -159,12 +181,24 @@ RunResult run_custom_simulation(const mem::BankMitigationFactory& factory,
   // 4096 keeps refresh segments long enough for the per-bank batch
   // kernels (and the bank_jobs sharding) to amortize their dispatch.
   constexpr std::size_t kBatchRecords = 4096;
-  std::vector<trace::AccessRecord> batch(kBatchRecords);
-  for (;;) {
-    const std::size_t n = workload->next_batch(batch.data(), batch.size());
-    if (n == 0) break;
-    controller.on_records(batch.data(), n);
-    result.records += n;
+  if (workload->supports_spans()) {
+    // Zero-copy feed: the controller consumes the source's own storage
+    // (for a corpus replay, the mmap'd page cache) span by span. The
+    // record sequence is identical to the batch loop, and on_records is
+    // chunking-invariant, so results stay bit-identical.
+    const trace::AccessRecord* span = nullptr;
+    while (const std::size_t n = workload->next_span(&span)) {
+      controller.on_records(span, n);
+      result.records += n;
+    }
+  } else {
+    std::vector<trace::AccessRecord> batch(kBatchRecords);
+    for (;;) {
+      const std::size_t n = workload->next_batch(batch.data(), batch.size());
+      if (n == 0) break;
+      controller.on_records(batch.data(), n);
+      result.records += n;
+    }
   }
   controller.advance_to(cfg.duration_ps());
 
@@ -177,11 +211,19 @@ RunResult run_custom_simulation(const mem::BankMitigationFactory& factory,
 
   // Victim flips: flips on the physical images of the configured
   // victims (a flip anywhere is a failure, but victim flips are the
-  // attack's declared goal).
+  // attack's declared goal). For a replay the declared victims travel
+  // with the corpus (stored logical, mapped through the remapper here,
+  // same as configured ones).
   std::unordered_set<std::uint64_t> victim_keys;
   for (const auto& attack : cfg.workload.attacks)
     for (const auto v : attack.victims)
       victim_keys.insert(key_of(attack.bank, controller.remapper().to_physical(v)));
+  if (cfg.workload.model == BenignModel::kReplay) {
+    for (const auto key : trace::read_corpus_info(cfg.workload.trace_path).victims)
+      victim_keys.insert(key_of(
+          static_cast<dram::BankId>(key >> 32),
+          controller.remapper().to_physical(static_cast<dram::RowId>(key))));
+  }
   for (const auto& flip : disturbance.flips())
     if (victim_keys.count(key_of(flip.bank, flip.row))) ++result.victim_flips;
 
@@ -231,6 +273,36 @@ SeedSweepResult run_seed_sweep(hw::Technique technique, SimConfig config,
   sweep.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return sweep;
+}
+
+std::uint32_t record_corpus(const SimConfig& config, const std::string& path,
+                            trace::CorpusWriter::Options options) {
+  SimConfig cfg = config;
+  cfg.finalize();
+  if (cfg.workload.model == BenignModel::kReplay)
+    throw std::invalid_argument(
+        "record_corpus: the workload is already a replay");
+  // Same fork order as run_custom_simulation: the workload stream drawn
+  // here is exactly the one a generated run would consume.
+  util::Rng rng(cfg.seed);
+  util::Rng workload_rng = rng.fork();
+  std::unordered_set<std::uint64_t> aggressors;
+  auto workload = build_workload(cfg, workload_rng, &aggressors);
+
+  trace::CorpusWriter writer(path, options);
+  constexpr std::size_t kBatchRecords = 4096;
+  std::vector<trace::AccessRecord> batch(kBatchRecords);
+  for (;;) {
+    const std::size_t n = workload->next_batch(batch.data(), batch.size());
+    if (n == 0) break;
+    writer.append(batch.data(), n);
+  }
+  writer.set_aggressors({aggressors.begin(), aggressors.end()});
+  std::vector<std::uint64_t> victims;
+  for (const auto& attack : cfg.workload.attacks)
+    for (const auto v : attack.victims) victims.push_back(key_of(attack.bank, v));
+  writer.set_victims(std::move(victims));
+  return writer.close();
 }
 
 bool full_scale_requested() noexcept {

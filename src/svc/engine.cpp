@@ -8,7 +8,9 @@
 #include "tvp/exp/config_io.hpp"
 #include "tvp/svc/journal.hpp"
 #include "tvp/svc/result_io.hpp"
+#include "tvp/trace/corpus.hpp"
 #include "tvp/util/log.hpp"
+#include "tvp/util/table.hpp"
 
 namespace tvp::svc {
 
@@ -116,6 +118,29 @@ std::uint64_t CampaignEngine::submit(JobSpec spec, std::string* error) {
     spec.validate();
   } catch (const std::exception& e) {
     return reject(e.what());
+  }
+
+  // Trace jobs pin the corpus identity (footer CRC) into the spec — and
+  // therefore into the journal header. A fresh submit fills the hash; a
+  // resubmit or journal resume carries one already, and the file on
+  // disk must still match it, or the "same" campaign would silently
+  // replay different bytes.
+  if (!spec.trace.empty()) {
+    try {
+      const trace::CorpusInfo info = trace::read_corpus_info(spec.trace);
+      const std::string hash = util::strfmt("%08x", info.footer_crc);
+      if (spec.trace_hash.empty()) {
+        spec.trace_hash = hash;
+      } else if (spec.trace_hash != hash) {
+        return reject("trace corpus " + spec.trace + " has identity " + hash +
+                      " but the job was journalled with " + spec.trace_hash +
+                      "; the corpus changed underneath the campaign");
+      }
+    } catch (const std::exception& e) {
+      return reject(e.what());
+    }
+  } else if (!spec.trace_hash.empty()) {
+    return reject("trace_hash given without a trace path");
   }
 
   // Reserve the name before releasing mu_ for journal I/O: without the
@@ -411,7 +436,13 @@ void CampaignEngine::run_job(const std::shared_ptr<JobRec>& job) {
                job->total);
   try {
     const std::vector<hw::Technique> techniques = spec.parsed_techniques();
-    const util::KeyValueFile base = util::KeyValueFile::parse(spec.config_text);
+    util::KeyValueFile base = util::KeyValueFile::parse(spec.config_text);
+    if (!spec.trace.empty()) {
+      // The sweep replays the pinned corpus instead of generating its
+      // workload; every cell shares the one recorded stream.
+      base.set("workload.model", "replay");
+      base.set("workload.trace", spec.trace);
+    }
 
     std::map<std::size_t, exp::SweepCell> preloaded;
     bool already_done = false;

@@ -21,6 +21,14 @@ struct JobSpec {
   std::string param_key;                 ///< config key being swept
   std::vector<std::string> values;       ///< config-file value strings
   std::vector<std::string> techniques;   ///< hw::to_string names
+  /// Optional .tvpc corpus the sweep replays instead of generating its
+  /// workload. The engine resolves the corpus identity at submit time
+  /// and pins it in trace_hash.
+  std::string trace;
+  /// Corpus identity (footer CRC, "%08x" hex). Filled by the engine on
+  /// submit; journalled, and re-verified against the file on resume so
+  /// a kill-and-resume campaign provably replays the same bytes.
+  std::string trace_hash;
 
   std::size_t cell_count() const noexcept {
     return values.size() * techniques.size();

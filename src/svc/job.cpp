@@ -68,6 +68,13 @@ void JobSpec::write_json(util::JsonWriter& json) const {
   json.key("techniques").begin_array();
   for (const auto& t : techniques) json.value(t);
   json.end_array();
+  // Only emitted for trace jobs: journals written before the corpus
+  // pipeline existed stay byte-identical, so their identity check on
+  // resume still passes.
+  if (!trace.empty()) {
+    json.key("trace").value(trace);
+    json.key("trace_hash").value(trace_hash);
+  }
   json.end_object();
 }
 
@@ -84,6 +91,8 @@ JobSpec JobSpec::from_json(const util::JsonValue& value) {
   spec.param_key = value.at("param").as_string();
   spec.values = string_array(value, "values");
   spec.techniques = string_array(value, "techniques");
+  spec.trace = value.get("trace", "");
+  spec.trace_hash = value.get("trace_hash", "");
   return spec;
 }
 

@@ -3,13 +3,13 @@
 #include <fcntl.h>
 #include <unistd.h>
 
-#include <array>
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
 #include <stdexcept>
 
 #include "tvp/svc/result_io.hpp"
+#include "tvp/util/crc32.hpp"
 #include "tvp/util/failpoint.hpp"
 
 namespace tvp::svc {
@@ -32,17 +32,6 @@ constexpr const char* kSiteTailTruncate = "journal.tail.ftruncate";
 constexpr const char* kSiteTailFsync = "journal.tail.fsync";
 constexpr const char* kSiteReplayOpen = "journal.replay.open";
 constexpr const char* kSiteReplayRead = "journal.replay.read";
-
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k)
-      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    table[i] = c;
-  }
-  return table;
-}
 
 [[noreturn]] void io_fail(const std::string& what) {
   throw std::runtime_error("Journal: " + what + ": " + std::strerror(errno));
@@ -76,13 +65,7 @@ const std::vector<std::string>& journal_failpoint_sites() {
   return sites;
 }
 
-std::uint32_t crc32(std::string_view data) {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (const char ch : data)
-    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
-  return c ^ 0xFFFFFFFFu;
-}
+std::uint32_t crc32(std::string_view data) { return util::crc32(data); }
 
 Journal Journal::create(const std::string& path, const JobSpec& spec) {
   const int fd =

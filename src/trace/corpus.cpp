@@ -1,0 +1,744 @@
+#include "tvp/trace/corpus.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <tuple>
+#include <type_traits>
+
+#include "tvp/util/crc32.hpp"
+#include "tvp/util/failpoint.hpp"
+
+#if defined(TVP_HAVE_ZSTD) && TVP_HAVE_ZSTD
+#include <zstd.h>
+#endif
+
+namespace tvp::trace {
+
+namespace fp = util::fp;
+
+/// See corpus.hpp: one shared read-only mapping of a corpus file plus
+/// the per-block verified bits. Sources hold it by shared_ptr; the last
+/// one to go unmaps.
+struct CorpusMapping {
+  const unsigned char* base = nullptr;
+  std::uint64_t size = 0;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> verified;  // one per block
+
+  ~CorpusMapping() {
+    if (base != nullptr)
+      ::munmap(const_cast<unsigned char*>(base), static_cast<std::size_t>(size));
+  }
+};
+
+// The zero-copy contract: bytes on disk ARE AccessRecords in memory.
+// Any change to AccessRecord that moves these offsets is a format
+// break and must bump the corpus version.
+static_assert(std::is_standard_layout_v<AccessRecord> &&
+              std::is_trivially_copyable_v<AccessRecord>);
+static_assert(sizeof(AccessRecord) == 24);
+static_assert(offsetof(AccessRecord, time_ps) == 0);
+static_assert(offsetof(AccessRecord, bank) == 8);
+static_assert(offsetof(AccessRecord, row) == 12);
+static_assert(offsetof(AccessRecord, write) == 16);
+static_assert(offsetof(AccessRecord, is_attack) == 17);
+static_assert(offsetof(AccessRecord, source) == 18);
+static_assert(std::endian::native == std::endian::little,
+              "the corpus format stores little-endian integers in place");
+
+namespace {
+
+constexpr std::size_t kRecordBytes = sizeof(AccessRecord);
+constexpr std::size_t kFileHeaderBytes = 32;
+constexpr std::size_t kBlockHeaderBytes = 40;
+constexpr std::size_t kFooterHeadBytes = 32;
+constexpr std::size_t kIndexEntryBytes = 48;
+constexpr std::size_t kTrailerBytes = 24;
+constexpr std::uint32_t kVersion = 2;
+constexpr char kFileMagic[4] = {'T', 'V', 'P', 'C'};
+constexpr char kBlockMagic[4] = {'T', 'V', 'P', 'B'};
+constexpr char kFooterMagic[4] = {'T', 'V', 'P', 'F'};
+constexpr char kTrailerMagic[8] = {'T', 'V', 'P', 'C', 'E', 'N', 'D', '\0'};
+
+// Failpoint sites, one per syscall location (see util/failpoint.hpp).
+constexpr const char* kSiteCreateOpen = "corpus.create.open";
+constexpr const char* kSiteHeaderWrite = "corpus.header.write";
+constexpr const char* kSiteBlockWrite = "corpus.block.write";
+constexpr const char* kSiteFooterWrite = "corpus.footer.write";
+constexpr const char* kSiteTrailerWrite = "corpus.trailer.write";
+constexpr const char* kSiteCloseFsync = "corpus.close.fsync";
+constexpr const char* kSiteDirOpen = "corpus.dir.open";
+constexpr const char* kSiteDirFsync = "corpus.dir.fsync";
+constexpr const char* kSiteReadOpen = "corpus.read.open";
+constexpr const char* kSiteReadMmap = "corpus.read.mmap";
+constexpr const char* kSiteReadPread = "corpus.read.pread";
+
+constexpr std::size_t pad8(std::size_t n) { return (n + 7u) & ~std::size_t{7}; }
+
+void store_u32(unsigned char* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+void store_u64(unsigned char* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+std::uint32_t load_u32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+std::uint64_t load_u64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+[[noreturn]] void corrupt(const std::string& path, const std::string& what) {
+  throw std::runtime_error("Corpus " + path + ": " + what);
+}
+
+[[noreturn]] void io_fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("Corpus " + path + ": " + what + ": " +
+                           std::strerror(errno));
+}
+
+// Reads exactly @p size bytes at @p offset, retrying EINTR; throws on
+// error or short read (a short read here always means truncation).
+void pread_exact(int fd, void* buf, std::size_t size, std::uint64_t offset,
+                 const std::string& path) {
+  auto* p = static_cast<unsigned char*>(buf);
+  while (size > 0) {
+    const ssize_t n = fp::pread_eintr(kSiteReadPread, fd, p, size,
+                                      static_cast<::off_t>(offset));
+    if (n < 0) io_fail(path, "read failed");
+    if (n == 0) corrupt(path, "unexpected end of file (truncated)");
+    p += n;
+    offset += static_cast<std::uint64_t>(n);
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+// Validates that @p count packed records at @p bytes decode to valid
+// AccessRecords: the two bool bytes must be 0 or 1 (anything else means
+// the bytes were not produced by our writer — reinterpreting them as
+// bool would be undefined).
+void check_record_encoding(const unsigned char* bytes, std::size_t count,
+                           const std::string& path, std::size_t block) {
+  for (std::size_t i = 0; i < count; ++i) {
+    // Both flag bytes at once: any bit above the LSB in either byte
+    // means a value other than 0/1.
+    std::uint16_t flags;
+    std::memcpy(&flags, bytes + i * kRecordBytes + 16, 2);
+    if (flags & 0xFEFEu)
+      corrupt(path, "block " + std::to_string(block) +
+                        " record " + std::to_string(i) +
+                        " has an invalid flag byte");
+  }
+}
+
+struct ParsedCorpus {
+  std::uint64_t file_size = 0;
+  std::uint64_t footer_offset = 0;
+  CorpusInfo info;
+};
+
+// Parses and validates header + trailer + footer through @p fd. Only
+// O(footer) bytes are read; block payloads stay untouched.
+ParsedCorpus parse_corpus(int fd, const std::string& path) {
+  struct ::stat st{};
+  if (::fstat(fd, &st) != 0) io_fail(path, "cannot stat");
+  ParsedCorpus parsed;
+  parsed.file_size = static_cast<std::uint64_t>(st.st_size);
+  if (parsed.file_size < kFileHeaderBytes + kFooterHeadBytes + kTrailerBytes)
+    corrupt(path, "file too small to be a corpus (" +
+                      std::to_string(parsed.file_size) + " bytes)");
+
+  unsigned char header[kFileHeaderBytes];
+  pread_exact(fd, header, sizeof header, 0, path);
+  if (std::memcmp(header, kFileMagic, 4) != 0)
+    corrupt(path, "bad file magic (not a .tvpc corpus)");
+  const std::uint32_t version = load_u32(header + 4);
+  if (version != kVersion)
+    corrupt(path, "unsupported corpus version " + std::to_string(version));
+  const std::uint32_t record_bytes = load_u32(header + 8);
+  if (record_bytes != kRecordBytes)
+    corrupt(path, "record size " + std::to_string(record_bytes) +
+                      " does not match this build's " +
+                      std::to_string(kRecordBytes));
+
+  unsigned char trailer[kTrailerBytes];
+  pread_exact(fd, trailer, sizeof trailer, parsed.file_size - kTrailerBytes,
+              path);
+  if (std::memcmp(trailer + 16, kTrailerMagic, 8) != 0)
+    corrupt(path, "bad trailer magic (truncated or not a corpus)");
+  parsed.footer_offset = load_u64(trailer);
+  const std::uint64_t footer_bytes = load_u32(trailer + 8);
+  const std::uint32_t footer_crc = load_u32(trailer + 12);
+  if (parsed.footer_offset < kFileHeaderBytes ||
+      footer_bytes < kFooterHeadBytes ||
+      parsed.footer_offset + footer_bytes != parsed.file_size - kTrailerBytes)
+    corrupt(path, "trailer does not frame a footer (truncated footer?)");
+
+  std::vector<unsigned char> footer(static_cast<std::size_t>(footer_bytes));
+  pread_exact(fd, footer.data(), footer.size(), parsed.footer_offset, path);
+  const std::uint32_t got_crc = util::crc32(footer.data(), footer.size());
+  if (got_crc != footer_crc)
+    corrupt(path, "footer CRC mismatch (corrupt or truncated footer)");
+  if (std::memcmp(footer.data(), kFooterMagic, 4) != 0)
+    corrupt(path, "bad footer magic");
+
+  CorpusInfo& info = parsed.info;
+  info.footer_crc = footer_crc;
+  const std::uint64_t block_count = load_u32(footer.data() + 4);
+  info.total_records = load_u64(footer.data() + 8);
+  const std::uint64_t aggressor_count = load_u64(footer.data() + 16);
+  const std::uint64_t victim_count = load_u64(footer.data() + 24);
+  if (footer_bytes != kFooterHeadBytes + block_count * kIndexEntryBytes +
+                          (aggressor_count + victim_count) * 8)
+    corrupt(path, "footer size does not match its counts");
+
+  info.blocks.reserve(static_cast<std::size_t>(block_count));
+  std::uint64_t running = 0;
+  const unsigned char* entry = footer.data() + kFooterHeadBytes;
+  for (std::uint64_t b = 0; b < block_count; ++b, entry += kIndexEntryBytes) {
+    CorpusBlockInfo block;
+    block.offset = load_u64(entry);
+    block.first_record = load_u64(entry + 8);
+    block.records = load_u32(entry + 16);
+    const std::uint32_t codec = load_u32(entry + 20);
+    block.crc = load_u32(entry + 24);
+    block.min_time_ps = load_u64(entry + 32);
+    block.max_time_ps = load_u64(entry + 40);
+    if (codec > static_cast<std::uint32_t>(CorpusCodec::kZstd))
+      corrupt(path, "block " + std::to_string(b) + " has unknown codec " +
+                        std::to_string(codec));
+    block.codec = static_cast<CorpusCodec>(codec);
+    if (block.offset < kFileHeaderBytes ||
+        block.offset + kBlockHeaderBytes > parsed.footer_offset)
+      corrupt(path, "block " + std::to_string(b) + " offset out of range");
+    if (block.first_record != running)
+      corrupt(path, "block " + std::to_string(b) + " index is not contiguous");
+    running += block.records;
+    info.blocks.push_back(block);
+  }
+  if (running != info.total_records)
+    corrupt(path, "footer record total does not match its index");
+
+  info.aggressors.reserve(static_cast<std::size_t>(aggressor_count));
+  const unsigned char* key = entry;
+  for (std::uint64_t i = 0; i < aggressor_count; ++i, key += 8)
+    info.aggressors.push_back(load_u64(key));
+  info.victims.reserve(static_cast<std::size_t>(victim_count));
+  for (std::uint64_t i = 0; i < victim_count; ++i, key += 8)
+    info.victims.push_back(load_u64(key));
+  return parsed;
+}
+
+void fsync_parent_dir(const std::string& path) {
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  const int fd = fp::open(kSiteDirOpen, dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) io_fail(path, "cannot open directory " + dir);
+  if (fp::fsync_eintr(kSiteDirFsync, fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    io_fail(path, "cannot fsync directory " + dir);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+bool corpus_zstd_available() noexcept {
+#if defined(TVP_HAVE_ZSTD) && TVP_HAVE_ZSTD
+  return true;
+#else
+  return false;
+#endif
+}
+
+const std::vector<std::string>& corpus_failpoint_sites() {
+  static const std::vector<std::string> sites = {
+      kSiteCreateOpen, kSiteHeaderWrite, kSiteBlockWrite, kSiteFooterWrite,
+      kSiteTrailerWrite, kSiteCloseFsync, kSiteDirOpen, kSiteDirFsync,
+      kSiteReadOpen, kSiteReadMmap, kSiteReadPread,
+  };
+  return sites;
+}
+
+// ---------------------------------------------------------------------------
+// CorpusWriter
+
+CorpusWriter::CorpusWriter(const std::string& path)
+    : CorpusWriter(path, Options{}) {}
+
+CorpusWriter::CorpusWriter(const std::string& path, Options options)
+    : path_(path), options_(options) {
+  if (options_.records_per_block == 0)
+    throw std::invalid_argument("CorpusWriter: records_per_block must be > 0");
+  if (options_.codec == CorpusCodec::kZstd && !corpus_zstd_available())
+    throw std::runtime_error(
+        "Corpus " + path + ": zstd compression requested but this build "
+        "has no zstd support");
+  fd_ = fp::open(kSiteCreateOpen, path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                 0644);
+  if (fd_ < 0) io_fail(path_, "cannot create");
+  block_.reserve(options_.records_per_block);
+
+  unsigned char header[kFileHeaderBytes] = {};
+  std::memcpy(header, kFileMagic, 4);
+  store_u32(header + 4, kVersion);
+  store_u32(header + 8, static_cast<std::uint32_t>(kRecordBytes));
+  if (!fp::write_full(kSiteHeaderWrite, fd_, header, sizeof header)) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    ::unlink(path_.c_str());
+    errno = saved;
+    io_fail(path_, "cannot write header");
+  }
+  write_offset_ = kFileHeaderBytes;
+}
+
+CorpusWriter::~CorpusWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void CorpusWriter::fail(const std::string& what) const { io_fail(path_, what); }
+
+void CorpusWriter::append(const AccessRecord& record) { append(&record, 1); }
+
+void CorpusWriter::append(const AccessRecord* records, std::size_t count) {
+  if (fd_ < 0) throw std::logic_error("CorpusWriter: append after close");
+  for (std::size_t i = 0; i < count; ++i) {
+    const AccessRecord& r = records[i];
+    if (r.time_ps < last_time_ps_)
+      throw std::invalid_argument(
+          "CorpusWriter: record time goes backwards (" +
+          std::to_string(r.time_ps) + " after " +
+          std::to_string(last_time_ps_) + ")");
+    last_time_ps_ = r.time_ps;
+    block_.push_back(r);
+    if (block_.size() >= options_.records_per_block) flush_block();
+  }
+}
+
+void CorpusWriter::set_aggressors(std::vector<std::uint64_t> keys) {
+  aggressors_ = std::move(keys);
+}
+
+void CorpusWriter::set_victims(std::vector<std::uint64_t> keys) {
+  victims_ = std::move(keys);
+}
+
+void CorpusWriter::flush_block() {
+  if (block_.empty()) return;
+  const std::size_t raw_bytes = block_.size() * kRecordBytes;
+  staging_.resize(raw_bytes);
+  for (std::size_t i = 0; i < block_.size(); ++i) {
+    unsigned char* slot = staging_.data() + i * kRecordBytes;
+    std::memcpy(slot, &block_[i], kRecordBytes);
+    // The struct's tail padding is indeterminate in memory; the file
+    // must be deterministic (its bytes are CRC'd and identity-hashed).
+    std::memset(slot + 19, 0, kRecordBytes - 19);
+  }
+  const std::uint32_t crc = util::crc32(staging_.data(), raw_bytes);
+
+  const unsigned char* payload = staging_.data();
+  std::size_t payload_bytes = raw_bytes;
+#if defined(TVP_HAVE_ZSTD) && TVP_HAVE_ZSTD
+  std::vector<unsigned char> compressed;
+  if (options_.codec == CorpusCodec::kZstd) {
+    compressed.resize(ZSTD_compressBound(raw_bytes));
+    const std::size_t n = ZSTD_compress(compressed.data(), compressed.size(),
+                                        staging_.data(), raw_bytes, 3);
+    if (ZSTD_isError(n))
+      throw std::runtime_error("Corpus " + path_ + ": zstd compression failed: " +
+                               ZSTD_getErrorName(n));
+    payload = compressed.data();
+    payload_bytes = n;
+  }
+#endif
+
+  CorpusBlockInfo info;
+  info.offset = write_offset_;
+  info.first_record = total_records_;
+  info.records = static_cast<std::uint32_t>(block_.size());
+  info.codec = options_.codec;
+  info.crc = crc;
+  info.min_time_ps = block_.front().time_ps;
+  info.max_time_ps = block_.back().time_ps;
+
+  unsigned char header[kBlockHeaderBytes] = {};
+  std::memcpy(header, kBlockMagic, 4);
+  store_u32(header + 4, static_cast<std::uint32_t>(info.codec));
+  store_u32(header + 8, info.records);
+  store_u32(header + 12, static_cast<std::uint32_t>(payload_bytes));
+  store_u64(header + 16, info.min_time_ps);
+  store_u64(header + 24, info.max_time_ps);
+  store_u32(header + 32, crc);
+
+  static constexpr unsigned char kPad[8] = {};
+  const std::size_t padded = pad8(payload_bytes);
+  if (!fp::write_full(kSiteBlockWrite, fd_, header, sizeof header) ||
+      !fp::write_full(kSiteBlockWrite, fd_, payload, payload_bytes) ||
+      (padded > payload_bytes &&
+       !fp::write_full(kSiteBlockWrite, fd_, kPad, padded - payload_bytes)))
+    fail("cannot write block");
+
+  write_offset_ += kBlockHeaderBytes + padded;
+  total_records_ += block_.size();
+  index_.push_back(info);
+  block_.clear();
+}
+
+std::uint32_t CorpusWriter::close() {
+  if (fd_ < 0) throw std::logic_error("CorpusWriter: double close");
+  flush_block();
+
+  std::sort(aggressors_.begin(), aggressors_.end());
+  aggressors_.erase(std::unique(aggressors_.begin(), aggressors_.end()),
+                    aggressors_.end());
+  std::sort(victims_.begin(), victims_.end());
+  victims_.erase(std::unique(victims_.begin(), victims_.end()),
+                 victims_.end());
+
+  std::vector<unsigned char> footer(
+      kFooterHeadBytes + index_.size() * kIndexEntryBytes +
+      (aggressors_.size() + victims_.size()) * 8);
+  std::memcpy(footer.data(), kFooterMagic, 4);
+  store_u32(footer.data() + 4, static_cast<std::uint32_t>(index_.size()));
+  store_u64(footer.data() + 8, total_records_);
+  store_u64(footer.data() + 16, aggressors_.size());
+  store_u64(footer.data() + 24, victims_.size());
+  unsigned char* entry = footer.data() + kFooterHeadBytes;
+  for (const CorpusBlockInfo& b : index_) {
+    store_u64(entry, b.offset);
+    store_u64(entry + 8, b.first_record);
+    store_u32(entry + 16, b.records);
+    store_u32(entry + 20, static_cast<std::uint32_t>(b.codec));
+    store_u32(entry + 24, b.crc);
+    store_u32(entry + 28, 0);
+    store_u64(entry + 32, b.min_time_ps);
+    store_u64(entry + 40, b.max_time_ps);
+    entry += kIndexEntryBytes;
+  }
+  for (const std::uint64_t key : aggressors_) {
+    store_u64(entry, key);
+    entry += 8;
+  }
+  for (const std::uint64_t key : victims_) {
+    store_u64(entry, key);
+    entry += 8;
+  }
+  const std::uint32_t footer_crc = util::crc32(footer.data(), footer.size());
+
+  unsigned char trailer[kTrailerBytes] = {};
+  store_u64(trailer, write_offset_);
+  store_u32(trailer + 8, static_cast<std::uint32_t>(footer.size()));
+  store_u32(trailer + 12, footer_crc);
+  std::memcpy(trailer + 16, kTrailerMagic, 8);
+
+  if (!fp::write_full(kSiteFooterWrite, fd_, footer.data(), footer.size()))
+    fail("cannot write footer");
+  if (!fp::write_full(kSiteTrailerWrite, fd_, trailer, sizeof trailer))
+    fail("cannot write trailer");
+  if (fp::fsync_eintr(kSiteCloseFsync, fd_) != 0) fail("cannot fsync");
+  ::close(fd_);
+  fd_ = -1;
+  fsync_parent_dir(path_);
+  return footer_crc;
+}
+
+// ---------------------------------------------------------------------------
+// MmapSource
+
+namespace {
+
+/// Process-wide registry of shared mappings. Keyed by (device, inode,
+/// size, mtime_ns, identity): a corpus rewritten in place gets a fresh
+/// mapping with cleared verified bits. (mtime granularity is the
+/// kernel's coarse clock; an in-place same-size same-identity rewrite
+/// inside that window is not a supported pattern — the campaign service
+/// pins the identity separately for exactly that reason.)
+using MappingKey = std::tuple<std::uint64_t, std::uint64_t, std::uint64_t,
+                              std::uint64_t, std::uint32_t>;
+std::mutex g_mappings_mutex;
+std::map<MappingKey, std::weak_ptr<CorpusMapping>> g_mappings;
+
+/// Strong refs to the most recently acquired mappings, so a sweep that
+/// opens and closes one source per cell keeps the mapping (and its
+/// verified bits) warm between cells. Read-only file-backed pages stay
+/// reclaimable while mapped, so this pins address space, not memory.
+constexpr std::size_t kMappingKeepAlive = 8;
+std::shared_ptr<CorpusMapping> g_keep_alive[kMappingKeepAlive];
+std::size_t g_keep_alive_next = 0;
+
+void keep_alive(const std::shared_ptr<CorpusMapping>& mapping) {
+  for (const auto& held : g_keep_alive)
+    if (held == mapping) return;
+  g_keep_alive[g_keep_alive_next++ % kMappingKeepAlive] = mapping;
+}
+
+/// Returns the shared mapping for the corpus behind @p fd, mapping it
+/// on first acquire. Null on any failure (injected or real — e.g. a
+/// filesystem without mmap support); the caller then falls back to
+/// pread() per block.
+std::shared_ptr<CorpusMapping> acquire_mapping(int fd,
+                                               std::uint64_t file_size,
+                                               std::size_t blocks,
+                                               std::uint32_t identity) {
+  struct ::stat st{};
+  if (::fstat(fd, &st) != 0) return nullptr;
+  const MappingKey key{
+      static_cast<std::uint64_t>(st.st_dev),
+      static_cast<std::uint64_t>(st.st_ino),
+      file_size,
+      static_cast<std::uint64_t>(st.st_mtim.tv_sec) * 1'000'000'000ull +
+          static_cast<std::uint64_t>(st.st_mtim.tv_nsec),
+      identity};
+
+  std::lock_guard<std::mutex> lock(g_mappings_mutex);
+  for (auto it = g_mappings.begin(); it != g_mappings.end();)
+    it = it->second.expired() ? g_mappings.erase(it) : std::next(it);
+  if (const auto it = g_mappings.find(key); it != g_mappings.end())
+    if (auto existing = it->second.lock()) {
+      keep_alive(existing);
+      return existing;
+    }
+
+  void* base = fp::mmap(kSiteReadMmap, nullptr, file_size, PROT_READ,
+                        MAP_PRIVATE, fd, 0);
+  if (base == MAP_FAILED) return nullptr;
+  // Replay walks the file front to back; aggressive readahead cuts the
+  // page-fault stalls. Advisory only — failure is fine.
+  (void)::posix_madvise(base, file_size, POSIX_MADV_SEQUENTIAL);
+  (void)::posix_madvise(base, file_size, POSIX_MADV_WILLNEED);
+
+  auto mapping = std::make_shared<CorpusMapping>();
+  mapping->base = static_cast<const unsigned char*>(base);
+  mapping->size = file_size;
+  mapping->verified = std::make_unique<std::atomic<std::uint8_t>[]>(blocks);
+  for (std::size_t i = 0; i < blocks; ++i)
+    mapping->verified[i].store(0, std::memory_order_relaxed);
+  g_mappings[key] = mapping;
+  keep_alive(mapping);
+  return mapping;
+}
+
+}  // namespace
+
+MmapSource::MmapSource(const std::string& path) : path_(path) {
+  fd_ = fp::open(kSiteReadOpen, path.c_str(), O_RDONLY);
+  if (fd_ < 0) io_fail(path_, "cannot open");
+  try {
+    ParsedCorpus parsed = parse_corpus(fd_, path_);
+    file_size_ = parsed.file_size;
+    info_ = std::move(parsed.info);
+    for (const CorpusBlockInfo& b : info_.blocks)
+      if (b.codec == CorpusCodec::kZstd && !corpus_zstd_available())
+        corrupt(path_,
+                "contains zstd-compressed blocks but this build has no "
+                "zstd support");
+  } catch (...) {
+    ::close(fd_);
+    throw;
+  }
+  mapping_ = acquire_mapping(fd_, file_size_, info_.blocks.size(),
+                             info_.footer_crc);
+  if (mapping_) base_ = mapping_->base;
+}
+
+MmapSource::~MmapSource() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void MmapSource::fail(const std::string& what) const { corrupt(path_, what); }
+
+// Loads block @p index and points span_ at its records. Raw blocks in
+// mapped mode hand out the mapped bytes themselves (zero-copy);
+// everything else decodes into scratch_.
+bool MmapSource::load_block(std::size_t index) {
+  const CorpusBlockInfo& b = info_.blocks[index];
+  const std::uint64_t payload_offset = b.offset + kBlockHeaderBytes;
+  const std::uint64_t raw_bytes = std::uint64_t{b.records} * kRecordBytes;
+
+  unsigned char header[kBlockHeaderBytes];
+  if (base_ != nullptr)
+    std::memcpy(header, base_ + b.offset, kBlockHeaderBytes);
+  else
+    pread_exact(fd_, header, sizeof header, b.offset, path_);
+  if (std::memcmp(header, kBlockMagic, 4) != 0)
+    fail("block " + std::to_string(index) + " has a bad magic");
+  if (load_u32(header + 4) != static_cast<std::uint32_t>(b.codec) ||
+      load_u32(header + 8) != b.records ||
+      load_u32(header + 32) != b.crc)
+    fail("block " + std::to_string(index) +
+         " header disagrees with the footer index");
+  const std::uint64_t payload_bytes = load_u32(header + 12);
+  if (payload_offset + payload_bytes > file_size_ - kTrailerBytes)
+    fail("block " + std::to_string(index) + " payload out of range");
+
+  if (b.codec == CorpusCodec::kRaw) {
+    if (payload_bytes != raw_bytes)
+      fail("block " + std::to_string(index) + " payload size mismatch");
+    if (base_ != nullptr) {
+      const unsigned char* payload = base_ + payload_offset;
+      // Trust-after-verify, shared process-wide: if a concurrent source
+      // races us here both verify — harmless, the bytes are immutable.
+      if (!mapping_->verified[index].load(std::memory_order_acquire)) {
+        if (util::crc32(payload, static_cast<std::size_t>(raw_bytes)) != b.crc)
+          fail("block " + std::to_string(index) + " CRC mismatch (corrupt)");
+        check_record_encoding(payload, b.records, path_, index);
+        mapping_->verified[index].store(1, std::memory_order_release);
+      }
+      span_ = reinterpret_cast<const AccessRecord*>(payload);
+    } else {
+      // pread re-reads the bytes on every pass, so re-verify each time.
+      scratch_.resize(b.records);
+      pread_exact(fd_, scratch_.data(), static_cast<std::size_t>(raw_bytes),
+                  payload_offset, path_);
+      const auto* bytes = reinterpret_cast<const unsigned char*>(scratch_.data());
+      if (util::crc32(bytes, static_cast<std::size_t>(raw_bytes)) != b.crc)
+        fail("block " + std::to_string(index) + " CRC mismatch (corrupt)");
+      check_record_encoding(bytes, b.records, path_, index);
+      span_ = scratch_.data();
+    }
+  } else {
+#if defined(TVP_HAVE_ZSTD) && TVP_HAVE_ZSTD
+    const unsigned char* compressed = nullptr;
+    if (base_ != nullptr) {
+      compressed = base_ + payload_offset;
+    } else {
+      comp_.resize(static_cast<std::size_t>(payload_bytes));
+      pread_exact(fd_, comp_.data(), comp_.size(), payload_offset, path_);
+      compressed = comp_.data();
+    }
+    scratch_.resize(b.records);
+    const std::size_t n =
+        ZSTD_decompress(scratch_.data(), static_cast<std::size_t>(raw_bytes),
+                        compressed, static_cast<std::size_t>(payload_bytes));
+    if (ZSTD_isError(n) || n != raw_bytes)
+      fail("block " + std::to_string(index) + " zstd decompression failed");
+    const auto* bytes = reinterpret_cast<const unsigned char*>(scratch_.data());
+    if (util::crc32(bytes, static_cast<std::size_t>(raw_bytes)) != b.crc)
+      fail("block " + std::to_string(index) + " CRC mismatch (corrupt)");
+    check_record_encoding(bytes, b.records, path_, index);
+    span_ = scratch_.data();
+#else
+    fail("block " + std::to_string(index) +
+         " is zstd-compressed but this build has no zstd support");
+#endif
+  }
+  span_len_ = b.records;
+  span_pos_ = 0;
+  return span_len_ > 0;
+}
+
+std::optional<AccessRecord> MmapSource::next() {
+  while (span_pos_ >= span_len_) {
+    if (block_ >= info_.blocks.size()) return std::nullopt;
+    load_block(block_++);
+  }
+  return span_[span_pos_++];
+}
+
+std::size_t MmapSource::next_batch(AccessRecord* out, std::size_t max) {
+  std::size_t n = 0;
+  while (n < max) {
+    if (span_pos_ >= span_len_) {
+      if (block_ >= info_.blocks.size()) break;
+      load_block(block_++);
+      continue;
+    }
+    const std::size_t take = std::min(max - n, span_len_ - span_pos_);
+    std::memcpy(out + n, span_ + span_pos_, take * kRecordBytes);
+    span_pos_ += take;
+    n += take;
+  }
+  return n;
+}
+
+std::size_t MmapSource::next_span(const AccessRecord** data) {
+  while (span_pos_ >= span_len_) {
+    if (block_ >= info_.blocks.size()) {
+      *data = nullptr;
+      return 0;
+    }
+    load_block(block_++);
+  }
+  *data = span_ + span_pos_;
+  const std::size_t n = span_len_ - span_pos_;
+  span_pos_ = span_len_;
+  return n;
+}
+
+void MmapSource::rewind() {
+  block_ = 0;
+  span_ = nullptr;
+  span_len_ = 0;
+  span_pos_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Convenience entry points
+
+CorpusInfo read_corpus_info(const std::string& path) {
+  const int fd = fp::open(kSiteReadOpen, path.c_str(), O_RDONLY);
+  if (fd < 0) io_fail(path, "cannot open");
+  try {
+    ParsedCorpus parsed = parse_corpus(fd, path);
+    ::close(fd);
+    return std::move(parsed.info);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
+CorpusInfo verify_corpus(const std::string& path) {
+  MmapSource source(path);
+  const AccessRecord* span = nullptr;
+  std::uint64_t records = 0;
+  std::uint64_t last_time = 0;
+  while (const std::size_t n = source.next_span(&span)) {
+    if (span[0].time_ps < last_time)
+      corrupt(path, "records are not time-ordered across blocks");
+    for (std::size_t i = 1; i < n; ++i)
+      if (span[i].time_ps < span[i - 1].time_ps)
+        corrupt(path, "records are not time-ordered");
+    last_time = span[n - 1].time_ps;
+    records += n;
+  }
+  if (records != source.info().total_records)
+    corrupt(path, "replayed record count does not match the footer");
+  return source.info();
+}
+
+std::uint32_t write_corpus(const std::string& path,
+                           const std::vector<AccessRecord>& records,
+                           CorpusWriter::Options options) {
+  CorpusWriter writer(path, options);
+  writer.append(records.data(), records.size());
+  return writer.close();
+}
+
+std::vector<AccessRecord> read_corpus(const std::string& path) {
+  MmapSource source(path);
+  std::vector<AccessRecord> out;
+  out.reserve(static_cast<std::size_t>(source.info().total_records));
+  const AccessRecord* span = nullptr;
+  while (const std::size_t n = source.next_span(&span))
+    out.insert(out.end(), span, span + n);
+  return out;
+}
+
+}  // namespace tvp::trace

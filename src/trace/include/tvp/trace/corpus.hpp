@@ -1,0 +1,218 @@
+// Trace corpus: the v2 on-disk format (".tvpc") for recorded access
+// streams, built for replay at memory speed.
+//
+// Layout (all integers little-endian, all offsets 8-byte aligned):
+//
+//   [file header, 32 B]   "TVPC" | version=2 | record_bytes=24 | reserved
+//   [block]*              40 B block header ("TVPB", codec, record
+//                         count, payload size, min/max time_ps, CRC-32
+//                         of the *uncompressed* record bytes), then the
+//                         payload, zero-padded to an 8-byte boundary
+//   [footer]              "TVPF" | totals | per-block index entries
+//                         (offset, first record, count, codec, CRC,
+//                         time range) | sorted aggressor-oracle keys |
+//                         sorted victim-oracle keys
+//   [trailer, 24 B]       footer offset | footer size | footer CRC-32 |
+//                         "TVPCEND\0"
+//
+// The design invariants the readers rely on:
+//  * The on-disk record layout IS the in-memory AccessRecord layout
+//    (static_asserts in corpus.cpp pin every offset), so an mmap'd raw
+//    block replays zero-copy: the span handed to the controller is the
+//    page cache itself.
+//  * Every block carries a CRC-32 over its uncompressed bytes, checked
+//    once on first touch (trust-after-verify: rewind() keeps the
+//    verified bits, so warm replay passes skip the sweep entirely).
+//    The mapping and its verified bits are shared process-wide between
+//    sources of the same unchanged file, so a sweep replaying one
+//    corpus across many cells pays the CRC sweep once, not per cell.
+//  * The footer CRC covers the index — and therefore every block CRC —
+//    which makes it a cheap whole-corpus identity: the campaign service
+//    journals it so a resumed trace job proves it replays the same
+//    bytes.
+//  * Compression (zstd, codec 1) is a per-block property and the format
+//    is self-describing: a build without zstd still reads raw corpora
+//    and reports a precise error for compressed ones.
+//  * The ground truth travels with the corpus: the aggressor oracle
+//    (the (bank, row) keys the attack generators marked) and the victim
+//    oracle (the rows the attacks aim to flip), so replayed experiments
+//    compute the same false-positive rate and victim-flip counts as
+//    generated ones.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tvp/trace/source.hpp"
+
+namespace tvp::trace {
+
+/// Per-block payload encoding.
+enum class CorpusCodec : std::uint32_t {
+  kRaw = 0,   ///< packed records, mmap-replayable in place
+  kZstd = 1,  ///< zstd-compressed packed records
+};
+
+/// True when this build can compress/decompress zstd blocks.
+bool corpus_zstd_available() noexcept;
+
+/// One footer index entry: everything needed to locate, size and check
+/// a block without touching its bytes.
+struct CorpusBlockInfo {
+  std::uint64_t offset = 0;        ///< file offset of the block header
+  std::uint64_t first_record = 0;  ///< global index of the block's first record
+  std::uint32_t records = 0;
+  CorpusCodec codec = CorpusCodec::kRaw;
+  std::uint32_t crc = 0;  ///< CRC-32 of the uncompressed record bytes
+  std::uint64_t min_time_ps = 0;
+  std::uint64_t max_time_ps = 0;
+};
+
+/// Parsed footer: the corpus's index and identity.
+struct CorpusInfo {
+  std::uint64_t total_records = 0;
+  /// CRC-32 of the footer bytes — the corpus identity (covers every
+  /// block CRC via the index).
+  std::uint32_t footer_crc = 0;
+  std::vector<CorpusBlockInfo> blocks;
+  /// Sorted (bank << 32 | row) keys of ground-truth aggressor rows.
+  std::vector<std::uint64_t> aggressors;
+  /// Sorted (bank << 32 | row) keys of the attacks' declared victim
+  /// rows (logical, pre-remap).
+  std::vector<std::uint64_t> victims;
+};
+
+/// Streaming corpus writer: append records (non-decreasing time_ps,
+/// enforced), then close() for a durable file. A writer destroyed
+/// without close() leaves no usable corpus (no footer/trailer).
+class CorpusWriter {
+ public:
+  struct Options {
+    /// Records per block; 64 Ki records = 1.5 MiB of raw payload.
+    std::size_t records_per_block = std::size_t{1} << 16;
+    CorpusCodec codec = CorpusCodec::kRaw;
+  };
+
+  /// Creates (truncates) @p path. Throws std::runtime_error on I/O
+  /// failure or when options.codec needs zstd and the build lacks it.
+  explicit CorpusWriter(const std::string& path);
+  CorpusWriter(const std::string& path, Options options);
+  CorpusWriter(const CorpusWriter&) = delete;
+  CorpusWriter& operator=(const CorpusWriter&) = delete;
+  ~CorpusWriter();
+
+  void append(const AccessRecord& record);
+  void append(const AccessRecord* records, std::size_t count);
+
+  /// Installs the aggressor oracle (any order; sorted and deduplicated
+  /// on write). Call any time before close().
+  void set_aggressors(std::vector<std::uint64_t> keys);
+
+  /// Installs the victim oracle (same key encoding and semantics).
+  void set_victims(std::vector<std::uint64_t> keys);
+
+  std::uint64_t records_written() const noexcept { return total_records_; }
+
+  /// Flushes the tail block, writes footer + trailer, fsyncs the file
+  /// and its directory. Returns the footer CRC (the corpus identity).
+  std::uint32_t close();
+
+ private:
+  void flush_block();
+  void fail(const std::string& what) const;
+
+  std::string path_;
+  Options options_;
+  int fd_ = -1;
+  std::vector<AccessRecord> block_;
+  std::vector<unsigned char> staging_;
+  std::vector<CorpusBlockInfo> index_;
+  std::vector<std::uint64_t> aggressors_;
+  std::vector<std::uint64_t> victims_;
+  std::uint64_t total_records_ = 0;
+  std::uint64_t write_offset_ = 0;
+  std::uint64_t last_time_ps_ = 0;
+};
+
+/// One process-wide read-only mapping of a corpus file, shared between
+/// every MmapSource over the same unchanged file (same device, inode,
+/// size, mtime and identity). Holds the per-block verified bits, so the
+/// CRC sweep runs once per corpus per process, not once per source.
+struct CorpusMapping;
+
+/// Replays a corpus file as a TraceSource. The file is mapped read-only
+/// and raw blocks stream zero-copy through next_span(); when mmap is
+/// unavailable (or fails) the source falls back to pread()-based block
+/// reads transparently. Construction parses and validates the trailer,
+/// footer and file header; block payloads are CRC-checked on first
+/// touch.
+class MmapSource final : public TraceSource {
+ public:
+  /// Throws std::runtime_error with a precise reason on any structural
+  /// problem (bad magic/version, truncated footer, compressed blocks
+  /// without zstd, ...).
+  explicit MmapSource(const std::string& path);
+  MmapSource(const MmapSource&) = delete;
+  MmapSource& operator=(const MmapSource&) = delete;
+  ~MmapSource() override;
+
+  std::optional<AccessRecord> next() override;
+  std::size_t next_batch(AccessRecord* out, std::size_t max) override;
+  bool supports_spans() const noexcept override { return true; }
+  std::size_t next_span(const AccessRecord** data) override;
+
+  /// Restarts the stream from the first record. Verified blocks stay
+  /// verified — a warm replay pass skips the CRC sweep. The bits are
+  /// shared process-wide, so a fresh MmapSource over the same unchanged
+  /// file starts warm too.
+  void rewind();
+
+  const CorpusInfo& info() const noexcept { return info_; }
+  const std::string& path() const noexcept { return path_; }
+  /// True when the file is memory-mapped (false = pread fallback).
+  bool mapped() const noexcept { return base_ != nullptr; }
+
+ private:
+  bool load_block(std::size_t index);
+  void fail(const std::string& what) const;
+
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t file_size_ = 0;
+  std::shared_ptr<CorpusMapping> mapping_;  // null in pread fallback mode
+  const unsigned char* base_ = nullptr;  // mapping_->base, cached
+  CorpusInfo info_;
+  std::vector<AccessRecord> scratch_;   // decode buffer (compressed / pread)
+  std::vector<unsigned char> comp_;     // compressed payload staging
+  std::size_t block_ = 0;               // next block to load
+  const AccessRecord* span_ = nullptr;  // current block's records
+  std::size_t span_len_ = 0;
+  std::size_t span_pos_ = 0;
+};
+
+/// Reads and validates header + trailer + footer only (no payload I/O):
+/// O(1) in the record count. This is how the campaign service computes
+/// a corpus identity before queuing a job.
+CorpusInfo read_corpus_info(const std::string& path);
+
+/// Full verification: parses the footer and CRC-checks every block.
+/// Returns the corpus info; throws with the failing block's index on
+/// corruption.
+CorpusInfo verify_corpus(const std::string& path);
+
+/// Convenience: writes @p records (time-sorted) as a single corpus.
+/// Returns the footer CRC.
+std::uint32_t write_corpus(const std::string& path,
+                           const std::vector<AccessRecord>& records,
+                           CorpusWriter::Options options = {});
+
+/// Convenience: loads every record of a corpus into memory.
+std::vector<AccessRecord> read_corpus(const std::string& path);
+
+/// Failpoint sites on the corpus I/O paths (see util/failpoint.hpp);
+/// the torture harness enumerates these.
+const std::vector<std::string>& corpus_failpoint_sites();
+
+}  // namespace tvp::trace

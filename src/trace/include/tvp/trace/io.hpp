@@ -1,10 +1,13 @@
 // Trace (de)serialisation.
 //
-// Two formats:
+// Three formats:
 //  * text — one record per line: "time_ps bank row R|W src A|B"
 //    (A = attack, B = benign); '#' starts a comment. Human-editable,
 //    interoperable with DRAM-simulator style traces.
-//  * binary — "TVPT" magic + version + packed records. Compact, exact.
+//  * binary v1 — "TVPT" magic + version + packed records. Compact,
+//    exact, single-shot.
+//  * corpus v2 — block-framed ".tvpc" with per-block CRCs and an index
+//    footer, built for mmap replay (see trace/corpus.hpp).
 #pragma once
 
 #include <iosfwd>
@@ -12,9 +15,23 @@
 #include <vector>
 
 #include "tvp/dram/geometry.hpp"
+#include "tvp/dram/timing.hpp"
 #include "tvp/trace/record.hpp"
 
 namespace tvp::trace {
+
+/// On-disk trace flavour for the save_trace/load_trace wrappers.
+enum class TraceFormat {
+  kAuto,      ///< pick by extension: .tvpt binary v1, .tvpc corpus, else text
+  kText,      ///< line-per-record text
+  kBinaryV1,  ///< "TVPT" packed records
+  kCorpus,    ///< v2 block-CRC corpus (trace/corpus.hpp)
+};
+
+/// Resolves kAuto against @p path (extension match is case-insensitive:
+/// ".tvpt", ".TVPT" and ".TvPt" all select binary v1); other formats
+/// pass through unchanged.
+TraceFormat resolve_trace_format(const std::string& path, TraceFormat format);
 
 /// Writes records as text; returns the record count.
 std::size_t write_text(std::ostream& os, const std::vector<AccessRecord>& records);
@@ -28,10 +45,14 @@ std::size_t write_binary(std::ostream& os, const std::vector<AccessRecord>& reco
 /// version, or truncation.
 std::vector<AccessRecord> read_binary(std::istream& is);
 
-/// Convenience file wrappers (format chosen by extension: ".tvpt" binary,
-/// anything else text). Throw std::runtime_error on I/O failure.
-void save_trace(const std::string& path, const std::vector<AccessRecord>& records);
-std::vector<AccessRecord> load_trace(const std::string& path);
+/// Convenience file wrappers. With kAuto (the default) the format
+/// follows the extension, case-insensitively: ".tvpt" binary v1,
+/// ".tvpc" corpus, anything else text; pass an explicit format to
+/// override the extension. Throw std::runtime_error on I/O failure.
+void save_trace(const std::string& path, const std::vector<AccessRecord>& records,
+                TraceFormat format = TraceFormat::kAuto);
+std::vector<AccessRecord> load_trace(const std::string& path,
+                                     TraceFormat format = TraceFormat::kAuto);
 
 /// Imports a DRAMSim2/ramulator-style *address* trace: one access per
 /// line, `0xADDRESS  R|W|READ|WRITE  [cycle]`, '#'/';' comments. The
@@ -41,6 +62,16 @@ std::vector<AccessRecord> load_trace(const std::string& path);
 /// benign; throws std::runtime_error with a line number on bad input.
 std::vector<AccessRecord> import_address_trace(std::istream& is,
                                                const dram::AddressMapper& mapper,
-                                               double t_ck_ps = 833.0);
+                                               double t_ck_ps);
+
+/// Same, with the clock period taken from @p timing (timing.t_ck_ps()).
+std::vector<AccessRecord> import_address_trace(std::istream& is,
+                                               const dram::AddressMapper& mapper,
+                                               const dram::Timing& timing);
+
+/// Default clock: the DDR4 preset's period (dram::ddr4_timing()), the
+/// same timing every SimConfig starts from — not a hardcoded constant.
+std::vector<AccessRecord> import_address_trace(std::istream& is,
+                                               const dram::AddressMapper& mapper);
 
 }  // namespace tvp::trace

@@ -29,6 +29,20 @@ class TraceSource {
   /// call from the consumer's side. The base implementation loops
   /// next(); sources with cheap bulk access override it.
   virtual std::size_t next_batch(AccessRecord* out, std::size_t max);
+
+  /// True when next_span() is cheaper than next_batch() for this
+  /// source — i.e. the records already live in memory and the source
+  /// can hand out a borrowed view instead of copying.
+  virtual bool supports_spans() const noexcept { return false; }
+
+  /// Zero-copy variant of next_batch(): points @p data at a contiguous
+  /// run of records owned by the source and returns its length
+  /// (0 = exhausted). The span stays valid until the next call on this
+  /// source. Span lengths are an implementation detail (block-sized for
+  /// mmap'd corpora, the whole tail for vectors); the concatenation of
+  /// all spans is exactly the next() sequence. Only meaningful when
+  /// supports_spans() is true; the base implementation returns 0.
+  virtual std::size_t next_span(const AccessRecord** data);
 };
 
 /// Replays a pre-built vector of records (must be time-sorted; verified
@@ -39,6 +53,9 @@ class VectorSource final : public TraceSource {
   std::optional<AccessRecord> next() override;
   /// Bulk copy out of the backing vector (one virtual call per batch).
   std::size_t next_batch(AccessRecord* out, std::size_t max) override;
+  bool supports_spans() const noexcept override { return true; }
+  /// Hands out the whole unconsumed tail of the vector in one span.
+  std::size_t next_span(const AccessRecord** data) override;
 
  private:
   std::vector<AccessRecord> records_;
@@ -83,6 +100,14 @@ class LimitSource final : public TraceSource {
   /// Forwards to the inner source's batch path, applying the record and
   /// time limits per record (identical cut-off to next()).
   std::size_t next_batch(AccessRecord* out, std::size_t max) override;
+  /// Spans pass through when the inner source supports them.
+  bool supports_spans() const noexcept override {
+    return inner_->supports_spans();
+  }
+  /// Borrows the inner span and trims it to the record/time limits
+  /// (identical cut-off to next(); the trim is a partition_point on the
+  /// time-sorted span, not a copy).
+  std::size_t next_span(const AccessRecord** data) override;
 
  private:
   std::unique_ptr<TraceSource> inner_;

@@ -1,12 +1,15 @@
 #include "tvp/trace/io.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "tvp/trace/corpus.hpp"
 
 namespace tvp::trace {
 
@@ -139,25 +142,49 @@ std::vector<AccessRecord> read_binary(std::istream& is) {
 }
 
 namespace {
-bool is_binary_path(const std::string& path) {
-  return path.size() >= 5 && path.compare(path.size() - 5, 5, ".tvpt") == 0;
+bool has_extension(const std::string& path, const char* ext) {
+  const std::size_t len = std::strlen(ext);
+  if (path.size() < len) return false;
+  const std::size_t base = path.size() - len;
+  for (std::size_t i = 0; i < len; ++i)
+    if (std::tolower(static_cast<unsigned char>(path[base + i])) != ext[i])
+      return false;
+  return true;
 }
 }  // namespace
 
-void save_trace(const std::string& path, const std::vector<AccessRecord>& records) {
-  std::ofstream os(path, is_binary_path(path) ? std::ios::binary : std::ios::out);
+TraceFormat resolve_trace_format(const std::string& path, TraceFormat format) {
+  if (format != TraceFormat::kAuto) return format;
+  if (has_extension(path, ".tvpt")) return TraceFormat::kBinaryV1;
+  if (has_extension(path, ".tvpc")) return TraceFormat::kCorpus;
+  return TraceFormat::kText;
+}
+
+void save_trace(const std::string& path, const std::vector<AccessRecord>& records,
+                TraceFormat format) {
+  format = resolve_trace_format(path, format);
+  if (format == TraceFormat::kCorpus) {
+    write_corpus(path, records);
+    return;
+  }
+  const bool binary = format == TraceFormat::kBinaryV1;
+  std::ofstream os(path, binary ? std::ios::binary : std::ios::out);
   if (!os) throw std::runtime_error("save_trace: cannot open " + path);
-  if (is_binary_path(path))
+  if (binary)
     write_binary(os, records);
   else
     write_text(os, records);
   if (!os) throw std::runtime_error("save_trace: write failed for " + path);
 }
 
-std::vector<AccessRecord> load_trace(const std::string& path) {
-  std::ifstream is(path, is_binary_path(path) ? std::ios::binary : std::ios::in);
+std::vector<AccessRecord> load_trace(const std::string& path,
+                                     TraceFormat format) {
+  format = resolve_trace_format(path, format);
+  if (format == TraceFormat::kCorpus) return read_corpus(path);
+  const bool binary = format == TraceFormat::kBinaryV1;
+  std::ifstream is(path, binary ? std::ios::binary : std::ios::in);
   if (!is) throw std::runtime_error("load_trace: cannot open " + path);
-  return is_binary_path(path) ? read_binary(is) : read_text(is);
+  return binary ? read_binary(is) : read_text(is);
 }
 
 std::vector<AccessRecord> import_address_trace(std::istream& is,
@@ -216,6 +243,17 @@ std::vector<AccessRecord> import_address_trace(std::istream& is,
     out.push_back(rec);
   }
   return out;
+}
+
+std::vector<AccessRecord> import_address_trace(std::istream& is,
+                                               const dram::AddressMapper& mapper,
+                                               const dram::Timing& timing) {
+  return import_address_trace(is, mapper, timing.t_ck_ps());
+}
+
+std::vector<AccessRecord> import_address_trace(std::istream& is,
+                                               const dram::AddressMapper& mapper) {
+  return import_address_trace(is, mapper, dram::ddr4_timing());
 }
 
 }  // namespace tvp::trace

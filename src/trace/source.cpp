@@ -15,6 +15,11 @@ std::size_t TraceSource::next_batch(AccessRecord* out, std::size_t max) {
   return n;
 }
 
+std::size_t TraceSource::next_span(const AccessRecord** data) {
+  *data = nullptr;
+  return 0;
+}
+
 VectorSource::VectorSource(std::vector<AccessRecord> records)
     : records_(std::move(records)) {
   for (std::size_t i = 1; i < records_.size(); ++i)
@@ -31,6 +36,13 @@ std::size_t VectorSource::next_batch(AccessRecord* out, std::size_t max) {
   const std::size_t n = std::min(max, records_.size() - pos_);
   std::copy_n(records_.begin() + static_cast<std::ptrdiff_t>(pos_), n, out);
   pos_ += n;
+  return n;
+}
+
+std::size_t VectorSource::next_span(const AccessRecord** data) {
+  const std::size_t n = records_.size() - pos_;
+  *data = n > 0 ? records_.data() + pos_ : nullptr;
+  pos_ = records_.size();
   return n;
 }
 
@@ -98,6 +110,33 @@ std::size_t LimitSource::next_batch(AccessRecord* out, std::size_t max) {
   }
   remaining_ -= got;
   if (got < want) remaining_ = 0;  // inner exhausted
+  return got;
+}
+
+std::size_t LimitSource::next_span(const AccessRecord** data) {
+  *data = nullptr;
+  if (remaining_ == 0) return 0;
+  const AccessRecord* span = nullptr;
+  std::size_t got = inner_->next_span(&span);
+  if (got == 0) {
+    remaining_ = 0;
+    return 0;
+  }
+  // Trim at the time horizon first: spans are time-sorted, so the cut
+  // is the partition point of time_ps < end_ps_.
+  const AccessRecord* cut = std::partition_point(
+      span, span + got,
+      [this](const AccessRecord& r) { return r.time_ps < end_ps_; });
+  const bool time_cut = cut != span + got;
+  if (time_cut) got = static_cast<std::size_t>(cut - span);
+  if (got >= remaining_) {
+    got = static_cast<std::size_t>(remaining_);
+    remaining_ = 0;
+  } else {
+    // A time cut kills the stream even under the record limit.
+    remaining_ = time_cut ? 0 : remaining_ - got;
+  }
+  *data = got > 0 ? span : nullptr;
   return got;
 }
 

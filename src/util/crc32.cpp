@@ -1,0 +1,76 @@
+#include "tvp/util/crc32.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace tvp::util {
+
+namespace {
+
+// Sixteen derived tables: table[0] is the classic byte-at-a-time table,
+// table[k][b] is the CRC of byte b followed by k zero bytes. Sixteen
+// lookups then advance the sum by sixteen input bytes at once ("slicing
+// by 16"), which keeps two independent 8-byte dependency chains in
+// flight per iteration.
+struct Tables {
+  std::uint32_t t[16][256];
+};
+
+Tables make_tables() {
+  Tables tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    tables.t[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i)
+    for (int k = 1; k < 16; ++k)
+      tables.t[k][i] =
+          tables.t[0][tables.t[k - 1][i] & 0xFFu] ^ (tables.t[k - 1][i] >> 8);
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed) noexcept {
+  static const Tables tables = make_tables();
+  const auto* t = tables.t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+
+  while (size >= 16) {
+    // Little-endian loads of the next sixteen bytes; memcpy keeps the
+    // reads aligned-safe and compiles to single movs.
+    std::uint64_t lo, hi;
+    std::memcpy(&lo, p, 8);
+    std::memcpy(&hi, p + 8, 8);
+    lo ^= c;
+    c = t[15][lo & 0xFFu] ^ t[14][(lo >> 8) & 0xFFu] ^
+        t[13][(lo >> 16) & 0xFFu] ^ t[12][(lo >> 24) & 0xFFu] ^
+        t[11][(lo >> 32) & 0xFFu] ^ t[10][(lo >> 40) & 0xFFu] ^
+        t[9][(lo >> 48) & 0xFFu] ^ t[8][(lo >> 56) & 0xFFu] ^
+        t[7][hi & 0xFFu] ^ t[6][(hi >> 8) & 0xFFu] ^
+        t[5][(hi >> 16) & 0xFFu] ^ t[4][(hi >> 24) & 0xFFu] ^
+        t[3][(hi >> 32) & 0xFFu] ^ t[2][(hi >> 40) & 0xFFu] ^
+        t[1][(hi >> 48) & 0xFFu] ^ t[0][(hi >> 56) & 0xFFu];
+    p += 16;
+    size -= 16;
+  }
+  while (size >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    chunk ^= c;
+    c = t[7][chunk & 0xFFu] ^ t[6][(chunk >> 8) & 0xFFu] ^
+        t[5][(chunk >> 16) & 0xFFu] ^ t[4][(chunk >> 24) & 0xFFu] ^
+        t[3][(chunk >> 32) & 0xFFu] ^ t[2][(chunk >> 40) & 0xFFu] ^
+        t[1][(chunk >> 48) & 0xFFu] ^ t[0][(chunk >> 56) & 0xFFu];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) c = t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace tvp::util

@@ -1,0 +1,27 @@
+// CRC-32 (ISO 3309, zlib polynomial 0xEDB88320).
+//
+// One implementation for every on-disk integrity check in the tree (the
+// campaign journal, the trace corpus). The kernel is slicing-by-8 — it
+// processes eight bytes per table round instead of one, which matters
+// for the corpus replay path where a CRC pass over every block is part
+// of the hot loop (GB/s, not hundreds of MB/s).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace tvp::util {
+
+/// CRC-32 of @p size bytes at @p data, seeded with @p seed (pass the
+/// running value to checksum a stream in chunks; 0 for a fresh sum).
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0) noexcept;
+
+/// Convenience overload for string payloads.
+inline std::uint32_t crc32(std::string_view data,
+                           std::uint32_t seed = 0) noexcept {
+  return crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace tvp::util

@@ -33,6 +33,7 @@
 
 #include <fcntl.h>
 #include <sys/epoll.h>
+#include <sys/mman.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -153,6 +154,18 @@ inline int unlink(const char* site, const char* path) {
   return ::unlink(path);
 }
 
+inline ssize_t pread(const char* site, int fd, void* buf, std::size_t count,
+                     ::off_t offset) {
+  TVP_FAILPOINT_INJECT(site, -1);
+  return ::pread(fd, buf, count, offset);
+}
+
+inline void* mmap(const char* site, void* addr, std::size_t length, int prot,
+                  int flags, int fd, ::off_t offset) {
+  TVP_FAILPOINT_INJECT(site, MAP_FAILED);
+  return ::mmap(addr, length, prot, flags, fd, offset);
+}
+
 inline ssize_t send(const char* site, int fd, const void* buf, std::size_t len,
                     int flags) {
   TVP_FAILPOINT_INJECT(site, -1);
@@ -189,6 +202,14 @@ inline ssize_t read_eintr(const char* site, int fd, void* buf,
                           std::size_t count) {
   while (true) {
     const ssize_t n = fp::read(site, fd, buf, count);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+inline ssize_t pread_eintr(const char* site, int fd, void* buf,
+                           std::size_t count, ::off_t offset) {
+  while (true) {
+    const ssize_t n = fp::pread(site, fd, buf, count, offset);
     if (n >= 0 || errno != EINTR) return n;
   }
 }

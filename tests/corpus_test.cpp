@@ -1,0 +1,450 @@
+// Tests for the v2 trace corpus (trace/corpus.hpp): the on-disk format,
+// CorpusWriter, MmapSource replay, corruption rejection, the span API,
+// and — the contract the whole record/replay pipeline stands on — that
+// a replayed sweep is bit-identical to a generated one.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "tvp/exp/config_io.hpp"
+#include "tvp/exp/runner.hpp"
+#include "tvp/exp/sweep.hpp"
+#include "tvp/mem/mitigation.hpp"
+#include "tvp/trace/corpus.hpp"
+#include "tvp/trace/io.hpp"
+#include "tvp/trace/source.hpp"
+
+namespace tvp::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Unique temp path per test; removed on scope exit.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_((fs::temp_directory_path() /
+               ("tvp_corpus_test_" + name + "_" +
+                std::to_string(::getpid()) + ".tvpc"))
+                  .string()) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<AccessRecord> make_records(std::size_t count,
+                                       std::uint64_t step_ps = 100) {
+  std::vector<AccessRecord> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    AccessRecord r;
+    r.time_ps = i * step_ps;
+    r.bank = static_cast<dram::BankId>(i % 4);
+    r.row = static_cast<dram::RowId>((i * 37) % 8192);
+    r.write = (i % 3) == 0;
+    r.is_attack = (i % 5) == 0;
+    r.source = static_cast<SourceId>(i % 7);
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ------------------------------------------------------------ round trips
+
+TEST(Corpus, RoundTripPreservesRecordsAndOracle) {
+  TempFile file("roundtrip");
+  const auto records = make_records(1000);
+  CorpusWriter::Options options;
+  options.records_per_block = 64;  // force many blocks
+  CorpusWriter writer(file.path(), options);
+  writer.append(records.data(), records.size());
+  writer.set_aggressors({42, 7, 42, 99});  // unsorted + duplicate
+  writer.set_victims({8, 3, 8});
+  const std::uint32_t identity = writer.close();
+  EXPECT_NE(identity, 0u);
+
+  const CorpusInfo info = read_corpus_info(file.path());
+  EXPECT_EQ(info.total_records, records.size());
+  EXPECT_EQ(info.footer_crc, identity);
+  EXPECT_EQ(info.blocks.size(), (records.size() + 63) / 64);
+  EXPECT_EQ(info.aggressors, (std::vector<std::uint64_t>{7, 42, 99}));
+  EXPECT_EQ(info.victims, (std::vector<std::uint64_t>{3, 8}));
+  EXPECT_EQ(info.blocks.front().min_time_ps, records.front().time_ps);
+  EXPECT_EQ(info.blocks.back().max_time_ps, records.back().time_ps);
+
+  EXPECT_EQ(read_corpus(file.path()), records);
+}
+
+TEST(Corpus, WriterIsDeterministic) {
+  // Equal record streams must produce byte-equal files (the identity
+  // hash and the journal depend on it) — in particular the struct tail
+  // padding must not leak indeterminate bytes to disk.
+  TempFile a("det_a");
+  TempFile b("det_b");
+  const auto records = make_records(257);
+  EXPECT_EQ(write_corpus(a.path(), records), write_corpus(b.path(), records));
+  EXPECT_EQ(slurp(a.path()), slurp(b.path()));
+}
+
+TEST(Corpus, EmptyCorpusRoundTrips) {
+  TempFile file("empty");
+  CorpusWriter writer(file.path());
+  writer.close();
+  const CorpusInfo info = verify_corpus(file.path());
+  EXPECT_EQ(info.total_records, 0u);
+  EXPECT_TRUE(info.blocks.empty());
+  MmapSource source(file.path());
+  EXPECT_FALSE(source.next().has_value());
+}
+
+TEST(Corpus, WriterRejectsTimeGoingBackwards) {
+  TempFile file("backwards");
+  CorpusWriter writer(file.path());
+  AccessRecord r;
+  r.time_ps = 100;
+  writer.append(r);
+  r.time_ps = 99;
+  EXPECT_THROW(writer.append(r), std::invalid_argument);
+}
+
+TEST(Corpus, MmapSourceStreamsIdenticallyToEveryApi) {
+  TempFile file("apis");
+  const auto records = make_records(500);
+  CorpusWriter::Options options;
+  options.records_per_block = 100;
+  write_corpus(file.path(), records, options);
+
+  MmapSource by_next(file.path());
+  std::vector<AccessRecord> via_next;
+  while (auto r = by_next.next()) via_next.push_back(*r);
+  EXPECT_EQ(via_next, records);
+
+  MmapSource by_batch(file.path());
+  std::vector<AccessRecord> via_batch(records.size());
+  std::size_t got = 0;
+  // An awkward batch size that straddles block boundaries.
+  while (const std::size_t n =
+             by_batch.next_batch(via_batch.data() + got, 77))
+    got += n;
+  via_batch.resize(got);
+  EXPECT_EQ(via_batch, records);
+
+  MmapSource by_span(file.path());
+  ASSERT_TRUE(by_span.supports_spans());
+  std::vector<AccessRecord> via_span;
+  const AccessRecord* span = nullptr;
+  while (const std::size_t n = by_span.next_span(&span))
+    via_span.insert(via_span.end(), span, span + n);
+  EXPECT_EQ(via_span, records);
+}
+
+TEST(Corpus, RewindReplaysIdentically) {
+  TempFile file("rewind");
+  const auto records = make_records(300);
+  CorpusWriter::Options options;
+  options.records_per_block = 128;
+  write_corpus(file.path(), records, options);
+
+  MmapSource source(file.path());
+  const AccessRecord* span = nullptr;
+  std::vector<AccessRecord> first;
+  while (const std::size_t n = source.next_span(&span))
+    first.insert(first.end(), span, span + n);
+  source.rewind();  // second pass rides the trust-after-verify fast path
+  std::vector<AccessRecord> second;
+  while (const std::size_t n = source.next_span(&span))
+    second.insert(second.end(), span, span + n);
+  EXPECT_EQ(first, records);
+  EXPECT_EQ(second, records);
+}
+
+// ------------------------------------------------------- corruption cases
+
+TEST(Corpus, CorruptedBlockPayloadIsRejected) {
+  TempFile file("corrupt_block");
+  const auto records = make_records(200);
+  CorpusWriter::Options options;
+  options.records_per_block = 50;
+  write_corpus(file.path(), records, options);
+
+  // Flip one byte inside the third block's payload (row field of some
+  // record): the footer still parses, the block CRC must catch it.
+  const CorpusInfo info = read_corpus_info(file.path());
+  ASSERT_GE(info.blocks.size(), 3u);
+  auto bytes = slurp(file.path());
+  const std::size_t victim =
+      static_cast<std::size_t>(info.blocks[2].offset) + 40 + 12;
+  bytes[victim] = static_cast<char>(bytes[victim] ^ 0x40);
+  spit(file.path(), bytes);
+
+  // Opening still succeeds (the footer is intact)...
+  EXPECT_EQ(read_corpus_info(file.path()).total_records, records.size());
+  // ...but touching the corrupt block reports it precisely.
+  try {
+    verify_corpus(file.path());
+    FAIL() << "corrupt block not detected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("block 2"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Corpus, TruncatedFooterIsRejected) {
+  TempFile file("trunc_footer");
+  write_corpus(file.path(), make_records(100));
+  auto bytes = slurp(file.path());
+  // Chop 16 bytes out of the middle: the trailer magic is gone.
+  bytes.resize(bytes.size() - 16);
+  spit(file.path(), bytes);
+  EXPECT_THROW(read_corpus_info(file.path()), std::runtime_error);
+  EXPECT_THROW(MmapSource{file.path()}, std::runtime_error);
+}
+
+TEST(Corpus, TamperedFooterIsRejected) {
+  TempFile file("tamper_footer");
+  write_corpus(file.path(), make_records(100));
+  auto bytes = slurp(file.path());
+  // Corrupt a footer byte but leave the trailer intact: the footer CRC
+  // in the trailer must catch it.
+  bytes[bytes.size() - 24 - 4] ^= 0x01;
+  spit(file.path(), bytes);
+  try {
+    read_corpus_info(file.path());
+    FAIL() << "tampered footer not detected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("footer CRC"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Corpus, NotACorpusIsRejected) {
+  TempFile file("not_a_corpus");
+  std::ofstream(file.path()) << "definitely not a corpus, far too short";
+  EXPECT_THROW(read_corpus_info(file.path()), std::runtime_error);
+  std::ofstream(file.path(), std::ios::trunc)
+      << std::string(4096, 'x');  // long enough, wrong magic
+  EXPECT_THROW(read_corpus_info(file.path()), std::runtime_error);
+}
+
+// ------------------------------------------------------------ format glue
+
+TEST(Corpus, SaveLoadTraceSpeaksCorpus) {
+  TempFile file("save_load");
+  const auto records = make_records(64);
+  save_trace(file.path(), records);  // .tvpc extension selects corpus
+  EXPECT_EQ(load_trace(file.path()), records);
+  // Explicit format overrides the extension.
+  const std::string text_path = file.path() + ".txt";
+  save_trace(text_path, records, TraceFormat::kCorpus);
+  EXPECT_EQ(load_trace(text_path, TraceFormat::kCorpus), records);
+  std::remove(text_path.c_str());
+}
+
+TEST(Corpus, ZstdGateReportsHonestly) {
+  // Whatever the build, the predicate and the writer must agree.
+  TempFile file("zstd_gate");
+  CorpusWriter::Options options;
+  options.codec = CorpusCodec::kZstd;
+  if (corpus_zstd_available()) {
+    const auto records = make_records(128);
+    write_corpus(file.path(), records, options);
+    EXPECT_EQ(read_corpus(file.path()), records);
+  } else {
+    EXPECT_THROW(CorpusWriter(file.path(), options), std::runtime_error);
+  }
+}
+
+// ----------------------------------------------- replay == generation
+
+// The pipeline's reason to exist: record once, then replay through the
+// full simulation and get bit-identical results — stats, FPR ground
+// truth (driven by the corpus-carried aggressor oracle), and the exact
+// flip history — for every technique. Named *BitIdentical* so the CI
+// determinism job (TVP_JOBS=1 vs 8) exercises it too.
+// A deliberately tiny system, mirroring exp_test's batch-equivalence
+// config: real tREFI shape, scaled thresholds so deterministic
+// techniques trigger and flips land within the short run.
+exp::SimConfig small_attacked_config() {
+  exp::SimConfig cfg;
+  cfg.geometry.banks_per_rank = 4;
+  cfg.geometry.rows_per_bank = 16384;
+  cfg.timing.t_refw_ps = 2'000'000'000;  // 2 ms window
+  cfg.timing.refresh_intervals = 256;    // keeps tREFI at ~7.8 us
+  cfg.windows = 1;
+  cfg.workload.benign_acts_per_interval_per_bank = 5.0;
+  cfg.technique.flip_threshold = 4000;
+  cfg.disturbance.flip_threshold = 3000;
+  trace::AttackConfig attack;
+  attack.victims = {1000, 5000};
+  attack.rows_per_bank = cfg.geometry.rows_per_bank;
+  attack.interarrival_ps = 180'000;  // 4 * tRC: ~11 K attack ACTs
+  cfg.workload.attacks.push_back(attack);
+  cfg.finalize();
+  return cfg;
+}
+
+void expect_identical_runs(const exp::RunResult& gen, const exp::RunResult& rep) {
+  EXPECT_EQ(gen.records, rep.records);
+  EXPECT_EQ(gen.stats.demand_acts, rep.stats.demand_acts);
+  EXPECT_EQ(gen.stats.extra_acts, rep.stats.extra_acts);
+  EXPECT_EQ(gen.stats.fp_extra_acts, rep.stats.fp_extra_acts);
+  EXPECT_EQ(gen.stats.triggers, rep.stats.triggers);
+  EXPECT_EQ(gen.stats.reads, rep.stats.reads);
+  EXPECT_EQ(gen.stats.writes, rep.stats.writes);
+  EXPECT_EQ(gen.stats.delayed_acts, rep.stats.delayed_acts);
+  EXPECT_EQ(gen.stats.first_extra_act_at, rep.stats.first_extra_act_at);
+  EXPECT_EQ(gen.stats.extra_acts_by_phase, rep.stats.extra_acts_by_phase);
+  EXPECT_EQ(gen.flips, rep.flips);
+  EXPECT_EQ(gen.victim_flips, rep.victim_flips);
+  EXPECT_EQ(gen.peak_disturbance, rep.peak_disturbance);
+  ASSERT_EQ(gen.flip_events.size(), rep.flip_events.size());
+  for (std::size_t i = 0; i < gen.flip_events.size(); ++i) {
+    EXPECT_EQ(gen.flip_events[i].bank, rep.flip_events[i].bank) << "flip " << i;
+    EXPECT_EQ(gen.flip_events[i].row, rep.flip_events[i].row) << "flip " << i;
+    EXPECT_EQ(gen.flip_events[i].at_activation, rep.flip_events[i].at_activation)
+        << "flip " << i;
+    EXPECT_EQ(gen.flip_events[i].interval, rep.flip_events[i].interval)
+        << "flip " << i;
+  }
+}
+
+TEST(CorpusReplay, EveryTechniqueReplayIsBitIdenticalToGenerated) {
+  const exp::SimConfig cfg = small_attacked_config();
+
+  TempFile file("replay_equiv");
+  exp::record_corpus(cfg, file.path());
+
+  exp::SimConfig replay_cfg = cfg;
+  replay_cfg.workload.model = exp::BenignModel::kReplay;
+  replay_cfg.workload.trace_path = file.path();
+  replay_cfg.workload.attacks.clear();  // the corpus already has them
+  replay_cfg.finalize();
+
+  {
+    SCOPED_TRACE("none");
+    const auto none = [](dram::BankId, util::Rng) {
+      return std::make_unique<mem::NoMitigation>();
+    };
+    expect_identical_runs(exp::run_custom_simulation(none, "none", cfg),
+                          exp::run_custom_simulation(none, "none", replay_cfg));
+  }
+  for (const auto technique : hw::kAllTechniques) {
+    SCOPED_TRACE(std::string(hw::to_string(technique)));
+    expect_identical_runs(exp::run_simulation(technique, cfg),
+                          exp::run_simulation(technique, replay_cfg));
+  }
+}
+
+TEST(CorpusReplay, ReplayedParamSweepIsBitIdenticalToGenerated) {
+  // Same contract one layer up, through the sweep engine the campaign
+  // service drives: a sweep over a replay config equals the generated
+  // sweep cell for cell (this is what a --trace campaign runs).
+  exp::SimConfig cfg;
+  cfg.geometry.banks_per_rank = 2;
+  cfg.windows = 1;
+  cfg.workload.benign_acts_per_interval_per_bank = 8.0;
+  trace::AttackConfig attack;
+  attack.victims = {2000};
+  attack.rows_per_bank = cfg.geometry.rows_per_bank;
+  cfg.workload.attacks.push_back(attack);
+  cfg.finalize();
+
+  TempFile file("sweep_equiv");
+  exp::record_corpus(cfg, file.path());
+
+  const util::KeyValueFile gen_base =
+      util::KeyValueFile::parse(exp::to_config_text(cfg));
+  util::KeyValueFile rep_base = gen_base;
+  rep_base.set("workload.model", "replay");
+  rep_base.set("workload.trace", file.path());
+  rep_base.set("attack.count", "0");  // attacks live in the corpus now
+
+  const std::vector<std::string> values = {"14", "15"};
+  const std::vector<hw::Technique> techniques = {hw::Technique::kPara,
+                                                 hw::Technique::kLiPRoMi};
+  const exp::SweepResult gen = exp::run_param_sweep(
+      gen_base, "technique.pbase_exp", values, techniques);
+  const exp::SweepResult rep = exp::run_param_sweep(
+      rep_base, "technique.pbase_exp", values, techniques);
+
+  ASSERT_EQ(gen.cells.size(), rep.cells.size());
+  for (std::size_t i = 0; i < gen.cells.size(); ++i) {
+    SCOPED_TRACE(gen.cells[i].technique + " @ " + gen.cells[i].value);
+    const exp::RunResult& g = gen.cells[i].result;
+    const exp::RunResult& r = rep.cells[i].result;
+    EXPECT_EQ(g.stats.demand_acts, r.stats.demand_acts);
+    EXPECT_EQ(g.stats.extra_acts, r.stats.extra_acts);
+    EXPECT_EQ(g.stats.fp_extra_acts, r.stats.fp_extra_acts);
+    EXPECT_EQ(g.stats.triggers, r.stats.triggers);
+    EXPECT_EQ(g.flips, r.flips);
+    EXPECT_EQ(g.victim_flips, r.victim_flips);
+  }
+}
+
+TEST(CorpusReplay, ReplayConfigRoundTripsThroughConfigText) {
+  exp::SimConfig cfg;
+  cfg.workload.model = exp::BenignModel::kReplay;
+  cfg.workload.trace_path = "/tmp/some.tvpc";
+  const std::string text = exp::to_config_text(cfg);
+  exp::SimConfig parsed;
+  exp::apply_config(parsed, util::KeyValueFile::parse(text));
+  EXPECT_EQ(parsed.workload.model, exp::BenignModel::kReplay);
+  EXPECT_EQ(parsed.workload.trace_path, "/tmp/some.tvpc");
+}
+
+TEST(CorpusReplay, ReplayWithoutTracePathIsRejected) {
+  exp::SimConfig cfg;
+  cfg.workload.model = exp::BenignModel::kReplay;
+  EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+}
+
+TEST(CorpusReplay, RecordCorpusStoresTheAggressorOracle) {
+  exp::SimConfig cfg;
+  cfg.geometry.banks_per_rank = 2;
+  cfg.windows = 1;
+  cfg.workload.benign_acts_per_interval_per_bank = 5.0;
+  trace::AttackConfig attack;
+  attack.victims = {1000, 5000};
+  attack.rows_per_bank = cfg.geometry.rows_per_bank;
+  cfg.workload.attacks.push_back(attack);
+  cfg.finalize();
+
+  TempFile file("oracle");
+  exp::record_corpus(cfg, file.path());
+
+  // The stored oracle equals the generation-time ground truth.
+  std::unordered_set<std::uint64_t> expected;
+  util::Rng workload_rng = util::Rng(cfg.seed).fork();
+  exp::build_workload(cfg, workload_rng, &expected);
+  const CorpusInfo info = read_corpus_info(file.path());
+  EXPECT_EQ(info.aggressors.size(), expected.size());
+  for (const auto key : info.aggressors) EXPECT_TRUE(expected.count(key));
+  // The declared victims (bank 0, logical rows) ride along too.
+  EXPECT_EQ(info.victims, (std::vector<std::uint64_t>{1000, 5000}));
+}
+
+}  // namespace
+}  // namespace tvp::trace

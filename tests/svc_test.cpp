@@ -21,6 +21,8 @@
 
 #include "tvp/exp/sweep.hpp"
 #include "tvp/svc/client.hpp"
+#include "tvp/trace/corpus.hpp"
+#include "tvp/util/table.hpp"
 #include "tvp/svc/engine.hpp"
 #include "tvp/svc/journal.hpp"
 #include "tvp/svc/queue.hpp"
@@ -595,6 +597,121 @@ TEST_F(SvcTest, SubmitRejectsJournalSpecMismatch) {
   EXPECT_EQ(engine.submit(tiny_spec("same_name", 2), &error), 0u)
       << "same name with a different spec must be rejected";
   EXPECT_NE(error.find("different spec"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace (replay) jobs
+// ---------------------------------------------------------------------------
+
+TEST(JobSpec, CanonicalJsonOmitsTraceKeysWhenUnset) {
+  // Journals written before trace jobs existed must keep their exact
+  // canonical JSON — the resume spec-mismatch check compares the bytes.
+  const JobSpec plain = tiny_spec("plain", 1);
+  EXPECT_EQ(plain.canonical_json().find("\"trace\""), std::string::npos);
+
+  JobSpec traced = plain;
+  traced.trace = "/corpora/run.tvpc";
+  traced.trace_hash = "0a1b2c3d";
+  const JobSpec back =
+      JobSpec::from_json(util::JsonValue::parse(traced.canonical_json()));
+  EXPECT_EQ(back.trace, traced.trace);
+  EXPECT_EQ(back.trace_hash, traced.trace_hash);
+  EXPECT_EQ(back.canonical_json(), traced.canonical_json());
+}
+
+TEST_F(SvcTest, TraceJobReplayMatchesDirectSweepAndPinsIdentity) {
+  // Record the corpus the job will replay: the same system the job's
+  // config describes.
+  const JobSpec base_spec = tiny_spec("traced", 5);
+  exp::SimConfig sim;
+  exp::apply_config(sim, util::KeyValueFile::parse(base_spec.config_text));
+  const std::string corpus = path("traced.tvpc");
+  const std::uint32_t identity = exp::record_corpus(sim, corpus);
+
+  EngineConfig config;
+  config.journal_dir = path("journals");
+  CampaignEngine engine(config);
+  engine.start();
+  JobSpec spec = base_spec;
+  spec.trace = corpus;
+  std::string error;
+  const std::uint64_t id = engine.submit(spec, &error);
+  ASSERT_NE(id, 0u) << error;
+  const JobStatus status = wait_terminal(engine, id);
+  EXPECT_EQ(status.state, JobState::kDone) << status.error;
+
+  // Reference: the same matrix swept directly over a replay config.
+  util::KeyValueFile base = util::KeyValueFile::parse(spec.config_text);
+  base.set("workload.model", "replay");
+  base.set("workload.trace", corpus);
+  exp::SweepHooks hooks;
+  hooks.jobs = 1;
+  const exp::SweepResult direct =
+      exp::run_param_sweep(base, spec.param_key, spec.values,
+                           spec.parsed_techniques(), hooks);
+  const auto result = engine.result(id);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(exp::sweep_to_csv(*result), exp::sweep_to_csv(direct));
+
+  // Submit filled the identity and journalled it with the spec.
+  const Journal::Replay replay =
+      Journal::replay(engine.journal_path("traced"));
+  EXPECT_EQ(replay.spec.trace_hash, util::strfmt("%08x", identity));
+  engine.shutdown(true);
+}
+
+TEST_F(SvcTest, TraceJobRejectsMissingCorpusBadHashAndDanglingHash) {
+  EngineConfig config;
+  CampaignEngine engine(config);  // not started: submit-time checks only
+  std::string error;
+
+  JobSpec missing = tiny_spec("missing_corpus", 1);
+  missing.trace = path("nowhere.tvpc");
+  EXPECT_EQ(engine.submit(missing, &error), 0u);
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+
+  const std::string corpus = path("tiny.tvpc");
+  trace::write_corpus(corpus, {});
+  JobSpec mismatched = tiny_spec("stale_hash", 1);
+  mismatched.trace = corpus;
+  mismatched.trace_hash = "deadbeef";  // not this corpus's identity
+  EXPECT_EQ(engine.submit(mismatched, &error), 0u);
+  EXPECT_NE(error.find("changed underneath"), std::string::npos) << error;
+
+  JobSpec dangling = tiny_spec("dangling_hash", 1);
+  dangling.trace_hash = "deadbeef";
+  EXPECT_EQ(engine.submit(dangling, &error), 0u);
+  EXPECT_NE(error.find("without a trace path"), std::string::npos) << error;
+}
+
+TEST_F(SvcTest, ResumeRefusesACorpusChangedUnderneath) {
+  const JobSpec base_spec = tiny_spec("changed_corpus", 3);
+  exp::SimConfig sim;
+  exp::apply_config(sim, util::KeyValueFile::parse(base_spec.config_text));
+  const std::string corpus = path("changed.tvpc");
+  exp::record_corpus(sim, corpus);
+
+  EngineConfig config;
+  config.journal_dir = path("journals");
+  {
+    CampaignEngine engine(config);  // not started: the job stays queued,
+                                    // but its journal header is durable
+    JobSpec spec = base_spec;
+    spec.trace = corpus;
+    std::string error;
+    ASSERT_NE(engine.submit(spec, &error), 0u) << error;
+  }
+
+  // Re-record with a different seed: same path, different bytes — the
+  // journalled identity no longer matches.
+  sim.seed = 99;
+  sim.finalize();
+  exp::record_corpus(sim, corpus);
+
+  CampaignEngine engine(config);
+  EXPECT_TRUE(engine.start().empty())
+      << "a corpus changed underneath a journalled job must not resume";
+  engine.shutdown(true);
 }
 
 /// Executor-pool isolation: jobs running concurrently on four workers

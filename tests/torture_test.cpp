@@ -31,11 +31,14 @@
 #include <thread>
 #include <vector>
 
+#include "tvp/exp/config_io.hpp"
+#include "tvp/exp/runner.hpp"
 #include "tvp/exp/sweep.hpp"
 #include "tvp/svc/client.hpp"
 #include "tvp/svc/engine.hpp"
 #include "tvp/svc/journal.hpp"
 #include "tvp/svc/server.hpp"
+#include "tvp/trace/corpus.hpp"
 #include "tvp/util/config.hpp"
 #include "tvp/util/failpoint.hpp"
 #include "tvp/util/log.hpp"
@@ -570,6 +573,223 @@ TEST_F(TortureTest, ServerSurvivesInjectedEpollFaults) {
   EXPECT_NO_THROW(healthy.ping()) << "the daemon must have survived it all";
   healthy.shutdown(false);
   serving.join();
+}
+
+// ---------------------------------------------------------------------------
+// Corpus (trace record/replay) I/O torture: the .tvpc writer must never
+// leave a half-written file that a reader accepts, and the mmap reader
+// must degrade to pread without changing a single record.
+// ---------------------------------------------------------------------------
+
+/// The same tiny campaign as torture_spec(), as a SimConfig for
+/// exp::record_corpus.
+exp::SimConfig corpus_sim_config() {
+  exp::SimConfig sim;
+  exp::apply_config(sim, util::KeyValueFile::parse(torture_spec().config_text));
+  return sim;
+}
+
+/// Small blocks so the block-write site fires more than once.
+trace::CorpusWriter::Options corpus_options() {
+  trace::CorpusWriter::Options options;
+  options.records_per_block = 64;
+  return options;
+}
+
+/// EIO at every (writer site, Nth occurrence): the record must fail with
+/// an exception, whatever lingers on disk must be either rejected or the
+/// complete corpus (a directory-durability fault lands after the data
+/// fsync), and re-recording over the same path must recover the
+/// reference corpus bit-identically.
+TEST_F(TortureTest, ErrnoAtEveryCorpusWriteSiteNeverLeavesAHalfCorpus) {
+  const exp::SimConfig sim = corpus_sim_config();
+
+  // Counting pass: one clean record with inert failpoints learns how
+  // often every writer site fires. (Read sites are tortured below.)
+  const std::string count_file = path("count.tvpc");
+  failpoint::reset();
+  const std::uint32_t identity =
+      exp::record_corpus(sim, count_file, corpus_options());
+  std::vector<TortureCase> cases;
+  for (const auto& site : trace::corpus_failpoint_sites()) {
+    if (site.rfind("corpus.read.", 0) == 0) continue;
+    for (std::uint64_t n = 1; n <= failpoint::hits(site); ++n)
+      cases.push_back({site, n});
+  }
+  failpoint::reset();
+  ASSERT_FALSE(cases.empty()) << "no corpus writer sites fired";
+  const trace::CorpusInfo reference = trace::verify_corpus(count_file);
+  ASSERT_EQ(reference.footer_crc, identity);
+
+  std::size_t index = 0;
+  for (const TortureCase& torture : cases) {
+    SCOPED_TRACE("EIO at " + torture.site + "@" + std::to_string(torture.nth));
+    const std::string file =
+        path("eio_" + std::to_string(index++) + ".tvpc");
+    failpoint::reset();
+    failpoint::Policy policy;
+    policy.action = failpoint::Policy::Action::kReturnErrno;
+    policy.error = EIO;
+    policy.nth = torture.nth;
+    failpoint::set(torture.site, policy);
+    EXPECT_THROW(exp::record_corpus(sim, file, corpus_options()),
+                 std::runtime_error);
+    failpoint::reset();
+
+    // Never half-done: the leftover either fails verification outright
+    // or is the full reference corpus.
+    try {
+      const trace::CorpusInfo leftover = trace::verify_corpus(file);
+      EXPECT_EQ(leftover.footer_crc, reference.footer_crc);
+      EXPECT_EQ(leftover.total_records, reference.total_records);
+    } catch (const std::exception&) {
+      // Rejected — equally fine.
+    }
+
+    // Recovery: re-recording over the debris must restore the exact
+    // reference identity.
+    EXPECT_EQ(exp::record_corpus(sim, file, corpus_options()),
+              reference.footer_crc);
+    EXPECT_EQ(trace::verify_corpus(file).total_records,
+              reference.total_records);
+  }
+}
+
+/// SIGKILL mid-write (forked child) leaves a torn file — no header-only
+/// stub, missing footer, or missing trailer may ever parse.
+TEST_F(TortureTest, KillDuringCorpusWriteLeavesARejectedFile) {
+  const exp::SimConfig sim = corpus_sim_config();
+  std::size_t index = 0;
+  for (const char* site : {"corpus.block.write", "corpus.footer.write",
+                           "corpus.trailer.write"}) {
+    SCOPED_TRACE(site);
+    const std::string file =
+        path("kill_" + std::to_string(index++) + ".tvpc");
+
+    const pid_t pid = ::fork();
+    ASSERT_NE(pid, -1) << std::strerror(errno);
+    if (pid == 0) {
+      util::set_log_level(util::LogLevel::kOff);
+      failpoint::reset();
+      failpoint::Policy policy;
+      policy.action = failpoint::Policy::Action::kKill;
+      policy.nth = 1;
+      failpoint::set(site, policy);
+      try {
+        exp::record_corpus(sim, file, corpus_options());
+      } catch (...) {
+      }
+      ::_exit(7);  // unreachable unless the failpoint never fired
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid) << std::strerror(errno);
+    ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+        << "child did not die at the failpoint (status " << status << ")";
+
+    failpoint::reset();
+    try {
+      trace::read_corpus_info(file);
+      FAIL() << "a corpus killed at " << site << " must not parse";
+    } catch (const std::exception& e) {
+      // The rejection must name the file and be a framing diagnosis,
+      // not a misread.
+      EXPECT_NE(std::string(e.what()).find(file), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("corpus"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+/// An injected mmap failure demotes the reader to pread; every record
+/// streamed through the fallback must be bit-identical to the mapped
+/// path.
+TEST_F(TortureTest, MmapFailureFallsBackToPreadBitIdentically) {
+  const exp::SimConfig sim = corpus_sim_config();
+  const std::string file = path("fallback.tvpc");
+  exp::record_corpus(sim, file, corpus_options());
+
+  // The demoted source first: a mapped source would populate the
+  // process-wide mapping cache and the injected mmap would never run.
+  failpoint::reset();
+  failpoint::Policy policy;
+  policy.action = failpoint::Policy::Action::kReturnErrno;
+  policy.error = EIO;
+  policy.nth = 1;
+  failpoint::set("corpus.read.mmap", policy);
+  trace::MmapSource source(file);
+  EXPECT_FALSE(source.mapped()) << "the injected mmap failure must demote";
+  failpoint::reset();
+
+  std::vector<trace::AccessRecord> fallback;
+  while (const auto record = source.next()) fallback.push_back(*record);
+  EXPECT_EQ(fallback.size(), source.info().total_records);
+
+  std::vector<trace::AccessRecord> mapped;
+  trace::MmapSource verify(file);
+  ASSERT_TRUE(verify.mapped());
+  while (const auto record = verify.next()) mapped.push_back(*record);
+  EXPECT_EQ(fallback, mapped);
+}
+
+/// EIO from pread in the fallback path is a precise read error naming
+/// the file — never a silent short stream.
+TEST_F(TortureTest, PreadFaultInTheFallbackPathIsAPreciseError) {
+  const exp::SimConfig sim = corpus_sim_config();
+  const std::string file = path("pread_eio.tvpc");
+  exp::record_corpus(sim, file, corpus_options());
+
+  failpoint::reset();
+  failpoint::Policy policy;
+  policy.action = failpoint::Policy::Action::kReturnErrno;
+  policy.error = EIO;
+  policy.nth = 1;
+  failpoint::set("corpus.read.mmap", policy);
+  trace::MmapSource source(file);
+  ASSERT_FALSE(source.mapped());
+  failpoint::reset();
+
+  policy.nth = 1;
+  failpoint::set("corpus.read.pread", policy);
+  try {
+    source.next();
+    FAIL() << "the injected pread fault must surface";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("read failed"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find(file), std::string::npos) << e.what();
+  }
+}
+
+/// An EINTR inside corpus pread (a signal landed) must be retried, not
+/// surface as a failure — same contract as the journal reader.
+TEST_F(TortureTest, CorpusReadRetriesInterruptedPread) {
+  const exp::SimConfig sim = corpus_sim_config();
+  const std::string file = path("pread_eintr.tvpc");
+  exp::record_corpus(sim, file, corpus_options());
+
+  failpoint::reset();
+  failpoint::Policy policy;
+  policy.action = failpoint::Policy::Action::kReturnErrno;
+  policy.error = EINTR;
+  policy.nth = 1;
+  failpoint::set("corpus.read.pread", policy);
+  EXPECT_NO_THROW(trace::read_corpus_info(file));
+  EXPECT_GE(failpoint::hits("corpus.read.pread"), 2u)
+      << "the interrupted pread must have been retried";
+}
+
+/// One record + verify round trip must drive every corpus site —
+/// otherwise the torture matrix silently shrank because a shim was
+/// unwired.
+TEST_F(TortureTest, ScenariosCoverEveryCorpusSite) {
+  const exp::SimConfig sim = corpus_sim_config();
+  const std::string file = path("coverage.tvpc");
+  failpoint::reset();
+  exp::record_corpus(sim, file, corpus_options());
+  trace::verify_corpus(file);
+  for (const auto& site : trace::corpus_failpoint_sites())
+    EXPECT_GT(failpoint::hits(site), 0u) << site << " is never exercised";
 }
 
 }  // namespace

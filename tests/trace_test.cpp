@@ -67,6 +67,21 @@ TEST(MergedSource, TieBreaksByRegistrationOrder) {
   EXPECT_EQ(merged.next()->bank, 1u);
 }
 
+TEST(MergedSource, ThreeWayTieKeepsRegistrationOrderThroughout) {
+  // Replay determinism leans on this: when several sources agree on a
+  // timestamp — including runs of equal times within one source — the
+  // merged order is registration order, every time.
+  std::vector<std::unique_ptr<TraceSource>> sources;
+  for (std::uint32_t s = 0; s < 3; ++s)
+    sources.push_back(std::make_unique<VectorSource>(
+        std::vector<AccessRecord>{rec(5, s), rec(5, s), rec(7, s)}));
+  MergedSource merged(std::move(sources));
+  std::vector<std::uint32_t> banks;
+  while (auto r = merged.next()) banks.push_back(r->bank);
+  EXPECT_EQ(banks,
+            (std::vector<std::uint32_t>{0, 0, 1, 1, 2, 2, 0, 1, 2}));
+}
+
 TEST(LimitSource, CutsByCountAndTime) {
   auto inner = std::make_unique<VectorSource>(
       std::vector<AccessRecord>{rec(1), rec(2), rec(3), rec(100)});
@@ -159,6 +174,75 @@ TEST(NextBatch, DeadSourceKeepsReturningZero) {
   EXPECT_EQ(src.next_batch(buf, 4), 0u);
   EXPECT_EQ(src.next_batch(buf, 4), 0u);
   EXPECT_FALSE(src.next().has_value());
+}
+
+// --------------------------------------------------------------- next_span
+
+// Drains @p a via next() and @p b via next_span() and requires the two
+// record sequences to be identical.
+void expect_span_equals_next(TraceSource& a, TraceSource& b) {
+  std::vector<AccessRecord> via_next;
+  while (auto r = a.next()) via_next.push_back(*r);
+
+  std::vector<AccessRecord> via_span;
+  const AccessRecord* span = nullptr;
+  while (const std::size_t n = b.next_span(&span))
+    via_span.insert(via_span.end(), span, span + n);
+
+  ASSERT_EQ(via_next.size(), via_span.size());
+  for (std::size_t i = 0; i < via_next.size(); ++i)
+    EXPECT_TRUE(via_next[i] == via_span[i]) << "record " << i;
+}
+
+TEST(NextSpan, VectorSourceHandsOutItsUnconsumedTail) {
+  const std::vector<AccessRecord> data{rec(1), rec(2), rec(5)};
+  VectorSource a(data), b(data);
+  EXPECT_TRUE(b.supports_spans());
+  expect_span_equals_next(a, b);
+
+  VectorSource mixed(data);
+  EXPECT_EQ(mixed.next()->time_ps, 1u);  // consume one via next()...
+  const AccessRecord* span = nullptr;
+  ASSERT_EQ(mixed.next_span(&span), 2u);  // ...the span is the tail
+  EXPECT_EQ(span[0].time_ps, 2u);
+  EXPECT_EQ(span[1].time_ps, 5u);
+  EXPECT_EQ(mixed.next_span(&span), 0u);
+  EXPECT_EQ(span, nullptr);
+}
+
+TEST(NextSpan, LimitSourceTrimsSpansByCountAndTime) {
+  const std::vector<AccessRecord> data{rec(1), rec(2), rec(3), rec(4),
+                                       rec(50), rec(60)};
+  {
+    LimitSource a(std::make_unique<VectorSource>(data), 3, ~0ull);
+    LimitSource b(std::make_unique<VectorSource>(data), 3, ~0ull);
+    EXPECT_TRUE(b.supports_spans());
+    expect_span_equals_next(a, b);
+  }
+  {
+    LimitSource a(std::make_unique<VectorSource>(data), ~0ull, 10);
+    LimitSource b(std::make_unique<VectorSource>(data), ~0ull, 10);
+    expect_span_equals_next(a, b);
+  }
+  {
+    // Both cuts at once: the record limit must bind inside a span the
+    // time cut already shortened.
+    LimitSource a(std::make_unique<VectorSource>(data), 2, 10);
+    LimitSource b(std::make_unique<VectorSource>(data), 2, 10);
+    expect_span_equals_next(a, b);
+  }
+}
+
+TEST(NextSpan, MergedSourceDeclinesSpansButStreamsNormally) {
+  // A k-way merge interleaves records and cannot hand out borrowed
+  // contiguous spans; the base contract is "unsupported": next_span
+  // returns 0 without consuming anything.
+  auto merged = make_merged();
+  EXPECT_FALSE(merged->supports_spans());
+  const AccessRecord* span = nullptr;
+  EXPECT_EQ(merged->next_span(&span), 0u);
+  EXPECT_EQ(span, nullptr);
+  EXPECT_EQ(merged->next()->time_ps, 1u);  // the stream itself is intact
 }
 
 // ---------------------------------------------------------------- synthetic
@@ -486,6 +570,65 @@ TEST(TraceIo, ImportRejectsMalformed) {
   EXPECT_THROW(import_address_trace(bad_op, mapper), std::runtime_error);
   std::stringstream bad_addr("zzz R\n");
   EXPECT_THROW(import_address_trace(bad_addr, mapper), std::runtime_error);
+  std::stringstream bad_clock("0x1000 R\n");
+  EXPECT_THROW(import_address_trace(bad_clock, mapper, 0.0),
+               std::runtime_error);
+  EXPECT_THROW(import_address_trace(bad_clock, mapper, -833.0),
+               std::runtime_error);
+}
+
+TEST(TraceIo, ImportErrorsCarryTheFailingLineNumber) {
+  dram::Geometry g;
+  const dram::AddressMapper mapper(g, dram::AddressMapPolicy::kRowColBank);
+  std::stringstream ss("0x100 R 1\n0x200 W 2\n0x300\n");
+  try {
+    import_address_trace(ss, mapper, 1000.0);
+    FAIL() << "missing op accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIo, ImportDefaultClockComesFromDdr4Timing) {
+  // The no-clock overloads derive the period from dram::Timing (the
+  // DDR4 preset every SimConfig starts from), not a hardcoded constant:
+  // all three spellings must agree.
+  dram::Geometry g;
+  const dram::AddressMapper mapper(g, dram::AddressMapPolicy::kRowColBank);
+  const dram::Timing timing = dram::ddr4_timing();
+  const std::string text = "0x100 R\n0x200 W\n";
+  std::stringstream a(text), b(text), c(text);
+  const auto by_default = import_address_trace(a, mapper);
+  const auto by_timing = import_address_trace(b, mapper, timing);
+  const auto by_clock = import_address_trace(c, mapper, timing.t_ck_ps());
+  EXPECT_EQ(by_default, by_timing);
+  EXPECT_EQ(by_timing, by_clock);
+  ASSERT_EQ(by_default.size(), 2u);
+  EXPECT_EQ(by_default[0].time_ps,
+            static_cast<std::uint64_t>(timing.t_ck_ps()));
+}
+
+TEST(TraceIo, FormatResolutionIsCaseInsensitiveAndOverridable) {
+  EXPECT_EQ(resolve_trace_format("a.tvpt", TraceFormat::kAuto),
+            TraceFormat::kBinaryV1);
+  EXPECT_EQ(resolve_trace_format("a.TVPT", TraceFormat::kAuto),
+            TraceFormat::kBinaryV1);
+  EXPECT_EQ(resolve_trace_format("a.TvPc", TraceFormat::kAuto),
+            TraceFormat::kCorpus);
+  EXPECT_EQ(resolve_trace_format("a.trace", TraceFormat::kAuto),
+            TraceFormat::kText);
+  EXPECT_EQ(resolve_trace_format("tvpt", TraceFormat::kAuto),
+            TraceFormat::kText)
+      << "an extensionless name that merely ends in the letters is text";
+  // An explicit format wins over the extension.
+  EXPECT_EQ(resolve_trace_format("a.tvpt", TraceFormat::kText),
+            TraceFormat::kText);
+
+  const auto records = sample_records();
+  const std::string upper = ::testing::TempDir() + "/trace.TVPT";
+  save_trace(upper, records);  // uppercase extension still picks binary
+  EXPECT_EQ(load_trace(upper), records);
 }
 
 TEST(TraceIo, ImportClampsUnsortedTimes) {

@@ -56,7 +56,11 @@ int usage(bool ok) {
       "usage: tvp_submit (--socket=PATH | --host=H --port=N) COMMAND [options]\n"
       "commands:\n"
       "  submit   --name=NAME --param=KEY --values=v1,v2,...\n"
-      "           [--config=FILE] [--techniques=a,b,...] [--wait] [--csv=FILE]\n"
+      "           [--config=FILE] [--techniques=a,b,...] [--trace=FILE.tvpc]\n"
+      "           [--wait] [--csv=FILE]\n"
+      "           --trace replays a recorded corpus (see tvp_trace record)\n"
+      "           instead of generating the workload; the server pins the\n"
+      "           corpus identity in the job's journal\n"
       "  status   [--job=N]\n"
       "  results  --job=N [--csv=FILE]\n"
       "  watch    --job=N   (stream cell records live, NDJSON on stdout)\n"
@@ -73,8 +77,8 @@ int main(int argc, char** argv) {
   try {
     util::Flags flags(argc, argv,
                       {"socket", "host", "port", "name", "config", "param",
-                       "values", "techniques", "job", "wait", "csv", "drain",
-                       "timeout", "help"});
+                       "values", "techniques", "trace", "job", "wait", "csv",
+                       "drain", "timeout", "help"});
     if (flags.get_bool("help") || flags.positional().empty()) return usage(flags.get_bool("help"));
     const std::string command = flags.positional()[0];
 
@@ -109,6 +113,7 @@ int main(int argc, char** argv) {
         exp::install_standard_campaign(campaign);
         spec.config_text = exp::to_config_text(campaign);
       }
+      spec.trace = flags.get("trace", "");
       const std::uint64_t id = client.submit(spec);
       std::printf("submitted job %llu '%s' (%zu cells)\n",
                   static_cast<unsigned long long>(id), spec.name.c_str(),
