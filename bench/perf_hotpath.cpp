@@ -19,19 +19,29 @@
 //
 // Usage:
 //   perf_hotpath [--acts=N] [--seed=S] [--batch=N] [--bank-jobs=N]
-//                [--out=FILE] [--smoke]
+//                [--out=FILE] [--smoke] [--profile]
 //     --acts       records to drive through each variant (default 2000000)
 //     --batch      records per on_records call (default 4096, the runner's)
 //     --bank-jobs  workers for the sharded pass (default 0 = TVP_JOBS /
 //                  hardware concurrency, capped at the bank count)
 //     --smoke      CI-sized run (50000 ACTs) — same shape, seconds not minutes
 //     --out        JSON output path (default BENCH_hotpath.json)
+//     --profile    per-stage breakdown (partition / mitigation /
+//                  disturbance ns per ACT), the RNG draw microbench, and
+//                  a partitioned-corpus replay pass proving the lane
+//                  path skips the scatter stage. Adds a "profile"
+//                  section to the JSON; the stage timers add a little
+//                  overhead, so the headline numbers come from runs
+//                  without it.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "tvp/trace/corpus.hpp"
 
 #include "tvp/dram/disturbance.hpp"
 #include "tvp/exp/registry.hpp"
@@ -54,6 +64,7 @@ struct Result {
   std::uint64_t extra_acts = 0;
   std::uint64_t triggers = 0;
   double state_bytes_per_bank = 0.0;
+  mem::StageProfile stages;       // zeros unless profiling
 };
 
 /// One timed run: fresh engine/controller, identical trace, batch feed.
@@ -61,7 +72,9 @@ Result run_variant(const std::string& name,
                    const mem::BankMitigationFactory& factory,
                    const exp::SimConfig& config,
                    const std::vector<trace::AccessRecord>& trace,
-                   std::size_t batch, std::size_t bank_jobs) {
+                   std::size_t batch, std::size_t bank_jobs,
+                   bool profile = false,
+                   const std::string& replay_corpus = {}) {
   // Same fork order as run_custom_simulation (workload first, even
   // though the trace here is pre-generated) so per-variant RNG streams
   // match what a real run of that variant would see.
@@ -84,13 +97,29 @@ Result run_variant(const std::string& name,
   controller_cfg.remap_swaps = config.remap_swaps;
   controller_cfg.act_n_radius = config.act_n_radius;
   controller_cfg.bank_jobs = bank_jobs;
+  controller_cfg.profile = profile;
   mem::MemoryController controller(controller_cfg, engine, disturbance,
                                    controller_rng);
 
   util::Timer timer;
-  for (std::size_t i = 0; i < trace.size(); i += batch) {
-    const std::size_t n = std::min(batch, trace.size() - i);
-    controller.on_records(trace.data() + i, n);
+  if (!replay_corpus.empty()) {
+    // Corpus feed: spans (and, with a partition index, lanes) straight
+    // out of the mapped file, exactly the runner's replay loop.
+    trace::MmapSource source(replay_corpus);
+    const trace::AccessRecord* span = nullptr;
+    const trace::BankLaneView* lanes = nullptr;
+    std::size_t lane_banks = 0;
+    while (const std::size_t n = source.span_lanes(&span, &lanes, &lane_banks)) {
+      if (lanes != nullptr)
+        controller.on_records_partitioned(span, n, lanes, lane_banks);
+      else
+        controller.on_records(span, n);
+    }
+  } else {
+    for (std::size_t i = 0; i < trace.size(); i += batch) {
+      const std::size_t n = std::min(batch, trace.size() - i);
+      controller.on_records(trace.data() + i, n);
+    }
   }
   Result r;
   r.technique = name;
@@ -98,7 +127,28 @@ Result run_variant(const std::string& name,
   r.extra_acts = controller.stats().extra_acts;
   r.triggers = controller.stats().triggers;
   r.state_bytes_per_bank = engine.state_bytes_per_bank();
+  r.stages = controller.stage_profile();
   return r;
+}
+
+/// ns per uniform draw, bare generator vs the buffered wrapper the
+/// techniques use on the hot path (same xoshiro stream; the buffer
+/// amortizes the per-call latency without changing a single draw).
+double rng_ns_per_draw(bool buffered) {
+  constexpr std::size_t kDraws = std::size_t{1} << 22;
+  std::uint64_t sink = 0;
+  util::Timer timer;
+  if (buffered) {
+    util::BufferedRng rng{util::Rng(12345)};
+    for (std::size_t i = 0; i < kDraws; ++i) sink ^= rng.next();
+  } else {
+    util::Rng rng(12345);
+    for (std::size_t i = 0; i < kDraws; ++i) sink ^= rng.next();
+  }
+  const double ns = util::throughput(kDraws, timer).ns_per_item();
+  // Keep the dependency chain observable so the loops cannot be DCE'd.
+  if (sink == 0xDEADBEEFull) std::fprintf(stderr, "(unlikely)\n");
+  return ns;
 }
 
 }  // namespace
@@ -106,14 +156,15 @@ Result run_variant(const std::string& name,
 int main(int argc, char** argv) try {
   util::Flags flags(argc, argv,
                     {"acts", "seed", "batch", "bank-jobs", "out", "smoke",
-                     "help"});
+                     "profile", "help"});
   if (flags.get_bool("help")) {
     std::printf(
         "usage: perf_hotpath [--acts=N] [--seed=S] [--batch=N] "
-        "[--bank-jobs=N] [--out=FILE] [--smoke]\n");
+        "[--bank-jobs=N] [--out=FILE] [--smoke] [--profile]\n");
     return 0;
   }
   const bool smoke = flags.get_bool("smoke");
+  const bool profile = flags.get_bool("profile");
   const std::uint64_t acts = static_cast<std::uint64_t>(
       flags.get_int("acts", smoke ? 50'000 : 2'000'000));
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
@@ -211,6 +262,69 @@ int main(int argc, char** argv) try {
                 r.feed.per_second() / results[v].feed.per_second());
   }
 
+  // Profile pass: re-run each variant serial with the stage timers on,
+  // then replay the same records out of a partitioned corpus to prove
+  // the lane path never scatters. Separate pass so the headline
+  // serial/sharded numbers above stay timer-free.
+  std::vector<Result> profiled;
+  std::vector<Result> replayed;
+  double rng_bare_ns = 0.0, rng_buffered_ns = 0.0;
+  if (profile) {
+    rng_bare_ns = rng_ns_per_draw(false);
+    rng_buffered_ns = rng_ns_per_draw(true);
+    std::printf("\nrng draw: %.2f ns bare, %.2f ns buffered\n",
+                rng_bare_ns, rng_buffered_ns);
+
+    const std::string corpus_path = out_path + ".profile.tvpc";
+    trace::CorpusWriter::Options copt;
+    copt.partition_banks = config.geometry.total_banks();
+    trace::CorpusWriter writer(corpus_path, copt);
+    writer.append(trace.data(), trace.size());
+    writer.close();
+
+    std::printf("\nprofile (serial, stage ns/ACT):\n");
+    for (const auto& [name, factory] : variants) {
+      profiled.push_back(
+          run_variant(name, factory, config, trace, batch, 1, true));
+      const Result& r = profiled.back();
+      const double per = static_cast<double>(trace.size());
+      std::printf(
+          "  %-12s partition %6.1f  mitigation %6.1f  disturbance %6.1f\n",
+          r.technique.c_str(), static_cast<double>(r.stages.partition_ns) / per,
+          static_cast<double>(r.stages.mitigation_ns) / per,
+          static_cast<double>(r.stages.disturbance_ns) / per);
+    }
+
+    std::printf("\npartitioned replay (serial):\n");
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      replayed.push_back(run_variant(variants[v].first, variants[v].second,
+                                     config, trace, batch, 1, true,
+                                     corpus_path));
+      const Result& r = replayed.back();
+      if (r.extra_acts != results[v].extra_acts ||
+          r.triggers != results[v].triggers) {
+        std::fprintf(stderr,
+                     "perf_hotpath: partitioned replay of %s diverged\n",
+                     r.technique.c_str());
+        return 1;
+      }
+      if (r.stages.scattered_acts != 0 ||
+          r.stages.partitioned_acts != trace.size()) {
+        std::fprintf(stderr,
+                     "perf_hotpath: replay of %s fell back to the scatter "
+                     "path (%llu scattered, %llu via lanes)\n",
+                     r.technique.c_str(),
+                     static_cast<unsigned long long>(r.stages.scattered_acts),
+                     static_cast<unsigned long long>(r.stages.partitioned_acts));
+        return 1;
+      }
+      std::printf("  %-12s %10.3f MACTs/s  %8.1f ns/ACT  (0 scattered)\n",
+                  r.technique.c_str(), r.feed.per_second() / 1e6,
+                  r.feed.ns_per_item());
+    }
+    std::remove(corpus_path.c_str());
+  }
+
   util::JsonWriter json;
   json.begin_object();
   json.key("bench").value("perf_hotpath");
@@ -249,6 +363,37 @@ int main(int argc, char** argv) try {
   emit_results(results);
   json.key("parallel");
   emit_results(parallel_results);
+  if (profile) {
+    json.key("profile").begin_object();
+    json.key("rng_ns_per_draw").begin_object();
+    json.key("bare").value(rng_bare_ns);
+    json.key("buffered").value(rng_buffered_ns);
+    json.end_object();
+    const double per = static_cast<double>(trace.size());
+    const auto emit_stages = [&](const std::vector<Result>& rs) {
+      json.begin_array();
+      for (const Result& r : rs) {
+        json.begin_object();
+        json.key("technique").value(r.technique);
+        json.key("acts_per_sec").value(r.feed.per_second());
+        json.key("partition_ns_per_act")
+            .value(static_cast<double>(r.stages.partition_ns) / per);
+        json.key("mitigation_ns_per_act")
+            .value(static_cast<double>(r.stages.mitigation_ns) / per);
+        json.key("disturbance_ns_per_act")
+            .value(static_cast<double>(r.stages.disturbance_ns) / per);
+        json.key("scattered_acts").value(r.stages.scattered_acts);
+        json.key("partitioned_acts").value(r.stages.partitioned_acts);
+        json.end_object();
+      }
+      json.end_array();
+    };
+    json.key("stages");
+    emit_stages(profiled);
+    json.key("partitioned_replay");
+    emit_stages(replayed);
+    json.end_object();
+  }
   json.end_object();
 
   std::ofstream out(out_path);

@@ -7,8 +7,11 @@
 #           not minutes. All other flags are forwarded to perf_hotpath
 #           (--acts=N, --seed=S, --out=FILE).
 #
-# Writes BENCH_hotpath.json into the repo root. Uses a dedicated
-# build-release/ tree so a default RelWithDebInfo build/ is untouched.
+# Writes BENCH_hotpath.json into the repo root and appends one line per
+# run to BENCH_history.jsonl ({commit, timestamp, results}) so hot-path
+# performance is trackable across commits; CI uploads the history file
+# as an artifact. Uses a dedicated build-release/ tree so a default
+# RelWithDebInfo build/ is untouched.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,4 +19,31 @@ cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
       -DTVP_BUILD_TESTS=OFF -DTVP_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-release -j --target perf_hotpath >/dev/null
 
-exec ./build-release/bench/perf_hotpath --out=BENCH_hotpath.json "$@"
+# A caller-supplied --out wins (perf_hotpath takes the last occurrence);
+# mirror that here so the history line reads the right file.
+out=BENCH_hotpath.json
+for arg in "$@"; do
+  case "$arg" in
+    --out=*) out="${arg#--out=}" ;;
+  esac
+done
+
+./build-release/bench/perf_hotpath --out=BENCH_hotpath.json "$@"
+
+commit=$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
+python3 - "$out" "$commit" <<'EOF'
+import json, sys, time
+out, commit = sys.argv[1], sys.argv[2]
+with open(out) as f:
+    doc = json.load(f)
+line = {"commit": commit,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())}
+# Carry the run's scalar metadata (acts, seed, ...) and the results.
+for key, value in doc.items():
+    if not isinstance(value, (list, dict)):
+        line[key] = value
+line["results"] = doc.get("results", [])
+with open("BENCH_history.jsonl", "a") as f:
+    f.write(json.dumps(line, separators=(",", ":")) + "\n")
+EOF
+echo "appended $out -> BENCH_history.jsonl ($commit)"

@@ -17,6 +17,12 @@ runner does not.
 
 Usage:
     check_perf_regression.py NEW.json [BASELINE.json] [--threshold=0.20]
+                             [--min-speedup=TECH=FACTOR[,TECH=FACTOR...]]
+
+--min-speedup turns the checker into a speedup gate as well: the named
+technique's none-normalized score in NEW must be at least FACTOR times
+its score in BASELINE (e.g. --min-speedup=CaPRoMi=1.4,TWiCe=1.4 after
+an optimization PR, checked against the pre-change baseline).
 
 BASELINE.json defaults to the committed BENCH_hotpath.json next to this
 script's repo root. Exit 0 = fine, 1 = regression, 2 = bad input.
@@ -56,10 +62,17 @@ def load_scores(path: str) -> dict:
 
 def main(argv: list) -> int:
     threshold = 0.20
+    min_speedup = {}
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--threshold="):
             threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--min-speedup="):
+            for part in arg.split("=", 1)[1].split(","):
+                if part.count("=") != 1:
+                    die(f"bad --min-speedup entry: {part!r}")
+                tech, factor = part.split("=")
+                min_speedup[tech] = float(factor)
         elif arg in ("-h", "--help"):
             print(__doc__)
             return 0
@@ -76,6 +89,9 @@ def main(argv: list) -> int:
 
     base = load_scores(base_path)
     new = load_scores(new_path)
+    for t in min_speedup:
+        if t not in base:
+            die(f"--min-speedup names {t!r}, not in {base_path}")
 
     allow = os.environ.get("TVP_ALLOW_PERF_REGRESSION", "") not in ("", "0")
     failed = []
@@ -85,11 +101,16 @@ def main(argv: list) -> int:
             print(f"{t:<12} {base[t]:>8.4f} {'gone':>8} {'':>8}")
             failed.append(f"{t}: missing from {new_path}")
             continue
-        delta = new[t] / base[t] - 1.0
+        ratio = new[t] / base[t]
+        delta = ratio - 1.0
         flag = ""
         if delta < -threshold:
             flag = "  <-- REGRESSION"
             failed.append(f"{t}: {delta * 100:+.1f}% (none-normalized)")
+        elif t in min_speedup and ratio < min_speedup[t]:
+            flag = f"  <-- BELOW {min_speedup[t]:.2f}x"
+            failed.append(f"{t}: {ratio:.3f}x, needs >= {min_speedup[t]:.2f}x "
+                          f"(none-normalized)")
         print(f"{t:<12} {base[t]:>8.4f} {new[t]:>8.4f} {delta * 100:>+7.1f}%{flag}")
 
     if failed:

@@ -2,8 +2,6 @@
 
 #include <stdexcept>
 
-#include "tvp/util/scan.hpp"
-
 namespace tvp::core {
 
 CounterTable::CounterTable(std::size_t capacity, std::uint8_t lock_threshold,
@@ -17,34 +15,6 @@ CounterTable::CounterTable(std::size_t capacity, std::uint8_t lock_threshold,
     throw std::invalid_argument("CounterTable: zero lock threshold");
   slots_.assign(capacity, Entry{});
   rows_.assign(capacity, 0);
-}
-
-std::optional<std::size_t> CounterTable::on_activate(dram::RowId row,
-                                                     util::Rng& rng) {
-  // Dense scan over the valid prefix (see the invariant note in the
-  // header); identical decisions to a full valid-checked sweep because
-  // no slot past size_ is ever valid.
-  const std::size_t n = size_;
-  const std::size_t hit = util::find_u32(rows_.data(), n, row);
-  if (hit != n) {
-    Entry& e = slots_[hit];
-    if (e.count < 0xFF) ++e.count;
-    if (e.count >= lock_threshold_) e.locked = true;
-    return hit;
-  }
-  if (n < slots_.size()) {
-    slots_[n] = Entry{row, 1, false, true, kNoLink};
-    rows_[n] = row;
-    size_ = n + 1;
-    return n;
-  }
-  // Full: one random replacement attempt; locked entries win (Fig. 3
-  // "fail" edge) and the new row is simply not tracked this interval.
-  const std::size_t victim = rng.below(slots_.size());
-  if (slots_[victim].locked) return std::nullopt;
-  slots_[victim] = Entry{row, 1, false, true, kNoLink};
-  rows_[victim] = row;
-  return victim;
 }
 
 void CounterTable::set_link(std::size_t index, std::uint8_t link) {

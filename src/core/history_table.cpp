@@ -14,50 +14,24 @@ HistoryTable::HistoryTable(std::size_t capacity, unsigned row_bits,
     throw std::invalid_argument(
         "HistoryTable: capacity above 255 breaks 8-bit link indices "
         "(slot 255 would collide with CounterTable::kNoLink = 0xFF)");
-  slots_.assign(capacity_, Entry{});
-  packed_rows_.assign(capacity_, kInvalidRow);
-}
-
-std::optional<std::uint32_t> HistoryTable::lookup(dram::RowId row) const noexcept {
-  const std::size_t i = find(row);
-  if (i == capacity_) return std::nullopt;
-  return slots_[i].interval;
-}
-
-std::optional<std::uint8_t> HistoryTable::index_of(dram::RowId row) const noexcept {
-  const std::size_t i = find(row);
-  if (i == capacity_) return std::nullopt;
-  return static_cast<std::uint8_t>(i);
+  rows_.assign(capacity_, kInvalidRow);
+  intervals_.assign(capacity_, 0);
 }
 
 std::uint32_t HistoryTable::interval_at(std::uint8_t index) const {
-  if (index >= slots_.size() || !slots_[index].valid)
+  if (index >= capacity_ || rows_[index] == kInvalidRow)
     throw std::out_of_range("HistoryTable::interval_at");
-  return slots_[index].interval;
+  return intervals_[index];
 }
 
 dram::RowId HistoryTable::row_at(std::uint8_t index) const {
-  if (index >= slots_.size() || !slots_[index].valid)
+  if (index >= capacity_ || rows_[index] == kInvalidRow)
     throw std::out_of_range("HistoryTable::row_at");
-  return slots_[index].row;
-}
-
-void HistoryTable::insert(dram::RowId row, std::uint32_t interval) {
-  const std::size_t i = find(row);
-  if (i != capacity_) {
-    slots_[i].interval = interval;  // update in place, keep the slot
-    return;
-  }
-  // Overwrite the oldest slot (hardware FIFO head pointer).
-  slots_[head_] = Entry{row, interval, true};
-  packed_rows_[head_] = row;
-  head_ = (head_ + 1) % capacity_;
-  if (size_ < capacity_) ++size_;
+  return rows_[index];
 }
 
 void HistoryTable::clear() noexcept {
-  for (auto& e : slots_) e.valid = false;
-  std::fill(packed_rows_.begin(), packed_rows_.end(), kInvalidRow);
+  std::fill(rows_.begin(), rows_.end(), kInvalidRow);
   head_ = 0;
   size_ = 0;
 }

@@ -14,6 +14,7 @@
 
 #include "tvp/dram/geometry.hpp"
 #include "tvp/util/rng.hpp"
+#include "tvp/util/scan.hpp"
 
 namespace tvp::core {
 
@@ -46,8 +47,37 @@ class CounterTable {
   /// setting the lock bit at the threshold); inserts on a miss; when
   /// full, attempts one random replacement via @p rng which fails if the
   /// chosen entry is locked. Returns the entry index touched, or nullopt
-  /// when the replacement failed.
-  std::optional<std::size_t> on_activate(dram::RowId row, util::Rng& rng);
+  /// when the replacement failed. Templated over the generator so the
+  /// buffered (util::BufferedRng) and bare (util::Rng) streams share one
+  /// kernel — draw order is identical either way. Inlined: it runs once
+  /// per ACT in CaPRoMi's batch kernel.
+  template <typename RngT>
+  std::optional<std::size_t> on_activate(dram::RowId row, RngT& rng) {
+    // Dense scan over the valid prefix (see the invariant note below);
+    // identical decisions to a full valid-checked sweep because no slot
+    // past size_ is ever valid.
+    const std::size_t n = size_;
+    const std::size_t hit = util::find_u32(rows_.data(), n, row);
+    if (hit != n) {
+      Entry& e = slots_[hit];
+      if (e.count < 0xFF) ++e.count;
+      if (e.count >= lock_threshold_) e.locked = true;
+      return hit;
+    }
+    if (n < slots_.size()) {
+      slots_[n] = Entry{row, 1, false, true, kNoLink};
+      rows_[n] = row;
+      size_ = n + 1;
+      return n;
+    }
+    // Full: one random replacement attempt; locked entries win (Fig. 3
+    // "fail" edge) and the new row is simply not tracked this interval.
+    const std::size_t victim = rng.below(slots_.size());
+    if (slots_[victim].locked) return std::nullopt;
+    slots_[victim] = Entry{row, 1, false, true, kNoLink};
+    rows_[victim] = row;
+    return victim;
+  }
 
   /// Attaches a history-table link to the entry at @p index.
   void set_link(std::size_t index, std::uint8_t link);

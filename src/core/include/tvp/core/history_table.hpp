@@ -8,6 +8,14 @@
 // hardware the lookup is a sequential search finished before the next
 // ACT of the same bank (Table II budget) — the cost model in tvp::hw
 // charges one cycle per entry for it.
+//
+// Layout is structure-of-arrays: a dense row-id column (the per-ACT
+// membership scan) and a parallel interval column, nothing else. A
+// slot's validity is encoded in the row column itself (kInvalidRow),
+// and the FIFO fill discipline keeps every valid slot inside [0, size_)
+// — slots past size_ have never been written — so the scan bound is the
+// live size, not the capacity: an empty table (every window start)
+// scans nothing.
 #pragma once
 
 #include <cstdint>
@@ -32,11 +40,19 @@ class HistoryTable {
   bool empty() const noexcept { return size_ == 0; }
 
   /// Sequential search; returns the stored interval on a hit.
-  std::optional<std::uint32_t> lookup(dram::RowId row) const noexcept;
+  std::optional<std::uint32_t> lookup(dram::RowId row) const noexcept {
+    const std::size_t i = find(row);
+    if (i == size_) return std::nullopt;
+    return intervals_[i];
+  }
 
   /// Index of @p row in the table (the "address" CaPRoMi links into its
   /// counter entries), or nullopt.
-  std::optional<std::uint8_t> index_of(dram::RowId row) const noexcept;
+  std::optional<std::uint8_t> index_of(dram::RowId row) const noexcept {
+    const std::size_t i = find(row);
+    if (i == size_) return std::nullopt;
+    return static_cast<std::uint8_t>(i);
+  }
 
   /// Stored interval at @p index; throws std::out_of_range when invalid.
   std::uint32_t interval_at(std::uint8_t index) const;
@@ -46,7 +62,20 @@ class HistoryTable {
 
   /// Inserts or updates (row -> interval). Updates keep the entry's FIFO
   /// position; inserts evict the oldest entry when full.
-  void insert(dram::RowId row, std::uint32_t interval);
+  void insert(dram::RowId row, std::uint32_t interval) {
+    const std::size_t i = find(row);
+    if (i != size_) {
+      intervals_[i] = interval;  // update in place, keep the slot
+      return;
+    }
+    // Overwrite the oldest slot (hardware FIFO head pointer). While the
+    // table is filling, head_ == size_, so the write extends the dense
+    // valid prefix.
+    rows_[head_] = row;
+    intervals_[head_] = interval;
+    head_ = (head_ + 1) % capacity_;
+    if (size_ < capacity_) ++size_;
+  }
 
   /// Clears all entries (new refresh window).
   void clear() noexcept;
@@ -55,32 +84,23 @@ class HistoryTable {
   std::uint64_t state_bits() const noexcept;
 
  private:
-  struct Entry {
-    dram::RowId row = 0;
-    std::uint32_t interval = 0;
-    bool valid = false;
-  };
-
-  /// Marks an invalid slot in the packed row array. Safe as a sentinel:
-  /// a real row id is < rows_per_bank <= 2^32 - 1, so it never equals
+  /// Marks an invalid slot in the row column. Safe as a sentinel: a real
+  /// row id is < rows_per_bank <= 2^32 - 1, so it never equals
   /// 0xFFFFFFFF.
   static constexpr dram::RowId kInvalidRow = 0xFFFFFFFFu;
 
   std::size_t find(dram::RowId row) const noexcept {
     // The simulator's hottest scan (once per ACT for every *PRoMi
-    // variant): a chunked SIMD sweep of a contiguous row array — invalid
-    // slots hold kInvalidRow and simply never match.
-    return util::find_u32(packed_rows_.data(), capacity_, row);
+    // variant): a chunked SIMD sweep of the dense row column, bounded by
+    // the live size (the valid slots are exactly [0, size_)).
+    return util::find_u32(rows_.data(), size_, row);
   }
 
   // Fixed slots with a head pointer, like the hardware FIFO: slot
   // indices stay stable until the slot itself is overwritten, which is
-  // what keeps CaPRoMi's link indices valid. packed_rows_ mirrors the
-  // slots' row ids (kInvalidRow when invalid) so the per-ACT membership
-  // scan touches one dense cache line instead of striding over Entry
-  // structs.
-  std::vector<Entry> slots_;
-  std::vector<dram::RowId> packed_rows_;
+  // what keeps CaPRoMi's link indices valid.
+  std::vector<dram::RowId> rows_;
+  std::vector<std::uint32_t> intervals_;
   std::size_t capacity_;
   std::size_t head_ = 0;
   std::size_t size_ = 0;

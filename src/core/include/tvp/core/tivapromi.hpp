@@ -90,7 +90,10 @@ class TiVaPRoMiBase : public mem::IBankMitigation {
   }
 
   TiVaPRoMiConfig cfg_;
-  util::Rng rng_;
+  /// Buffered: uniform words are drawn from the forked per-bank stream
+  /// in bulk and popped in generation order, so every decision is
+  /// bit-identical to per-call draws (see util::BufferedRng).
+  util::BufferedRng rng_;
   HistoryTable history_;
   util::FixedProb pbase_;
   bool rpi_is_pow2_ = false;
@@ -106,7 +109,7 @@ class ProbabilisticTiVaPRoMi final : public TiVaPRoMiBase {
   const char* name() const noexcept override;
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
                    mem::ActionBuffer& out) override;
-  void on_activates(const mem::BatchedAct* acts, std::size_t n,
+  void on_activates(const dram::RowId* rows, std::size_t n,
                     const mem::MitigationContext& ctx,
                     mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext& ctx,
@@ -135,7 +138,7 @@ class CaPRoMi final : public TiVaPRoMiBase {
   const char* name() const noexcept override { return "CaPRoMi"; }
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
                    mem::ActionBuffer& out) override;
-  void on_activates(const mem::BatchedAct* acts, std::size_t n,
+  void on_activates(const dram::RowId* rows, std::size_t n,
                     const mem::MitigationContext& ctx,
                     mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext& ctx,
@@ -180,7 +183,7 @@ class ShapedTiVaPRoMi final : public TiVaPRoMiBase {
   const char* name() const noexcept override;
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
                    mem::ActionBuffer& out) override;
-  void on_activates(const mem::BatchedAct* acts, std::size_t n,
+  void on_activates(const dram::RowId* rows, std::size_t n,
                     const mem::MitigationContext& ctx,
                     mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext& ctx,

@@ -131,7 +131,7 @@ void ProbabilisticTiVaPRoMi::on_activate(dram::RowId row,
   if (rng_.bernoulli_q32(p.raw())) trigger(row, ctx.interval_in_window, out);
 }
 
-void ProbabilisticTiVaPRoMi::on_activates(const mem::BatchedAct* acts,
+void ProbabilisticTiVaPRoMi::on_activates(const dram::RowId* rows,
                                           std::size_t n,
                                           const mem::MitigationContext& ctx,
                                           mem::ActionBuffer& out) {
@@ -145,7 +145,7 @@ void ProbabilisticTiVaPRoMi::on_activates(const mem::BatchedAct* acts,
   const std::uint64_t* const miss_lut = lut_miss_.data();
   const std::uint32_t interval = ctx.interval_in_window;
   for (std::size_t i = 0; i < n; ++i) {
-    const dram::RowId row = acts[i].row;
+    const dram::RowId row = rows[i];
     const auto stored = history_.lookup(row);
     const std::uint32_t reference = stored ? *stored : assumed_slot(row);
     const std::uint32_t w = linear_weight(interval, reference, ref_int);
@@ -178,25 +178,19 @@ CaPRoMi::CaPRoMi(TiVaPRoMiConfig config, util::Rng rng)
 void CaPRoMi::on_activate(dram::RowId row, const mem::MitigationContext&,
                           mem::ActionBuffer&) {
   // Count only; decisions are deferred to the REF command (Fig. 3).
-  const auto index = counters_.on_activate(row, rng_);
-  if (!index) return;  // replacement refused by a locked entry
-  // Parallel history search: link the counter entry to the history slot
-  // so the REF-time weight can reuse the stored interval.
-  if (const auto slot = history_.index_of(row)) counters_.set_link(*index, *slot);
+  // The paper's hardware also runs a parallel history search here to
+  // link the counter entry to its history slot — we defer that search
+  // to the REF walk, where it is bit-identical (see on_refresh) and
+  // costs one scan per tracked row per interval instead of one per ACT.
+  counters_.on_activate(row, rng_);
 }
 
-void CaPRoMi::on_activates(const mem::BatchedAct* acts, std::size_t n,
+void CaPRoMi::on_activates(const dram::RowId* rows, std::size_t n,
                            const mem::MitigationContext&, mem::ActionBuffer&) {
   // The ACT path emits nothing (decisions happen at REF), so the batch
   // kernel is the devirtualized counting loop; the table scans
   // themselves are the dense sweeps in CounterTable/HistoryTable.
-  for (std::size_t i = 0; i < n; ++i) {
-    const dram::RowId row = acts[i].row;
-    const auto index = counters_.on_activate(row, rng_);
-    if (!index) continue;
-    if (const auto slot = history_.index_of(row))
-      counters_.set_link(*index, *slot);
-  }
+  for (std::size_t i = 0; i < n; ++i) counters_.on_activate(rows[i], rng_);
 }
 
 void CaPRoMi::on_refresh(const mem::MitigationContext& ctx,
@@ -213,17 +207,16 @@ void CaPRoMi::on_refresh(const mem::MitigationContext& ctx,
     if (!entry.valid) continue;
     std::uint32_t reference = assumed_slot(entry.row);
     bool linked = false;
-    if (entry.link != CounterTable::kNoLink) {
-      // The linked history slot may have been overwritten since the link
-      // was captured; use it only if it still holds this row.
-      const std::uint8_t link = entry.link;
-      if (link < history_.capacity()) {
-        const auto current = history_.index_of(entry.row);
-        if (current && *current == link) {
-          reference = history_.interval_at(link);
-          linked = true;
-        }
-      }
+    // Deferred parallel-history search (the paper's hardware captures a
+    // link per ACT; see on_activate). Searching here instead is
+    // bit-identical: the history table only mutates inside this walk —
+    // never during the ACT phase — and a row evicted by an earlier
+    // trigger in the same walk can only re-enter via its own trigger,
+    // so "linked at the row's walk position" matches what an ACT-time
+    // link check would have concluded.
+    if (const auto current = history_.index_of(entry.row)) {
+      reference = history_.interval_at(*current);
+      linked = true;
     }
     const std::uint32_t w = linear_weight(i, reference, cfg_.refresh_intervals);
     const std::uint32_t w_log = log_weight(w);
@@ -295,7 +288,7 @@ void ShapedTiVaPRoMi::on_activate(dram::RowId row, const mem::MitigationContext&
   if (rng_.bernoulli_q32(p.raw())) trigger(row, ctx.interval_in_window, out);
 }
 
-void ShapedTiVaPRoMi::on_activates(const mem::BatchedAct* acts, std::size_t n,
+void ShapedTiVaPRoMi::on_activates(const dram::RowId* rows, std::size_t n,
                                    const mem::MitigationContext& ctx,
                                    mem::ActionBuffer& out) {
   // Same kernel as ProbabilisticTiVaPRoMi with a single shaped LUT.
@@ -303,7 +296,7 @@ void ShapedTiVaPRoMi::on_activates(const mem::BatchedAct* acts, std::size_t n,
   const std::uint64_t* const lut = lut_.data();
   const std::uint32_t interval = ctx.interval_in_window;
   for (std::size_t i = 0; i < n; ++i) {
-    const dram::RowId row = acts[i].row;
+    const dram::RowId row = rows[i];
     const auto stored = history_.lookup(row);
     const std::uint32_t reference = stored ? *stored : assumed_slot(row);
     const std::uint32_t w = linear_weight(interval, reference, ref_int);

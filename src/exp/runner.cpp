@@ -183,12 +183,20 @@ RunResult run_custom_simulation(const mem::BankMitigationFactory& factory,
   constexpr std::size_t kBatchRecords = 4096;
   if (workload->supports_spans()) {
     // Zero-copy feed: the controller consumes the source's own storage
-    // (for a corpus replay, the mmap'd page cache) span by span. The
-    // record sequence is identical to the batch loop, and on_records is
+    // (for a corpus replay, the mmap'd page cache) span by span. When
+    // the span comes with precomputed bank lanes (a corpus with a
+    // partition index), the controller skips its own scatter pass; the
+    // record sequence is identical either way, and on_records is
     // chunking-invariant, so results stay bit-identical.
     const trace::AccessRecord* span = nullptr;
-    while (const std::size_t n = workload->next_span(&span)) {
-      controller.on_records(span, n);
+    const trace::BankLaneView* lanes = nullptr;
+    std::size_t lane_banks = 0;
+    while (const std::size_t n =
+               workload->span_lanes(&span, &lanes, &lane_banks)) {
+      if (lanes != nullptr)
+        controller.on_records_partitioned(span, n, lanes, lane_banks);
+      else
+        controller.on_records(span, n);
       result.records += n;
     }
   } else {
@@ -289,6 +297,12 @@ std::uint32_t record_corpus(const SimConfig& config, const std::string& path,
   std::unordered_set<std::uint64_t> aggressors;
   auto workload = build_workload(cfg, workload_rng, &aggressors);
 
+  // Recorded corpora carry the partition index by default: the
+  // config's bank count is known here, and writing the lanes once
+  // saves every future replay its per-segment scatter pass. An
+  // explicit partition_banks in @p options (matching or not) wins.
+  if (options.partition_banks == 0)
+    options.partition_banks = cfg.geometry.total_banks();
   trace::CorpusWriter writer(path, options);
   constexpr std::size_t kBatchRecords = 4096;
   std::vector<trace::AccessRecord> batch(kBatchRecords);

@@ -1,6 +1,10 @@
 #include "tvp/mem/controller.hpp"
 
+#include <time.h>
+
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 
@@ -8,6 +12,18 @@ namespace tvp::mem {
 
 namespace {
 constexpr std::uint64_t kNoTrigger = std::numeric_limits<std::uint64_t>::max();
+
+std::uint64_t monotonic_ns() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+bool columnar_enabled() noexcept {
+  const char* env = std::getenv("TVP_COLUMNAR");
+  return !(env && std::strcmp(env, "0") == 0);
+}
 }  // namespace
 
 MemoryController::MemoryController(ControllerConfig config, MitigationEngine& engine,
@@ -43,6 +59,8 @@ MemoryController::MemoryController(ControllerConfig config, MitigationEngine& en
     shards_[b].lane = disturbance_.lane(b);
     lane_ptrs_.push_back(&shards_[b].lane);
   }
+  lane_cursor_.assign(banks, 0);
+  columnar_ = columnar_enabled();
   std::size_t jobs = cfg_.bank_jobs == 0 ? util::job_count() : cfg_.bank_jobs;
   jobs = std::min<std::size_t>(jobs, banks);
   if (jobs > 1) pool_ = std::make_unique<util::WorkerPool>(jobs);
@@ -168,6 +186,12 @@ void MemoryController::on_record(const trace::AccessRecord& record) {
 
 void MemoryController::on_records(const trace::AccessRecord* records,
                                   std::size_t count) {
+  if (!columnar_) {
+    // TVP_COLUMNAR=0: force the serial record-at-a-time path (the CI
+    // determinism job runs the suite both ways).
+    for (std::size_t i = 0; i < count; ++i) on_record(records[i]);
+    return;
+  }
   std::size_t i = 0;
   while (i < count) {
     if (records[i].time_ps < now_ps_)
@@ -189,9 +213,86 @@ void MemoryController::on_records(const trace::AccessRecord* records,
   }
 }
 
+void MemoryController::on_records_partitioned(
+    const trace::AccessRecord* records, std::size_t count,
+    const trace::BankLaneView* lanes, std::size_t lane_banks) {
+  const std::uint32_t banks = engine_.banks();
+  bool usable = columnar_ && lanes != nullptr && lane_banks == banks;
+  if (usable) {
+    // A whole-span range check per lane (O(banks), not O(records)): a
+    // lane row out of range means the scatter path's throw-with-valid-
+    // prefix semantics must apply, so fall back entirely.
+    for (std::size_t b = 0; b < lane_banks; ++b)
+      if (lanes[b].count != 0 &&
+          lanes[b].max_row >= cfg_.geometry.rows_per_bank) {
+        usable = false;
+        break;
+      }
+  }
+  if (!usable) {
+    on_records(records, count);
+    return;
+  }
+
+  std::fill(lane_cursor_.begin(), lane_cursor_.end(), 0);
+  std::size_t i = 0;
+  while (i < count) {
+    if (records[i].time_ps < now_ps_)
+      throw std::invalid_argument(
+          "MemoryController: records must be time-ordered");
+    process_refresh_boundaries(records[i].time_ps);
+    std::size_t end = i + 1;
+    while (end < count && records[end].time_ps >= records[end - 1].time_ps &&
+           records[end].time_ps < next_refresh_ps_)
+      ++end;
+
+    // Segment [i, end): slice each bank's span lane by advancing its
+    // cursor while the (ascending) serials stay below `end` — zero-copy,
+    // no per-record scatter.
+    now_ps_ = records[end - 1].time_ps;
+    MitigationContext ctx;
+    ctx.interval_in_window = interval_in_window();
+    ctx.global_interval = global_interval_;
+    ctx.window_start = false;
+
+    reset_shards();
+    for (std::uint32_t b = 0; b < banks; ++b) {
+      const trace::BankLaneView& lv = lanes[b];
+      std::size_t cur = lane_cursor_[b];
+      std::size_t stop = cur;
+      while (stop < lv.count && lv.serials[stop] < end) ++stop;
+      BankShard& s = shards_[b];
+      s.lane_rows = lv.rows + cur;
+      s.lane_times = lv.times + cur;
+      s.lane_serials = lv.serials + cur;
+      s.lane_writes = lv.writes + cur;
+      s.lane_count = stop - cur;
+      s.serial_base = static_cast<std::uint32_t>(i);
+      lane_cursor_[b] = stop;
+    }
+    profile_.partitioned_acts += end - i;
+
+    run_segment(end - i, ctx);
+    i = end;
+  }
+}
+
+void MemoryController::reset_shards() {
+  const std::uint32_t banks = engine_.banks();
+  for (std::uint32_t b = 0; b < banks; ++b) {
+    BankShard& s = shards_[b];
+    s.totals.clear();
+    s.reads = s.writes = s.delayed = s.triggers = s.extra = s.fp_extra = 0;
+    s.first_trigger_serial = kNoTrigger;
+    s.bank_ready_ps = bank_ready_ps_[b];
+  }
+}
+
 void MemoryController::process_segment(const trace::AccessRecord* records,
                                        std::size_t count) {
   const std::uint32_t banks = engine_.banks();
+  const bool timed = cfg_.profile;
+  const std::uint64_t t0 = timed ? monotonic_ns() : 0;
 
   // Address validation up-front; the valid prefix is still processed, so
   // a throw leaves the same state as the serial loop's throw.
@@ -213,84 +314,45 @@ void MemoryController::process_segment(const trace::AccessRecord* records,
 
   if (valid > 0) {
     now_ps_ = records[valid - 1].time_ps;
-    const auto interval = interval_in_window();
-
     MitigationContext ctx;
-    ctx.interval_in_window = interval;
+    ctx.interval_in_window = interval_in_window();
     ctx.global_interval = global_interval_;
     ctx.window_start = false;
 
+    // The partition pass: scatter the segment once into per-bank SoA
+    // lanes (row / time / serial / write columns), so the per-bank
+    // kernels stream contiguous columns instead of gathering from the
+    // record array.
+    reset_shards();
     for (std::uint32_t b = 0; b < banks; ++b) {
       BankShard& s = shards_[b];
       s.serials.clear();
-      s.acts.clear();
-      s.totals.clear();
-      s.reads = s.writes = s.delayed = s.triggers = s.extra = s.fp_extra = 0;
-      s.first_trigger_serial = kNoTrigger;
-      s.bank_ready_ps = bank_ready_ps_[b];
+      s.rows.clear();
+      s.times.clear();
+      s.write_col.clear();
     }
     for (std::size_t j = 0; j < valid; ++j) {
       BankShard& s = shards_[records[j].bank];
       s.serials.push_back(static_cast<std::uint32_t>(j));
-      s.acts.push_back(BatchedAct{records[j].row});
+      s.rows.push_back(records[j].row);
+      s.times.push_back(records[j].time_ps);
+      s.write_col.push_back(records[j].write ? 1 : 0);
     }
-
-    if (pool_) {
-      pool_->run(banks, [&](std::size_t b) {
-        run_bank_shard(static_cast<dram::BankId>(b), records, ctx);
-      });
-    } else {
-      for (std::uint32_t b = 0; b < banks; ++b)
-        run_bank_shard(b, records, ctx);
-    }
-
-    // Serial reduce: fold shard outputs into the shared counters in bank
-    // order. Every sum is independent of which thread produced it, and
-    // the order-dependent aggregates (first_extra_act_at, flip events)
-    // are reconstructed from the segment-serial tags, so the result is
-    // bit-identical to serial execution for any bank_jobs.
-    const std::uint64_t demand_before = stats_.demand_acts;
-    const std::size_t phase_bin =
-        interval * ControllerStats::kPhaseBins / timing_.refresh_intervals;
-    std::uint64_t first_serial = kNoTrigger;
-    bool any_flips = false;
     for (std::uint32_t b = 0; b < banks; ++b) {
-      const BankShard& s = shards_[b];
-      stats_.demand_acts += s.serials.size();
-      stats_.reads += s.reads;
-      stats_.writes += s.writes;
-      stats_.delayed_acts += s.delayed;
-      stats_.triggers += s.triggers;
-      stats_.extra_acts += s.extra;
-      stats_.fp_extra_acts += s.fp_extra;
-      stats_.extra_acts_by_phase[phase_bin] += s.extra;
-      interval_acts_[b] += static_cast<std::uint32_t>(s.serials.size());
-      bank_ready_ps_[b] = s.bank_ready_ps;
-      first_serial = std::min(first_serial, s.first_trigger_serial);
-      any_flips = any_flips || s.lane.has_pending_flips();
+      BankShard& s = shards_[b];
+      s.lane_rows = s.rows.data();
+      s.lane_times = s.times.data();
+      s.lane_serials = s.serials.data();
+      s.lane_writes = s.write_col.data();
+      s.lane_count = s.serials.size();
+      s.serial_base = 0;
     }
-    if (stats_.first_extra_act_at == 0 && first_serial != kNoTrigger)
-      stats_.first_extra_act_at = demand_before + first_serial + 1;
+    profile_.scattered_acts += valid;
+    if (timed) profile_.partition_ns += monotonic_ns() - t0;
 
-    const std::uint64_t* prefix = nullptr;
-    if (any_flips) {
-      // Per-serial activation totals scattered from the shards, then
-      // prefix-summed: prefix[j] = activations performed by records < j.
-      act_prefix_.assign(valid, 0);
-      for (std::uint32_t b = 0; b < banks; ++b) {
-        const BankShard& s = shards_[b];
-        for (std::size_t k = 0; k < s.serials.size(); ++k)
-          act_prefix_[s.serials[k]] = s.totals[k];
-      }
-      std::uint64_t running = 0;
-      for (std::size_t j = 0; j < valid; ++j) {
-        const std::uint64_t t = act_prefix_[j];
-        act_prefix_[j] = running;
-        running += t;
-      }
-      prefix = act_prefix_.data();
-    }
-    disturbance_.commit_lanes(lane_ptrs_.data(), lane_ptrs_.size(), prefix);
+    run_segment(valid, ctx);
+  } else if (timed) {
+    profile_.partition_ns += monotonic_ns() - t0;
   }
 
   if (bad_bank || bad_row) {
@@ -299,16 +361,81 @@ void MemoryController::process_segment(const trace::AccessRecord* records,
   }
 }
 
+void MemoryController::run_segment(std::size_t valid,
+                                   const MitigationContext& ctx) {
+  const std::uint32_t banks = engine_.banks();
+  const bool timed = cfg_.profile;
+  const std::uint64_t t0 = timed ? monotonic_ns() : 0;
+
+  if (pool_) {
+    pool_->run(banks, [&](std::size_t b) {
+      run_bank_shard(static_cast<dram::BankId>(b), ctx);
+    });
+  } else {
+    for (std::uint32_t b = 0; b < banks; ++b) run_bank_shard(b, ctx);
+  }
+  const std::uint64_t t1 = timed ? monotonic_ns() : 0;
+  if (timed) profile_.mitigation_ns += t1 - t0;
+
+  // Serial reduce: fold shard outputs into the shared counters in bank
+  // order. Every sum is independent of which thread produced it, and
+  // the order-dependent aggregates (first_extra_act_at, flip events)
+  // are reconstructed from the segment-serial tags, so the result is
+  // bit-identical to serial execution for any bank_jobs.
+  const std::uint64_t demand_before = stats_.demand_acts;
+  const std::size_t phase_bin = ctx.interval_in_window *
+                                ControllerStats::kPhaseBins /
+                                timing_.refresh_intervals;
+  std::uint64_t first_serial = kNoTrigger;
+  bool any_flips = false;
+  for (std::uint32_t b = 0; b < banks; ++b) {
+    const BankShard& s = shards_[b];
+    stats_.demand_acts += s.lane_count;
+    stats_.reads += s.reads;
+    stats_.writes += s.writes;
+    stats_.delayed_acts += s.delayed;
+    stats_.triggers += s.triggers;
+    stats_.extra_acts += s.extra;
+    stats_.fp_extra_acts += s.fp_extra;
+    stats_.extra_acts_by_phase[phase_bin] += s.extra;
+    interval_acts_[b] += static_cast<std::uint32_t>(s.lane_count);
+    bank_ready_ps_[b] = s.bank_ready_ps;
+    first_serial = std::min(first_serial, s.first_trigger_serial);
+    any_flips = any_flips || s.lane.has_pending_flips();
+  }
+  if (stats_.first_extra_act_at == 0 && first_serial != kNoTrigger)
+    stats_.first_extra_act_at = demand_before + first_serial + 1;
+
+  const std::uint64_t* prefix = nullptr;
+  if (any_flips) {
+    // Per-serial activation totals scattered from the shards, then
+    // prefix-summed: prefix[j] = activations performed by records < j.
+    act_prefix_.assign(valid, 0);
+    for (std::uint32_t b = 0; b < banks; ++b) {
+      const BankShard& s = shards_[b];
+      for (std::size_t k = 0; k < s.lane_count; ++k)
+        act_prefix_[s.lane_serials[k] - s.serial_base] = s.totals[k];
+    }
+    std::uint64_t running = 0;
+    for (std::size_t j = 0; j < valid; ++j) {
+      const std::uint64_t t = act_prefix_[j];
+      act_prefix_[j] = running;
+      running += t;
+    }
+    prefix = act_prefix_.data();
+  }
+  disturbance_.commit_lanes(lane_ptrs_.data(), lane_ptrs_.size(), prefix);
+  if (timed) profile_.disturbance_ns += monotonic_ns() - t1;
+}
+
 void MemoryController::run_bank_shard(dram::BankId bank,
-                                      const trace::AccessRecord* records,
                                       const MitigationContext& ctx) {
   BankShard& s = shards_[bank];
-  const std::size_t n = s.serials.size();
+  const std::size_t n = s.lane_count;
   if (n == 0) return;
 
   const std::uint32_t interval = ctx.interval_in_window;
-  const ActionBuffer& actions =
-      engine_.on_activates(bank, s.acts.data(), n, ctx);
+  const ActionBuffer& actions = engine_.on_activates(bank, s.lane_rows, n, ctx);
   const MitigationAction* act = actions.begin();
   const MitigationAction* const act_end = actions.end();
 
@@ -316,20 +443,22 @@ void MemoryController::run_bank_shard(dram::BankId bank,
   const std::uint64_t t_rc = timing_.t_rc_ps;
   const auto rows = cfg_.geometry.rows_per_bank;
   const auto radius = static_cast<std::int64_t>(cfg_.act_n_radius);
+  const std::uint32_t serial_base = s.serial_base;
   std::uint64_t ready = s.bank_ready_ps;
 
   for (std::size_t k = 0; k < n; ++k) {
-    const std::uint32_t serial = s.serials[k];
-    const trace::AccessRecord& rec = records[serial];
+    const std::uint32_t serial = s.lane_serials[k] - serial_base;
     if (enforce) {
-      if (ready > rec.time_ps) ++s.delayed;
-      ready = std::max(ready, rec.time_ps) + t_rc;
+      const std::uint64_t t = s.lane_times[k];
+      if (ready > t) ++s.delayed;
+      ready = std::max(ready, t) + t_rc;
     }
-    if (rec.write)
+    if (s.lane_writes[k])
       ++s.writes;
     else
       ++s.reads;
-    s.lane.on_activate(remapper_.to_physical(rec.row), interval, serial, 0);
+    s.lane.on_activate(remapper_.to_physical(s.lane_rows[k]), interval, serial,
+                       0);
 
     std::uint32_t offset = 0;  // activations this record has performed - 1
     for (; act != act_end && act->origin == k; ++act) {

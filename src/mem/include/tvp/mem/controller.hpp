@@ -78,6 +78,23 @@ struct ControllerConfig {
   /// (TVP_JOBS), N = exactly N workers. With bank_jobs > 1 the
   /// aggressor oracle must be safe to call from multiple threads.
   std::size_t bank_jobs = 1;
+  /// Collect the per-stage wall-clock breakdown (StageProfile timers).
+  /// Off by default: the act counters are always maintained, but the
+  /// clock_gettime calls per segment are taken only when profiling.
+  bool profile = false;
+};
+
+/// Per-stage breakdown of the columnar hot path, for perf attribution
+/// (bench/perf_hotpath --profile). The *_ns timers accumulate only when
+/// ControllerConfig::profile is set; the act counters are always live —
+/// they are how replay tests prove a partition-indexed corpus actually
+/// skipped the re-partition pass.
+struct StageProfile {
+  std::uint64_t partition_ns = 0;    ///< per-bank lane scatter (+ validation)
+  std::uint64_t mitigation_ns = 0;   ///< bank-shard dispatch (techniques + lane bookkeeping)
+  std::uint64_t disturbance_ns = 0;  ///< serial reduce + flip re-sequencing/commit
+  std::uint64_t scattered_acts = 0;    ///< ACTs partitioned by the controller
+  std::uint64_t partitioned_acts = 0;  ///< ACTs fed from pre-built corpus lanes
 };
 
 /// Ground-truth oracle: is @p suspect row of @p bank a real aggressor?
@@ -99,13 +116,30 @@ class MemoryController {
   ///
   /// This is the hot path: the batch is split into *refresh segments*
   /// (maximal runs that cross no refresh boundary, so the mitigation
-  /// context is constant), each segment is grouped by bank, and every
-  /// bank's run is handed to its technique in one on_activates call —
-  /// concurrently across banks when cfg.bank_jobs > 1. The observable
-  /// result (stats, disturbance state, flip events, RNG streams) is
-  /// bit-identical to calling on_record per record, in any jobs setting;
-  /// see DESIGN.md "The ACT hot path" for the argument.
+  /// context is constant), each segment is partitioned once into
+  /// per-bank SoA lanes (contiguous row / timestamp / sequence columns),
+  /// and every bank's lane is handed to its technique in one
+  /// on_activates call — concurrently across banks when cfg.bank_jobs
+  /// > 1. The observable result (stats, disturbance state, flip events,
+  /// RNG streams) is bit-identical to calling on_record per record, in
+  /// any jobs setting; see DESIGN.md "The ACT hot path" for the
+  /// argument. Setting TVP_COLUMNAR=0 in the environment (read at
+  /// construction) forces this entry point to degrade to a serial
+  /// on_record loop — the CI determinism job runs both paths.
   void on_records(const trace::AccessRecord* records, std::size_t count);
+
+  /// Like on_records, but with the per-bank partition pre-computed (a
+  /// corpus-carried partition index): @p lanes holds @p lane_banks
+  /// column views whose serials are indices into @p records. When the
+  /// lanes are usable (bank count matches the geometry, every lane row
+  /// is in range) the controller feeds them zero-copy and skips the
+  /// scatter pass; otherwise it falls back to on_records — same
+  /// observable results either way, including the out-of-range throw
+  /// semantics.
+  void on_records_partitioned(const trace::AccessRecord* records,
+                              std::size_t count,
+                              const trace::BankLaneView* lanes,
+                              std::size_t lane_banks);
 
   /// Advances refresh processing up to @p time_ps without new requests
   /// (completes the final partial window of a run).
@@ -116,6 +150,7 @@ class MemoryController {
   void set_aggressor_oracle(AggressorOracle oracle) { oracle_ = std::move(oracle); }
 
   const ControllerStats& stats() const noexcept { return stats_; }
+  const StageProfile& stage_profile() const noexcept { return profile_; }
   const dram::RefreshScheduler& refresh_scheduler() const noexcept { return scheduler_; }
   const dram::RowRemapper& remapper() const noexcept { return remapper_; }
 
@@ -129,10 +164,27 @@ class MemoryController {
   /// Per-bank working state of one refresh segment. Cache-line aligned
   /// and written only by the worker that owns the bank, so concurrent
   /// shards never share a written line.
+  ///
+  /// The lane_* pointers are the columnar view run_bank_shard consumes:
+  /// on the scatter path they point into the shard-owned column vectors
+  /// (serial_base 0); on the corpus-partitioned path they borrow the
+  /// mmap'd partition columns directly (serials are span-relative, so
+  /// serial_base rebases them to the segment).
   struct alignas(64) BankShard {
-    std::vector<std::uint32_t> serials;  ///< segment-serial index per record
-    std::vector<BatchedAct> acts;        ///< the bank's ACT run, in order
-    std::vector<std::uint32_t> totals;   ///< activations per record (1+extras)
+    // Scatter-built columns (SoA; filled by the partition pass).
+    std::vector<std::uint32_t> serials;   ///< segment-serial per record
+    std::vector<dram::RowId> rows;        ///< logical row per record
+    std::vector<std::uint64_t> times;     ///< time_ps per record
+    std::vector<std::uint8_t> write_col;  ///< write flag per record
+    std::vector<std::uint32_t> totals;    ///< activations per record (1+extras)
+    // The lane view actually consumed (owned columns or borrowed corpus
+    // partition columns).
+    const dram::RowId* lane_rows = nullptr;
+    const std::uint64_t* lane_times = nullptr;
+    const std::uint32_t* lane_serials = nullptr;
+    const std::uint8_t* lane_writes = nullptr;
+    std::size_t lane_count = 0;
+    std::uint32_t serial_base = 0;
     dram::DisturbanceModel::Lane lane;
     // Per-segment outputs, folded into stats_ by the serial reduce.
     std::uint64_t reads = 0;
@@ -151,15 +203,23 @@ class MemoryController {
                      std::uint32_t interval);
   void activate_physical(dram::BankId bank, dram::RowId physical_row,
                          std::uint32_t interval);
-  /// Runs one refresh segment (no boundary inside): group by bank,
-  /// per-bank batch dispatch + replay (parallel when configured), then
-  /// the serial reduce into stats_ / the disturbance model.
+  /// Runs one refresh segment (no boundary inside): partition into
+  /// per-bank lanes, per-bank lane dispatch + replay (parallel when
+  /// configured), then the serial reduce into stats_ / the disturbance
+  /// model.
   void process_segment(const trace::AccessRecord* records, std::size_t count);
-  /// The per-bank half of process_segment (runs on a worker thread).
-  void run_bank_shard(dram::BankId bank, const trace::AccessRecord* records,
-                      const MitigationContext& ctx);
+  /// Shard reset common to both segment paths.
+  void reset_shards();
+  /// The shared back half of a segment: run every bank shard (pool or
+  /// serial), then the serial reduce + flip commit. @p valid is the
+  /// segment's record count.
+  void run_segment(std::size_t valid, const MitigationContext& ctx);
+  /// The per-bank half of a segment (runs on a worker thread), driven
+  /// entirely by the shard's lane_* columns.
+  void run_bank_shard(dram::BankId bank, const MitigationContext& ctx);
 
   ControllerConfig cfg_;
+  bool columnar_ = true;  ///< TVP_COLUMNAR != "0" (read at construction)
   dram::Timing timing_;
   MitigationEngine& engine_;
   dram::DisturbanceModel& disturbance_;
@@ -179,7 +239,9 @@ class MemoryController {
   std::vector<BankShard> shards_;
   std::vector<dram::DisturbanceModel::Lane*> lane_ptrs_;
   std::vector<std::uint64_t> act_prefix_;  // per-serial activation prefix sums
+  std::vector<std::size_t> lane_cursor_;   // per-bank position in corpus lanes
   std::unique_ptr<util::WorkerPool> pool_;  // only when bank_jobs > 1
+  StageProfile profile_;
 };
 
 }  // namespace tvp::mem

@@ -108,15 +108,6 @@ class ActionBuffer {
   std::vector<MitigationAction> storage_;
 };
 
-/// One ACT of a same-bank batch handed to IBankMitigation::on_activates.
-/// Deliberately just the row: the MitigationContext is constant across a
-/// controller-built batch (it never crosses a refresh boundary), so it
-/// is passed once per span instead of being copied per element — the
-/// grouping pass in the controller writes 4 bytes per record, not 32.
-struct BatchedAct {
-  dram::RowId row = 0;
-};
-
 /// Per-bank mitigation state machine.
 class IBankMitigation {
  public:
@@ -130,21 +121,24 @@ class IBankMitigation {
   virtual void on_activate(dram::RowId row, const MitigationContext& ctx,
                            ActionBuffer& out) = 0;
 
-  /// Observes a batch of same-bank ACTs in arrival order — the hot path
-  /// of 10^8-ACT campaigns. @p ctx applies to every element (a
-  /// controller batch never crosses a refresh boundary). Must be
+  /// Observes a same-bank *lane* of ACT row addresses in arrival order —
+  /// the hot path of 10^8-ACT campaigns. @p rows is a contiguous column
+  /// of logical row ids (SoA: the controller's partition pass scatters
+  /// each batch into per-bank lanes once; a partition-indexed corpus
+  /// hands the lane out zero-copy). @p ctx applies to every element (a
+  /// controller lane never crosses a refresh boundary). Must be
   /// decision-for-decision identical to calling on_activate once per
   /// element (same RNG draw order, same state transitions); each
-  /// appended action must carry the batch index of the ACT that produced
+  /// appended action must carry the lane index of the ACT that produced
   /// it in MitigationAction::origin, appended in non-decreasing origin
   /// order. The default implementation delegates to on_activate and
-  /// stamps origins; techniques override it with branch-light batch
-  /// kernels (no per-ACT virtual dispatch, lookup tables).
-  virtual void on_activates(const BatchedAct* acts, std::size_t n,
+  /// stamps origins; techniques override it with branch-light columnar
+  /// kernels (no per-ACT virtual dispatch, dense scans, lookup tables).
+  virtual void on_activates(const dram::RowId* rows, std::size_t n,
                             const MitigationContext& ctx, ActionBuffer& out) {
     for (std::size_t i = 0; i < n; ++i) {
       const std::size_t before = out.size();
-      on_activate(acts[i].row, ctx, out);
+      on_activate(rows[i], ctx, out);
       out.stamp_origin(before, static_cast<std::uint32_t>(i));
     }
   }
@@ -169,7 +163,7 @@ class NoMitigation final : public IBankMitigation {
   const char* name() const noexcept override { return "none"; }
   void on_activate(dram::RowId, const MitigationContext&,
                    ActionBuffer&) override {}
-  void on_activates(const BatchedAct*, std::size_t, const MitigationContext&,
+  void on_activates(const dram::RowId*, std::size_t, const MitigationContext&,
                     ActionBuffer&) override {}
   void on_refresh(const MitigationContext&, ActionBuffer&) override {}
   std::uint64_t state_bits() const noexcept override { return 0; }
@@ -212,17 +206,17 @@ class MitigationEngine {
     return scratch_;
   }
 
-  /// Batch dispatch (the controller's grouped-by-bank hot path): hands a
-  /// same-bank span of ACTs to the bank's technique in one virtual call.
-  /// Returns the *bank-owned* scratch buffer — unlike on_activate's
-  /// shared scratch it is private to @p bank, so independent banks may
-  /// run concurrently; it stays valid until the next on_activates call
-  /// for the same bank.
-  const ActionBuffer& on_activates(dram::BankId bank, const BatchedAct* acts,
+  /// Lane dispatch (the controller's columnar hot path): hands a
+  /// same-bank column of ACT row addresses to the bank's technique in
+  /// one virtual call. Returns the *bank-owned* scratch buffer — unlike
+  /// on_activate's shared scratch it is private to @p bank, so
+  /// independent banks may run concurrently; it stays valid until the
+  /// next on_activates call for the same bank.
+  const ActionBuffer& on_activates(dram::BankId bank, const dram::RowId* rows,
                                    std::size_t n, const MitigationContext& ctx) {
     ActionBuffer& buf = bank_scratch_[bank].buffer;
     buf.clear();
-    per_bank_[bank]->on_activates(acts, n, ctx, buf);
+    per_bank_[bank]->on_activates(rows, n, ctx, buf);
     return buf;
   }
 

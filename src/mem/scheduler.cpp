@@ -223,17 +223,17 @@ void CommandScheduler::service_bank(Bank& bank, dram::BankId id,
     stats_.latency_tail.add(latency);
 
     if (activated && engine_ != nullptr) {
-      // Batch-of-1 through the batch entry point: the scheduler decides
-      // per request (an open-page hit issues no ACT), so it cannot build
-      // larger spans, but routing through on_activates keeps the batch
-      // kernels on the only code path the scheduler exercises.
-      const BatchedAct act{pending.record.row};
+      // Lane-of-1 through the columnar entry point: the scheduler
+      // decides per request (an open-page hit issues no ACT), so it
+      // cannot build larger lanes, but routing through on_activates
+      // keeps the columnar kernels on the only code path the scheduler
+      // exercises.
       MitigationContext ctx;
       ctx.interval_in_window = interval_in_window();
       ctx.global_interval = global_interval_;
       ctx.window_start = false;
       place_mitigation(bank, id, bank.ready_ps,
-                       engine_->on_activates(id, &act, 1, ctx));
+                       engine_->on_activates(id, &pending.record.row, 1, ctx));
     }
   }
 }

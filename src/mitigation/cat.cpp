@@ -71,7 +71,7 @@ void Cat::on_activate(dram::RowId row, const mem::MitigationContext&,
   }
 }
 
-void Cat::on_activates(const mem::BatchedAct* acts, std::size_t n,
+void Cat::on_activates(const dram::RowId* rows, std::size_t n,
                         const mem::MitigationContext& ctx,
                         mem::ActionBuffer& out) {
   // Devirtualized batch loop: one virtual call per same-bank span
@@ -79,7 +79,7 @@ void Cat::on_activates(const mem::BatchedAct* acts, std::size_t n,
   // per-element on_activate.
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t before = out.size();
-    Cat::on_activate(acts[i].row, ctx, out);
+    Cat::on_activate(rows[i], ctx, out);
     out.stamp_origin(before, static_cast<std::uint32_t>(i));
   }
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "tvp/util/bitutil.hpp"
+#include "tvp/util/scan.hpp"
 
 namespace tvp::mitigation {
 
@@ -28,15 +29,19 @@ void Cra::on_activate(dram::RowId row, const mem::MitigationContext&,
   out.push_back(action);
 }
 
-void Cra::on_activates(const mem::BatchedAct* acts, std::size_t n,
+void Cra::on_activates(const dram::RowId* rows, std::size_t n,
                         const mem::MitigationContext& ctx,
                         mem::ActionBuffer& out) {
-  // Devirtualized batch loop: one virtual call per same-bank span
-  // instead of one per ACT; decisions and RNG draws are identical to
-  // per-element on_activate.
+  // Devirtualized lane kernel. The counter table spans every row of the
+  // bank (the lane's accesses scatter across it), so the next few
+  // counters are prefetched ahead of the increment — the lane hands us
+  // the future rows for free.
+  constexpr std::size_t kPrefetchDist = 8;
   for (std::size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchDist < n)
+      util::prefetch_read(&counts_[rows[i + kPrefetchDist]]);
     const std::size_t before = out.size();
-    Cra::on_activate(acts[i].row, ctx, out);
+    Cra::on_activate(rows[i], ctx, out);
     out.stamp_origin(before, static_cast<std::uint32_t>(i));
   }
 }

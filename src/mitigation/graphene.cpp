@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "tvp/util/bitutil.hpp"
+#include "tvp/util/scan.hpp"
 
 namespace tvp::mitigation {
 
@@ -13,64 +14,58 @@ Graphene::Graphene(GrapheneConfig config, util::Rng) : cfg_(config) {
     throw std::invalid_argument("Graphene: zero threshold");
   if (cfg_.rows_per_bank == 0)
     throw std::invalid_argument("Graphene: zero rows_per_bank");
-  entries_.assign(cfg_.entries, Entry{});
-  index_.reserve(cfg_.entries * 2);
+  rows_.assign(cfg_.entries, 0);
+  counts_.assign(cfg_.entries, 0);
 }
 
 void Graphene::on_activate(dram::RowId row, const mem::MitigationContext&,
                            mem::ActionBuffer& out) {
-  Entry* entry = nullptr;
-  const auto it = index_.find(row);
-  if (it != index_.end()) {
-    entry = &entries_[it->second];
-    ++entry->count;
+  std::size_t slot = util::find_u32(rows_.data(), live_, row);
+  if (slot != live_) {
+    ++counts_[slot];
+  } else if (live_ < cfg_.entries) {
+    // Free slot: the dense prefix grows by one.
+    slot = live_++;
+    rows_[slot] = row;
+    counts_[slot] = spill_ + 1;
   } else {
-    // Free slot, else Misra-Gries swap with a spill-level entry.
-    std::size_t slot = entries_.size();
-    std::size_t swap_slot = entries_.size();
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-      if (!entries_[i].valid) {
-        slot = i;
+    // Misra-Gries swap with the first spill-level entry; slot order is
+    // identical to the former first-invalid / first-at-spill walk.
+    std::size_t swap_slot = cfg_.entries;
+    for (std::size_t i = 0; i < cfg_.entries; ++i) {
+      if (counts_[i] <= spill_) {
+        swap_slot = i;
         break;
       }
-      if (entries_[i].count <= spill_ && swap_slot == entries_.size())
-        swap_slot = i;
     }
-    if (slot != entries_.size()) {
-      entries_[slot] = Entry{row, spill_ + 1, true};
-      index_.emplace(row, slot);
-      entry = &entries_[slot];
-    } else if (swap_slot != entries_.size()) {
-      index_.erase(entries_[swap_slot].row);
-      entries_[swap_slot] = Entry{row, spill_ + 1, true};
-      index_.emplace(row, swap_slot);
-      entry = &entries_[swap_slot];
-    } else {
+    if (swap_slot == cfg_.entries) {
       ++spill_;
       return;
     }
+    slot = swap_slot;
+    rows_[slot] = row;
+    counts_[slot] = spill_ + 1;
   }
 
-  if (entry->count >= cfg_.row_threshold) {
+  if (counts_[slot] >= cfg_.row_threshold) {
     mem::MitigationAction action;
     action.kind = mem::MitigationAction::Kind::kActNeighbors;
     action.row = row;
     action.suspect = row;
     out.push_back(action);
     // Neighbours restored; the estimate restarts at the spill floor.
-    entry->count = spill_;
+    counts_[slot] = spill_;
   }
 }
 
-void Graphene::on_activates(const mem::BatchedAct* acts, std::size_t n,
+void Graphene::on_activates(const dram::RowId* rows, std::size_t n,
                              const mem::MitigationContext& ctx,
                              mem::ActionBuffer& out) {
-  // Devirtualized batch loop: one virtual call per same-bank span
-  // instead of one per ACT; decisions and RNG draws are identical to
-  // per-element on_activate.
+  // Devirtualized lane kernel: one virtual call per bank lane instead
+  // of one per ACT; decisions are identical to per-element on_activate.
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t before = out.size();
-    Graphene::on_activate(acts[i].row, ctx, out);
+    Graphene::on_activate(rows[i], ctx, out);
     out.stamp_origin(before, static_cast<std::uint32_t>(i));
   }
 }
@@ -78,8 +73,7 @@ void Graphene::on_activates(const mem::BatchedAct* acts, std::size_t n,
 void Graphene::on_refresh(const mem::MitigationContext& ctx,
                           mem::ActionBuffer&) {
   if (!ctx.window_start) return;
-  for (auto& e : entries_) e.valid = false;
-  index_.clear();
+  live_ = 0;
   spill_ = 0;
 }
 

@@ -20,7 +20,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "tvp/mem/mitigation.hpp"
@@ -44,7 +43,7 @@ class Graphene final : public mem::IBankMitigation {
   const char* name() const noexcept override { return "Graphene"; }
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
                    mem::ActionBuffer& out) override;
-  void on_activates(const mem::BatchedAct* acts, std::size_t n,
+  void on_activates(const dram::RowId* rows, std::size_t n,
                     const mem::MitigationContext& ctx,
                     mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext& ctx,
@@ -52,19 +51,19 @@ class Graphene final : public mem::IBankMitigation {
   std::uint64_t state_bits() const noexcept override;
 
   std::uint32_t spillover() const noexcept { return spill_; }
-  std::size_t tracked() const noexcept { return index_.size(); }
+  std::size_t tracked() const noexcept { return live_; }
 
  private:
-  struct Entry {
-    dram::RowId row = 0;
-    std::uint32_t count = 0;
-    bool valid = false;
-  };
-
   GrapheneConfig cfg_;
-  std::vector<Entry> entries_;
-  // Simulation shortcut for the hardware CAM lookup.
-  std::unordered_map<dram::RowId, std::size_t> index_;
+  // Structure-of-arrays summary: tracked entries are the dense prefix
+  // [0, live_) of two parallel columns (slots are taken in index order,
+  // Misra-Gries swaps overwrite a slot in place, and entries only
+  // invalidate at a window reset — so validity is positional). The
+  // per-ACT associative match is a SIMD sweep of the row column
+  // (util::find_u32), the simulation stand-in for the hardware CAM.
+  std::vector<dram::RowId> rows_;
+  std::vector<std::uint32_t> counts_;
+  std::size_t live_ = 0;
   std::uint32_t spill_ = 0;
 };
 

@@ -41,7 +41,7 @@ class MrLoc final : public mem::IBankMitigation {
   const char* name() const noexcept override { return "MRLoc"; }
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
                    mem::ActionBuffer& out) override;
-  void on_activates(const mem::BatchedAct* acts, std::size_t n,
+  void on_activates(const dram::RowId* rows, std::size_t n,
                     const mem::MitigationContext& ctx,
                     mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext&,
@@ -60,7 +60,7 @@ class MrLoc final : public mem::IBankMitigation {
   std::uint64_t raw_probability(std::size_t depth, std::size_t size) const;
 
   MrLocConfig cfg_;
-  util::Rng rng_;
+  util::BufferedRng rng_;
   std::vector<dram::RowId> queue_;       // [0] = oldest, back = most recent
   std::vector<std::uint64_t> full_lut_;  // raw prob per depth, full queue
 };

@@ -26,7 +26,7 @@ class Para final : public mem::IBankMitigation {
   const char* name() const noexcept override { return "PARA"; }
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
                    mem::ActionBuffer& out) override;
-  void on_activates(const mem::BatchedAct* acts, std::size_t n,
+  void on_activates(const dram::RowId* rows, std::size_t n,
                     const mem::MitigationContext& ctx,
                     mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext&,
@@ -36,7 +36,7 @@ class Para final : public mem::IBankMitigation {
 
  private:
   ParaConfig cfg_;
-  util::Rng rng_;
+  util::BufferedRng rng_;
 };
 
 mem::BankMitigationFactory make_para_factory(ParaConfig config = {});

@@ -37,7 +37,7 @@ class Prac final : public mem::IBankMitigation {
   const char* name() const noexcept override { return "PRAC"; }
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
                    mem::ActionBuffer& out) override;
-  void on_activates(const mem::BatchedAct* acts, std::size_t n,
+  void on_activates(const dram::RowId* rows, std::size_t n,
                     const mem::MitigationContext& ctx,
                     mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext& ctx,

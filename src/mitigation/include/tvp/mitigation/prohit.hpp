@@ -35,7 +35,7 @@ class ProHit final : public mem::IBankMitigation {
   const char* name() const noexcept override { return "ProHit"; }
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
                    mem::ActionBuffer& out) override;
-  void on_activates(const mem::BatchedAct* acts, std::size_t n,
+  void on_activates(const dram::RowId* rows, std::size_t n,
                     const mem::MitigationContext& ctx,
                     mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext& ctx,
@@ -56,7 +56,7 @@ class ProHit final : public mem::IBankMitigation {
                                          dram::RowId row) noexcept;
 
   ProHitConfig cfg_;
-  util::Rng rng_;
+  util::BufferedRng rng_;
   std::vector<Victim> hot_;   // hot_[0] is the top (next to refresh)
   std::vector<Victim> cold_;  // cold_[0] is the oldest
 };

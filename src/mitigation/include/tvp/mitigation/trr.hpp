@@ -41,7 +41,7 @@ class Trr final : public mem::IBankMitigation {
   }
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
                    mem::ActionBuffer& out) override;
-  void on_activates(const mem::BatchedAct* acts, std::size_t n,
+  void on_activates(const dram::RowId* rows, std::size_t n,
                     const mem::MitigationContext& ctx,
                     mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext& ctx,
@@ -60,7 +60,7 @@ class Trr final : public mem::IBankMitigation {
   void refresh_opportunity(mem::ActionBuffer& out);
 
   TrrConfig cfg_;
-  util::Rng rng_;
+  util::BufferedRng rng_;
   std::vector<Sample> sampler_;
   std::uint32_t raa_ = 0;  ///< rolling accumulated ACT count (RFM)
   std::uint64_t rfm_commands_ = 0;

@@ -12,7 +12,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "tvp/mem/mitigation.hpp"
@@ -40,32 +39,31 @@ class Twice final : public mem::IBankMitigation {
   const char* name() const noexcept override { return "TWiCe"; }
   void on_activate(dram::RowId row, const mem::MitigationContext& ctx,
                    mem::ActionBuffer& out) override;
-  void on_activates(const mem::BatchedAct* acts, std::size_t n,
+  void on_activates(const dram::RowId* rows, std::size_t n,
                     const mem::MitigationContext& ctx,
                     mem::ActionBuffer& out) override;
   void on_refresh(const mem::MitigationContext& ctx,
                   mem::ActionBuffer& out) override;
   std::uint64_t state_bits() const noexcept override;
 
-  std::size_t live_entries() const noexcept { return index_.size(); }
+  std::size_t live_entries() const noexcept { return live_; }
   std::size_t peak_live_entries() const noexcept { return peak_live_; }
   /// ACTs that could not be tracked because the table overflowed; must
   /// stay 0 for the safety proof to hold (tested).
   std::uint64_t overflow_drops() const noexcept { return overflow_drops_; }
 
  private:
-  struct Entry {
-    dram::RowId row = 0;
-    std::uint32_t count = 0;
-    std::uint32_t life = 0;  // completed intervals since allocation
-    bool valid = false;
-  };
-
   TwiceConfig cfg_;
-  std::vector<Entry> entries_;
-  // Simulation shortcut for the hardware CAM's associative lookup.
-  std::unordered_map<dram::RowId, std::size_t> index_;
-  std::vector<std::size_t> free_list_;
+  // The hardware CAM, laid out as structure-of-arrays: live entries are
+  // the dense prefix [0, live_) of three parallel columns, so the
+  // per-ACT associative match is a SIMD sweep of the row column
+  // (util::find_u32) instead of a hash lookup. Pruning swap-compacts
+  // the prefix; TWiCe draws no randomness and on_refresh emits no
+  // actions, so entry order is unobservable and compaction is safe.
+  std::vector<dram::RowId> rows_;
+  std::vector<std::uint32_t> counts_;
+  std::vector<std::uint32_t> lifes_;  // completed intervals since allocation
+  std::size_t live_ = 0;
   std::size_t peak_live_ = 0;
   std::uint64_t overflow_drops_ = 0;
 };

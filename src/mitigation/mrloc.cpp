@@ -78,14 +78,14 @@ void MrLoc::on_activate(dram::RowId row, const mem::MitigationContext&,
   if (row + 1 < cfg_.rows_per_bank) observe_victim(row + 1, row, out);
 }
 
-void MrLoc::on_activates(const mem::BatchedAct* acts, std::size_t n,
+void MrLoc::on_activates(const dram::RowId* rows, std::size_t n,
                          const mem::MitigationContext&,
                          mem::ActionBuffer& out) {
   // Same decisions and RNG draws as on_activate per element, minus the
   // per-ACT virtual dispatch.
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t before = out.size();
-    const dram::RowId row = acts[i].row;
+    const dram::RowId row = rows[i];
     if (row > 0) observe_victim(row - 1, row, out);
     if (row + 1 < cfg_.rows_per_bank) observe_victim(row + 1, row, out);
     out.stamp_origin(before, static_cast<std::uint32_t>(i));

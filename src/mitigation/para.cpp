@@ -30,7 +30,7 @@ void Para::on_activate(dram::RowId row, const mem::MitigationContext&,
   out.push_back(action);
 }
 
-void Para::on_activates(const mem::BatchedAct* acts, std::size_t n,
+void Para::on_activates(const dram::RowId* rows, std::size_t n,
                          const mem::MitigationContext& ctx,
                          mem::ActionBuffer& out) {
   // Devirtualized batch loop: one virtual call per same-bank span
@@ -38,7 +38,7 @@ void Para::on_activates(const mem::BatchedAct* acts, std::size_t n,
   // per-element on_activate.
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t before = out.size();
-    Para::on_activate(acts[i].row, ctx, out);
+    Para::on_activate(rows[i], ctx, out);
     out.stamp_origin(before, static_cast<std::uint32_t>(i));
   }
 }

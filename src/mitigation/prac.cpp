@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "tvp/util/bitutil.hpp"
+#include "tvp/util/scan.hpp"
 
 namespace tvp::mitigation {
 
@@ -29,15 +30,18 @@ void Prac::on_activate(dram::RowId row, const mem::MitigationContext&,
   out.push_back(action);
 }
 
-void Prac::on_activates(const mem::BatchedAct* acts, std::size_t n,
+void Prac::on_activates(const dram::RowId* rows, std::size_t n,
                          const mem::MitigationContext& ctx,
                          mem::ActionBuffer& out) {
-  // Devirtualized batch loop: one virtual call per same-bank span
-  // instead of one per ACT; decisions and RNG draws are identical to
-  // per-element on_activate.
+  // Devirtualized lane kernel. The per-row counter table spans the
+  // whole bank, so the lane's future rows are prefetched a few ACTs
+  // ahead of their increments.
+  constexpr std::size_t kPrefetchDist = 8;
   for (std::size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchDist < n)
+      util::prefetch_read(&counts_[rows[i + kPrefetchDist]]);
     const std::size_t before = out.size();
-    Prac::on_activate(acts[i].row, ctx, out);
+    Prac::on_activate(rows[i], ctx, out);
     out.stamp_origin(before, static_cast<std::uint32_t>(i));
   }
 }

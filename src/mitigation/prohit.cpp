@@ -59,7 +59,7 @@ void ProHit::on_activate(dram::RowId row, const mem::MitigationContext&,
   if (row + 1 < cfg_.rows_per_bank) observe_victim(row + 1, row);
 }
 
-void ProHit::on_activates(const mem::BatchedAct* acts, std::size_t n,
+void ProHit::on_activates(const dram::RowId* rows, std::size_t n,
                            const mem::MitigationContext& ctx,
                            mem::ActionBuffer& out) {
   // Devirtualized batch loop: one virtual call per same-bank span
@@ -67,7 +67,7 @@ void ProHit::on_activates(const mem::BatchedAct* acts, std::size_t n,
   // per-element on_activate.
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t before = out.size();
-    ProHit::on_activate(acts[i].row, ctx, out);
+    ProHit::on_activate(rows[i], ctx, out);
     out.stamp_origin(before, static_cast<std::uint32_t>(i));
   }
 }

@@ -48,7 +48,7 @@ void Trr::on_activate(dram::RowId row, const mem::MitigationContext&,
   }
 }
 
-void Trr::on_activates(const mem::BatchedAct* acts, std::size_t n,
+void Trr::on_activates(const dram::RowId* rows, std::size_t n,
                         const mem::MitigationContext& ctx,
                         mem::ActionBuffer& out) {
   // Devirtualized batch loop: one virtual call per same-bank span
@@ -56,7 +56,7 @@ void Trr::on_activates(const mem::BatchedAct* acts, std::size_t n,
   // per-element on_activate.
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t before = out.size();
-    Trr::on_activate(acts[i].row, ctx, out);
+    Trr::on_activate(rows[i], ctx, out);
     out.stamp_origin(before, static_cast<std::uint32_t>(i));
   }
 }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "tvp/util/bitutil.hpp"
+#include "tvp/util/scan.hpp"
 
 namespace tvp::mitigation {
 
@@ -14,54 +15,50 @@ Twice::Twice(TwiceConfig config, util::Rng) : cfg_(config) {
     throw std::invalid_argument("Twice: zero threshold");
   if (cfg_.rows_per_bank == 0 || cfg_.refresh_intervals == 0)
     throw std::invalid_argument("Twice: zero geometry");
-  entries_.assign(cfg_.entries, Entry{});
-  free_list_.reserve(cfg_.entries);
-  for (std::size_t i = cfg_.entries; i > 0; --i) free_list_.push_back(i - 1);
-  index_.reserve(cfg_.entries * 2);
+  rows_.assign(cfg_.entries, 0);
+  counts_.assign(cfg_.entries, 0);
+  lifes_.assign(cfg_.entries, 0);
 }
 
 void Twice::on_activate(dram::RowId row, const mem::MitigationContext&,
                         mem::ActionBuffer& out) {
-  // The hash index is a simulation shortcut for the hardware CAM lookup
-  // (single-cycle associative match); behaviour is identical.
-  const auto it = index_.find(row);
-  if (it != index_.end()) {
-    Entry& e = entries_[it->second];
-    ++e.count;
-    if (e.count >= cfg_.row_threshold) {
+  // SIMD sweep of the dense row column — the simulation stand-in for
+  // the hardware CAM's single-cycle associative match.
+  const std::size_t hit = util::find_u32(rows_.data(), live_, row);
+  if (hit != live_) {
+    if (++counts_[hit] >= cfg_.row_threshold) {
       mem::MitigationAction action;
       action.kind = mem::MitigationAction::Kind::kActNeighbors;
       action.row = row;
       action.suspect = row;
       out.push_back(action);
       // Neighbours restored; counting starts over for this aggressor.
-      e.count = 0;
-      e.life = 0;
+      counts_[hit] = 0;
+      lifes_[hit] = 0;
     }
     return;
   }
-  if (free_list_.empty()) {
+  if (live_ == cfg_.entries) {
     // Table exhausted: TWiCe's sizing analysis says this cannot happen;
     // record it so the tests can assert the guarantee.
     ++overflow_drops_;
     return;
   }
-  const std::size_t slot = free_list_.back();
-  free_list_.pop_back();
-  entries_[slot] = Entry{row, 1, 0, true};
-  index_.emplace(row, slot);
-  peak_live_ = std::max(peak_live_, live_entries());
+  rows_[live_] = row;
+  counts_[live_] = 1;
+  lifes_[live_] = 0;
+  ++live_;
+  peak_live_ = std::max(peak_live_, live_);
 }
 
-void Twice::on_activates(const mem::BatchedAct* acts, std::size_t n,
+void Twice::on_activates(const dram::RowId* rows, std::size_t n,
                           const mem::MitigationContext& ctx,
                           mem::ActionBuffer& out) {
-  // Devirtualized batch loop: one virtual call per same-bank span
-  // instead of one per ACT; decisions and RNG draws are identical to
-  // per-element on_activate.
+  // Devirtualized lane kernel: one virtual call per bank lane instead
+  // of one per ACT; decisions are identical to per-element on_activate.
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t before = out.size();
-    Twice::on_activate(acts[i].row, ctx, out);
+    Twice::on_activate(rows[i], ctx, out);
     out.stamp_origin(before, static_cast<std::uint32_t>(i));
   }
 }
@@ -69,23 +66,24 @@ void Twice::on_activates(const mem::BatchedAct* acts, std::size_t n,
 void Twice::on_refresh(const mem::MitigationContext& ctx,
                        mem::ActionBuffer&) {
   if (ctx.window_start) {
-    for (auto& e : entries_) e.valid = false;
-    index_.clear();
-    free_list_.clear();
-    for (std::size_t i = cfg_.entries; i > 0; --i) free_list_.push_back(i - 1);
+    live_ = 0;
     return;
   }
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    Entry& e = entries_[i];
-    if (!e.valid) continue;
-    ++e.life;
-    // Prune entries that cannot reach row_threshold at their pace: the
-    // entry must sustain at least pruning_slope activations per interval
-    // of life (TWiCe's validity condition).
-    if (e.count < static_cast<std::uint64_t>(cfg_.pruning_slope) * e.life) {
-      e.valid = false;
-      index_.erase(e.row);
-      free_list_.push_back(i);
+  // Age every live entry and prune those that cannot reach
+  // row_threshold at their pace: an entry must sustain at least
+  // pruning_slope activations per interval of life (TWiCe's validity
+  // condition). Pruned slots are swap-compacted from the back; the
+  // swapped-in entry comes from a not-yet-visited position, so the
+  // no-advance retry processes every entry exactly once.
+  for (std::size_t i = 0; i < live_;) {
+    const std::uint32_t life = ++lifes_[i];
+    if (counts_[i] < static_cast<std::uint64_t>(cfg_.pruning_slope) * life) {
+      --live_;
+      rows_[i] = rows_[live_];
+      counts_[i] = counts_[live_];
+      lifes_[i] = lifes_[live_];
+    } else {
+      ++i;
     }
   }
 }

@@ -35,7 +35,15 @@ namespace fp = util::fp;
 struct CorpusMapping {
   const unsigned char* base = nullptr;
   std::uint64_t size = 0;
-  std::unique_ptr<std::atomic<std::uint8_t>[]> verified;  // one per block
+  /// Per-block trust-after-verify bits: bit 0 = record payload checked,
+  /// bit 1 = partition lanes checked (set with fetch_or so the two
+  /// sweeps compose).
+  std::unique_ptr<std::atomic<std::uint8_t>[]> verified;
+  /// Per-(block, bank) lane row maxima, filled by the partition sweep
+  /// (published by the bit-1 release store); lets every source range-
+  /// check a whole lane in O(1). Empty when the corpus has no partition
+  /// index. Atomics because racing sources may write the same values.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> lane_max_rows;
 
   ~CorpusMapping() {
     if (base != nullptr)
@@ -71,6 +79,23 @@ constexpr char kFileMagic[4] = {'T', 'V', 'P', 'C'};
 constexpr char kBlockMagic[4] = {'T', 'V', 'P', 'B'};
 constexpr char kFooterMagic[4] = {'T', 'V', 'P', 'F'};
 constexpr char kTrailerMagic[8] = {'T', 'V', 'P', 'C', 'E', 'N', 'D', '\0'};
+// Footer extension framing the per-block partition index ("PIDX").
+constexpr std::uint32_t kPartitionMagic = 0x58444950u;
+constexpr std::size_t kPartitionHeadBytes = 8;    // magic + bank count
+constexpr std::size_t kPartitionEntryBytes = 16;  // offset + bytes + crc
+// Per-bank/per-record sizes of a block's lane region: a u32 count per
+// bank, then the concatenated lane columns (u64 time + u32 row + u32
+// span-relative serial + u8 write flag per record), each column padded
+// to an 8-byte boundary as a whole.
+constexpr std::size_t kLaneBytesPerRecord = 8 + 4 + 4 + 1;
+
+constexpr std::size_t pad8_sz(std::size_t n) { return (n + 7u) & ~std::size_t{7}; }
+
+/// Exact byte size of one block's lane region.
+constexpr std::size_t partition_region_bytes(std::uint32_t banks,
+                                             std::size_t records) {
+  return pad8_sz(std::size_t{banks} * 4) + records * 16 + pad8_sz(records);
+}
 
 // Failpoint sites, one per syscall location (see util/failpoint.hpp).
 constexpr const char* kSiteCreateOpen = "corpus.create.open";
@@ -200,8 +225,16 @@ ParsedCorpus parse_corpus(int fd, const std::string& path) {
   info.total_records = load_u64(footer.data() + 8);
   const std::uint64_t aggressor_count = load_u64(footer.data() + 16);
   const std::uint64_t victim_count = load_u64(footer.data() + 24);
-  if (footer_bytes != kFooterHeadBytes + block_count * kIndexEntryBytes +
-                          (aggressor_count + victim_count) * 8)
+  const std::uint64_t base_bytes = kFooterHeadBytes +
+                                   block_count * kIndexEntryBytes +
+                                   (aggressor_count + victim_count) * 8;
+  // Exactly two footer shapes exist: the base layout, and the base
+  // layout followed by the partition-index extension. Anything else is
+  // corruption, not a fallback.
+  const bool has_partition =
+      footer_bytes ==
+      base_bytes + kPartitionHeadBytes + block_count * kPartitionEntryBytes;
+  if (!has_partition && footer_bytes != base_bytes)
     corrupt(path, "footer size does not match its counts");
 
   info.blocks.reserve(static_cast<std::size_t>(block_count));
@@ -238,6 +271,31 @@ ParsedCorpus parse_corpus(int fd, const std::string& path) {
   info.victims.reserve(static_cast<std::size_t>(victim_count));
   for (std::uint64_t i = 0; i < victim_count; ++i, key += 8)
     info.victims.push_back(load_u64(key));
+
+  if (has_partition) {
+    if (load_u32(key) != kPartitionMagic)
+      corrupt(path, "partition index has a bad magic");
+    info.partition_banks = load_u32(key + 4);
+    if (info.partition_banks == 0)
+      corrupt(path, "partition index declares zero banks");
+    key += kPartitionHeadBytes;
+    info.partitions.reserve(static_cast<std::size_t>(block_count));
+    for (std::uint64_t b = 0; b < block_count; ++b, key += kPartitionEntryBytes) {
+      CorpusPartitionInfo p;
+      p.offset = load_u64(key);
+      p.bytes = load_u32(key + 8);
+      p.crc = load_u32(key + 12);
+      if (p.offset < kFileHeaderBytes ||
+          p.offset + p.bytes > parsed.footer_offset)
+        corrupt(path, "block " + std::to_string(b) +
+                          " partition region out of range");
+      if (p.bytes != partition_region_bytes(info.partition_banks,
+                                            info.blocks[b].records))
+        corrupt(path, "block " + std::to_string(b) +
+                          " partition size does not match its records");
+      info.partitions.push_back(p);
+    }
+  }
   return parsed;
 }
 
@@ -325,6 +383,11 @@ void CorpusWriter::append(const AccessRecord* records, std::size_t count) {
           "CorpusWriter: record time goes backwards (" +
           std::to_string(r.time_ps) + " after " +
           std::to_string(last_time_ps_) + ")");
+    if (options_.partition_banks != 0 && r.bank >= options_.partition_banks)
+      throw std::invalid_argument(
+          "CorpusWriter: record bank " + std::to_string(r.bank) +
+          " outside the partition index's " +
+          std::to_string(options_.partition_banks) + " banks");
     last_time_ps_ = r.time_ps;
     block_.push_back(r);
     if (block_.size() >= options_.records_per_block) flush_block();
@@ -393,8 +456,55 @@ void CorpusWriter::flush_block() {
       (padded > payload_bytes &&
        !fp::write_full(kSiteBlockWrite, fd_, kPad, padded - payload_bytes)))
     fail("cannot write block");
-
   write_offset_ += kBlockHeaderBytes + padded;
+
+  if (options_.partition_banks != 0) {
+    // The block's scatter pass, done once at write time: per-bank lane
+    // columns (time, row, span-relative serial, write flag), laid out
+    // bank after bank so replay hands the mapped bytes straight to the
+    // controller. All padding is zeroed — the file stays byte-
+    // deterministic.
+    const std::uint32_t banks = options_.partition_banks;
+    const std::size_t n = block_.size();
+    const std::size_t region = partition_region_bytes(banks, n);
+    lane_staging_.assign(region, 0);
+    unsigned char* counts = lane_staging_.data();
+    unsigned char* times = counts + pad8(std::size_t{banks} * 4);
+    unsigned char* rows = times + n * 8;
+    unsigned char* serials = rows + n * 4;
+    unsigned char* writes = serials + n * 4;
+
+    std::vector<std::uint32_t> lane_count(banks, 0);
+    for (const AccessRecord& r : block_) ++lane_count[r.bank];
+    std::vector<std::uint32_t> cursor(banks, 0);
+    for (std::uint32_t b = 0, at = 0; b < banks; ++b) {
+      store_u32(counts + std::size_t{b} * 4, lane_count[b]);
+      cursor[b] = at;
+      at += lane_count[b];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const AccessRecord& r = block_[i];
+      const std::uint32_t k = cursor[r.bank]++;
+      store_u64(times + std::size_t{k} * 8, r.time_ps);
+      store_u32(rows + std::size_t{k} * 4, r.row);
+      store_u32(serials + std::size_t{k} * 4,
+                static_cast<std::uint32_t>(i));
+      writes[k] = r.write ? 1 : 0;
+    }
+
+    if (region > 0xFFFFFFFFull)
+      throw std::invalid_argument(
+          "CorpusWriter: block too large for a partition index");
+    CorpusPartitionInfo pinfo;
+    pinfo.offset = write_offset_;
+    pinfo.bytes = static_cast<std::uint32_t>(region);
+    pinfo.crc = util::crc32(lane_staging_.data(), region);
+    if (!fp::write_full(kSiteBlockWrite, fd_, lane_staging_.data(), region))
+      fail("cannot write block partition");
+    write_offset_ += region;
+    pindex_.push_back(pinfo);
+  }
+
   total_records_ += block_.size();
   index_.push_back(info);
   block_.clear();
@@ -411,9 +521,13 @@ std::uint32_t CorpusWriter::close() {
   victims_.erase(std::unique(victims_.begin(), victims_.end()),
                  victims_.end());
 
+  const std::size_t ext_bytes =
+      options_.partition_banks != 0
+          ? kPartitionHeadBytes + pindex_.size() * kPartitionEntryBytes
+          : 0;
   std::vector<unsigned char> footer(
       kFooterHeadBytes + index_.size() * kIndexEntryBytes +
-      (aggressors_.size() + victims_.size()) * 8);
+      (aggressors_.size() + victims_.size()) * 8 + ext_bytes);
   std::memcpy(footer.data(), kFooterMagic, 4);
   store_u32(footer.data() + 4, static_cast<std::uint32_t>(index_.size()));
   store_u64(footer.data() + 8, total_records_);
@@ -438,6 +552,20 @@ std::uint32_t CorpusWriter::close() {
   for (const std::uint64_t key : victims_) {
     store_u64(entry, key);
     entry += 8;
+  }
+  if (options_.partition_banks != 0) {
+    // Footer extension: the partition index's frame. Covered by the
+    // footer CRC like everything else, so a tampered lane frame fails
+    // the identity check before any lane byte is trusted.
+    store_u32(entry, kPartitionMagic);
+    store_u32(entry + 4, options_.partition_banks);
+    entry += kPartitionHeadBytes;
+    for (const CorpusPartitionInfo& p : pindex_) {
+      store_u64(entry, p.offset);
+      store_u32(entry + 8, p.bytes);
+      store_u32(entry + 12, p.crc);
+      entry += kPartitionEntryBytes;
+    }
   }
   const std::uint32_t footer_crc = util::crc32(footer.data(), footer.size());
 
@@ -495,6 +623,7 @@ void keep_alive(const std::shared_ptr<CorpusMapping>& mapping) {
 std::shared_ptr<CorpusMapping> acquire_mapping(int fd,
                                                std::uint64_t file_size,
                                                std::size_t blocks,
+                                               std::uint32_t lane_banks,
                                                std::uint32_t identity) {
   struct ::stat st{};
   if (::fstat(fd, &st) != 0) return nullptr;
@@ -529,6 +658,13 @@ std::shared_ptr<CorpusMapping> acquire_mapping(int fd,
   mapping->verified = std::make_unique<std::atomic<std::uint8_t>[]>(blocks);
   for (std::size_t i = 0; i < blocks; ++i)
     mapping->verified[i].store(0, std::memory_order_relaxed);
+  if (lane_banks != 0) {
+    const std::size_t cells = blocks * lane_banks;
+    mapping->lane_max_rows =
+        std::make_unique<std::atomic<std::uint32_t>[]>(cells);
+    for (std::size_t i = 0; i < cells; ++i)
+      mapping->lane_max_rows[i].store(0, std::memory_order_relaxed);
+  }
   g_mappings[key] = mapping;
   keep_alive(mapping);
   return mapping;
@@ -553,8 +689,9 @@ MmapSource::MmapSource(const std::string& path) : path_(path) {
     throw;
   }
   mapping_ = acquire_mapping(fd_, file_size_, info_.blocks.size(),
-                             info_.footer_crc);
+                             info_.partition_banks, info_.footer_crc);
   if (mapping_) base_ = mapping_->base;
+  lanes_.resize(info_.partition_banks);
 }
 
 MmapSource::~MmapSource() {
@@ -594,11 +731,12 @@ bool MmapSource::load_block(std::size_t index) {
       const unsigned char* payload = base_ + payload_offset;
       // Trust-after-verify, shared process-wide: if a concurrent source
       // races us here both verify — harmless, the bytes are immutable.
-      if (!mapping_->verified[index].load(std::memory_order_acquire)) {
+      // Bit 0 covers the record payload (bit 1 is the partition sweep).
+      if (!(mapping_->verified[index].load(std::memory_order_acquire) & 1)) {
         if (util::crc32(payload, static_cast<std::size_t>(raw_bytes)) != b.crc)
           fail("block " + std::to_string(index) + " CRC mismatch (corrupt)");
         check_record_encoding(payload, b.records, path_, index);
-        mapping_->verified[index].store(1, std::memory_order_release);
+        mapping_->verified[index].fetch_or(1, std::memory_order_release);
       }
       span_ = reinterpret_cast<const AccessRecord*>(payload);
     } else {
@@ -681,6 +819,97 @@ std::size_t MmapSource::next_span(const AccessRecord** data) {
   return n;
 }
 
+// Builds lanes_ for block @p index out of the mapped partition region,
+// verifying it on first touch (process-wide bit 1): region CRC, then a
+// record-by-record cross-check against the block payload — every lane
+// element must restate its record's time/row/write under the record's
+// bank, serials must ascend, and the counts must cover the block
+// exactly. Any disagreement is a hard error: a corpus that advertises
+// a partition index must carry a correct one.
+bool MmapSource::prepare_lanes(std::size_t index) {
+  if (base_ == nullptr || info_.partition_banks == 0 ||
+      info_.blocks[index].codec != CorpusCodec::kRaw)
+    return false;
+  const std::uint32_t banks = info_.partition_banks;
+  const CorpusPartitionInfo& p = info_.partitions[index];
+  const unsigned char* region = base_ + p.offset;
+  const unsigned char* counts = region;
+  const unsigned char* times = counts + pad8(std::size_t{banks} * 4);
+  const unsigned char* rows = times + std::size_t{span_len_} * 8;
+  const unsigned char* serials = rows + std::size_t{span_len_} * 4;
+  const unsigned char* writes = serials + std::size_t{span_len_} * 4;
+
+  if (!(mapping_->verified[index].load(std::memory_order_acquire) & 2)) {
+    if (util::crc32(region, p.bytes) != p.crc)
+      fail("block " + std::to_string(index) +
+           " partition CRC mismatch (corrupt)");
+    std::uint64_t covered = 0;
+    std::size_t at = 0;
+    for (std::uint32_t b = 0; b < banks; ++b) {
+      const std::uint32_t n = load_u32(counts + std::size_t{b} * 4);
+      covered += n;
+      if (covered > span_len_)
+        fail("block " + std::to_string(index) +
+             " partition lane counts exceed the block");
+      dram::RowId max_row = 0;
+      std::uint32_t prev = 0;
+      for (std::uint32_t k = 0; k < n; ++k, ++at) {
+        const std::uint32_t serial = load_u32(serials + at * 4);
+        if (serial >= span_len_ || (k != 0 && serial <= prev))
+          fail("block " + std::to_string(index) +
+               " partition serials are not ascending");
+        prev = serial;
+        const AccessRecord& r = span_[serial];
+        const dram::RowId row = load_u32(rows + at * 4);
+        if (r.bank != b || r.row != row ||
+            r.time_ps != load_u64(times + at * 8) ||
+            static_cast<std::uint8_t>(r.write ? 1 : 0) != writes[at])
+          fail("block " + std::to_string(index) +
+               " partition lane disagrees with its records");
+        if (row > max_row) max_row = row;
+      }
+      mapping_->lane_max_rows[index * banks + b].store(
+          max_row, std::memory_order_relaxed);
+    }
+    if (covered != span_len_)
+      fail("block " + std::to_string(index) +
+           " partition lanes do not cover the block");
+    mapping_->verified[index].fetch_or(2, std::memory_order_release);
+  }
+
+  std::size_t at = 0;
+  for (std::uint32_t b = 0; b < banks; ++b) {
+    const std::uint32_t n = load_u32(counts + std::size_t{b} * 4);
+    BankLaneView& lv = lanes_[b];
+    lv.rows = reinterpret_cast<const dram::RowId*>(rows + at * 4);
+    lv.times = reinterpret_cast<const std::uint64_t*>(times + at * 8);
+    lv.serials = reinterpret_cast<const std::uint32_t*>(serials + at * 4);
+    lv.writes = writes + at;
+    lv.count = n;
+    lv.max_row =
+        mapping_->lane_max_rows[index * banks + b].load(std::memory_order_relaxed);
+    at += n;
+  }
+  return true;
+}
+
+std::size_t MmapSource::span_lanes(const AccessRecord** data,
+                                   const BankLaneView** lanes,
+                                   std::size_t* lane_banks) {
+  *lanes = nullptr;
+  *lane_banks = 0;
+  // Lanes describe whole blocks: only a span starting at a block
+  // boundary gets them (a tail left by next()/next_batch() does not —
+  // its serials would be off by the consumed prefix).
+  const bool fresh_block = span_pos_ >= span_len_;
+  const std::size_t n = next_span(data);
+  if (n != 0 && fresh_block && prepare_lanes(block_ - 1)) {
+    *lanes = lanes_.data();
+    *lane_banks = info_.partition_banks;
+  }
+  return n;
+}
+
 void MmapSource::rewind() {
   block_ = 0;
   span_ = nullptr;
@@ -707,9 +936,13 @@ CorpusInfo read_corpus_info(const std::string& path) {
 CorpusInfo verify_corpus(const std::string& path) {
   MmapSource source(path);
   const AccessRecord* span = nullptr;
+  const BankLaneView* lanes = nullptr;
+  std::size_t lane_banks = 0;
   std::uint64_t records = 0;
   std::uint64_t last_time = 0;
-  while (const std::size_t n = source.next_span(&span)) {
+  // span_lanes (not next_span) so a partition index, when present, gets
+  // its CRC + cross-check sweep as part of full verification.
+  while (const std::size_t n = source.span_lanes(&span, &lanes, &lane_banks)) {
     if (span[0].time_ps < last_time)
       corrupt(path, "records are not time-ordered across blocks");
     for (std::size_t i = 1; i < n; ++i)

@@ -38,6 +38,16 @@
 //    oracle (the rows the attacks aim to flip), so replayed experiments
 //    compute the same false-positive rate and victim-flip counts as
 //    generated ones.
+//  * Optionally each block carries a partition index: the block's
+//    records pre-split into per-bank column lanes (times, rows,
+//    span-relative serials, write flags — the controller's scatter pass
+//    done once at write time). It lives between the block payload and
+//    the next block, is described by a footer extension (magic "PIDX" +
+//    bank count + per-block offset/size/CRC, covered by the footer CRC)
+//    and is CRC'd and cross-checked against the record bytes on first
+//    touch. Readers that predate the extension reject the footer size;
+//    corpora without it replay exactly as before (the controller
+//    re-partitions).
 #pragma once
 
 #include <cstdint>
@@ -70,6 +80,14 @@ struct CorpusBlockInfo {
   std::uint64_t max_time_ps = 0;
 };
 
+/// One block's partition-index frame: where its per-bank lane columns
+/// live and their checksum.
+struct CorpusPartitionInfo {
+  std::uint64_t offset = 0;  ///< file offset of the block's lane region
+  std::uint32_t bytes = 0;   ///< exact region size (padding included)
+  std::uint32_t crc = 0;     ///< CRC-32 of the region bytes
+};
+
 /// Parsed footer: the corpus's index and identity.
 struct CorpusInfo {
   std::uint64_t total_records = 0;
@@ -82,6 +100,11 @@ struct CorpusInfo {
   /// Sorted (bank << 32 | row) keys of the attacks' declared victim
   /// rows (logical, pre-remap).
   std::vector<std::uint64_t> victims;
+  /// Bank count of the partition index; 0 = the corpus has none.
+  std::uint32_t partition_banks = 0;
+  /// Per-block partition frames (one per block when partition_banks > 0,
+  /// empty otherwise).
+  std::vector<CorpusPartitionInfo> partitions;
 };
 
 /// Streaming corpus writer: append records (non-decreasing time_ps,
@@ -93,6 +116,11 @@ class CorpusWriter {
     /// Records per block; 64 Ki records = 1.5 MiB of raw payload.
     std::size_t records_per_block = std::size_t{1} << 16;
     CorpusCodec codec = CorpusCodec::kRaw;
+    /// Write a per-block partition index for this many banks (0 = none).
+    /// When set, every appended record's bank must be below this count
+    /// (enforced; the lanes must cover the whole block for replay to
+    /// skip its own scatter pass).
+    std::uint32_t partition_banks = 0;
   };
 
   /// Creates (truncates) @p path. Throws std::runtime_error on I/O
@@ -128,7 +156,9 @@ class CorpusWriter {
   int fd_ = -1;
   std::vector<AccessRecord> block_;
   std::vector<unsigned char> staging_;
+  std::vector<unsigned char> lane_staging_;
   std::vector<CorpusBlockInfo> index_;
+  std::vector<CorpusPartitionInfo> pindex_;
   std::vector<std::uint64_t> aggressors_;
   std::vector<std::uint64_t> victims_;
   std::uint64_t total_records_ = 0;
@@ -162,6 +192,16 @@ class MmapSource final : public TraceSource {
   std::size_t next_batch(AccessRecord* out, std::size_t max) override;
   bool supports_spans() const noexcept override { return true; }
   std::size_t next_span(const AccessRecord** data) override;
+  /// Hands out the block's on-disk lane columns when the corpus carries
+  /// a partition index and the file is mapped (zero-copy: the lane
+  /// pointers are the page cache). The region is CRC-checked and
+  /// cross-checked record-by-record against the block payload on first
+  /// touch (trust-after-verify, shared like the block bits); any
+  /// disagreement is a precise error, never a silent fallback. Lanes
+  /// are only offered for whole blocks — a span started by next() /
+  /// next_batch() finishes without them.
+  std::size_t span_lanes(const AccessRecord** data, const BankLaneView** lanes,
+                         std::size_t* lane_banks) override;
 
   /// Restarts the stream from the first record. Verified blocks stay
   /// verified — a warm replay pass skips the CRC sweep. The bits are
@@ -176,6 +216,7 @@ class MmapSource final : public TraceSource {
 
  private:
   bool load_block(std::size_t index);
+  bool prepare_lanes(std::size_t index);
   void fail(const std::string& what) const;
 
   std::string path_;
@@ -190,6 +231,7 @@ class MmapSource final : public TraceSource {
   const AccessRecord* span_ = nullptr;  // current block's records
   std::size_t span_len_ = 0;
   std::size_t span_pos_ = 0;
+  std::vector<BankLaneView> lanes_;     // current block's lane views
 };
 
 /// Reads and validates header + trailer + footer only (no payload I/O):

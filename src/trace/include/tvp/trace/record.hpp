@@ -1,6 +1,7 @@
 // The unit of work flowing into the memory controller: one row access.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "tvp/dram/geometry.hpp"
@@ -25,6 +26,24 @@ struct AccessRecord {
   SourceId source = 0;
 
   bool operator==(const AccessRecord&) const = default;
+};
+
+/// One bank's pre-partitioned column view over a record span (SoA): the
+/// span's records with this bank id, in arrival order, as separate
+/// contiguous arrays. `serials[k]` is the span-relative index of the
+/// k-th element (strictly ascending), so a consumer can rebase a lane
+/// onto any sub-range of the span. Produced by a corpus partition index
+/// (zero-copy out of the mapped file) so the controller skips its own
+/// scatter pass; `max_row` is the lane's row maximum, computed when the
+/// partition is verified, letting the controller range-check a whole
+/// lane in O(1).
+struct BankLaneView {
+  const dram::RowId* rows = nullptr;
+  const std::uint64_t* times = nullptr;
+  const std::uint32_t* serials = nullptr;
+  const std::uint8_t* writes = nullptr;
+  std::size_t count = 0;
+  dram::RowId max_row = 0;  ///< 0 when the lane is empty
 };
 
 }  // namespace tvp::trace

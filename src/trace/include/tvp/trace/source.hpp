@@ -43,6 +43,22 @@ class TraceSource {
   /// all spans is exactly the next() sequence. Only meaningful when
   /// supports_spans() is true; the base implementation returns 0.
   virtual std::size_t next_span(const AccessRecord** data);
+
+  /// Like next_span(), but additionally offers the span's per-bank
+  /// column lanes when the source has them precomputed (a corpus with a
+  /// partition index): on return *lanes either points at @p lane_banks
+  /// BankLaneView entries — one per bank, serials relative to the
+  /// returned span, valid until the next call — or is null, meaning the
+  /// consumer partitions the span itself. Lanes are an optimization,
+  /// never a semantic: the record span is identical either way. The
+  /// base implementation forwards to next_span() with no lanes.
+  virtual std::size_t span_lanes(const AccessRecord** data,
+                                 const BankLaneView** lanes,
+                                 std::size_t* lane_banks) {
+    *lanes = nullptr;
+    *lane_banks = 0;
+    return next_span(data);
+  }
 };
 
 /// Replays a pre-built vector of records (must be time-sorted; verified
@@ -108,6 +124,11 @@ class LimitSource final : public TraceSource {
   /// (identical cut-off to next(); the trim is a partition_point on the
   /// time-sorted span, not a copy).
   std::size_t next_span(const AccessRecord** data) override;
+  /// Passes the inner source's lanes through for untrimmed spans; a
+  /// trimmed span drops them (its lanes would reference records past
+  /// the cut).
+  std::size_t span_lanes(const AccessRecord** data, const BankLaneView** lanes,
+                         std::size_t* lane_banks) override;
 
  private:
   std::unique_ptr<TraceSource> inner_;

@@ -140,6 +140,46 @@ std::size_t LimitSource::next_span(const AccessRecord** data) {
   return got;
 }
 
+std::size_t LimitSource::span_lanes(const AccessRecord** data,
+                                    const BankLaneView** lanes,
+                                    std::size_t* lane_banks) {
+  *data = nullptr;
+  *lanes = nullptr;
+  *lane_banks = 0;
+  if (remaining_ == 0) return 0;
+  const AccessRecord* span = nullptr;
+  const BankLaneView* inner_lanes = nullptr;
+  std::size_t inner_banks = 0;
+  std::size_t got = inner_->span_lanes(&span, &inner_lanes, &inner_banks);
+  if (got == 0) {
+    remaining_ = 0;
+    return 0;
+  }
+  const std::size_t full = got;
+  // Same cut-off as next_span: time horizon first, then the record
+  // budget.
+  const AccessRecord* cut = std::partition_point(
+      span, span + got,
+      [this](const AccessRecord& r) { return r.time_ps < end_ps_; });
+  const bool time_cut = cut != span + got;
+  if (time_cut) got = static_cast<std::size_t>(cut - span);
+  if (got >= remaining_) {
+    got = static_cast<std::size_t>(remaining_);
+    remaining_ = 0;
+  } else {
+    remaining_ = time_cut ? 0 : remaining_ - got;
+  }
+  *data = got > 0 ? span : nullptr;
+  // Lanes describe the inner span in full; a trimmed span would leave
+  // them claiming records past the cut, so only an untrimmed span
+  // passes them through (the consumer re-partitions otherwise).
+  if (got == full && inner_lanes != nullptr) {
+    *lanes = inner_lanes;
+    *lane_banks = inner_banks;
+  }
+  return got;
+}
+
 std::vector<AccessRecord> drain(TraceSource& source, std::size_t max_records) {
   std::vector<AccessRecord> out;
   while (out.size() < max_records) {

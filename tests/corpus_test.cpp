@@ -6,17 +6,21 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "tvp/dram/disturbance.hpp"
 #include "tvp/exp/config_io.hpp"
 #include "tvp/exp/runner.hpp"
 #include "tvp/exp/sweep.hpp"
+#include "tvp/mem/controller.hpp"
 #include "tvp/mem/mitigation.hpp"
 #include "tvp/trace/corpus.hpp"
 #include "tvp/trace/io.hpp"
@@ -444,6 +448,240 @@ TEST(CorpusReplay, RecordCorpusStoresTheAggressorOracle) {
   for (const auto key : info.aggressors) EXPECT_TRUE(expected.count(key));
   // The declared victims (bank 0, logical rows) ride along too.
   EXPECT_EQ(info.victims, (std::vector<std::uint64_t>{1000, 5000}));
+}
+
+// ------------------------------------------------- partition index (lanes)
+
+TEST(Corpus, PartitionedSpanLanesReconstructTheSpan) {
+  TempFile file("lanes");
+  const auto records = make_records(500);  // banks cycle 0..3
+  CorpusWriter::Options options;
+  options.records_per_block = 100;
+  options.partition_banks = 4;
+  write_corpus(file.path(), records, options);
+
+  const CorpusInfo info = read_corpus_info(file.path());
+  EXPECT_EQ(info.partition_banks, 4u);
+  ASSERT_EQ(info.partitions.size(), info.blocks.size());
+
+  MmapSource source(file.path());
+  std::vector<AccessRecord> all;
+  const AccessRecord* span = nullptr;
+  const BankLaneView* lanes = nullptr;
+  std::size_t lane_banks = 0;
+  while (const std::size_t n = source.span_lanes(&span, &lanes, &lane_banks)) {
+    ASSERT_NE(lanes, nullptr);
+    ASSERT_EQ(lane_banks, 4u);
+    // Scatter the lanes back through their serials: the rebuilt span
+    // must equal the record span field for field.
+    std::vector<AccessRecord> rebuilt(n);
+    std::vector<bool> covered(n, false);
+    for (std::size_t b = 0; b < lane_banks; ++b) {
+      const BankLaneView& lane = lanes[b];
+      dram::RowId max_row = 0;
+      for (std::size_t k = 0; k < lane.count; ++k) {
+        const std::size_t at = lane.serials[k];
+        ASSERT_LT(at, n);
+        ASSERT_FALSE(covered[at]);
+        covered[at] = true;
+        rebuilt[at].time_ps = lane.times[k];
+        rebuilt[at].bank = static_cast<dram::BankId>(b);
+        rebuilt[at].row = lane.rows[k];
+        rebuilt[at].write = lane.writes[k] != 0;
+        max_row = std::max(max_row, lane.rows[k]);
+      }
+      EXPECT_EQ(lane.max_row, max_row);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(covered[i]);
+      EXPECT_EQ(rebuilt[i].time_ps, span[i].time_ps);
+      EXPECT_EQ(rebuilt[i].bank, span[i].bank);
+      EXPECT_EQ(rebuilt[i].row, span[i].row);
+      EXPECT_EQ(rebuilt[i].write, span[i].write);
+    }
+    all.insert(all.end(), span, span + n);
+  }
+  EXPECT_EQ(all, records);
+}
+
+TEST(Corpus, UnpartitionedCorpusOffersNoLanes) {
+  // A corpus written without a partition index (every pre-extension
+  // corpus) must replay through span_lanes with null lanes — the
+  // consumer re-partitions — and identical records.
+  TempFile file("no_lanes");
+  const auto records = make_records(300);
+  write_corpus(file.path(), records);  // default: no partition index
+  EXPECT_EQ(read_corpus_info(file.path()).partition_banks, 0u);
+
+  MmapSource source(file.path());
+  std::vector<AccessRecord> all;
+  const AccessRecord* span = nullptr;
+  const BankLaneView* lanes = reinterpret_cast<const BankLaneView*>(&all);
+  std::size_t lane_banks = 99;
+  while (const std::size_t n = source.span_lanes(&span, &lanes, &lane_banks)) {
+    EXPECT_EQ(lanes, nullptr);
+    EXPECT_EQ(lane_banks, 0u);
+    all.insert(all.end(), span, span + n);
+  }
+  EXPECT_EQ(all, records);
+}
+
+TEST(Corpus, PartitionedWriterIsDeterministic) {
+  TempFile a("pdet_a");
+  TempFile b("pdet_b");
+  const auto records = make_records(257);
+  CorpusWriter::Options options;
+  options.records_per_block = 64;
+  options.partition_banks = 4;
+  EXPECT_EQ(write_corpus(a.path(), records, options),
+            write_corpus(b.path(), records, options));
+  EXPECT_EQ(slurp(a.path()), slurp(b.path()));
+}
+
+TEST(Corpus, PartitionedWriterRejectsOutOfRangeBank) {
+  TempFile file("pbank");
+  CorpusWriter::Options options;
+  options.partition_banks = 2;
+  CorpusWriter writer(file.path(), options);
+  AccessRecord r;
+  r.bank = 2;  // lanes cover banks [0, 2)
+  EXPECT_THROW(writer.append(r), std::invalid_argument);
+}
+
+TEST(Corpus, CorruptedPartitionSectionIsRejectedPrecisely) {
+  TempFile file("corrupt_lanes");
+  const auto records = make_records(400);
+  CorpusWriter::Options options;
+  options.records_per_block = 100;
+  options.partition_banks = 4;
+  write_corpus(file.path(), records, options);
+
+  // Flip one byte inside the second block's partition region: the
+  // record payloads and the footer stay intact.
+  const CorpusInfo info = read_corpus_info(file.path());
+  ASSERT_GE(info.partitions.size(), 2u);
+  auto bytes = slurp(file.path());
+  const std::size_t victim =
+      static_cast<std::size_t>(info.partitions[1].offset) +
+      info.partitions[1].bytes / 2;
+  bytes[victim] = static_cast<char>(bytes[victim] ^ 0x20);
+  spit(file.path(), bytes);
+
+  // The records themselves still replay (their CRCs are untouched)...
+  {
+    MmapSource source(file.path());
+    std::size_t n = 0;
+    while (source.next()) ++n;
+    EXPECT_EQ(n, records.size());
+  }
+  // ...but a corpus that advertises a partition index must carry a
+  // correct one: the lane path reports the damage precisely instead of
+  // silently falling back to re-partitioning.
+  MmapSource source(file.path());
+  const AccessRecord* span = nullptr;
+  const BankLaneView* lanes = nullptr;
+  std::size_t lane_banks = 0;
+  try {
+    while (source.span_lanes(&span, &lanes, &lane_banks)) {
+    }
+    FAIL() << "corrupt partition section not detected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("block 1 partition"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(verify_corpus(file.path()), std::runtime_error);
+}
+
+TEST(Corpus, PartitionedReplayFeedsLanesWithoutScatter) {
+  // The point of carrying the partition index: a replayed corpus feeds
+  // the controller's per-bank lanes zero-copy. The always-on profile
+  // counters are the proof — every ACT arrives partitioned, none are
+  // scattered — and the stats must equal the scatter path's.
+  TempFile file("lane_feed");
+  const auto records = make_records(600);
+  CorpusWriter::Options options;
+  options.records_per_block = 128;
+  options.partition_banks = 4;
+  write_corpus(file.path(), records, options);
+
+  mem::ControllerConfig cfg;
+  cfg.geometry.banks_per_rank = 4;
+  cfg.geometry.rows_per_bank = 8192;
+  const auto none = [](dram::BankId, util::Rng) {
+    return std::make_unique<mem::NoMitigation>();
+  };
+  const auto run = [&](bool partitioned) {
+    util::Rng rng{7};
+    mem::MitigationEngine engine(cfg.geometry.total_banks(), none, rng);
+    dram::DisturbanceModel disturbance(cfg.geometry.total_banks(),
+                                       cfg.geometry.rows_per_bank);
+    mem::MemoryController controller(cfg, engine, disturbance, rng);
+    MmapSource source(file.path());
+    const AccessRecord* span = nullptr;
+    const BankLaneView* lanes = nullptr;
+    std::size_t lane_banks = 0;
+    while (const std::size_t n =
+               source.span_lanes(&span, &lanes, &lane_banks)) {
+      if (partitioned) {
+        EXPECT_NE(lanes, nullptr);
+        controller.on_records_partitioned(span, n, lanes, lane_banks);
+      } else {
+        controller.on_records(span, n);
+      }
+    }
+    return std::pair{controller.stats().demand_acts,
+                     controller.stage_profile()};
+  };
+  const auto [acts_lanes, profile_lanes] = run(true);
+  const auto [acts_scatter, profile_scatter] = run(false);
+  EXPECT_EQ(acts_lanes, records.size());
+  EXPECT_EQ(acts_scatter, records.size());
+  EXPECT_EQ(profile_lanes.partitioned_acts, records.size());
+  EXPECT_EQ(profile_lanes.scattered_acts, 0u);
+  EXPECT_EQ(profile_scatter.partitioned_acts, 0u);
+  EXPECT_EQ(profile_scatter.scattered_acts, records.size());
+}
+
+TEST(CorpusReplay, UnpartitionedCorpusReplaysBitIdenticallyViaFallback) {
+  // Pre-extension corpora carry no partition index; replaying one must
+  // produce bit-identical results to replaying the partitioned recording
+  // of the same workload (the controller re-partitions the spans).
+  const exp::SimConfig cfg = small_attacked_config();
+
+  TempFile with_lanes("fallback_lanes");
+  exp::record_corpus(cfg, with_lanes.path());  // partitioned by default
+  const CorpusInfo info = read_corpus_info(with_lanes.path());
+  ASSERT_GT(info.partition_banks, 0u);
+
+  // Rewrite the same records + oracle without the partition index.
+  TempFile without_lanes("fallback_flat");
+  {
+    const auto records = read_corpus(with_lanes.path());
+    CorpusWriter writer(without_lanes.path());
+    writer.append(records.data(), records.size());
+    writer.set_aggressors(info.aggressors);
+    writer.set_victims(info.victims);
+    writer.close();
+  }
+  ASSERT_EQ(read_corpus_info(without_lanes.path()).partition_banks, 0u);
+
+  const auto replay_cfg = [&](const std::string& path) {
+    exp::SimConfig c = cfg;
+    c.workload.model = exp::BenignModel::kReplay;
+    c.workload.trace_path = path;
+    c.workload.attacks.clear();
+    c.finalize();
+    return c;
+  };
+  const exp::SimConfig lanes_cfg = replay_cfg(with_lanes.path());
+  const exp::SimConfig flat_cfg = replay_cfg(without_lanes.path());
+  for (const auto technique :
+       {hw::Technique::kPara, hw::Technique::kTwice, hw::Technique::kCaPRoMi}) {
+    SCOPED_TRACE(std::string(hw::to_string(technique)));
+    expect_identical_runs(exp::run_simulation(technique, lanes_cfg),
+                          exp::run_simulation(technique, flat_cfg));
+  }
 }
 
 }  // namespace

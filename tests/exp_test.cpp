@@ -266,6 +266,80 @@ TEST(Runner, EveryTechniqueBatchAndShardingAreBitIdentical) {
   }
 }
 
+TEST(Runner, EveryTechniqueBufferedDrawsMatchPerCallDraws) {
+  // The batched-RNG contract end to end: pre-drawing uniform words into
+  // a buffer (TVP_RNG_BUFFER > 1) must leave every technique's trigger
+  // sequence bit-identical to per-call draws (TVP_RNG_BUFFER=1), at
+  // every batch size. Same tiny system as the batch-equivalence test.
+  SimConfig cfg;
+  cfg.geometry.banks_per_rank = 4;
+  cfg.geometry.rows_per_bank = 16384;
+  cfg.timing.t_refw_ps = 2'000'000'000;  // 2 ms window
+  cfg.timing.refresh_intervals = 256;    // keeps tREFI at ~7.8 us
+  cfg.windows = 1;
+  cfg.workload.benign_acts_per_interval_per_bank = 5.0;
+  cfg.technique.flip_threshold = 4000;
+  cfg.disturbance.flip_threshold = 3000;
+  trace::AttackConfig attack;
+  attack.victims = {1000, 5000};
+  attack.rows_per_bank = cfg.geometry.rows_per_bank;
+  attack.interarrival_ps = 180'000;
+  cfg.workload.attacks.push_back(attack);
+  cfg.finalize();
+
+  std::unordered_set<std::uint64_t> aggressors;
+  util::Rng workload_rng = util::Rng(cfg.seed).fork();
+  const auto records =
+      trace::drain(*build_workload(cfg, workload_rng, &aggressors));
+  ASSERT_FALSE(records.empty());
+
+  std::vector<std::pair<std::string, mem::BankMitigationFactory>> variants;
+  variants.emplace_back("none", [](dram::BankId, util::Rng) {
+    return std::make_unique<mem::NoMitigation>();
+  });
+  for (const auto t : hw::kAllTechniques)
+    variants.emplace_back(std::string(hw::to_string(t)),
+                          make_factory(t, cfg.technique));
+  mitigation::GrapheneConfig graphene_cfg;
+  graphene_cfg.rows_per_bank = cfg.geometry.rows_per_bank;
+  graphene_cfg.row_threshold = cfg.technique.counter_threshold();
+  variants.emplace_back("Graphene",
+                        mitigation::make_graphene_factory(graphene_cfg));
+
+  for (const auto& [name, factory] : variants) {
+    ASSERT_EQ(setenv("TVP_RNG_BUFFER", "1", 1), 0);  // per-call draws
+    const FeedOutcome base =
+        feed_outcome(cfg, factory, 1, 1, &aggressors, records);
+    for (const char* capacity : {"256", "4096"}) {
+      ASSERT_EQ(setenv("TVP_RNG_BUFFER", capacity, 1), 0);
+      for (const std::size_t batch : {1ul, 7ul, 256ul, 4096ul}) {
+        const FeedOutcome got =
+            feed_outcome(cfg, factory, batch, 1, &aggressors, records);
+        const std::string label = name + " rng_buffer " + capacity +
+                                  " batch " + std::to_string(batch);
+        EXPECT_EQ(base.stats.demand_acts, got.stats.demand_acts) << label;
+        EXPECT_EQ(base.stats.extra_acts, got.stats.extra_acts) << label;
+        EXPECT_EQ(base.stats.fp_extra_acts, got.stats.fp_extra_acts) << label;
+        EXPECT_EQ(base.stats.triggers, got.stats.triggers) << label;
+        EXPECT_EQ(base.stats.first_extra_act_at, got.stats.first_extra_act_at)
+            << label;
+        EXPECT_EQ(base.stats.extra_acts_by_phase, got.stats.extra_acts_by_phase)
+            << label;
+        EXPECT_EQ(base.activations, got.activations) << label;
+        EXPECT_EQ(base.peak_q8, got.peak_q8) << label;
+        ASSERT_EQ(base.flips.size(), got.flips.size()) << label;
+        for (std::size_t f = 0; f < base.flips.size(); ++f) {
+          EXPECT_EQ(base.flips[f].bank, got.flips[f].bank) << label;
+          EXPECT_EQ(base.flips[f].row, got.flips[f].row) << label;
+          EXPECT_EQ(base.flips[f].at_activation, got.flips[f].at_activation)
+              << label;
+        }
+      }
+    }
+    unsetenv("TVP_RNG_BUFFER");
+  }
+}
+
 TEST(Runner, SeedChangesTheRun) {
   SimConfig cfg = fast_config();
   const RunResult a = run_simulation(hw::Technique::kPara, cfg);
