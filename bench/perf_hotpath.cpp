@@ -262,6 +262,35 @@ int main(int argc, char** argv) try {
                 r.feed.per_second() / results[v].feed.per_second());
   }
 
+  // Fuzzed-pattern pass: the same variants over a trace of non-uniform
+  // fuzzer patterns (one per bank) instead of the standard campaign.
+  // Fuzzed schedules hit different rows per slot, so counter-table and
+  // sampler behaviour — and therefore throughput — can differ from the
+  // ramped double-sided mix; published as "fuzz:*" for the trajectory,
+  // not gated (check_perf_regression.py reads only "results").
+  exp::SimConfig fuzz_config = config;
+  fuzz_config.workload.attacks.clear();
+  fuzz_config.workload.model = exp::BenignModel::kFuzz;
+  fuzz_config.workload.fuzz.patterns = config.geometry.total_banks();
+  fuzz_config.finalize();
+  util::Rng fuzz_workload_rng = util::Rng(fuzz_config.seed).fork();
+  const std::vector<trace::AccessRecord> fuzz_trace = trace::drain(
+      *exp::build_workload(fuzz_config, fuzz_workload_rng),
+      static_cast<std::size_t>(acts));
+  if (fuzz_trace.empty()) {
+    std::fprintf(stderr, "perf_hotpath: fuzz workload produced no records\n");
+    return 1;
+  }
+  std::printf("\nfuzzed patterns (serial, %zu records):\n", fuzz_trace.size());
+  std::vector<Result> fuzz_results;
+  for (const auto& [name, factory] : variants) {
+    fuzz_results.push_back(run_variant("fuzz:" + name, factory, fuzz_config,
+                                       fuzz_trace, batch, 1));
+    const Result& r = fuzz_results.back();
+    std::printf("  %-17s %10.3f MACTs/s  %8.1f ns/ACT\n", r.technique.c_str(),
+                r.feed.per_second() / 1e6, r.feed.ns_per_item());
+  }
+
   // Profile pass: re-run each variant serial with the stage timers on,
   // then replay the same records out of a partitioned corpus to prove
   // the lane path never scatters. Separate pass so the headline
@@ -363,6 +392,8 @@ int main(int argc, char** argv) try {
   emit_results(results);
   json.key("parallel");
   emit_results(parallel_results);
+  json.key("fuzz");
+  emit_results(fuzz_results);
   if (profile) {
     json.key("profile").begin_object();
     json.key("rng_ns_per_draw").begin_object();

@@ -16,7 +16,11 @@ const std::set<std::string>& known_keys() {
       "disturbance.flip_threshold", "disturbance.blast_radius",
       "disturbance.distance2_weight_q8", "disturbance.variation_pct",
       "workload.benign_rate",
-      "workload.model", "workload.trace", "technique.pbase_exp", "technique.history_entries",
+      "workload.model", "workload.trace",
+      "fuzz.seed", "fuzz.patterns", "fuzz.rate", "fuzz.pairs_min",
+      "fuzz.pairs_max", "fuzz.period_exp_min", "fuzz.period_exp_max",
+      "fuzz.amplitude_max", "fuzz.decoys_max", "fuzz.half_double",
+      "technique.pbase_exp", "technique.history_entries",
       "technique.counter_entries", "technique.para_p", "technique.mrloc_p_min",
       "technique.mrloc_p_max", "technique.twice_entries",
       "technique.capromi_cooldown", "attack.count",
@@ -41,6 +45,7 @@ BenignModel parse_model(const std::string& name) {
   if (name == "cache") return BenignModel::kCacheFrontend;
   if (name == "uniform") return BenignModel::kUniformRandom;
   if (name == "replay") return BenignModel::kReplay;
+  if (name == "fuzz") return BenignModel::kFuzz;
   throw std::invalid_argument("config: unknown workload.model '" + name + "'");
 }
 
@@ -62,6 +67,9 @@ const char* pattern_name(trace::AttackPattern pattern) {
     case trace::AttackPattern::kFlood: return "flood";
     case trace::AttackPattern::kManySided: return "many-sided";
     case trace::AttackPattern::kHalfDouble: return "half-double";
+    // kFuzzed never round-trips through attack.<i>.* (its schedule is
+    // derived, not serialised) — fuzz workloads use the fuzz.* keys.
+    case trace::AttackPattern::kFuzzed: return "fuzzed";
   }
   return "double";
 }
@@ -119,6 +127,30 @@ void apply_config(SimConfig& config, const util::KeyValueFile& file) {
     config.workload.model = parse_model(file.get("workload.model", ""));
   config.workload.trace_path =
       file.get("workload.trace", config.workload.trace_path);
+
+  // Fuzzed-attack layer (workload.model = fuzz). fuzz.seed is an
+  // ordinary config key, so run_param_sweep over "fuzz.seed" sweeps
+  // fuzzer seeds like any other parameter.
+  auto& fuzz = config.workload.fuzz;
+  fuzz.seed = static_cast<std::uint64_t>(
+      file.get_int("fuzz.seed", static_cast<std::int64_t>(fuzz.seed)));
+  fuzz.patterns =
+      static_cast<std::uint32_t>(file.get_int("fuzz.patterns", fuzz.patterns));
+  fuzz.acts_per_interval = file.get_double("fuzz.rate", fuzz.acts_per_interval);
+  fuzz.params.pairs_min = static_cast<std::uint32_t>(
+      file.get_int("fuzz.pairs_min", fuzz.params.pairs_min));
+  fuzz.params.pairs_max = static_cast<std::uint32_t>(
+      file.get_int("fuzz.pairs_max", fuzz.params.pairs_max));
+  fuzz.params.period_exp_min = static_cast<std::uint32_t>(
+      file.get_int("fuzz.period_exp_min", fuzz.params.period_exp_min));
+  fuzz.params.period_exp_max = static_cast<std::uint32_t>(
+      file.get_int("fuzz.period_exp_max", fuzz.params.period_exp_max));
+  fuzz.params.amplitude_max = static_cast<std::uint32_t>(
+      file.get_int("fuzz.amplitude_max", fuzz.params.amplitude_max));
+  fuzz.params.decoys_max = static_cast<std::uint32_t>(
+      file.get_int("fuzz.decoys_max", fuzz.params.decoys_max));
+  fuzz.params.half_double =
+      file.get_bool("fuzz.half_double", fuzz.params.half_double);
 
   config.technique.pbase_exp = static_cast<unsigned>(
       file.get_int("technique.pbase_exp", config.technique.pbase_exp));
@@ -212,11 +244,17 @@ std::string to_config_text(const SimConfig& config) {
     }
     return "seq";
   }());
+  file.set("remap.rows", config.remap_rows ? "true" : "false");
+  file.set("remap.swaps", std::to_string(config.remap_swaps));
   file.set("act_n.radius", std::to_string(config.act_n_radius));
   file.set("disturbance.flip_threshold",
            std::to_string(config.disturbance.flip_threshold));
   file.set("disturbance.blast_radius",
            std::to_string(config.disturbance.blast_radius));
+  file.set("disturbance.distance2_weight_q8",
+           std::to_string(config.disturbance.distance2_weight_q8));
+  file.set("disturbance.variation_pct",
+           std::to_string(config.disturbance.variation_pct));
   file.set("workload.benign_rate",
            util::strfmt("%g", config.workload.benign_acts_per_interval_per_bank));
   file.set("workload.model", [&] {
@@ -225,11 +263,25 @@ std::string to_config_text(const SimConfig& config) {
       case BenignModel::kCacheFrontend: return "cache";
       case BenignModel::kUniformRandom: return "uniform";
       case BenignModel::kReplay: return "replay";
+      case BenignModel::kFuzz: return "fuzz";
     }
     return "mixed";
   }());
   if (!config.workload.trace_path.empty())
     file.set("workload.trace", config.workload.trace_path);
+  if (config.workload.model == BenignModel::kFuzz) {
+    const auto& fuzz = config.workload.fuzz;
+    file.set("fuzz.seed", std::to_string(fuzz.seed));
+    file.set("fuzz.patterns", std::to_string(fuzz.patterns));
+    file.set("fuzz.rate", util::strfmt("%g", fuzz.acts_per_interval));
+    file.set("fuzz.pairs_min", std::to_string(fuzz.params.pairs_min));
+    file.set("fuzz.pairs_max", std::to_string(fuzz.params.pairs_max));
+    file.set("fuzz.period_exp_min", std::to_string(fuzz.params.period_exp_min));
+    file.set("fuzz.period_exp_max", std::to_string(fuzz.params.period_exp_max));
+    file.set("fuzz.amplitude_max", std::to_string(fuzz.params.amplitude_max));
+    file.set("fuzz.decoys_max", std::to_string(fuzz.params.decoys_max));
+    file.set("fuzz.half_double", fuzz.params.half_double ? "true" : "false");
+  }
   file.set("technique.pbase_exp", std::to_string(config.technique.pbase_exp));
   file.set("technique.history_entries",
            std::to_string(config.technique.params.history_entries));

@@ -18,6 +18,7 @@
 #include "tvp/mem/controller.hpp"
 #include "tvp/trace/attack.hpp"
 #include "tvp/trace/corpus.hpp"
+#include "tvp/trace/fuzzer.hpp"
 #include "tvp/trace/source.hpp"
 #include "tvp/util/stats.hpp"
 
@@ -30,9 +31,24 @@ enum class BenignModel {
   kUniformRandom,   ///< zero-reuse uniform rows (worst case for history
                     ///< tables; the A4 sensitivity ablation)
   kReplay,          ///< replay a recorded .tvpc corpus (workload.trace)
+  kFuzz,            ///< mixed-synthetic benign plus PatternFuzzer attacks
+                    ///< derived from workload.fuzz (seed-deterministic)
 };
 
 const char* to_string(BenignModel model) noexcept;
+
+/// Fuzzed-attack layer (model == kFuzz): on top of the mixed-synthetic
+/// benign traffic, `patterns` PatternFuzzer patterns are derived from
+/// seeds `seed, seed + 1, ...` and assigned to banks round-robin. The
+/// derivation is independent of the workload RNG, so a fuzz workload
+/// records/replays through the corpus machinery unchanged.
+struct FuzzSpec {
+  std::uint64_t seed = 1;           ///< first fuzzer seed (sweepable)
+  std::uint32_t patterns = 1;       ///< patterns (banks round-robin)
+  /// Attacker ACTs per refresh interval per pattern (sets interarrival).
+  double acts_per_interval = 80.0;
+  trace::FuzzParams params;         ///< parameter-space bounds
+};
 
 /// What traffic to generate.
 struct WorkloadSpec {
@@ -47,6 +63,8 @@ struct WorkloadSpec {
   std::string trace_path;
   /// Attacker threads (empty = benign-only run).
   std::vector<trace::AttackConfig> attacks;
+  /// Fuzzed attacks layered on when model == kFuzz (ignored otherwise).
+  FuzzSpec fuzz;
 };
 
 /// Full configuration of one simulation run.
@@ -129,10 +147,14 @@ SeedSweepResult run_seed_sweep(hw::Technique technique, SimConfig config,
 /// Builds the trace for @p config (exposed for tests and trace export).
 /// @p aggressors, if non-null, receives the ground-truth aggressor keys
 /// (bank << 32 | row) of all configured attacks — including, for replay
-/// workloads, the oracle stored in the corpus footer.
+/// workloads, the oracle stored in the corpus footer. @p victims, if
+/// non-null, receives the declared victim keys (logical, same scheme)
+/// from the same sources: explicit attacks, fuzz-derived patterns and
+/// the replay corpus footer.
 std::unique_ptr<trace::TraceSource> build_workload(
     const SimConfig& config, util::Rng& rng,
-    std::unordered_set<std::uint64_t>* aggressors = nullptr);
+    std::unordered_set<std::uint64_t>* aggressors = nullptr,
+    std::unordered_set<std::uint64_t>* victims = nullptr);
 
 /// Generates the workload @p config describes and records it — records
 /// plus aggressor oracle — to @p path as a v2 corpus. The generation

@@ -22,6 +22,7 @@ const char* to_string(BenignModel model) noexcept {
     case BenignModel::kCacheFrontend: return "cache-frontend";
     case BenignModel::kUniformRandom: return "uniform-random";
     case BenignModel::kReplay: return "replay";
+    case BenignModel::kFuzz: return "fuzz";
   }
   return "?";
 }
@@ -43,6 +44,15 @@ void SimConfig::finalize() {
   if (workload.model == BenignModel::kReplay && workload.trace_path.empty())
     throw std::invalid_argument(
         "SimConfig: replay workload needs workload.trace");
+  if (workload.model == BenignModel::kFuzz) {
+    if (workload.fuzz.patterns == 0)
+      throw std::invalid_argument("SimConfig: fuzz workload needs patterns >= 1");
+    if (workload.fuzz.acts_per_interval <= 0.0)
+      throw std::invalid_argument(
+          "SimConfig: fuzz workload needs acts_per_interval > 0");
+    workload.fuzz.params.rows_per_bank = geometry.rows_per_bank;
+    workload.fuzz.params.validate();
+  }
   for (const auto& attack : workload.attacks) {
     if (attack.bank >= geometry.total_banks())
       throw std::invalid_argument("SimConfig: attack bank out of range");
@@ -54,7 +64,8 @@ void SimConfig::finalize() {
 
 std::unique_ptr<trace::TraceSource> build_workload(
     const SimConfig& config, util::Rng& rng,
-    std::unordered_set<std::uint64_t>* aggressors) {
+    std::unordered_set<std::uint64_t>* aggressors,
+    std::unordered_set<std::uint64_t>* victims) {
   std::vector<std::unique_ptr<trace::TraceSource>> sources;
 
   if (config.workload.model == BenignModel::kReplay) {
@@ -66,6 +77,9 @@ std::unique_ptr<trace::TraceSource> build_workload(
     if (aggressors != nullptr)
       aggressors->insert(corpus->info().aggressors.begin(),
                          corpus->info().aggressors.end());
+    if (victims != nullptr)
+      victims->insert(corpus->info().victims.begin(),
+                      corpus->info().victims.end());
     sources.push_back(std::move(corpus));
   } else if (config.workload.benign_acts_per_interval_per_bank > 0.0) {
     if (config.workload.model == BenignModel::kUniformRandom) {
@@ -106,15 +120,38 @@ std::unique_ptr<trace::TraceSource> build_workload(
     }
   }
 
-  for (const auto& attack_cfg : config.workload.attacks) {
-    auto attack = std::make_unique<trace::AttackSource>(attack_cfg);
+  const auto register_attack = [&](std::unique_ptr<trace::AttackSource> attack) {
     if (aggressors != nullptr) {
       for (const auto row : attack->aggressors())
-        aggressors->insert(key_of(attack_cfg.bank, row));
+        aggressors->insert(key_of(attack->config().bank, row));
       for (const auto row : attack->dribble_rows())
-        aggressors->insert(key_of(attack_cfg.bank, row));
+        aggressors->insert(key_of(attack->config().bank, row));
     }
+    if (victims != nullptr)
+      for (const auto v : attack->config().victims)
+        victims->insert(key_of(attack->config().bank, v));
     sources.push_back(std::move(attack));
+  };
+
+  for (const auto& attack_cfg : config.workload.attacks)
+    register_attack(std::make_unique<trace::AttackSource>(attack_cfg));
+
+  if (config.workload.model == BenignModel::kFuzz) {
+    // Fuzzed attacks derive from their own seeds (workload RNG untouched,
+    // so record/replay and the benign stream are unaffected); pattern i
+    // uses fuzzer seed fuzz.seed + i and targets bank i mod banks.
+    const auto& spec = config.workload.fuzz;
+    trace::PatternFuzzer fuzzer(spec.params);
+    const auto interarrival = static_cast<std::uint64_t>(
+        static_cast<double>(config.timing.t_refi_ps()) / spec.acts_per_interval);
+    for (std::uint32_t i = 0; i < spec.patterns; ++i) {
+      const auto pattern = fuzzer.pattern(spec.seed + i);
+      const auto bank =
+          static_cast<dram::BankId>(i % config.geometry.total_banks());
+      const auto source_id = static_cast<trace::SourceId>(230 + i % 25);
+      register_attack(std::make_unique<trace::AttackSource>(
+          fuzzer.make_attack(pattern, bank, interarrival, source_id)));
+    }
   }
 
   // A single source needs no merge — and skipping it preserves the
@@ -167,7 +204,8 @@ RunResult run_custom_simulation(const mem::BankMitigationFactory& factory,
                                    controller_rng);
 
   std::unordered_set<std::uint64_t> aggressors;
-  auto workload = build_workload(cfg, workload_rng, &aggressors);
+  std::unordered_set<std::uint64_t> victims;
+  auto workload = build_workload(cfg, workload_rng, &aggressors, &victims);
   controller.set_aggressor_oracle(
       [&aggressors](dram::BankId bank, dram::RowId row) {
         return aggressors.count(key_of(bank, row)) != 0;
@@ -217,21 +255,16 @@ RunResult run_custom_simulation(const mem::BankMitigationFactory& factory,
   result.peak_disturbance = disturbance.peak_disturbance_q8() >> 8;
   result.state_bytes_per_bank = engine.state_bytes_per_bank();
 
-  // Victim flips: flips on the physical images of the configured
-  // victims (a flip anywhere is a failure, but victim flips are the
-  // attack's declared goal). For a replay the declared victims travel
-  // with the corpus (stored logical, mapped through the remapper here,
-  // same as configured ones).
+  // Victim flips: flips on the physical images of the declared victims
+  // (a flip anywhere is a failure, but victim flips are the attack's
+  // declared goal). build_workload collects them logical from every
+  // source — explicit attacks, fuzz-derived patterns, the replay
+  // corpus footer — and they are mapped through the remapper here.
   std::unordered_set<std::uint64_t> victim_keys;
-  for (const auto& attack : cfg.workload.attacks)
-    for (const auto v : attack.victims)
-      victim_keys.insert(key_of(attack.bank, controller.remapper().to_physical(v)));
-  if (cfg.workload.model == BenignModel::kReplay) {
-    for (const auto key : trace::read_corpus_info(cfg.workload.trace_path).victims)
-      victim_keys.insert(key_of(
-          static_cast<dram::BankId>(key >> 32),
-          controller.remapper().to_physical(static_cast<dram::RowId>(key))));
-  }
+  for (const auto key : victims)
+    victim_keys.insert(
+        key_of(static_cast<dram::BankId>(key >> 32),
+               controller.remapper().to_physical(static_cast<dram::RowId>(key))));
   for (const auto& flip : disturbance.flips())
     if (victim_keys.count(key_of(flip.bank, flip.row))) ++result.victim_flips;
 
@@ -295,7 +328,8 @@ std::uint32_t record_corpus(const SimConfig& config, const std::string& path,
   util::Rng rng(cfg.seed);
   util::Rng workload_rng = rng.fork();
   std::unordered_set<std::uint64_t> aggressors;
-  auto workload = build_workload(cfg, workload_rng, &aggressors);
+  std::unordered_set<std::uint64_t> victims;
+  auto workload = build_workload(cfg, workload_rng, &aggressors, &victims);
 
   // Recorded corpora carry the partition index by default: the
   // config's bank count is known here, and writing the lanes once
@@ -312,10 +346,7 @@ std::uint32_t record_corpus(const SimConfig& config, const std::string& path,
     writer.append(batch.data(), n);
   }
   writer.set_aggressors({aggressors.begin(), aggressors.end()});
-  std::vector<std::uint64_t> victims;
-  for (const auto& attack : cfg.workload.attacks)
-    for (const auto v : attack.victims) victims.push_back(key_of(attack.bank, v));
-  writer.set_victims(std::move(victims));
+  writer.set_victims({victims.begin(), victims.end()});
   return writer.close();
 }
 

@@ -14,6 +14,7 @@ const char* to_string(AttackPattern pattern) noexcept {
     case AttackPattern::kFlood: return "flood";
     case AttackPattern::kManySided: return "many-sided";
     case AttackPattern::kHalfDouble: return "half-double";
+    case AttackPattern::kFuzzed: return "fuzzed";
   }
   return "?";
 }
@@ -29,6 +30,27 @@ AttackSource::AttackSource(AttackConfig config)
     throw std::invalid_argument("AttackSource: many-sided needs sides >= 1");
   if (cfg_.pattern == AttackPattern::kHalfDouble && cfg_.far_per_near == 0)
     throw std::invalid_argument("AttackSource: half-double needs far_per_near >= 1");
+  if (cfg_.pattern == AttackPattern::kFuzzed) {
+    // Explicit schedule: the emission order is the schedule itself; the
+    // aggressor list (for ground-truth oracles) is its distinct rows.
+    if (cfg_.schedule.empty())
+      throw std::invalid_argument("AttackSource: fuzzed needs a schedule");
+    std::unordered_set<dram::RowId> victims(cfg_.victims.begin(),
+                                            cfg_.victims.end());
+    std::unordered_set<dram::RowId> seen;
+    for (const auto row : cfg_.schedule) {
+      if (row >= cfg_.rows_per_bank)
+        throw std::invalid_argument("AttackSource: schedule row out of range");
+      if (victims.count(row))
+        throw std::invalid_argument(
+            "AttackSource: schedule must not activate a victim");
+      if (seen.insert(row).second) aggressors_.push_back(row);
+    }
+    for (const auto v : cfg_.victims)
+      if (v >= cfg_.rows_per_bank)
+        throw std::invalid_argument("AttackSource: victim out of range");
+    return;
+  }
 
   auto add = [&](std::vector<dram::RowId>& list, std::int64_t row) {
     if (row >= 0 && row < static_cast<std::int64_t>(cfg_.rows_per_bank))
@@ -64,6 +86,8 @@ AttackSource::AttackSource(AttackConfig config)
         add(dribble_, sv - 1);
         add(dribble_, sv + 1);
         break;
+      case AttackPattern::kFuzzed:
+        break;  // handled above (explicit schedule, early return)
     }
   }
   // Deduplicate while keeping activation order stable; victims must
@@ -88,9 +112,18 @@ std::optional<AccessRecord> AttackSource::next() {
   AccessRecord rec;
   rec.time_ps = now_ps_;
   rec.bank = cfg_.bank;
+  ++emitted_;
+  if (cfg_.pattern == AttackPattern::kFuzzed) {
+    // Fuzzed patterns replay their explicit base period cyclically.
+    rec.row = cfg_.schedule[cursor_];
+    cursor_ = (cursor_ + 1) % cfg_.schedule.size();
+    rec.write = false;
+    rec.is_attack = true;
+    rec.source = cfg_.source_id;
+    return rec;
+  }
   // Half-double interleaves one near-row dribble after every
   // far_per_near hammering activations.
-  ++emitted_;
   if (!dribble_.empty() && emitted_ % (cfg_.far_per_near + 1) == 0) {
     rec.row = dribble_[dribble_cursor_];
     dribble_cursor_ = (dribble_cursor_ + 1) % dribble_.size();

@@ -1,0 +1,130 @@
+#include "tvp/trace/fuzzer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tvp::trace {
+
+void FuzzParams::validate() const {
+  if (pairs_min == 0 || pairs_min > pairs_max)
+    throw std::invalid_argument("FuzzParams: need 1 <= pairs_min <= pairs_max");
+  if (period_exp_min > period_exp_max || period_exp_max > 16)
+    throw std::invalid_argument(
+        "FuzzParams: need period_exp_min <= period_exp_max <= 16");
+  if (amplitude_max == 0)
+    throw std::invalid_argument("FuzzParams: amplitude_max must be >= 1");
+  if (decoys_max == 0)
+    throw std::invalid_argument("FuzzParams: decoys_max must be >= 1");
+  // Each pair needs a region of >= 9 rows so victim = base + 4 +
+  // below(region - 8) stays well-defined and pairs stay >= 8 apart.
+  if (rows_per_bank < 8 + 9ull * pairs_max)
+    throw std::invalid_argument("FuzzParams: bank too small for pairs_max");
+}
+
+PatternFuzzer::PatternFuzzer(FuzzParams params) : params_(params) {
+  params_.validate();
+}
+
+FuzzedPattern PatternFuzzer::pattern(std::uint64_t seed) const {
+  util::Rng rng(seed);
+  FuzzedPattern out;
+  out.seed = seed;
+
+  // 1/2: pattern shape.
+  const auto pairs =
+      static_cast<std::uint32_t>(rng.between(params_.pairs_min, params_.pairs_max));
+  const auto period_exp = static_cast<std::uint32_t>(
+      rng.between(params_.period_exp_min, params_.period_exp_max));
+  out.period_slots = 1u << period_exp;
+
+  // 3: victims, one per region of the usable row range.
+  const dram::RowId region = (params_.rows_per_bank - 8) / pairs;
+  out.pairs.resize(pairs);
+  for (std::uint32_t j = 0; j < pairs; ++j) {
+    const dram::RowId victim =
+        4 + j * region + static_cast<dram::RowId>(rng.below(region - 8));
+    out.pairs[j].victim = victim;
+    out.victims.push_back(victim);
+  }
+
+  // 4: per-pair frequency / phase / amplitude.
+  for (std::uint32_t j = 0; j < pairs; ++j) {
+    auto& pair = out.pairs[j];
+    const auto freq_exp = static_cast<std::uint32_t>(rng.below(period_exp + 1));
+    pair.appearances = 1u << freq_exp;
+    pair.phase =
+        static_cast<std::uint32_t>(rng.below(out.period_slots / pair.appearances));
+    pair.amplitude =
+        static_cast<std::uint32_t>(rng.between(1, params_.amplitude_max));
+  }
+
+  // 5: decoy rows (rejection-sampled away from every victim).
+  const auto decoys = static_cast<std::uint32_t>(rng.between(1, params_.decoys_max));
+  for (std::uint32_t k = 0; k < decoys; ++k) {
+    for (;;) {
+      const auto row = static_cast<dram::RowId>(rng.below(params_.rows_per_bank));
+      const bool near_victim =
+          std::any_of(out.victims.begin(), out.victims.end(), [&](dram::RowId v) {
+            return (row >= v ? row - v : v - row) <= 4;
+          });
+      const bool duplicate =
+          std::find(out.decoys.begin(), out.decoys.end(), row) != out.decoys.end();
+      if (!near_victim && !duplicate) {
+        out.decoys.push_back(row);
+        break;
+      }
+    }
+  }
+
+  // Expansion: per-slot buckets, pairs in order, decoy fill for empty
+  // slots, flattened in slot order.
+  std::vector<std::vector<dram::RowId>> buckets(out.period_slots);
+  const auto add = [&](std::vector<dram::RowId>& bucket, std::int64_t row) {
+    if (row >= 0 && row < static_cast<std::int64_t>(params_.rows_per_bank))
+      bucket.push_back(static_cast<dram::RowId>(row));
+  };
+  for (const auto& pair : out.pairs) {
+    const std::uint32_t stride = out.period_slots / pair.appearances;
+    const auto v = static_cast<std::int64_t>(pair.victim);
+    for (std::uint32_t k = 0; k < pair.appearances; ++k) {
+      auto& bucket = buckets[pair.phase + k * stride];
+      for (std::uint32_t a = 0; a < pair.amplitude; ++a) {
+        if (params_.half_double) {
+          add(bucket, v - 2);
+          add(bucket, v + 2);
+        } else {
+          add(bucket, v - 1);
+          add(bucket, v + 1);
+        }
+      }
+      if (params_.half_double) add(bucket, (k % 2 == 0) ? v - 1 : v + 1);
+    }
+  }
+  std::size_t decoy_cursor = 0;
+  for (auto& bucket : buckets) {
+    if (bucket.empty()) {
+      bucket.push_back(out.decoys[decoy_cursor]);
+      decoy_cursor = (decoy_cursor + 1) % out.decoys.size();
+    }
+  }
+  for (const auto& bucket : buckets)
+    out.schedule.insert(out.schedule.end(), bucket.begin(), bucket.end());
+  return out;
+}
+
+AttackConfig PatternFuzzer::make_attack(const FuzzedPattern& pattern,
+                                        dram::BankId bank,
+                                        std::uint64_t interarrival_ps,
+                                        SourceId source_id) const {
+  AttackConfig cfg;
+  cfg.pattern = AttackPattern::kFuzzed;
+  cfg.bank = bank;
+  cfg.victims = pattern.victims;
+  cfg.rows_per_bank = params_.rows_per_bank;
+  cfg.interarrival_ps = interarrival_ps;
+  cfg.source_id = source_id;
+  cfg.schedule = pattern.schedule;
+  return cfg;
+}
+
+}  // namespace tvp::trace

@@ -31,6 +31,10 @@ enum class AttackPattern {
                     ///< hammered hard, the near rows (v +/- 1) only get
                     ///< occasional "dribble" activations; only effective
                     ///< when the disturbance blast radius is 2
+  kFuzzed,          ///< explicit activation schedule (AttackConfig::
+                    ///< schedule) replayed cyclically — the emission form
+                    ///< of the PatternFuzzer's non-uniform frequency/
+                    ///< phase/amplitude patterns (fuzzer.hpp)
 };
 
 const char* to_string(AttackPattern pattern) noexcept;
@@ -53,6 +57,11 @@ struct AttackConfig {
   std::uint32_t sides = 4;
   /// kHalfDouble: far-row activations per near-row "dribble" activation.
   std::uint32_t far_per_near = 16;
+  /// kFuzzed: the explicit base-period activation order, emitted
+  /// cyclically with the configured interarrival. Rows must be in
+  /// range and must not contain any victim. Built by PatternFuzzer;
+  /// ignored by every other pattern.
+  std::vector<dram::RowId> schedule;
 };
 
 /// Emits the attacker's activation stream: the derived aggressor rows,

@@ -1,0 +1,122 @@
+// TRR-evading pattern fuzzer (Blacksmith / ZenHammer style).
+//
+// In-DRAM TRR samplers watch a handful of recently-activated rows and
+// refresh their neighbours on the next REF. Uniform patterns (double-
+// sided, many-sided at a fixed cadence) are exactly what such samplers
+// catch; what defeats them in practice are *non-uniform* many-sided
+// patterns where each aggressor pair is hammered with its own
+// frequency, phase and amplitude inside a repeating base period, so no
+// single row dominates the sampler's recent-activation window. The
+// fuzzer below searches that parameter space deterministically: one
+// 64-bit seed fully determines a pattern, and the same seed always
+// reproduces the same activation schedule, byte for byte.
+//
+// ## Derivation contract (the differential-fuzz reference reimplements
+// ## exactly this; change it only together with that test)
+//
+// A pattern for (params, seed) is drawn from util::Rng(seed) in this
+// exact order, using only Rng::below / Rng::between:
+//
+//   1. pairs      = between(pairs_min, pairs_max)
+//   2. period_exp = between(period_exp_min, period_exp_max);
+//      period     = 1 << period_exp                      [slots]
+//   3. victims: the usable rows [4, rows_per_bank - 4) are split into
+//      `pairs` equal regions of `region = (rows_per_bank - 8) / pairs`
+//      rows; victim j = 4 + j * region + below(region - 8). Regions
+//      keep aggressor sets of distinct pairs disjoint (>= 8 rows apart).
+//   4. per pair j, in order: freq_exp_j = below(period_exp + 1) and
+//      appearances_j = 1 << freq_exp_j (so the stride
+//      period / appearances_j is integral); phase_j =
+//      below(period / appearances_j); amplitude_j =
+//      between(1, amplitude_max).
+//   5. decoys = between(1, decoys_max); decoy row k is drawn by
+//      rejection: row = below(rows_per_bank), redrawn while it lies
+//      within 4 rows of any victim or equals an earlier decoy.
+//
+// The schedule expands into per-slot buckets: pair j contributes, at
+// slots phase_j + k * (period / appearances_j) for k in
+// [0, appearances_j), `amplitude_j` repetitions of its aggressor rows —
+// (victim-1, victim+1) at blast distance 1, or, in half-double mode,
+// (victim-2, victim+2) followed by one near-row dribble (victim-1 on
+// even k, victim+1 on odd k). Rows outside [0, rows_per_bank) are
+// dropped (bank-edge victims keep their in-range side). Every slot
+// left empty receives one decoy activation, round-robin over the decoy
+// rows in slot order. The flattened bucket list — slot 0's activations
+// first, each bucket in pair order with decoy fill last — is the base
+// period; the attack replays it cyclically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tvp/trace/attack.hpp"
+#include "tvp/util/rng.hpp"
+
+namespace tvp::trace {
+
+/// Bounds of the fuzzer's pattern parameter space. Defaults follow the
+/// published TRR-bypass campaigns: a handful of aggressor pairs, base
+/// periods of 32..256 slots, short bursts.
+struct FuzzParams {
+  std::uint32_t pairs_min = 2;        ///< aggressor pairs per pattern
+  std::uint32_t pairs_max = 6;
+  std::uint32_t period_exp_min = 5;   ///< base period 2^n slots
+  std::uint32_t period_exp_max = 8;
+  std::uint32_t amplitude_max = 4;    ///< max consecutive bursts per slot
+  std::uint32_t decoys_max = 4;       ///< filler rows for empty slots
+  /// Distance-2 (half-double) mode: hammer victim+/-2 and dribble
+  /// victim+/-1, instead of hammering victim+/-1 directly. Only flips
+  /// rows when the disturbance model's blast_radius is 2.
+  bool half_double = false;
+  dram::RowId rows_per_bank = 131072;
+
+  /// Throws std::invalid_argument when the bounds are inconsistent or
+  /// the bank is too small for pairs_max separated victims.
+  void validate() const;
+};
+
+/// One aggressor pair's drawn schedule parameters.
+struct FuzzedPair {
+  dram::RowId victim = 0;
+  std::uint32_t appearances = 1;  ///< times per period (power of two)
+  std::uint32_t phase = 0;        ///< first slot of the pair
+  std::uint32_t amplitude = 1;    ///< bursts per appearance
+};
+
+/// A fully derived pattern: the drawn parameters plus the expanded
+/// activation schedule for one base period.
+struct FuzzedPattern {
+  std::uint64_t seed = 0;
+  std::uint32_t period_slots = 0;
+  std::vector<FuzzedPair> pairs;
+  std::vector<dram::RowId> victims;     ///< pair victims, in region order
+  std::vector<dram::RowId> decoys;
+  /// The expanded base period (one entry per activation, >= one per
+  /// slot); AttackSource replays it cyclically.
+  std::vector<dram::RowId> schedule;
+};
+
+/// Derives patterns from seeds. Stateless between calls: pattern(seed)
+/// depends on (params, seed) only, never on earlier calls.
+class PatternFuzzer {
+ public:
+  explicit PatternFuzzer(FuzzParams params);
+
+  const FuzzParams& params() const noexcept { return params_; }
+
+  /// Derives the pattern for @p seed (see the header contract).
+  FuzzedPattern pattern(std::uint64_t seed) const;
+
+  /// Wraps @p pattern into an AttackConfig (pattern = kFuzzed, explicit
+  /// schedule, the drawn victims) targeting @p bank. The config flows
+  /// through the existing AttackSource / record_corpus / campaign
+  /// machinery unchanged.
+  AttackConfig make_attack(const FuzzedPattern& pattern, dram::BankId bank,
+                           std::uint64_t interarrival_ps,
+                           SourceId source_id) const;
+
+ private:
+  FuzzParams params_;
+};
+
+}  // namespace tvp::trace

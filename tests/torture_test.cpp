@@ -779,6 +779,67 @@ TEST_F(TortureTest, CorpusReadRetriesInterruptedPread) {
       << "the interrupted pread must have been retried";
 }
 
+/// The tiny campaign with a fuzzed workload instead of a benign-only
+/// one: the corpus now carries kFuzzed attack records plus the victim
+/// oracle in the footer.
+exp::SimConfig fuzz_sim_config() {
+  exp::SimConfig sim = corpus_sim_config();
+  sim.workload.model = exp::BenignModel::kFuzz;
+  sim.workload.fuzz.seed = 5;
+  sim.workload.fuzz.patterns = 1;
+  sim.workload.fuzz.acts_per_interval = 10.0;
+  sim.finalize();
+  return sim;
+}
+
+/// EIO at the first occurrence of every writer site while recording a
+/// fuzzed corpus: same never-half-done contract as the benign scenario
+/// above (one occurrence per site keeps the fuzz matrix compact — the
+/// Nth-occurrence grid is already covered there).
+TEST_F(TortureTest, ErrnoInTheCorpusWriterOfAFuzzedRecord) {
+  const exp::SimConfig sim = fuzz_sim_config();
+  const std::string count_file = path("fuzz_count.tvpc");
+  failpoint::reset();
+  const std::uint32_t identity =
+      exp::record_corpus(sim, count_file, corpus_options());
+  std::vector<std::string> sites;
+  for (const auto& site : trace::corpus_failpoint_sites())
+    if (site.rfind("corpus.read.", 0) != 0 && failpoint::hits(site) > 0)
+      sites.push_back(site);
+  failpoint::reset();
+  ASSERT_FALSE(sites.empty()) << "no corpus writer sites fired";
+  const trace::CorpusInfo reference = trace::verify_corpus(count_file);
+  ASSERT_EQ(reference.footer_crc, identity);
+  ASSERT_FALSE(reference.victims.empty())
+      << "a fuzzed corpus must carry the victim oracle";
+
+  std::size_t index = 0;
+  for (const auto& site : sites) {
+    SCOPED_TRACE("EIO at " + site + "@1");
+    const std::string file =
+        path("fuzz_eio_" + std::to_string(index++) + ".tvpc");
+    failpoint::reset();
+    failpoint::Policy policy;
+    policy.action = failpoint::Policy::Action::kReturnErrno;
+    policy.error = EIO;
+    policy.nth = 1;
+    failpoint::set(site, policy);
+    EXPECT_THROW(exp::record_corpus(sim, file, corpus_options()),
+                 std::runtime_error);
+    failpoint::reset();
+
+    try {
+      const trace::CorpusInfo leftover = trace::verify_corpus(file);
+      EXPECT_EQ(leftover.footer_crc, reference.footer_crc);
+    } catch (const std::exception&) {
+      // Rejected — equally fine.
+    }
+
+    EXPECT_EQ(exp::record_corpus(sim, file, corpus_options()),
+              reference.footer_crc);
+  }
+}
+
 /// One record + verify round trip must drive every corpus site —
 /// otherwise the torture matrix silently shrank because a shim was
 /// unwired.
